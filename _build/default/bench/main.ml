@@ -1,0 +1,612 @@
+(* Benchmark and experiment harness.
+
+   Running this executable regenerates every experiment in EXPERIMENTS.md
+   (the paper is a theory paper: its "tables and figures" are protocol
+   listings and lemmas, each of which corresponds to a measurable artifact
+   here), then runs bechamel micro-benchmarks over the library's hot
+   operations.
+
+     dune exec bench/main.exe            # experiments + micro-benchmarks
+     dune exec bench/main.exe -- quick   # experiments only *)
+
+open Wfc_topology
+open Wfc_model
+open Wfc_tasks
+open Wfc_core
+
+let section title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n"
+
+(* ------------------------------------------------------------------ *)
+(* E1: Figure 1 — the k-shot atomic snapshot full-information protocol  *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  section "E1  Figure 1: k-shot atomic-snapshot full-information protocol";
+  Printf.printf "%6s %6s %14s %14s\n" "n+1" "k" "shared ops/run" "distinct views";
+  List.iter
+    (fun (procs, k) ->
+      let inputs = Array.init procs (fun i -> i) in
+      let views = Hashtbl.create 64 in
+      let ops = ref 0 in
+      let trials = 50 in
+      for seed = 0 to trials - 1 do
+        let o =
+          Runtime.run (Full_information.atomic_k_shot ~procs ~k ~inputs) (Runtime.random ~seed ())
+        in
+        Array.iter
+          (function
+            | Some v ->
+              Hashtbl.replace views (Full_information.canonical_view (Printf.sprintf "#%d") v) ()
+            | None -> ())
+          o.Runtime.results;
+        for p = 0 to procs - 1 do
+          ops := !ops + Trace.steps_of o.Runtime.trace p
+        done
+      done;
+      Printf.printf "%6d %6d %14.1f %14d\n" procs k
+        (float_of_int !ops /. float_of_int trials)
+        (Hashtbl.length views))
+    [ (2, 1); (2, 2); (3, 1); (3, 2); (4, 2) ]
+
+(* ------------------------------------------------------------------ *)
+(* E2: Figure 2 — emulation of atomic snapshots over IIS                *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  section "E2  Figure 2: emulation cost and atomicity (Prop 4.1 / Cor 4.1)";
+  Printf.printf "%6s %6s %12s %14s %12s\n" "n+1" "k" "memories" "writereads/p" "atomic";
+  List.iter
+    (fun (procs, k) ->
+      let trials = 40 in
+      let mem = ref 0 and wr = ref 0 and ok = ref 0 in
+      for seed = 0 to trials - 1 do
+        let r =
+          Emulation.run (Emulation.full_information_spec ~procs ~k) (Runtime.random ~seed ())
+        in
+        mem := !mem + r.Emulation.memories_used;
+        wr := !wr + Array.fold_left ( + ) 0 r.Emulation.write_reads;
+        if Emulation.check r = Ok () then incr ok
+      done;
+      Printf.printf "%6d %6d %12.1f %14.1f %9d/%d\n" procs k
+        (float_of_int !mem /. float_of_int trials)
+        (float_of_int !wr /. float_of_int (trials * procs))
+        !ok trials)
+    [ (2, 1); (2, 2); (2, 4); (2, 8); (3, 1); (3, 2); (3, 4); (4, 2); (5, 2) ];
+  Printf.printf "\nwith one crashed process (n+1=3, k=2): ";
+  let ok = ref 0 in
+  let trials = 40 in
+  for seed = 0 to trials - 1 do
+    let r =
+      Emulation.run
+        (Emulation.full_information_spec ~procs:3 ~k:2)
+        (Runtime.random_with_crashes ~seed ~crash:[ seed mod 3 ] ())
+    in
+    if Emulation.check r = Ok () then incr ok
+  done;
+  Printf.printf "atomic %d/%d\n" !ok trials
+
+(* ------------------------------------------------------------------ *)
+(* E3/E4: protocol complexes = SDS^b (Lemmas 3.2 and 3.3)               *)
+(* ------------------------------------------------------------------ *)
+
+let e3_e4 () =
+  section "E3  Lemma 3.2: one-shot IS protocol complex = SDS(s^n)";
+  Printf.printf "%6s %10s %12s %10s\n" "n+1" "facets" "SDS facets" "equal";
+  List.iter
+    (fun procs ->
+      let pc = Protocol_complex.one_shot_is ~procs in
+      let sds = Sds.standard ~dim:(procs - 1) ~levels:1 in
+      Printf.printf "%6d %10d %12d %10b\n" procs
+        (Complex.num_facets (Chromatic.complex pc.Protocol_complex.chromatic))
+        (Sds.count_facets ~dim:(procs - 1) ~levels:1)
+        (Protocol_complex.matches_sds pc sds))
+    [ 1; 2; 3; 4 ];
+  section "E4  Lemma 3.3: b-shot IIS protocol complex = SDS^b(s^n)";
+  Printf.printf "%6s %6s %10s %12s %10s\n" "n+1" "b" "facets" "SDS^b" "equal";
+  List.iter
+    (fun (procs, b) ->
+      let pc = Protocol_complex.iis ~procs ~rounds:b in
+      let sds = Sds.standard ~dim:(procs - 1) ~levels:b in
+      Printf.printf "%6d %6d %10d %12d %10b\n" procs b
+        (Complex.num_facets (Chromatic.complex pc.Protocol_complex.chromatic))
+        (Sds.count_facets ~dim:(procs - 1) ~levels:b)
+        (Protocol_complex.matches_sds pc sds))
+    [ (2, 1); (2, 2); (2, 3); (3, 1); (3, 2) ]
+
+(* ------------------------------------------------------------------ *)
+(* E5: Lemma 2.2 — no holes                                             *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  section "E5  Lemma 2.2: SDS^b(s^n) and its links have no holes (Z/2 homology)";
+  Printf.printf "%6s %6s %20s %10s %12s\n" "n" "b" "reduced betti" "acyclic" "links ok";
+  List.iter
+    (fun (n, b) ->
+      let cx = Chromatic.complex (Sds.complex (Sds.standard ~dim:n ~levels:b)) in
+      let betti =
+        String.concat ","
+          (Array.to_list (Array.map string_of_int (Homology.reduced_betti cx)))
+      in
+      let links_ok =
+        List.for_all
+          (fun sq ->
+            let q = Simplex.dim sq in
+            let max_hole = n - (q + 1) in
+            max_hole < 1
+            ||
+            match Complex.link sq cx with
+            | None -> true
+            | Some l -> Homology.no_holes_up_to l max_hole)
+          (Complex.simplices cx)
+      in
+      Printf.printf "%6d %6d %20s %10b %12b\n" n b ("(" ^ betti ^ ")")
+        (Homology.is_acyclic cx) links_ok)
+    [ (1, 1); (1, 3); (2, 1); (2, 2); (3, 1) ];
+  Printf.printf "\ninteger homology (Smith normal form) on control spaces:\n";
+  List.iter
+    (fun (name, cx) -> Printf.printf "  %-12s %s\n" name (Homology_z.homology_summary cx))
+    [
+      ("SDS^2(s^2)", Chromatic.complex (Sds.complex (Sds.standard ~dim:2 ~levels:2)));
+      ("2-sphere", Option.get (Complex.boundary (Complex.full_simplex 3)));
+      ( "torus",
+        Complex.of_facets
+          (List.init 7 (fun i -> [ i mod 7; (i + 1) mod 7; (i + 3) mod 7 ])
+          @ List.init 7 (fun i -> [ i mod 7; (i + 2) mod 7; (i + 3) mod 7 ])) );
+      ( "RP^2",
+        Complex.of_facets
+          [ [ 0; 1; 4 ]; [ 0; 1; 5 ]; [ 0; 2; 3 ]; [ 0; 2; 5 ]; [ 0; 3; 4 ];
+            [ 1; 2; 3 ]; [ 1; 2; 4 ]; [ 1; 3; 5 ]; [ 2; 4; 5 ]; [ 3; 4; 5 ] ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E6: solvability verdicts (Prop 3.1 / Cor 5.2)                        *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  section "E6  Proposition 3.1: solvability verdicts";
+  Printf.printf "%-30s %8s %22s %12s\n" "task" "max b" "verdict" "nodes";
+  let entry name task max_level =
+    match Solvability.solve ~max_level task with
+    | Solvability.Solvable m ->
+      Printf.printf "%-30s %8d %22s %12d\n" name max_level
+        (Printf.sprintf "solvable at b=%d" m.Solvability.level)
+        (Solvability.search_nodes_of_last_call ())
+    | Solvability.Unsolvable_at b ->
+      Printf.printf "%-30s %8d %22s %12d\n" name max_level
+        (Printf.sprintf "unsolvable (b<=%d)" b)
+        (Solvability.search_nodes_of_last_call ())
+    | Solvability.Exhausted { level; nodes } ->
+      Printf.printf "%-30s %8d %22s %12d\n" name max_level
+        (Printf.sprintf "undecided at b=%d" level)
+        nodes
+  in
+  entry "identity (3 procs)" (Instances.id_task ~procs:3) 1;
+  entry "consensus (2 procs)" (Instances.binary_consensus ~procs:2) 3;
+  entry "consensus (3 procs)" (Instances.binary_consensus ~procs:3) 1;
+  entry "(2,1)-set consensus" (Instances.set_consensus ~procs:2 ~k:1) 2;
+  entry "(3,2)-set consensus" (Instances.set_consensus ~procs:3 ~k:2) 1;
+  entry "(3,3)-set consensus" (Instances.set_consensus ~procs:3 ~k:3) 1;
+  entry "renaming (2 procs, 2 names)" (Instances.adaptive_renaming ~procs:2 ~names:2) 3;
+  entry "renaming (2 procs, 3 names)" (Instances.adaptive_renaming ~procs:2 ~names:3) 2;
+  entry "renaming (3 procs, 6 names)" (Instances.adaptive_renaming ~procs:3 ~names:6) 1;
+  entry "eps-agreement grid 3" (Instances.approximate_agreement ~procs:2 ~grid:3) 2;
+  entry "eps-agreement grid 9" (Instances.approximate_agreement ~procs:2 ~grid:9) 3;
+  entry "eps-agreement 3 procs grid 2" (Instances.approximate_agreement ~procs:3 ~grid:2) 1;
+  entry "(2,1)-test-and-set" (Instances.k_test_and_set ~procs:2 ~k:1) 2;
+  entry "(2,2)-test-and-set" (Instances.k_test_and_set ~procs:2 ~k:2) 1;
+  entry "(3,2)-test-and-set" (Instances.k_test_and_set ~procs:3 ~k:2) 1;
+  entry "fetch&inc order (2 procs)" (Instances.fetch_and_increment_order ~procs:2) 2;
+  entry "loop agreement on a disk" (Instances.loop_agreement_on_disk ()) 1;
+  entry "loop agreement on a circle" (Instances.loop_agreement_on_circle ()) 2;
+  entry "renaming x eps-agreement"
+    (Task.product
+       (Instances.adaptive_renaming ~procs:2 ~names:3)
+       (Instances.approximate_agreement ~procs:2 ~grid:3))
+    2;
+  entry "renaming x consensus"
+    (Task.product
+       (Instances.adaptive_renaming ~procs:2 ~names:3)
+       (Instances.binary_consensus ~procs:2))
+    2;
+  Printf.printf "\neps-agreement round complexity (2 procs): minimal b vs grid\n";
+  Printf.printf "%8s %8s\n" "grid" "min b";
+  List.iter
+    (fun grid ->
+      match Solvability.solve ~max_level:4 (Instances.approximate_agreement ~procs:2 ~grid) with
+      | Solvability.Solvable m -> Printf.printf "%8d %8d\n" grid m.Solvability.level
+      | _ -> Printf.printf "%8d %8s\n" grid "?")
+    [ 1; 2; 3; 4; 8; 9; 10; 27 ]
+
+(* ------------------------------------------------------------------ *)
+(* E7: Lemma 5.3 — minimal approximation levels                         *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  section "E7  Lemma 5.3: minimal k for a carrier-preserving map onto A";
+  Printf.printf "%-16s %12s %12s\n" "target A" "Bsd^k" "SDS^k";
+  List.iter
+    (fun (name, target) ->
+      let show scheme =
+        match Approximation.min_level ~scheme ~target () with
+        | Some (k, _) -> string_of_int k
+        | None -> ">6"
+      in
+      Printf.printf "%-16s %12s %12s\n" name (show `Bsd) (show `Sds))
+    [
+      ("SDS(s^1)", Sds.subdiv (Sds.standard ~dim:1 ~levels:1));
+      ("SDS^2(s^1)", Sds.subdiv (Sds.standard ~dim:1 ~levels:2));
+      ("Bsd^2(s^1)", Subdivision.subdiv (Subdivision.iterate (Chromatic.standard_simplex 1) 2));
+      ("SDS(s^2)", Sds.subdiv (Sds.standard ~dim:2 ~levels:1));
+      ("Bsd(s^2)", Subdivision.subdiv (Subdivision.iterate (Chromatic.standard_simplex 2) 1));
+    ];
+  Printf.printf "\nmesh shrinkage (squared max edge length, exact rationals):\n";
+  Printf.printf "%6s %16s %16s\n" "level" "SDS^b(s^2)" "Bsd^k(s^2)";
+  List.iter
+    (fun l ->
+      let sds = Subdiv.mesh_sq (Sds.subdiv (Sds.standard ~dim:2 ~levels:l)) in
+      let bsd =
+        Subdiv.mesh_sq (Subdivision.subdiv (Subdivision.iterate (Chromatic.standard_simplex 2) l))
+      in
+      Printf.printf "%6d %16s %16s\n" l (Rat.to_string sds) (Rat.to_string bsd))
+    [ 0; 1; 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* E8: Theorem 5.1 — chromatic convergence                              *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  section "E8  Theorem 5.1: chromatic simplex agreement (CSASS) end to end";
+  Printf.printf "%-16s %8s %14s\n" "target A" "k" "validation";
+  List.iter
+    (fun (name, target) ->
+      match Convergence.prepare target with
+      | Some t ->
+        let v = match Convergence.validate t with Ok () -> "OK" | Error _ -> "FAILED" in
+        Printf.printf "%-16s %8d %14s\n" name t.Convergence.level v
+      | None -> Printf.printf "%-16s %8s %14s\n" name "-" "no map")
+    [
+      ("SDS(s^1)", Sds.subdiv (Sds.standard ~dim:1 ~levels:1));
+      ("SDS^2(s^1)", Sds.subdiv (Sds.standard ~dim:1 ~levels:2));
+      ("SDS(s^2)", Sds.subdiv (Sds.standard ~dim:2 ~levels:1));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E9: Borowsky–Gafni immediate snapshot from atomic snapshots          *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  section "E9  [8] substrate: BG one-shot immediate snapshot from snapshots";
+  List.iter
+    (fun m ->
+      let current = ref [] in
+      let make () =
+        current := [];
+        Bg_is.actions_recording
+          ~inputs:(Array.init m (fun i -> i))
+          ~record:(fun i set _ -> current := (i, List.map fst set) :: !current)
+      in
+      let legal = ref 0 and total = ref 0 in
+      ignore
+        (Explore.explore ~max_runs:500_000 make (fun _ ->
+             incr total;
+             if Trace.check_immediate_snapshot !current = Ok () then incr legal));
+      Printf.printf "m=%d: exhaustive %d schedules, %d legal immediate snapshots\n" m !total
+        !legal)
+    [ 2; 3 ];
+  List.iter
+    (fun m ->
+      let legal = ref 0 in
+      let trials = 300 in
+      for seed = 0 to trials - 1 do
+        let r = Bg_is.run ~inputs:(Array.init m (fun i -> i)) (Runtime.random ~seed ()) in
+        if Trace.check_immediate_snapshot (Bg_is.views r) = Ok () then incr legal
+      done;
+      Printf.printf "m=%d: %d/%d random adversarial runs legal\n" m !legal trials)
+    [ 4; 5; 6 ]
+
+(* ------------------------------------------------------------------ *)
+(* E10: Lemma 3.1 — decision bounds                                     *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  section "E10 Lemma 3.1: decision bounds from the execution tree";
+  Printf.printf "%-34s %10s %10s %10s\n" "protocol" "runs" "bound" "depth";
+  let entry name make =
+    let r = Bounded.decision_bound make in
+    Printf.printf "%-34s %10d %10d %10d\n" name r.Bounded.runs r.Bounded.bound r.Bounded.depth
+  in
+  entry "IS renaming, 2 procs" (fun () -> Protocols.is_renaming ~procs:2);
+  entry "IS renaming, 3 procs" (fun () -> Protocols.is_renaming ~procs:3);
+  entry "BG immediate snapshot, 2 procs" (fun () -> Bg_is.actions ~inputs:[| 0; 1 |]);
+  entry "IIS full-info, 2 procs, 3 rounds" (fun () ->
+      Full_information.iis_k_shot ~procs:2 ~k:3 ~inputs:[| 0; 1 |]);
+  entry "averaging agreement, 2p 2r" (fun () ->
+      Protocols.approximate_agreement ~procs:2 ~rounds:2 ~inputs:[| Rat.zero; Rat.one |])
+
+(* ------------------------------------------------------------------ *)
+(* E11: one-round atomic vs immediate snapshot complexes                *)
+(* ------------------------------------------------------------------ *)
+
+let e11 () =
+  section "E11 one-round atomic snapshot complex strictly contains the IS complex";
+  Printf.printf "%6s %14s %10s %14s %14s\n" "n+1" "atomic facets" "IS facets" "IS in atomic"
+    "atomic in IS";
+  List.iter
+    (fun procs ->
+      let pa = Protocol_complex.atomic ~procs ~rounds:1 in
+      let pis = Protocol_complex.one_shot_is ~procs in
+      Printf.printf "%6d %14d %10d %14b %14b\n" procs
+        (Complex.num_facets (Chromatic.complex pa.Protocol_complex.chromatic))
+        (Complex.num_facets (Chromatic.complex pis.Protocol_complex.chromatic))
+        (Protocol_complex.is_subcomplex_of pis pa)
+        (Protocol_complex.is_subcomplex_of pa pis))
+    [ 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* E12: Sperner parity (set-consensus obstruction at any level)         *)
+(* ------------------------------------------------------------------ *)
+
+let e12 () =
+  section "E12 Sperner parity on SDS^b(s^n): panchromatic facets are always odd";
+  Printf.printf "%6s %6s %12s %14s %12s\n" "n" "b" "labelings" "all odd" "min count";
+  List.iter
+    (fun (n, b) ->
+      let sds = Sds.standard ~dim:n ~levels:b in
+      let all_odd = ref true and mincount = ref max_int in
+      let trials = 100 in
+      for seed = 0 to trials - 1 do
+        let label = Sperner.random_sperner_labeling ~seed sds in
+        let c = List.length (Sperner.panchromatic_facets sds ~label) in
+        if c mod 2 = 0 then all_odd := false;
+        if c < !mincount then mincount := c
+      done;
+      Printf.printf "%6d %6d %12d %14b %12d\n" n b trials !all_odd !mincount)
+    [ (1, 2); (2, 1); (2, 2); (3, 1) ]
+
+(* ------------------------------------------------------------------ *)
+(* E13: fill-ins and two-process NCSAC (section 5 building blocks)      *)
+(* ------------------------------------------------------------------ *)
+
+let e13 () =
+  section "E13 fill-ins and two-process simplex agreement (NCSAC base case)";
+  (* 0-sphere fill-ins: paths in the skeleton of SDS^b(s^2) *)
+  Printf.printf "%-22s %10s %10s\n" "complex" "diameter" "rounds";
+  List.iter
+    (fun (name, cx) ->
+      Printf.printf "%-22s %10d %10d\n" name (Fillin.diameter cx) (Ncsac.rounds_needed cx))
+    [
+      ("SDS(s^2) skeleton", Chromatic.complex (Sds.complex (Sds.standard ~dim:2 ~levels:1)));
+      ("SDS^2(s^2) skeleton", Chromatic.complex (Sds.complex (Sds.standard ~dim:2 ~levels:2)));
+      ("path of 16 edges", Complex.of_facets (List.init 16 (fun i -> [ i; i + 1 ])));
+    ];
+  (* 1-sphere fill-in: the boundary of SDS(s^2) bounds the whole disk *)
+  let cx = Chromatic.complex (Sds.complex (Sds.standard ~dim:2 ~levels:1)) in
+  let b = Option.get (Complex.boundary cx) in
+  let next = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      match Simplex.to_list e with
+      | [ a; b' ] ->
+        let add x y =
+          let l = try Hashtbl.find next x with Not_found -> [] in
+          Hashtbl.replace next x (y :: l)
+        in
+        add a b';
+        add b' a
+      | _ -> ())
+    (Complex.facets b);
+  let start = List.hd (Complex.vertices b) in
+  let rec walk prev v acc =
+    let n = List.find (fun x -> x <> prev) (Hashtbl.find next v) in
+    if n = start then List.rev acc else walk v n (n :: acc)
+  in
+  let cycle = walk (-1) start [ start ] in
+  (match Fillin.fill_cycle cx cycle with
+  | Some d ->
+    Printf.printf "\nboundary 9-cycle of SDS(s^2): fill-in with %d triangles (disk = 13)\n"
+      (Complex.num_facets d)
+  | None -> Printf.printf "\nboundary cycle: NO FILL-IN (unexpected)\n");
+  (* distributed two-process convergence over random adversaries *)
+  let sk = Chromatic.complex (Sds.complex (Sds.standard ~dim:2 ~levels:2)) in
+  let vs = Complex.vertices sk in
+  let a = List.hd vs and bb = List.nth vs (List.length vs - 1) in
+  let verdict =
+    match Ncsac.validate sk ~inputs:(a, bb) with Ok () -> "validated" | Error e -> e
+  in
+  Printf.printf
+    "two-process convergence on SDS^2(s^2) skeleton (30 seeds, crashes, solos): %s\n" verdict
+
+(* ------------------------------------------------------------------ *)
+(* E14: adversary structure vs emulation cost                           *)
+(* ------------------------------------------------------------------ *)
+
+let e14 () =
+  section "E14 adversary structure vs Figure-2 emulation cost (n+1=3, k=2)";
+  Printf.printf "%-26s %12s %14s %10s\n" "adversary" "memories" "writereads/p" "atomic";
+  let spec = Emulation.full_information_spec ~procs:3 ~k:2 in
+  let show name strategy_of =
+    let trials = 20 in
+    let mem = ref 0 and wr = ref 0 and ok = ref 0 in
+    for seed = 0 to trials - 1 do
+      let r = Emulation.run spec (strategy_of seed) in
+      mem := !mem + r.Emulation.memories_used;
+      wr := !wr + Array.fold_left ( + ) 0 r.Emulation.write_reads;
+      if Emulation.check r = Ok () then incr ok
+    done;
+    Printf.printf "%-26s %12.1f %14.1f %7d/%d\n" name
+      (float_of_int !mem /. float_of_int trials)
+      (float_of_int !wr /. float_of_int (trials * 3))
+      !ok trials
+  in
+  show "round robin" (fun _ -> Runtime.round_robin ());
+  show "random" (fun seed -> Runtime.random ~seed ());
+  show "isolating (victim 0)" (fun _ -> Runtime.isolating ~victim:0 ());
+  show "random + crash" (fun seed -> Runtime.random_with_crashes ~seed ~crash:[ seed mod 3 ] ())
+
+(* ------------------------------------------------------------------ *)
+(* E16: exact two-process verdicts (all levels at once)                 *)
+(* ------------------------------------------------------------------ *)
+
+let e16 () =
+  section "E16 exact two-process decidability (connectivity, every level at once)";
+  Printf.printf "%-30s %-28s %10s\n" "task" "exact verdict" "agrees";
+  let entry name t =
+    let verdict =
+      match Decidability.two_process t with
+      | Decidability.Solvable_at b -> Printf.sprintf "solvable at b=%d" b
+      | Decidability.Unsolvable -> "unsolvable at EVERY level"
+    in
+    Printf.printf "%-30s %-28s %10b\n" name verdict (Decidability.agrees_with_search t)
+  in
+  entry "consensus" (Instances.binary_consensus ~procs:2);
+  entry "(2,1)-test-and-set" (Instances.k_test_and_set ~procs:2 ~k:1);
+  entry "renaming, 2 names" (Instances.adaptive_renaming ~procs:2 ~names:2);
+  entry "renaming, 3 names" (Instances.adaptive_renaming ~procs:2 ~names:3);
+  entry "fetch&inc order" (Instances.fetch_and_increment_order ~procs:2);
+  entry "eps-agreement grid 9" (Instances.approximate_agreement ~procs:2 ~grid:9);
+  entry "eps-agreement grid 27" (Instances.approximate_agreement ~procs:2 ~grid:27);
+  entry "identity" (Instances.id_task ~procs:2)
+
+(* ------------------------------------------------------------------ *)
+(* E15: the BG simulation (resiliency technology of [10, 11])           *)
+(* ------------------------------------------------------------------ *)
+
+let e15 () =
+  section "E15 BG simulation: s simulators run an m-process snapshot protocol";
+  Printf.printf "%6s %6s %6s %10s %12s %14s %10s\n" "sims" "m" "k" "complete" "agreements"
+    "ops/simulator" "legal";
+  List.iter
+    (fun (s, m, k) ->
+      let spec = Bg_simulation.full_information_spec ~procs:m ~k in
+      let trials = 15 in
+      let complete = ref 0 and agreements = ref 0 and ops = ref 0 and legal = ref 0 in
+      for seed = 0 to trials - 1 do
+        let r = Bg_simulation.run ~simulators:s spec (Runtime.random ~seed ()) in
+        complete :=
+          !complete + Array.fold_left (fun a b -> if b then a + 1 else a) 0 r.Bg_simulation.completed;
+        agreements := !agreements + List.length r.Bg_simulation.snapshots;
+        ops := !ops + Array.fold_left ( + ) 0 r.Bg_simulation.simulator_ops;
+        if Bg_simulation.check spec r = Ok () then incr legal
+      done;
+      Printf.printf "%6d %6d %6d %10.1f %12.1f %14.1f %7d/%d\n" s m k
+        (float_of_int !complete /. float_of_int trials)
+        (float_of_int !agreements /. float_of_int trials)
+        (float_of_int !ops /. float_of_int (trials * s))
+        !legal trials)
+    [ (2, 2, 2); (2, 3, 2); (2, 3, 4); (3, 4, 2); (3, 5, 2); (4, 5, 2) ];
+  (* the resiliency headline: one simulator crash, at least m-1 complete *)
+  Printf.printf "\nwith one crashed simulator (2 sims, 3 procs, k=2):\n";
+  let spec = Bg_simulation.full_information_spec ~procs:3 ~k:2 in
+  let min_complete = ref max_int and legal = ref 0 in
+  let trials = 30 in
+  for seed = 0 to trials - 1 do
+    let r =
+      Bg_simulation.run ~simulators:2 spec
+        (Runtime.random_with_crashes ~seed ~crash:[ seed mod 2 ] ())
+    in
+    let c = Array.fold_left (fun a b -> if b then a + 1 else a) 0 r.Bg_simulation.completed in
+    if c < !min_complete then min_complete := c;
+    if Bg_simulation.check spec r = Ok () then incr legal
+  done;
+  Printf.printf "min completed = %d (guarantee >= %d), legal histories %d/%d\n" !min_complete
+    (Bg_simulation.min_completed ~simulators:2 ~crashed:1 spec)
+    !legal trials
+
+(* ------------------------------------------------------------------ *)
+(* bechamel micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  section "micro-benchmarks (bechamel, monotonic clock)";
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    [
+      Test.make ~name:"sds: build SDS^1(s^2)"
+        (Staged.stage (fun () -> ignore (Sds.standard ~dim:2 ~levels:1)));
+      Test.make ~name:"sds: build SDS^2(s^2)"
+        (Staged.stage (fun () -> ignore (Sds.standard ~dim:2 ~levels:2)));
+      Test.make ~name:"bsd: build Bsd^2(s^2)"
+        (Staged.stage (fun () -> ignore (Subdivision.iterate (Chromatic.standard_simplex 2) 2)));
+      Test.make ~name:"homology: betti SDS^2(s^2)"
+        (let cx = Chromatic.complex (Sds.complex (Sds.standard ~dim:2 ~levels:2)) in
+         Staged.stage (fun () -> ignore (Homology.reduced_betti cx)));
+      Test.make ~name:"model: one-shot IS complex (3 procs)"
+        (Staged.stage (fun () -> ignore (Protocol_complex.one_shot_is ~procs:3)));
+      Test.make ~name:"emulation: n=3 k=2 random run"
+        (Staged.stage (fun () ->
+             ignore
+               (Emulation.run
+                  (Emulation.full_information_spec ~procs:3 ~k:2)
+                  (Runtime.random ~seed:1 ()))));
+      Test.make ~name:"solvability: renaming(2,3) at b=1"
+        (let task = Instances.adaptive_renaming ~procs:2 ~names:3 in
+         Staged.stage (fun () -> ignore (Solvability.solve_at task 1)));
+      Test.make ~name:"solvability: consensus(2) UNSAT at b=2"
+        (let task = Instances.binary_consensus ~procs:2 in
+         Staged.stage (fun () -> ignore (Solvability.solve_at task 2)));
+      Test.make ~name:"bg-is: 4 procs random run"
+        (Staged.stage (fun () ->
+             ignore (Bg_is.run ~inputs:[| 0; 1; 2; 3 |] (Runtime.random ~seed:2 ()))));
+      Test.make ~name:"approximation: SDS^1 -> SDS(s^2)"
+        (let target = Sds.subdiv (Sds.standard ~dim:2 ~levels:1) in
+         let source = Sds.subdiv (Sds.standard ~dim:2 ~levels:1) in
+         Staged.stage (fun () -> ignore (Approximation.approximate ~source ~target)));
+      Test.make ~name:"sperner: label + count SDS^2(s^2)"
+        (let sds = Sds.standard ~dim:2 ~levels:2 in
+         Staged.stage (fun () ->
+             let label = Sperner.random_sperner_labeling ~seed:3 sds in
+             ignore (Sperner.panchromatic_facets sds ~label)));
+      Test.make ~name:"runtime: IIS full-info 3 procs 3 rounds"
+        (Staged.stage (fun () ->
+             ignore
+               (Runtime.run
+                  (Full_information.iis_k_shot ~procs:3 ~k:3 ~inputs:[| 0; 1; 2 |])
+                  (Runtime.random ~seed:4 ()))));
+    ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  Printf.printf "%-44s %16s\n" "benchmark" "time/run";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+            let pretty =
+              if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+              else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+              else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+              else Printf.sprintf "%.0f ns" est
+            in
+            Printf.printf "%-44s %16s\n" name pretty
+          | _ -> Printf.printf "%-44s %16s\n" name "n/a")
+        analysis)
+    tests
+
+let () =
+  let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
+  e1 ();
+  e2 ();
+  e3_e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e8 ();
+  e9 ();
+  e10 ();
+  e11 ();
+  e12 ();
+  e13 ();
+  e14 ();
+  e15 ();
+  e16 ();
+  if not quick then micro ();
+  print_endline "\nall experiments complete."

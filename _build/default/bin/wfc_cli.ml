@@ -1,0 +1,301 @@
+(* wfc — command-line explorer for wait-free computability.
+
+   Subcommands mirror the paper's artifacts: subdivisions and their geometry
+   (§2, §3.6), protocol complexes by execution (§3), the Figure-2 emulation
+   (§4), task solvability (Prop 3.1), and convergence/approximation (§5). *)
+
+open Cmdliner
+open Wfc_topology
+open Wfc_model
+open Wfc_tasks
+open Wfc_core
+
+(* ---------- shared arguments ---------- *)
+
+let dim_arg =
+  Arg.(value & opt int 2 & info [ "n"; "dim" ] ~docv:"N" ~doc:"Dimension of the base simplex.")
+
+let levels_arg =
+  Arg.(value & opt int 1 & info [ "b"; "levels" ] ~docv:"B" ~doc:"Subdivision / round count.")
+
+let procs_arg =
+  Arg.(value & opt int 3 & info [ "p"; "procs" ] ~docv:"P" ~doc:"Number of processes.")
+
+let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Adversary seed.")
+
+(* ---------- sds ---------- *)
+
+let sds_cmd =
+  let run dim levels svg tikz =
+    let s = Sds.standard ~dim ~levels in
+    let cx = Chromatic.complex (Sds.complex s) in
+    Format.printf "%a@." Complex.pp_stats cx;
+    Format.printf "expected facets: %d@." (Sds.count_facets ~dim ~levels);
+    (match Subdiv.check_geometric (Sds.subdiv s) with
+    | Ok () -> Format.printf "geometric realization: exact@."
+    | Error e -> Format.printf "geometric realization: BROKEN (%s)@." e);
+    (match svg with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Export.svg (Sds.subdiv s));
+      close_out oc;
+      Format.printf "wrote %s@." path
+    | None -> ());
+    if tikz then print_string (Export.tikz (Sds.subdiv s))
+  in
+  let svg =
+    Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc:"Write an SVG drawing.")
+  in
+  let tikz = Arg.(value & flag & info [ "tikz" ] ~doc:"Print a TikZ picture.") in
+  Cmd.v
+    (Cmd.info "sds" ~doc:"Iterated standard chromatic subdivision: stats, geometry, drawings.")
+    Term.(const run $ dim_arg $ levels_arg $ svg $ tikz)
+
+(* ---------- homology ---------- *)
+
+let homology_cmd =
+  let run dim levels integer =
+    let cx = Chromatic.complex (Sds.complex (Sds.standard ~dim ~levels)) in
+    let b = Homology.reduced_betti cx in
+    Format.printf "SDS^%d(s^%d): reduced betti (Z/2) = (%s), acyclic = %b@." levels dim
+      (String.concat "," (Array.to_list (Array.map string_of_int b)))
+      (Homology.is_acyclic cx);
+    if integer then
+      Format.printf "integer homology: %s@." (Homology_z.homology_summary cx)
+  in
+  let integer =
+    Arg.(value & flag & info [ "z"; "integer" ] ~doc:"Also compute integer homology (SNF).")
+  in
+  Cmd.v
+    (Cmd.info "homology" ~doc:"Z/2 (and optionally Z) homology of SDS^b(s^n) (Lemma 2.2).")
+    Term.(const run $ dim_arg $ levels_arg $ integer)
+
+(* ---------- simulate (BG simulation) ---------- *)
+
+let simulate_cmd =
+  let run simulators procs rounds seed crash =
+    let spec = Bg_simulation.full_information_spec ~procs ~k:rounds in
+    let strategy =
+      match crash with
+      | [] -> Runtime.random ~seed ()
+      | victims -> Runtime.random_with_crashes ~seed ~crash:victims ()
+    in
+    let r = Bg_simulation.run ~simulators spec strategy in
+    Format.printf "completed simulated processes: %s@."
+      (String.concat ","
+         (Array.to_list (Array.mapi (fun j b -> Printf.sprintf "P%d:%b" j b) r.Bg_simulation.completed)));
+    Format.printf "snapshot agreements: %d@." (List.length r.Bg_simulation.snapshots);
+    Format.printf "ops per simulator: %s@."
+      (String.concat ","
+         (Array.to_list (Array.map string_of_int r.Bg_simulation.simulator_ops)));
+    match Bg_simulation.check spec r with
+    | Ok () -> Format.printf "simulated history: legal@."
+    | Error e -> Format.printf "simulated history: BROKEN (%s)@." e
+  in
+  let simulators =
+    Arg.(value & opt int 2 & info [ "s"; "simulators" ] ~docv:"S" ~doc:"Number of simulators.")
+  in
+  let crash =
+    Arg.(value & opt (list int) [] & info [ "crash" ] ~docv:"S,..." ~doc:"Crash these simulators.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"BG simulation: S crash-prone simulators run a P-process snapshot protocol.")
+    Term.(const run $ simulators $ procs_arg $ levels_arg $ seed_arg $ crash)
+
+(* ---------- protocol-complex ---------- *)
+
+let pc_cmd =
+  let run model procs rounds =
+    let pc =
+      match model with
+      | "is" -> Protocol_complex.one_shot_is ~procs
+      | "iis" -> Protocol_complex.iis ~procs ~rounds
+      | "atomic" -> Protocol_complex.atomic ~procs ~rounds
+      | m -> failwith ("unknown model: " ^ m)
+    in
+    Format.printf "%a@." Complex.pp_stats (Chromatic.complex pc.Protocol_complex.chromatic);
+    if model <> "atomic" then begin
+      let sds = Sds.standard ~dim:(procs - 1) ~levels:(if model = "is" then 1 else rounds) in
+      Format.printf "matches SDS^b(s^n): %b@." (Protocol_complex.matches_sds pc sds)
+    end
+  in
+  let model =
+    Arg.(
+      value
+      & opt (enum [ ("is", "is"); ("iis", "iis"); ("atomic", "atomic") ]) "iis"
+      & info [ "model" ] ~docv:"MODEL" ~doc:"One of is, iis, atomic.")
+  in
+  Cmd.v
+    (Cmd.info "protocol-complex"
+       ~doc:"Build a protocol complex by running every schedule (Lemmas 3.2/3.3).")
+    Term.(const run $ model $ procs_arg $ levels_arg)
+
+(* ---------- emulate ---------- *)
+
+let emulate_cmd =
+  let run procs rounds seed trace crash =
+    let spec = Emulation.full_information_spec ~procs ~k:rounds in
+    let strategy =
+      match crash with
+      | [] -> Runtime.random ~seed ()
+      | victims -> Runtime.random_with_crashes ~seed ~crash:victims ()
+    in
+    let r = Emulation.run spec strategy in
+    Format.printf "IIS memories used: %d@." r.Emulation.memories_used;
+    Format.printf "WriteReads per process: %s@."
+      (String.concat ", "
+         (Array.to_list (Array.mapi (Printf.sprintf "P%d:%d") r.Emulation.write_reads)));
+    (match Emulation.check r with
+    | Ok () -> Format.printf "atomicity: OK@."
+    | Error e -> Format.printf "atomicity: VIOLATED (%s)@." e);
+    if trace then
+      List.iter
+        (fun o ->
+          match o.Trace.kind with
+          | `Write sq ->
+            Format.printf "  P%d write#%d  [%d,%d]@." o.Trace.proc sq o.Trace.t_start
+              o.Trace.t_end
+          | `Snapshot v ->
+            Format.printf "  P%d snap (%s)  [%d,%d]@." o.Trace.proc
+              (String.concat "," (Array.to_list (Array.map string_of_int v)))
+              o.Trace.t_start o.Trace.t_end)
+        r.Emulation.ops
+  in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the emulated operation log.") in
+  let crash =
+    Arg.(value & opt (list int) [] & info [ "crash" ] ~docv:"P,..." ~doc:"Crash these processes.")
+  in
+  Cmd.v
+    (Cmd.info "emulate"
+       ~doc:"Emulate the k-shot atomic snapshot protocol over IIS (Figure 2) and certify it.")
+    Term.(const run $ procs_arg $ levels_arg $ seed_arg $ trace $ crash)
+
+(* ---------- solve ---------- *)
+
+let task_of name procs param =
+  match name with
+  | "consensus" -> Instances.binary_consensus ~procs
+  | "set-consensus" -> Instances.set_consensus ~procs ~k:param
+  | "renaming" -> Instances.adaptive_renaming ~procs ~names:param
+  | "approx" -> Instances.approximate_agreement ~procs ~grid:param
+  | "identity" -> Instances.id_task ~procs
+  | "tas" -> Instances.k_test_and_set ~procs ~k:param
+  | "fai" -> Instances.fetch_and_increment_order ~procs
+  | "loop-disk" -> Instances.loop_agreement_on_disk ()
+  | "loop-circle" -> Instances.loop_agreement_on_circle ()
+  | t -> failwith ("unknown task: " ^ t)
+
+let solve_cmd =
+  let run task procs param max_level validate =
+    let t = task_of task procs param in
+    Format.printf "%a@." Task.pp_stats t;
+    match Solvability.solve ~max_level t with
+    | Solvability.Solvable m ->
+      Format.printf "SOLVABLE with %d IIS round(s); map verified: %b@." m.Solvability.level
+        (Solvability.verify m = Ok ());
+      if validate then begin
+        match Characterization.validate m with
+        | Ok () -> Format.printf "distributed validation: OK@."
+        | Error e -> Format.printf "distributed validation: FAILED (%s)@." e
+      end
+    | Solvability.Unsolvable_at b ->
+      Format.printf "UNSOLVABLE for every b <= %d (search space exhausted)@." b
+    | Solvability.Exhausted { level; nodes } ->
+      Format.printf "UNDECIDED at b = %d (budget: %d nodes)@." level nodes
+  in
+  let task =
+    Arg.(
+      value
+      & opt string "consensus"
+      & info [ "task" ] ~docv:"TASK"
+          ~doc:"One of consensus, set-consensus, renaming, approx, identity, tas, fai, loop-disk, loop-circle.")
+  in
+  let param =
+    Arg.(
+      value & opt int 2
+      & info [ "param" ] ~docv:"K"
+          ~doc:"Task parameter: k for set-consensus, names for renaming, grid for approx.")
+  in
+  let max_level =
+    Arg.(value & opt int 2 & info [ "max-level" ] ~docv:"B" ~doc:"Largest round count to try.")
+  in
+  let validate =
+    Arg.(value & flag & info [ "validate" ] ~doc:"Run the found map as a distributed protocol.")
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Decide wait-free solvability of a task (Proposition 3.1).")
+    Term.(const run $ task $ procs_arg $ param $ max_level $ validate)
+
+(* ---------- converge ---------- *)
+
+let converge_cmd =
+  let run dim levels seed =
+    let target = Sds.subdiv (Sds.standard ~dim ~levels) in
+    match Convergence.prepare target with
+    | None -> Format.printf "no chromatic map found@."
+    | Some t ->
+      Format.printf "CSASS over SDS^%d(s^%d): decision map at k=%d@." levels dim
+        t.Convergence.level;
+      let participating = List.init (dim + 1) (fun i -> i) in
+      (match Convergence.run t ~participating (Runtime.random ~seed ()) with
+      | Ok outputs ->
+        List.iter
+          (fun (p, w) ->
+            Format.printf "  P%d -> vertex %d (carrier %s)@." p w
+              (Simplex.to_string (t.Convergence.target.Subdiv.carrier w)))
+          outputs
+      | Error e -> Format.printf "  run failed: %s@." e)
+  in
+  Cmd.v
+    (Cmd.info "converge"
+       ~doc:"Chromatic simplex agreement over SDS^b(s^n), end to end (Theorem 5.1).")
+    Term.(const run $ dim_arg $ levels_arg $ seed_arg)
+
+(* ---------- approx ---------- *)
+
+let approx_cmd =
+  let run dim levels scheme =
+    let target = Sds.subdiv (Sds.standard ~dim ~levels) in
+    let scheme = match scheme with "bsd" -> `Bsd | _ -> `Sds in
+    match Approximation.min_level ~scheme ~target () with
+    | Some (k, phi) ->
+      Format.printf "minimal k = %d; map is simplicial: %b@." k
+        (Simplicial_map.is_simplicial phi)
+    | None -> Format.printf "no approximation found up to k = 6@."
+  in
+  let scheme =
+    Arg.(
+      value
+      & opt (enum [ ("bsd", "bsd"); ("sds", "sds") ]) "bsd"
+      & info [ "scheme" ] ~docv:"S" ~doc:"Source subdivision scheme: bsd or sds.")
+  in
+  Cmd.v
+    (Cmd.info "approx"
+       ~doc:"Carrier-preserving simplicial approximation onto SDS^b(s^n) (Lemma 5.3).")
+    Term.(const run $ dim_arg $ levels_arg $ scheme)
+
+(* ---------- bound ---------- *)
+
+let bound_cmd =
+  let run procs crashes =
+    let r = Bounded.decision_bound ~crashes (fun () -> Protocols.is_renaming ~procs) in
+    Format.printf
+      "IS renaming, %d processes: %d executions explored, decision bound %d, max depth %d@."
+      procs r.Bounded.runs r.Bounded.bound r.Bounded.depth
+  in
+  let crashes =
+    Arg.(value & opt int 0 & info [ "crashes" ] ~docv:"C" ~doc:"Also explore up to C crashes.")
+  in
+  Cmd.v
+    (Cmd.info "bound"
+       ~doc:"Materialize the execution tree and extract the decision bound (Lemma 3.1).")
+    Term.(const run $ procs_arg $ crashes)
+
+let main_cmd =
+  let doc = "wait-free computations via iterated immediate snapshots (Borowsky-Gafni, PODC'97)" in
+  Cmd.group
+    (Cmd.info "wfc" ~version:"1.0.0" ~doc)
+    [ sds_cmd; homology_cmd; pc_cmd; emulate_cmd; solve_cmd; converge_cmd; approx_cmd; bound_cmd; simulate_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

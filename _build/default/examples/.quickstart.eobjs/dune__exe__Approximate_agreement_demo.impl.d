@@ -1,0 +1,1 @@
+examples/approximate_agreement_demo.ml: Array Characterization Format Instances List Option Protocols Rat Runtime Solvability Task Wfc_core Wfc_model Wfc_tasks Wfc_topology

@@ -1,0 +1,1 @@
+examples/bg_simulation_demo.ml: Array Bg_simulation Format List Printf Runtime Solvability String Wfc_core Wfc_model Wfc_tasks

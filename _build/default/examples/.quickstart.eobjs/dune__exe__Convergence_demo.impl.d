@@ -1,0 +1,1 @@
+examples/convergence_demo.ml: Approximation Chromatic Convergence Export Filename Format List Printf Runtime Sds Simplex String Subdiv Subdivision Wfc_core Wfc_model Wfc_topology

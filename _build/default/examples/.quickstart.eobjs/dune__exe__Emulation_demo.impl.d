@@ -1,0 +1,1 @@
+examples/emulation_demo.ml: Array Emulation Format List Printf Runtime String Wfc_core Wfc_model

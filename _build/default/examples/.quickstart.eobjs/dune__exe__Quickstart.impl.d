@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Chromatic Complex Format Full_information Printf Protocol_complex Runtime Sds Subdiv Trace Wfc_model Wfc_topology

@@ -1,0 +1,1 @@
+examples/set_consensus_demo.ml: Characterization Format Instances List Solvability Sperner Wfc_core Wfc_tasks Wfc_topology

@@ -1,0 +1,1 @@
+examples/subdivision_gallery.ml: Array Chromatic Complex Format Homology Homology_z List Option Protocol_complex Sds String Subdiv Subdivision Wfc_model Wfc_topology

@@ -1,0 +1,1 @@
+examples/subdivision_gallery.mli:

@@ -1,0 +1,1 @@
+lib/core/approximation.ml: Chromatic Complex Hashtbl List Option Point Printf Rat Sds Simplex Simplicial_map Solvability Subdiv Subdivision Wfc_tasks Wfc_topology

@@ -1,0 +1,1 @@
+lib/core/approximation.mli: Simplicial_map Solvability Subdiv Wfc_topology

@@ -1,0 +1,1 @@
+lib/core/bg_simulation.ml: Action Array Hashtbl List Option Printf Runtime Stdlib String Wfc_model

@@ -1,0 +1,1 @@
+lib/core/bounded.ml: Explore Hashtbl List Runtime Trace Wfc_model

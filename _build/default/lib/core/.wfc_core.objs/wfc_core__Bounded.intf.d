@@ -1,0 +1,1 @@
+lib/core/bounded.mli: Action Trace Wfc_model

@@ -1,0 +1,1 @@
+lib/core/characterization.ml: Action Array Chromatic Complex Full_information Hashtbl List Printf Runtime Schedule Sds Simplex Solvability String Task Wfc_model Wfc_tasks Wfc_topology

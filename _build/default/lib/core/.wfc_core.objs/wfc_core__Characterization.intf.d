@@ -1,0 +1,1 @@
+lib/core/characterization.mli: Action Full_information Runtime Solvability Stdlib Wfc_model

@@ -1,0 +1,1 @@
+lib/core/convergence.ml: Approximation Array Characterization Chromatic Complex List Option Printf Simplex Simplex_agreement Solvability String Subdiv Task Wfc_model Wfc_tasks Wfc_topology

@@ -1,0 +1,1 @@
+lib/core/convergence.mli: Runtime Solvability Stdlib Subdiv Wfc_model Wfc_topology

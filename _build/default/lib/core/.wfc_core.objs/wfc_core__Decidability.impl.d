@@ -1,0 +1,1 @@
+lib/core/decidability.ml: Chromatic Complex Hashtbl List Queue Simplex Solvability Stdlib Task Wfc_tasks Wfc_topology

@@ -1,0 +1,1 @@
+lib/core/decidability.mli: Wfc_tasks

@@ -1,0 +1,1 @@
+lib/core/emulation.ml: Action Array List Option Printf Runtime Stdlib String Trace Wfc_model

@@ -1,0 +1,1 @@
+lib/core/emulation.mli: Runtime Stdlib Trace Wfc_model

@@ -1,0 +1,1 @@
+lib/core/ncsac.ml: Action Array Complex Fillin List Printf Runtime Simplex Wfc_model Wfc_topology

@@ -1,0 +1,1 @@
+lib/core/ncsac.mli: Action Wfc_model Wfc_topology

@@ -1,0 +1,1 @@
+lib/core/solvability.ml: Array Chromatic Complex Hashtbl List Printf Queue Sds Simplex String Subdiv Task Wfc_tasks Wfc_topology

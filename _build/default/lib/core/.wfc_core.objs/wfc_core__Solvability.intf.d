@@ -1,0 +1,1 @@
+lib/core/solvability.mli: Wfc_tasks Wfc_topology

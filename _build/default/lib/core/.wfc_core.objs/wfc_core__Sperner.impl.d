@@ -1,0 +1,1 @@
+lib/core/sperner.ml: Chromatic Complex Hashtbl List Random Sds Simplex Solvability Stdlib Wfc_tasks Wfc_topology

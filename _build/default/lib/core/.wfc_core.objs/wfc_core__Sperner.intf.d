@@ -1,0 +1,1 @@
+lib/core/sperner.mli: Sds Simplex Solvability Wfc_topology

@@ -1,0 +1,107 @@
+open Wfc_topology
+
+let approximate_filtered ?(admissible = fun _ _ -> true) ~source ~target () =
+  if not (Complex.equal (Chromatic.complex source.Subdiv.base) (Chromatic.complex target.Subdiv.base))
+  then Error "source and target subdivide different bases"
+  else begin
+    let tcx = Chromatic.complex target.Subdiv.cx in
+    let target_facets = Complex.facets tcx in
+    let best_vertex v =
+      let p = source.Subdiv.point v in
+      let carrier_v = source.Subdiv.carrier v in
+      (* Scan target facets containing p; collect (w, lambda_w) candidates
+         whose carrier is a face of carrier(v). *)
+      let best = ref None in
+      List.iter
+        (fun f ->
+          let ws = Simplex.to_list f in
+          let pts = List.map target.Subdiv.point ws in
+          match Point.solve_barycentric pts p with
+          | None -> ()
+          | Some ls ->
+            if List.for_all (fun l -> Rat.sign l >= 0) ls then
+              List.iter2
+                (fun w l ->
+                  if
+                    Rat.sign l > 0
+                    && Simplex.subset (target.Subdiv.carrier w) carrier_v
+                    && admissible v w
+                  then
+                    match !best with
+                    | Some (_, l') when Rat.compare l l' <= 0 -> ()
+                    | _ -> best := Some (w, l))
+                ws ls)
+        target_facets;
+      Option.map fst !best
+    in
+    let scx = Chromatic.complex source.Subdiv.cx in
+    let table = Hashtbl.create 256 in
+    let missing = ref None in
+    List.iter
+      (fun v ->
+        match best_vertex v with
+        | Some w -> Hashtbl.replace table v w
+        | None -> if !missing = None then missing := Some v)
+      (Complex.vertices scx);
+    match !missing with
+    | Some v -> Error (Printf.sprintf "no admissible target vertex for source vertex %d" v)
+    | None ->
+      let phi = Simplicial_map.make ~src:scx ~dst:tcx (fun v -> Hashtbl.find table v) in
+      (match Simplicial_map.check_simplicial phi with
+      | Error f ->
+        Error (Printf.sprintf "not simplicial on facet %s (mesh too coarse)" (Simplex.to_string f))
+      | Ok () ->
+        if not (Subdiv.is_carrier_monotone source target phi) then
+          Error "not carrier-monotone"
+        else Ok phi)
+  end
+
+let approximate ~source ~target = approximate_filtered ~source ~target ()
+
+let chromatic_geometric ~source ~target =
+  let ok =
+    approximate_filtered
+      ~admissible:(fun v w ->
+        Chromatic.color source.Subdiv.cx v = Chromatic.color target.Subdiv.cx w)
+      ~source ~target ()
+  in
+  match ok with
+  | Error _ as e -> e
+  | Ok phi ->
+    if
+      Simplicial_map.is_color_preserving
+        ~src_color:(Chromatic.color source.Subdiv.cx)
+        ~dst_color:(Chromatic.color target.Subdiv.cx)
+        phi
+    then Ok phi
+    else Error "not color preserving"
+
+type scheme = [ `Bsd | `Sds ]
+
+let min_level ?(max_k = 6) ~scheme ~target () =
+  let base = target.Subdiv.base in
+  let rec go k =
+    if k > max_k then None
+    else begin
+      let source =
+        match scheme with
+        | `Bsd -> Subdivision.subdiv (Subdivision.iterate base k)
+        | `Sds -> Sds.subdiv (Sds.iterate base k)
+      in
+      match approximate ~source ~target with
+      | Ok phi -> Some (k, phi)
+      | Error _ -> go (k + 1)
+    end
+  in
+  go 1
+
+let chromatic ?budget ?(max_k = 4) ~target () =
+  let task = Wfc_tasks.Simplex_agreement.chromatic target in
+  let rec go k =
+    if k > max_k then None
+    else
+      match Solvability.solve_at ?budget task k with
+      | Solvability.Solvable m -> Some (k, m)
+      | Solvability.Unsolvable_at _ | Solvability.Exhausted _ -> go (k + 1)
+  in
+  go 0

@@ -1,0 +1,50 @@
+(** Simplicial approximation — the geometric engine of §5.
+
+    Lemma 5.3 (via the simplicial approximation theorem, Lemma 2.1): for any
+    subdivision [A(sⁿ)] and all large enough [k], there is a
+    carrier-preserving simplicial map from [Bsd^k(sⁿ)] (hence from
+    [SDS^k(sⁿ)], which refines through [Bsd]) to [A].
+
+    {!approximate} implements the constructive content with exact rational
+    arithmetic: each source vertex [v] is sent to a target vertex [w] whose
+    open star contains the point of [v] — concretely, [w] maximizes the
+    barycentric coordinate of [point v] inside a target facet containing it,
+    among vertices whose carrier is a face of [carrier v]. When the source
+    mesh is fine enough the resulting vertex map is automatically simplicial
+    and carrier-monotone; the function {e verifies} both and reports failure
+    otherwise, so callers can retry at a finer level ({!min_level}).
+
+    Theorem 5.1 (the {e chromatic} version) is obtained through the
+    equivalence the paper itself uses: a color-and-carrier-preserving map
+    [SDS^k(sⁿ) → A] is exactly a decision map for the chromatic simplex
+    agreement task over [A], so {!chromatic} delegates to the
+    {!Solvability} engine and returns an independently verifiable map. *)
+
+open Wfc_topology
+
+val approximate : source:Subdiv.t -> target:Subdiv.t -> (Simplicial_map.t, string) result
+(** Build and verify the star-based approximation map between two
+    subdivisions of the same base. [Error] explains the first violation
+    (mesh too coarse). *)
+
+val chromatic_geometric :
+  source:Subdiv.t -> target:Subdiv.t -> (Simplicial_map.t, string) result
+(** The star-based approximation restricted to same-color candidates. The
+    chromatic version of the approximation theorem does {e not} hold
+    pointwise in general (that is the whole point of §5's convergence
+    algorithm), but on many concrete targets the color-filtered choice
+    already succeeds — e.g. [SDS²(s²) → SDS(s²)] — giving a cheap witness
+    without the complete search of {!chromatic}. *)
+
+type scheme = [ `Bsd | `Sds ]
+
+val min_level :
+  ?max_k:int -> scheme:scheme -> target:Subdiv.t -> unit -> (int * Simplicial_map.t) option
+(** Smallest [k <= max_k] (default 6) such that {!approximate} succeeds from
+    [Bsd^k] (resp. [SDS^k]) of the target's base; with the witness map. *)
+
+val chromatic :
+  ?budget:int -> ?max_k:int -> target:Subdiv.t -> unit -> (int * Solvability.map) option
+(** Theorem 5.1: smallest [k <= max_k] (default 4) with a
+    color-and-carrier-preserving simplicial map [SDS^k(sⁿ) → A], as the
+    decision map of the CSASS task over [A]. *)

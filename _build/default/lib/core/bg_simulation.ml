@@ -1,0 +1,363 @@
+open Wfc_model
+
+type spec = {
+  procs : int;
+  k : int;
+  init : int -> string;
+  next : proc:int -> round:int -> string option array -> string;
+}
+
+let full_information_spec ~procs ~k =
+  {
+    procs;
+    k;
+    init = (fun j -> Printf.sprintf "#%d" j);
+    next =
+      (fun ~proc ~round cells ->
+        let parts = Array.to_list (Array.map (function None -> "_" | Some s -> s) cells) in
+        Printf.sprintf "P%d.%d[%s]" proc round (String.concat ";" parts));
+  }
+
+(* What a simulator announces in its SWMR cell. Everything is monotone:
+   sets only grow, safe-agreement levels only move 1 -> {0, 2}. *)
+type sa_state = { level : int; proposal : int array (* latest round per simulated proc *) }
+
+type cell = {
+  performed : (int * int * string) list; (* simulated writes (j, r, value) known performed *)
+  sa : ((int * int) * sa_state) list; (* safe agreement states per (j, round) *)
+  agreed : ((int * int) * int array) list; (* decided snapshots *)
+}
+
+type result = {
+  completed : bool array;
+  snapshots : (int * int * int array) list;
+  values : (int * int * string) list;
+  simulator_ops : int array;
+  time : int;
+}
+
+(* ----- pure helpers on knowledge ----- *)
+
+let merge_performed cells =
+  List.sort_uniq Stdlib.compare (List.concat_map (fun c -> c.performed) cells)
+
+let merge_agreed cells =
+  List.sort_uniq Stdlib.compare (List.concat_map (fun c -> c.agreed) cells)
+
+let sa_levels_for cells key =
+  (* (simulator index, state) pairs present for this agreement *)
+  List.filter_map
+    (fun (i, c) -> Option.map (fun st -> (i, st)) (List.assoc_opt key c.sa))
+    cells
+
+let latest_vector ~procs performed =
+  let v = Array.make procs 0 in
+  List.iter (fun (j, r, _) -> if r > v.(j) then v.(j) <- r) performed;
+  v
+
+let value_of performed j r =
+  List.find_map (fun (j', r', w) -> if j' = j && r' = r then Some w else None) performed
+
+let run ?(max_steps = 2_000_000) ~simulators spec strategy =
+  let m = spec.procs in
+  let empty_cell = { performed = []; sa = []; agreed = [] } in
+  (* side channels filled by the simulator closures *)
+  let ops_count = Array.make simulators 0 in
+  let final_knowledge = ref empty_cell in
+  let agreement_log = ref [] in
+  (* [j]'s round-[r] write value, computable from knowledge *)
+  let write_value knowledge j r =
+    if r = 1 then Some (spec.init j)
+    else
+      match List.assoc_opt (j, r - 1) knowledge.agreed with
+      | None -> None
+      | Some vector ->
+        let cells =
+          Array.init m (fun j' ->
+              if vector.(j') = 0 then None else value_of knowledge.performed j' vector.(j'))
+        in
+        Some (spec.next ~proc:j ~round:(r - 1) cells)
+  in
+  let simulator i =
+    (* mutable private mirror of my cell plus learned knowledge *)
+    let my = ref empty_cell in
+    let knowledge = ref empty_cell in
+    let stall = ref 0 in
+    let stall_limit = 30 * simulators * m * (spec.k + 1) in
+    let publish k = Action.Write (!my, k) in
+    let observe cells k =
+      let cell_list = Array.to_list cells |> List.filter_map (fun c -> c) in
+      let fresh =
+        {
+          performed = merge_performed (!knowledge :: cell_list);
+          agreed = merge_agreed (!knowledge :: cell_list);
+          sa = !my.sa;
+        }
+      in
+      if
+        List.length fresh.performed = List.length !knowledge.performed
+        && List.length fresh.agreed = List.length !knowledge.agreed
+      then incr stall
+      else stall := 0;
+      knowledge := fresh;
+      k cell_list
+    in
+    let count k =
+      ops_count.(i) <- ops_count.(i) + 1;
+      k
+    in
+    let set_sa key st =
+      my := { !my with sa = (key, st) :: List.remove_assoc key !my.sa }
+    in
+    let add_performed entry =
+      if not (List.mem entry !my.performed) then
+        my := { !my with performed = entry :: !my.performed };
+      knowledge := { !knowledge with performed = merge_performed [ !my; !knowledge ] }
+    in
+    let add_agreed key vector =
+      if not (List.mem_assoc key !my.agreed) then begin
+        my := { !my with agreed = (key, vector) :: !my.agreed };
+        agreement_log := (fst key, snd key, vector) :: !agreement_log
+      end;
+      knowledge := { !knowledge with agreed = merge_agreed [ !my; !knowledge ] }
+    in
+    (* one attempt to advance simulated process j; continues with [next]
+       regardless of whether progress happened *)
+    let advance j next =
+      let finished = List.mem_assoc (j, spec.k) !knowledge.agreed in
+      if finished then next ()
+      else begin
+        (* first round whose snapshot is not agreed *)
+        let rec first_round r =
+          if r > spec.k then None
+          else if List.mem_assoc (j, r) !knowledge.agreed then first_round (r + 1)
+          else Some r
+        in
+        match first_round 1 with
+        | None -> next ()
+        | Some r -> (
+          let have_write = value_of !knowledge.performed j r <> None in
+          let refresh_then_continue () =
+            (* defensive: should be unreachable, but never spin without an
+               operation — refresh knowledge instead *)
+            count (Action.Snapshot (fun cells -> observe cells (fun _ -> next ())))
+          in
+          if not have_write then begin
+            match write_value !knowledge j r with
+            | None -> refresh_then_continue ()
+            | Some w ->
+              add_performed (j, r, w);
+              count (publish (fun () -> next ()))
+          end
+          else begin
+            (* drive safe agreement for (j, r) *)
+            let key = (j, r) in
+            match List.assoc_opt key !my.sa with
+            | None ->
+              (* derive a proposal from one atomic snapshot *)
+              count
+                (Action.Snapshot
+                   (fun cells ->
+                     observe cells (fun cell_list ->
+                         match List.assoc_opt key (merge_agreed cell_list) with
+                         | Some vector ->
+                           add_agreed key vector;
+                           count (publish (fun () -> next ()))
+                         | None ->
+                           let proposal = latest_vector ~procs:m !knowledge.performed in
+                           (* the proposal concerns rounds <= r for j *)
+                           proposal.(j) <- min proposal.(j) r;
+                           set_sa key { level = 1; proposal };
+                           count
+                             (publish (fun () ->
+                                  (* decide my level from a snapshot *)
+                                  count
+                                    (Action.Snapshot
+                                       (fun cells ->
+                                         observe cells (fun cell_list ->
+                                             let indexed =
+                                               List.mapi (fun idx c -> (idx, c)) cell_list
+                                             in
+                                             let states = sa_levels_for indexed key in
+                                             let two_exists =
+                                               List.exists (fun (_, st) -> st.level = 2) states
+                                             in
+                                             let lvl = if two_exists then 0 else 2 in
+                                             set_sa key
+                                               { level = lvl;
+                                                 proposal = (List.assoc key !my.sa).proposal };
+                                             count (publish (fun () -> next ()))))))))))
+            | Some { level = 1; _ } ->
+              (* shouldn't persist: level 1 is always resolved within the
+                 same advance chain; refresh and move on *)
+              refresh_then_continue ()
+            | Some _ ->
+              (* try to finalize: no level-1 entries anywhere => decide *)
+              count
+                (Action.Snapshot
+                   (fun cells ->
+                     observe cells (fun cell_list ->
+                         match List.assoc_opt key (merge_agreed cell_list) with
+                         | Some vector ->
+                           add_agreed key vector;
+                           count (publish (fun () -> next ()))
+                         | None ->
+                           let indexed = List.mapi (fun idx c -> (idx, c)) cell_list in
+                           let states = sa_levels_for indexed key in
+                           let blocked = List.exists (fun (_, st) -> st.level = 1) states in
+                           if blocked then next ()
+                           else begin
+                             let twos =
+                               List.filter (fun (_, st) -> st.level = 2) states
+                               |> List.sort (fun (a, _) (b, _) -> compare a b)
+                             in
+                             match twos with
+                             | [] -> next () (* everyone abstained?! impossible; retry *)
+                             | (_, st) :: _ ->
+                               add_agreed key st.proposal;
+                               count (publish (fun () -> next ()))
+                           end)))
+          end)
+      end
+    in
+    let rec loop j_cursor =
+      let all_done =
+        List.for_all
+          (fun j -> List.mem_assoc (j, spec.k) !knowledge.agreed)
+          (List.init m (fun j -> j))
+      in
+      if all_done || !stall > stall_limit then begin
+        final_knowledge :=
+          {
+            performed = merge_performed [ !knowledge; !final_knowledge ];
+            agreed = merge_agreed [ !knowledge; !final_knowledge ];
+            sa = [];
+          };
+        Action.Decide !my
+      end
+      else begin
+        let j = j_cursor mod m in
+        advance j (fun () -> loop (j_cursor + 1))
+      end
+    in
+    (* every simulator starts by publishing its (empty) cell so that
+       snapshots distinguish "empty" from "absent" *)
+    count (publish (fun () -> loop 0))
+  in
+  let actions = Array.init simulators simulator in
+  let outcome = Runtime.run ~max_steps actions strategy in
+  let knowledge = !final_knowledge in
+  let completed =
+    Array.init m (fun j -> List.mem_assoc (j, spec.k) knowledge.agreed)
+  in
+  {
+    completed;
+    snapshots = List.rev !agreement_log;
+    values = knowledge.performed;
+    simulator_ops = ops_count;
+    time = outcome.Runtime.time;
+  }
+
+let check spec r =
+  let m = spec.procs in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let vector_of = Hashtbl.create 64 in
+  let conflict = ref None in
+  List.iter
+    (fun (j, rd, v) ->
+      (match Hashtbl.find_opt vector_of (j, rd) with
+      | Some v' when v' <> v -> conflict := Some (j, rd)
+      | _ -> ());
+      Hashtbl.replace vector_of (j, rd) v)
+    r.snapshots;
+  (* contiguity of rounds and self-inclusion *)
+  let rec check_procs j =
+    if j = m then Ok ()
+    else begin
+      let rounds =
+        List.filter_map (fun (j', rd, _) -> if j' = j then Some rd else None) r.snapshots
+        |> List.sort_uniq Stdlib.compare
+      in
+      let expected = List.init (List.length rounds) (fun i -> i + 1) in
+      if rounds <> expected then err "P%d: non-contiguous agreed rounds" j
+      else if r.completed.(j) && List.length rounds <> spec.k then
+        err "P%d: completed but %d rounds agreed" j (List.length rounds)
+      else begin
+        let bad_self =
+          List.exists
+            (fun rd ->
+              match Hashtbl.find_opt vector_of (j, rd) with
+              | Some v -> v.(j) <> rd
+              | None -> true)
+            rounds
+        in
+        if bad_self then err "P%d: snapshot misses its own round write" j
+        else check_procs (j + 1)
+      end
+    end
+  in
+  let pointwise_le a b =
+    let ok = ref true in
+    Array.iteri (fun i x -> if x > b.(i) then ok := false) a;
+    !ok
+  in
+  let rec check_comparable = function
+    | [] -> Ok ()
+    | (j1, r1, v1) :: rest -> (
+      match
+        List.find_opt
+          (fun (_, _, v2) -> (not (pointwise_le v1 v2)) && not (pointwise_le v2 v1))
+          rest
+      with
+      | Some (j2, r2, _) ->
+        err "snapshots P%d#%d and P%d#%d incomparable" j1 r1 j2 r2
+      | None -> check_comparable rest)
+  in
+  let check_monotone () =
+    let rec go = function
+      | [] -> Ok ()
+      | (j, rd, v) :: rest ->
+        (match Hashtbl.find_opt vector_of (j, rd + 1) with
+        | Some v' when not (pointwise_le v v') -> err "P%d: round %d not monotone" j rd
+        | _ -> go rest)
+    in
+    go r.snapshots
+  in
+  let check_values () =
+    (* deterministic recomputation of write values *)
+    let value j rd = value_of r.values j rd in
+    let rec go = function
+      | [] -> Ok ()
+      | (j, rd, w) :: rest ->
+        let expect =
+          if rd = 1 then Some (spec.init j)
+          else
+            match Hashtbl.find_opt vector_of (j, rd - 1) with
+            | None -> None (* write performed, snapshot not agreed: fine *)
+            | Some vector ->
+              let cells =
+                Array.init m (fun j' ->
+                    if vector.(j') = 0 then None else value j' vector.(j'))
+              in
+              Some (spec.next ~proc:j ~round:(rd - 1) cells)
+        in
+        (match expect with
+        | Some e when e <> w -> err "P%d round %d: value mismatch" j rd
+        | _ -> go rest)
+    in
+    go r.values
+  in
+  match !conflict with
+  | Some (j, rd) -> err "safe agreement violated: two vectors for P%d round %d" j rd
+  | None -> (
+    match check_procs 0 with
+    | Error _ as e -> e
+    | Ok () -> (
+      match check_comparable r.snapshots with
+      | Error _ as e -> e
+      | Ok () -> (
+        match check_monotone () with
+        | Error _ as e -> e
+        | Ok () -> check_values ())))
+
+let min_completed ~simulators:_ ~crashed spec = max 0 (spec.procs - crashed)

@@ -1,0 +1,75 @@
+(** The Borowsky–Gafni simulation: few simulators run a protocol written
+    for many processes.
+
+    This is the technology behind the resiliency results the paper points
+    to in its conclusion (and behind the original set-consensus
+    impossibility [7]): [s] simulators, any of whom may crash, cooperatively
+    execute a round-based snapshot protocol written for [m ≥ s] simulated
+    processes, such that at most one simulated process is blocked per
+    crashed simulator. The characterization of wait-free computations then
+    transfers between models — e.g. 2 simulators running a 3-process
+    protocol turn a wait-free solution of (3,1)-set consensus into a
+    wait-free solution of 2-process consensus, which Prop 3.1 refutes.
+
+    Mechanics, as implemented here:
+
+    - simulated {e writes} are deterministic (the protocol is
+      full-information-style: the round-[r] write value is a function of
+      the agreed round-[r-1] snapshot), so they need no coordination; a
+      simulator "performs" a write by announcing it in its SWMR cell;
+    - simulated {e snapshots} are where simulators could diverge, so each
+      (process, round) snapshot goes through a {e safe agreement}: a
+      simulator proposes the vector of latest writes it can see (derived
+      from an atomic snapshot of all simulator cells, hence proposals are
+      inclusion-comparable), and the classic level-1/level-2 protocol picks
+      one proposal. Safe agreement is wait-free {e except} when a simulator
+      crashes between its two writes (the unsafe zone), in which case that
+      one agreement may block forever — blocking at most one simulated
+      process per crash;
+    - each simulator works on the lowest-indexed unfinished simulated
+      process that is not currently blocked, so progress is guaranteed:
+      with [c < s] crashed simulators at least [m - c] simulated processes
+      complete all [k] rounds.
+
+    The simulated history is certified by {!check}: rounds complete in
+    order, every snapshot contains the process's own same-round write,
+    vectors are pairwise inclusion-comparable and per-process monotone —
+    i.e. the completed part is a legal atomic-snapshot execution of the
+    simulated protocol. *)
+
+open Wfc_model
+
+type spec = {
+  procs : int;  (** m: simulated processes *)
+  k : int;  (** rounds of the simulated protocol *)
+  init : int -> string;  (** round-1 write value of simulated process j *)
+  next : proc:int -> round:int -> string option array -> string;
+      (** round-[r+1] value from the agreed round-[r] snapshot *)
+}
+
+val full_information_spec : procs:int -> k:int -> spec
+(** The simulated protocol of Figure 1 (canonically encoded views). *)
+
+type result = {
+  completed : bool array;  (** per simulated process: finished all k rounds *)
+  snapshots : (int * int * int array) list;
+      (** agreed (process, round, seq vector) snapshots, in agreement order *)
+  values : (int * int * string) list;  (** performed simulated writes *)
+  simulator_ops : int array;  (** shared-memory operations per simulator *)
+  time : int;
+}
+
+val run :
+  ?max_steps:int -> simulators:int -> spec -> Runtime.strategy -> result
+(** Runs the simulation under an adversary over the {e simulators}. *)
+
+val check : spec -> result -> (unit, string) Stdlib.result
+(** Certifies the simulated history (see above) and that completed
+    processes went through all [k] rounds with consistent deterministic
+    write values. *)
+
+val min_completed : simulators:int -> crashed:int -> spec -> int
+(** The liveness guarantee: at least [spec.procs - crashed] simulated
+    processes complete (each crash can leave at most one safe agreement —
+    hence one simulated process — blocked). Exposed for tests to assert
+    against. *)

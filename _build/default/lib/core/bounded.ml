@@ -1,0 +1,37 @@
+open Wfc_model
+
+type report = {
+  runs : int;
+  bound : int;
+  depth : int;
+}
+
+let ops_before_decision trace =
+  let counts = Hashtbl.create 8 in
+  let best = ref 0 in
+  List.iter
+    (fun e ->
+      let bump p =
+        let c = try Hashtbl.find counts p with Not_found -> 0 in
+        Hashtbl.replace counts p (c + 1)
+      in
+      match e with
+      | Trace.E_write { proc; _ } | Trace.E_read { proc; _ } | Trace.E_snapshot { proc; _ }
+      | Trace.E_arrive { proc; _ } ->
+        bump proc
+      | Trace.E_decide { proc; _ } ->
+        let c = try Hashtbl.find counts proc with Not_found -> 0 in
+        if c > !best then best := c
+      | Trace.E_fire _ | Trace.E_note _ | Trace.E_crash _ -> ())
+    trace;
+  !best
+
+let decision_bound ?max_runs ?crashes make_actions =
+  let bound = ref 0 and depth = ref 0 in
+  let runs =
+    Explore.explore ?max_runs ?crashes make_actions (fun outcome ->
+        let b = ops_before_decision outcome.Runtime.trace in
+        if b > !bound then bound := b;
+        if outcome.Runtime.time > !depth then depth := outcome.Runtime.time)
+  in
+  { runs; bound = !bound; depth = !depth }

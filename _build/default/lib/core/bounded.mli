@@ -1,0 +1,28 @@
+(** Bounded wait-freedom — Lemma 3.1.
+
+    If a task with finitely many inputs is wait-free solvable, the tree of
+    executions in which processes stop once decided has finite branching and
+    no infinite path, so by König's lemma it is finite: some bound [b]
+    caps the number of operations any process needs before deciding. This
+    module computes that bound by materializing the execution tree with
+    {!Wfc_model.Explore} and measuring the deepest per-process operation
+    count. *)
+
+open Wfc_model
+
+type report = {
+  runs : int;  (** complete executions explored *)
+  bound : int;  (** max shared-memory operations by any process before deciding *)
+  depth : int;  (** longest run (total scheduler decisions) *)
+}
+
+val decision_bound :
+  ?max_runs:int -> ?crashes:int -> (unit -> 'v Action.t array) -> report
+(** Explores every schedule of the protocol (fresh actions per run) and
+    returns the observed bound. Termination of the exploration is itself the
+    finiteness claim of Lemma 3.1 for this protocol; a non-terminating
+    protocol makes the exploration raise {!Wfc_model.Explore.Too_many}. *)
+
+val ops_before_decision : 'v Trace.t -> int
+(** Max per-process count of shared-memory operations preceding that
+    process's decision in a trace. *)

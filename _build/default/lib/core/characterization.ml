@@ -1,0 +1,124 @@
+open Wfc_topology
+open Wfc_model
+open Wfc_tasks
+
+let enc_vertex v = Printf.sprintf "#%d" v
+
+(* Lookup from canonical full-information views to decided output vertices. *)
+let decision_table (m : Solvability.map) =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun v -> Hashtbl.replace tbl (Sds.canonical_view m.Solvability.sds v) (m.Solvability.decide v))
+    (Complex.vertices (Chromatic.complex (Sds.complex m.Solvability.sds)));
+  tbl
+
+let protocol_of_map (m : Solvability.map) ~input_vertices =
+  let task = m.Solvability.task in
+  let procs = task.Task.procs in
+  if Array.length input_vertices <> procs then
+    invalid_arg "protocol_of_map: one input vertex per process required";
+  Array.iteri
+    (fun i v ->
+      if Task.proc_of_input task v <> i then
+        invalid_arg (Printf.sprintf "protocol_of_map: vertex %d is not colored %d" v i))
+    input_vertices;
+  let table = decision_table m in
+  let lookup view =
+    let key = Full_information.canonical_iview enc_vertex view in
+    match Hashtbl.find_opt table key with
+    | Some w -> w
+    | None -> invalid_arg (Printf.sprintf "protocol_of_map: view %s not in SDS^b" key)
+  in
+  Array.init procs (fun i ->
+      Action.rounds m.Solvability.level
+        ~init:(Full_information.Iinit { proc = i; input = input_vertices.(i) })
+        (fun view level continue ->
+          Action.Write_read
+            {
+              level;
+              value = view;
+              k = (fun { Action.seen; _ } -> continue (Full_information.Inode { proc = i; seen }));
+            })
+        (fun view ->
+          Action.Decide (Full_information.Iinit { proc = i; input = lookup view })))
+
+let decided_output = function
+  | Some (Full_information.Iinit { input; _ }) -> Some input
+  | Some (Full_information.Inode _) | None -> None
+
+let run_and_check (m : Solvability.map) ~input_vertices ~participating strategy =
+  let task = m.Solvability.task in
+  let si = Simplex.of_list (List.map (fun p -> input_vertices.(p)) participating) in
+  if not (Complex.mem si (Chromatic.complex task.Task.input)) then
+    Error "participants' inputs do not form an input simplex"
+  else begin
+    let actions = protocol_of_map m ~input_vertices in
+    let actions =
+      Array.mapi
+        (fun i a ->
+          if List.mem i participating then a
+          else Action.Decide (Full_information.Inode { proc = i; seen = [] }))
+        actions
+    in
+    let outcome = Runtime.run actions strategy in
+    let outputs =
+      List.filter_map
+        (fun p ->
+          match decided_output outcome.Runtime.results.(p) with
+          | Some w -> Some (p, w)
+          | None -> None)
+        participating
+    in
+    let so = Simplex.of_list (List.map snd outputs) in
+    if not (Complex.mem so (Chromatic.complex task.Task.output)) && Simplex.card so > 0 then
+      Error
+        (Printf.sprintf "decided outputs %s are not an output simplex" (Simplex.to_string so))
+    else if Simplex.card so > 0 && not (Task.allows task si so) then
+      Error
+        (Printf.sprintf "decided simplex %s not allowed by delta(%s)" (Simplex.to_string so)
+           (Simplex.to_string si))
+    else if
+      List.exists
+        (fun (p, w) -> Task.proc_of_output task w <> p)
+        outputs
+    then Error "an output vertex has the wrong color"
+    else Ok outputs
+  end
+
+let validate ?(seeds = List.init 20 (fun i -> i)) (m : Solvability.map) =
+  let task = m.Solvability.task in
+  let procs = task.Task.procs in
+  let facets = Complex.facets (Chromatic.complex task.Task.input) in
+  let all = List.init procs (fun i -> i) in
+  let subsets = Schedule.nonempty_subsets all in
+  let rec check_facets = function
+    | [] -> Ok ()
+    | facet :: rest ->
+      let input_vertices =
+        Array.init procs (fun i ->
+            match Chromatic.vertex_with_color task.Task.input facet i with
+            | Some v -> v
+            | None -> invalid_arg "validate: input facet does not cover all processes")
+      in
+      let rec check_subsets = function
+        | [] -> check_facets rest
+        | participating :: more ->
+          let rec check_seeds = function
+            | [] -> check_subsets more
+            | seed :: srest -> (
+              match
+                run_and_check m ~input_vertices ~participating (Runtime.random ~seed ())
+              with
+              | Ok _ -> check_seeds srest
+              | Error e ->
+                Error
+                  (Printf.sprintf "facet %s, participants {%s}, seed %d: %s"
+                     (Simplex.to_string facet)
+                     (String.concat "," (List.map string_of_int participating))
+                     seed e))
+          in
+          check_seeds seeds
+      in
+      check_subsets subsets
+  in
+  check_facets facets

@@ -1,0 +1,44 @@
+(** From decision maps back to distributed protocols.
+
+    Proposition 3.1 is two-directional: a wait-free IIS protocol {e is} a
+    simplicial map from [SDS^b(I)], and conversely any such map is a
+    protocol — run [b] rounds of IIS full information, look your local view
+    up as a vertex of [SDS^b(I)], and decide its image. This module makes
+    the converse direction executable, closing the loop: a map found by
+    {!Solvability} becomes a protocol of the simulated machine, which is
+    then validated against the task under adversarial schedules. *)
+
+open Wfc_model
+
+val protocol_of_map :
+  Solvability.map -> input_vertices:int array -> int Full_information.iview Action.t array
+(** [protocol_of_map m ~input_vertices]: one process per entry;
+    process [i] starts from input-complex vertex [input_vertices.(i)] (which
+    must be colored [i]), runs [m.level] IIS rounds, and decides the output
+    vertex assigned by the map — encoded as [Iinit] carrying the output
+    vertex id (level-0 maps decide immediately).
+    @raise Invalid_argument if a vertex's color does not match its process,
+    or if the input vertices do not form a simplex of the input complex. *)
+
+val decided_output : int Full_information.iview option -> int option
+(** Output-complex vertex decided by a finished process, if any. *)
+
+val run_and_check :
+  Solvability.map ->
+  input_vertices:int array ->
+  participating:int list ->
+  Runtime.strategy ->
+  ((int * int) list, string) Stdlib.result
+(** Runs the protocol with the given participation under the adversary and
+    checks the outputs: every participant that the adversary let finish must
+    decide, and the decided simplex must be allowed by [Δ] of the
+    participants' input simplex. Returns [(process, output vertex)] pairs on
+    success. *)
+
+val validate :
+  ?seeds:int list ->
+  Solvability.map ->
+  (unit, string) Stdlib.result
+(** End-to-end validation: for every input facet of the task, every
+    participating subset, and every seed (default [0..19]), {!run_and_check}
+    under a random adversary. *)

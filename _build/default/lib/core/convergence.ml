@@ -1,0 +1,66 @@
+open Wfc_topology
+open Wfc_tasks
+
+type t = {
+  target : Subdiv.t;
+  level : int;
+  map : Solvability.map;
+}
+
+let prepare ?budget ?max_k target =
+  Option.map
+    (fun (level, map) -> { target; level; map })
+    (Approximation.chromatic ?budget ?max_k ~target ())
+
+let run t ~participating strategy =
+  let task = t.map.Solvability.task in
+  let input_vertices =
+    Array.init task.Wfc_tasks.Task.procs (fun i ->
+        match Task.input_vertex task ~proc:i ~value:(Printf.sprintf "corner%d" i) with
+        | Some v -> v
+        | None -> invalid_arg "Convergence.run: malformed CSASS input complex")
+  in
+  match Characterization.run_and_check t.map ~input_vertices ~participating strategy with
+  | Error _ as e -> e
+  | Ok outputs ->
+    (* decode to target vertices and re-verify against the subdivision
+       directly (independently of the task encoding) *)
+    let decoded =
+      List.map (fun (p, w) -> (p, Simplex_agreement.output_vertex_in_target task w)) outputs
+    in
+    let ws = Simplex.of_list (List.map snd decoded) in
+    let acx = Chromatic.complex t.target.Subdiv.cx in
+    if Simplex.card ws > 0 && not (Complex.mem ws acx) then
+      Error "convergence outputs are not a simplex of the target"
+    else if
+      List.exists (fun (p, w) -> Chromatic.color t.target.Subdiv.cx w <> p) decoded
+    then Error "convergence output has the wrong color"
+    else if
+      Simplex.card ws > 0
+      && not
+           (Simplex.subset
+              (Subdiv.simplex_carrier t.target ws)
+              (Simplex.of_list participating))
+    then Error "convergence outputs leave the participants' face"
+    else Ok decoded
+
+let validate ?(seeds = List.init 20 (fun i -> i)) t =
+  let procs = t.map.Solvability.task.Wfc_tasks.Task.procs in
+  let all = List.init procs (fun i -> i) in
+  let rec check_subsets = function
+    | [] -> Ok ()
+    | participating :: rest ->
+      let rec check_seeds = function
+        | [] -> check_subsets rest
+        | seed :: more -> (
+          match run t ~participating (Wfc_model.Runtime.random ~seed ()) with
+          | Ok _ -> check_seeds more
+          | Error e ->
+            Error
+              (Printf.sprintf "participants {%s}, seed %d: %s"
+                 (String.concat "," (List.map string_of_int participating))
+                 seed e))
+      in
+      check_seeds seeds
+  in
+  check_subsets (Wfc_model.Schedule.nonempty_subsets all)

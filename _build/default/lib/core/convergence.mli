@@ -1,0 +1,34 @@
+(** Chromatic simplex agreement, end to end — the CSASS task of §5.
+
+    Theorem 5.1 is proved in the paper by exhibiting a wait-free algorithm
+    for chromatic simplex agreement over a subdivided simplex. Here the
+    algorithm is assembled from the library's own pieces, the way
+    Proposition 3.1 says every IIS protocol decomposes: find the decision
+    map [SDS^k(sⁿ) → A] ({!Approximation.chromatic}), then run it as [k]
+    rounds of IIS full information followed by a local decision
+    ({!Characterization.protocol_of_map}). The result is a runnable
+    distributed protocol in which processes wait-free converge onto a single
+    simplex of [A] respecting colors and carriers. *)
+
+open Wfc_topology
+open Wfc_model
+
+type t = {
+  target : Subdiv.t;
+  level : int;  (** IIS rounds used *)
+  map : Solvability.map;
+}
+
+val prepare : ?budget:int -> ?max_k:int -> Subdiv.t -> t option
+(** Finds the decision map for CSASS over the target (Theorem 5.1 witness).
+    [None] if no map is found up to [max_k] (default 4). *)
+
+val run :
+  t -> participating:int list -> Runtime.strategy -> ((int * int) list, string) Stdlib.result
+(** One distributed run under the adversary; returns [(process, vertex of
+    the target)] convergence outputs after validating: outputs form a
+    simplex [W] of [A], [X(w_i) = i], and [carrier(W) ⊆] the participants'
+    face. *)
+
+val validate : ?seeds:int list -> t -> (unit, string) Stdlib.result
+(** {!run} over every participating set and seed. *)

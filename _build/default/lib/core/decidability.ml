@@ -1,0 +1,107 @@
+open Wfc_topology
+open Wfc_tasks
+
+type verdict =
+  | Solvable_at of int
+  | Unsolvable
+
+(* Shortest walk length between two output vertices inside the
+   allowed-pairs graph of one input edge; None if disconnected. Because the
+   graph is bipartite with the endpoints on opposite sides, any connecting
+   walk has odd length, and walks extend freely by +2, so the shortest path
+   length is the minimal walk length. *)
+let shortest_walk ~pairs w0 w1 =
+  if w0 = w1 then Some 0
+  else begin
+    let adj = Hashtbl.create 32 in
+    let add a b =
+      let l = try Hashtbl.find adj a with Not_found -> [] in
+      if not (List.mem b l) then Hashtbl.replace adj a (b :: l)
+    in
+    List.iter
+      (fun pair ->
+        match Simplex.to_list pair with
+        | [ a; b ] ->
+          add a b;
+          add b a
+        | _ -> ())
+      pairs;
+    let dist = Hashtbl.create 32 in
+    Hashtbl.replace dist w0 0;
+    let queue = Queue.create () in
+    Queue.add w0 queue;
+    let result = ref None in
+    while !result = None && not (Queue.is_empty queue) do
+      let v = Queue.take queue in
+      let d = Hashtbl.find dist v in
+      if v = w1 then result := Some d
+      else
+        List.iter
+          (fun u ->
+            if not (Hashtbl.mem dist u) then begin
+              Hashtbl.replace dist u (d + 1);
+              Queue.add u queue
+            end)
+          (try Hashtbl.find adj v with Not_found -> [])
+    done;
+    !result
+  end
+
+let rec log3_ceil n = if n <= 1 then 0 else 1 + log3_ceil ((n + 2) / 3)
+
+let two_process (task : Task.t) =
+  if task.Task.procs <> 2 then invalid_arg "Decidability.two_process: two processes only";
+  let icx = Chromatic.complex task.Task.input in
+  let input_vertices = Complex.vertices icx in
+  let edges = Complex.faces icx ~dim:1 in
+  (* solo-allowed outputs per input vertex *)
+  let solo v =
+    task.Task.delta (Simplex.singleton v)
+    |> List.concat_map Simplex.to_list
+    |> List.sort_uniq Stdlib.compare
+  in
+  let choices = List.map (fun v -> (v, solo v)) input_vertices in
+  let combinations =
+    List.fold_left (fun acc (_, s) -> acc * List.length s) 1 choices
+  in
+  if combinations > 1_000_000 then
+    invalid_arg "Decidability.two_process: corner-choice space too large";
+  (* enumerate corner-image choices; track the best (minimal) level *)
+  let best = ref None in
+  let rec enumerate assignment = function
+    | [] ->
+      (* evaluate this choice: per input edge, shortest walk between the
+         chosen corner images in the edge's allowed-pairs graph *)
+      let rec eval worst = function
+        | [] -> Some worst
+        | e :: rest -> (
+          match Simplex.to_list e with
+          | [ a; b ] -> (
+            let wa = List.assoc a assignment and wb = List.assoc b assignment in
+            match shortest_walk ~pairs:(task.Task.delta e) wa wb with
+            | None -> None
+            | Some len -> eval (max worst (log3_ceil len)) rest)
+          | _ -> None)
+      in
+      (match eval 0 edges with
+      | Some level -> (
+        match !best with
+        | Some b when b <= level -> ()
+        | _ -> best := Some level)
+      | None -> ())
+    | (v, options) :: rest ->
+      List.iter (fun w -> enumerate ((v, w) :: assignment) rest) options
+  in
+  enumerate [] choices;
+  match !best with Some level -> Solvable_at level | None -> Unsolvable
+
+let agrees_with_search ?(max_level = 2) task =
+  match (two_process task, Solvability.solve ~max_level task) with
+  | Solvable_at exact, Solvability.Solvable m ->
+    exact = m.Solvability.level
+  | Solvable_at exact, Solvability.Unsolvable_at b ->
+    (* the search only looked up to b; exact level must lie beyond *)
+    exact > b
+  | Unsolvable, Solvability.Unsolvable_at _ -> true
+  | Unsolvable, Solvability.Solvable _ -> false
+  | _, Solvability.Exhausted _ -> true (* search gave up; nothing to contradict *)

@@ -1,0 +1,43 @@
+(** Exact wait-free solvability for two-process tasks — every level at once.
+
+    For three or more processes, solvability is undecidable (the paper
+    cites Gafni–Koutsoupias [9]); {!Solvability} therefore searches level
+    by level. For {e two} processes the structure collapses to graph
+    connectivity, in the spirit of the single-failure characterization of
+    Biran–Moran–Zaks [3] that the paper recalls in its introduction:
+
+    [SDS^b] of an input edge is a path of [3^b] edges whose vertices
+    alternate colors, so a decision map restricted to that edge is exactly
+    a {e walk} in the bipartite "allowed-pairs" graph [H(si)] (nodes:
+    output vertices, edges: members of [Δ(si)]) from the image of [P0]'s
+    corner to the image of [P1]'s corner. Walks can always be lengthened by
+    two (bounce on an edge) and the graph is bipartite, so a walk of length
+    exactly [3^b] exists for some [b] iff the chosen corner images are
+    connected in [H(si)] at all. Corner images are shared between input
+    edges, so the task is solvable — at {e some} level — iff there is a
+    choice of solo-allowed output per input vertex connecting every input
+    edge's endpoints in its own allowed-pairs graph; and the minimal level
+    is [max over edges of ceil(log3 (shortest walk))] for the best choice.
+
+    The verdicts here are exact for {e all} levels, which is how the test
+    suite certifies that the bounded-level "unsolvable up to b" answers of
+    {!Solvability} for consensus, 2-name adaptive renaming, test-and-set
+    and fetch&increment are genuine impossibilities rather than small-[b]
+    artifacts. *)
+
+type verdict =
+  | Solvable_at of int  (** minimal IIS round count *)
+  | Unsolvable  (** at every level *)
+
+val two_process : Wfc_tasks.Task.t -> verdict
+(** Decides a two-process task exactly.
+    @raise Invalid_argument if the task does not have exactly two
+    processes, or if the corner-choice space exceeds an internal safety cap
+    (1_000_000 combinations — unreachable for the instances in this
+    library). *)
+
+val agrees_with_search : ?max_level:int -> Wfc_tasks.Task.t -> bool
+(** Cross-validation harness: the exact verdict is consistent with the
+    bounded-level search ({!Solvability.solve}) up to [max_level]
+    (default 2): same solvable level when solvable at [<= max_level], and
+    search exhaustion whenever this module says [Unsolvable]. *)

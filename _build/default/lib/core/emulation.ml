@@ -1,0 +1,141 @@
+open Wfc_model
+
+type 'v spec = {
+  procs : int;
+  k : int;
+  init : int -> 'v;
+  next : proc:int -> round:int -> 'v option array -> 'v;
+}
+
+type 'v result = {
+  final_snapshots : 'v option array array;
+  ops : Trace.op_record list;
+  memories_used : int;
+  write_reads : int array;
+  time : int;
+}
+
+(* A tuple of Figure 2: (id, seq, value-or-placeholder). Kept in sorted
+   lists that act as sets. *)
+type 'v tuple = { id : int; sq : int; payload : 'v option }
+
+let rec union2 a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | x :: a', y :: b' ->
+    let c = Stdlib.compare x y in
+    if c = 0 then x :: union2 a' b'
+    else if c < 0 then x :: union2 a' b
+    else y :: union2 a b'
+
+let rec inter2 a b =
+  match (a, b) with
+  | [], _ | _, [] -> []
+  | x :: a', y :: b' ->
+    let c = Stdlib.compare x y in
+    if c = 0 then x :: inter2 a' b'
+    else if c < 0 then inter2 a' b
+    else inter2 a b'
+
+let big_union sets = List.fold_left union2 [] sets
+
+let big_inter = function
+  | [] -> []
+  | first :: rest -> List.fold_left inter2 first rest
+
+let add_tuple t set = union2 [ t ] set
+
+let mem_tuple t set = List.exists (fun x -> Stdlib.compare x t = 0) set
+
+let run ?(max_steps = 2_000_000) spec strategy =
+  let n = spec.procs in
+  let ops = ref [] in
+  let final_snapshots = Array.make n [||] in
+  let write_reads = Array.make n 0 in
+  let op_index = Array.make n 0 in
+  let record proc kind t_start t_end =
+    let index = op_index.(proc) in
+    op_index.(proc) <- index + 1;
+    ops := { Trace.proc; index; kind; t_start; t_end } :: !ops
+  in
+  (* The generic Figure 2 procedure: push [marker] into the next memory and
+     keep WriteReading unions until the marker is in the intersection of the
+     returned sets; then hand the intersection (plus timing) to [finish]. *)
+  let procedure ~proc ~level ~known ~marker ~finish =
+    let submission = add_tuple marker known in
+    let rec attempt level first_time submission =
+      Action.Write_read
+        {
+          level;
+          value = submission;
+          k =
+            (fun { Action.time; seen } ->
+              write_reads.(proc) <- write_reads.(proc) + 1;
+              let first_time = match first_time with None -> Some time | s -> s in
+              let inter = big_inter seen in
+              if mem_tuple marker inter then
+                finish ~level:(level + 1) ~t_start:(Option.get first_time) ~t_end:time
+                  ~inter ~known:(big_union seen)
+              else attempt (level + 1) first_time (big_union seen));
+        }
+    in
+    attempt level None submission
+  in
+  let latest_per_cell inter =
+    let vec = Array.make n 0 in
+    let vals = Array.make n None in
+    List.iter
+      (fun t ->
+        match t.payload with
+        | Some v when t.sq > vec.(t.id) ->
+          vec.(t.id) <- t.sq;
+          vals.(t.id) <- Some v
+        | Some _ | None -> ())
+      inter;
+    (vec, vals)
+  in
+  let emulator i =
+    let rec round ~sq ~level ~known ~value =
+      if sq > spec.k then Action.Decide []
+      else
+        (* write of round sq *)
+        procedure ~proc:i ~level ~known
+          ~marker:{ id = i; sq; payload = Some value }
+          ~finish:(fun ~level ~t_start ~t_end ~inter:_ ~known ->
+            record i (`Write sq) t_start t_end;
+            (* snapshot of round sq *)
+            procedure ~proc:i ~level ~known
+              ~marker:{ id = i; sq; payload = None }
+              ~finish:(fun ~level ~t_start ~t_end ~inter ~known ->
+                let vec, vals = latest_per_cell inter in
+                record i (`Snapshot vec) t_start t_end;
+                final_snapshots.(i) <- vals;
+                let value' = spec.next ~proc:i ~round:sq vals in
+                round ~sq:(sq + 1) ~level ~known ~value:value'))
+    in
+    round ~sq:1 ~level:0 ~known:[] ~value:(spec.init i)
+  in
+  let actions = Array.init n emulator in
+  let outcome = Runtime.run ~max_steps actions strategy in
+  {
+    final_snapshots;
+    ops = List.rev !ops;
+    memories_used = outcome.Runtime.memories_used;
+    write_reads;
+    time = outcome.Runtime.time;
+  }
+
+let check r = Trace.check_snapshot_atomicity r.ops
+
+let full_information_spec ~procs ~k =
+  {
+    procs;
+    k;
+    init = (fun i -> Printf.sprintf "#%d" i);
+    next =
+      (fun ~proc ~round cells ->
+        let parts =
+          Array.to_list (Array.map (function None -> "_" | Some s -> s) cells)
+        in
+        Printf.sprintf "P%d.%d[%s]" proc round (String.concat ";" parts));
+  }

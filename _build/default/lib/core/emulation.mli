@@ -1,0 +1,58 @@
+(** Emulation of atomic-snapshot protocols on iterated immediate snapshots —
+    Figure 2, the paper's main result (§4).
+
+    Each emulator process drives its simulated process through [k]
+    write/snapshot rounds against the sequence of one-shot IS memories:
+
+    - to emulate the write of value [v] with sequence number [sq], it
+      submits (everything it has seen) ∪ [{(i, sq, v)}] to its next memory
+      and repeats with the union of what it gets back until its own tuple is
+      in the {e intersection} of the returned sets — at that point every
+      process at or beyond this memory is guaranteed to see the write
+      (Claim 4.1);
+    - to emulate a snapshot it does the same with a placeholder tuple
+      [(i, sq, ⊥)]; once the placeholder is in the intersection, for each
+      cell it returns the highest-sequence-numbered value in the
+      intersection (Corollary 4.1 makes this a fresh-enough value, and
+      intersection-containment makes the vectors comparable — together,
+      atomicity).
+
+    The emulation is non-blocking rather than wait-free per operation, but
+    every bounded protocol terminates under every adversary (§4's closing
+    remark together with Lemma 3.1).
+
+    The run result carries per-operation intervals in global firing time so
+    that {!Wfc_model.Trace.check_snapshot_atomicity} can certify each run. *)
+
+open Wfc_model
+
+(** What to emulate: a protocol of the shape of Figure 1 — [k] alternations
+    of [write (value)] / [snapshot], the next value computed from the last
+    snapshot. *)
+type 'v spec = {
+  procs : int;
+  k : int;
+  init : int -> 'v;  (** value written in round 1 *)
+  next : proc:int -> round:int -> 'v option array -> 'v;
+      (** value for round [round + 1] from the round-[round] snapshot *)
+}
+
+type 'v result = {
+  final_snapshots : 'v option array array;  (** per process: last snapshot *)
+  ops : Trace.op_record list;  (** all completed operations, with intervals *)
+  memories_used : int;
+  write_reads : int array;  (** WriteReads performed per process *)
+  time : int;  (** total scheduler decisions *)
+}
+
+val run : ?max_steps:int -> 'v spec -> Runtime.strategy -> 'v result
+(** Runs all emulators under the given adversary until every process
+    finishes its [k] rounds. *)
+
+val check : 'v result -> (unit, string) Stdlib.result
+(** Certifies the run: the operation history must be an atomic snapshot
+    history ({!Wfc_model.Trace.check_snapshot_atomicity}). *)
+
+val full_information_spec : procs:int -> k:int -> string spec
+(** The spec of Figure 1 itself: values are canonical view encodings, so
+    the emulated run reproduces the full-information protocol. *)

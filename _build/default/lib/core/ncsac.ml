@@ -1,0 +1,87 @@
+open Wfc_topology
+open Wfc_model
+
+let rounds_needed cx =
+  let d = Fillin.diameter cx in
+  let rec bits acc d = if d <= 1 then acc else bits (acc + 1) ((d + 1) / 2) in
+  max 1 (bits 0 d)
+
+(* Deterministic midpoint of the canonical (sorted-endpoint) shortest path:
+   both processes, given the same pair, compute the same vertex. *)
+let midpoint cx a b =
+  let lo = min a b and hi = max a b in
+  match Fillin.path_midpoint cx lo hi with
+  | Some m -> m
+  | None -> invalid_arg "Ncsac: complex became disconnected?"
+
+let protocol cx ~inputs:(v0, v1) =
+  if not (Complex.is_connected cx) then invalid_arg "Ncsac.protocol: disconnected complex";
+  if not (Complex.mem_vertex v0 cx && Complex.mem_vertex v1 cx) then
+    invalid_arg "Ncsac.protocol: input is not a vertex";
+  let rounds = rounds_needed cx in
+  let make input =
+    Action.rounds rounds ~init:input
+      (fun estimate level continue ->
+        Action.Write_read
+          {
+            level;
+            value = estimate;
+            k =
+              (fun { Action.seen; _ } ->
+                match seen with
+                | [ _ ] -> continue estimate (* saw only self: stay *)
+                | [ a; b ] -> continue (midpoint cx a b)
+                | _ -> invalid_arg "Ncsac: more than two processes in the memory");
+          })
+      Action.decide
+  in
+  [| make v0; make v1 |]
+
+type participation = Both | Solo of int
+
+let check_outputs cx ~inputs:(v0, v1) ~participation (o0, o1) =
+  match (participation, o0, o1) with
+  | Solo 0, Some w, _ -> if w = v0 then Ok () else Error "solo P0 moved off its input"
+  | Solo 1, _, Some w -> if w = v1 then Ok () else Error "solo P1 moved off its input"
+  | Solo _, _, _ -> Ok ()
+  | Both, Some w0, Some w1 ->
+    let s = Simplex.of_list [ w0; w1 ] in
+    if Complex.mem s cx then Ok ()
+    else Error (Printf.sprintf "outputs %d,%d do not span a simplex" w0 w1)
+  | Both, _, _ -> Ok () (* a crashed participant leaves no joint constraint *)
+
+let validate ?(seeds = List.init 30 (fun i -> i)) cx ~inputs:(v0, v1) =
+  let results o = (o.Runtime.results.(0), o.Runtime.results.(1)) in
+  let rec go = function
+    | [] -> Ok ()
+    | seed :: rest -> (
+      (* both participate *)
+      let o = Runtime.run (protocol cx ~inputs:(v0, v1)) (Runtime.random ~seed ()) in
+      match check_outputs cx ~inputs:(v0, v1) ~participation:Both (results o) with
+      | Error e -> Error (Printf.sprintf "seed %d: %s" seed e)
+      | Ok () -> (
+        (* one participant crashes mid-run: the survivor's output is
+           unconstrained beyond being a vertex, but the run must finish *)
+        let victim = seed mod 2 in
+        let o =
+          Runtime.run (protocol cx ~inputs:(v0, v1))
+            (Runtime.random_with_crashes ~seed ~crash:[ victim ] ())
+        in
+        match check_outputs cx ~inputs:(v0, v1) ~participation:Both (results o) with
+        | Error e -> Error (Printf.sprintf "seed %d (crash %d): %s" seed victim e)
+        | Ok () -> (
+          (* true solo runs: the other process never takes a step *)
+          let solo who =
+            let actions = protocol cx ~inputs:(v0, v1) in
+            let actions =
+              Array.mapi (fun i a -> if i = who then a else Action.Decide (-1)) actions
+            in
+            let o = Runtime.run actions (Runtime.random ~seed ()) in
+            let out = (o.Runtime.results.(0), o.Runtime.results.(1)) in
+            check_outputs cx ~inputs:(v0, v1) ~participation:(Solo who) out
+          in
+          match (solo 0, solo 1) with
+          | Ok (), Ok () -> go rest
+          | Error e, _ | _, Error e -> Error (Printf.sprintf "seed %d (solo): %s" seed e))))
+  in
+  go seeds

@@ -1,0 +1,45 @@
+(** Two-process non-chromatic simplex agreement over a complex with no
+    holes — the NCSAC building block of §5.
+
+    Two processes hold vertices of a connected finite complex [C] and must
+    output vertices spanning a simplex of [C], a solo participant staying
+    on its input (the NCSAC specification restricted to two processes,
+    where "no holes of dimension < 2" is just connectivity).
+
+    The protocol is the distributed content of the paper's recursion base:
+    each round a process WriteReads its current estimate; a process that
+    sees both estimates moves to the {e midpoint of the deterministic
+    shortest path} between them ({!Wfc_topology.Fillin.path_midpoint} —
+    both processes recompute the same path from the same pair, which is
+    what the paper's "predefined path that lives in the face" provides).
+    One immediate-snapshot round then either makes the estimates equal
+    (both saw both) or at least halves their distance (one-sided view), so
+    [ceil (log2 (diameter C))] rounds end with the estimates on a common
+    edge or vertex. *)
+
+open Wfc_model
+
+val rounds_needed : Wfc_topology.Complex.t -> int
+(** [max 1 (ceil (log2 (diameter C)))]. *)
+
+val protocol :
+  Wfc_topology.Complex.t -> inputs:int * int -> int Action.t array
+(** The two-process protocol; decides the final estimate vertex.
+    @raise Invalid_argument if the complex is disconnected or an input is
+    not a vertex. *)
+
+type participation = Both | Solo of int
+
+val check_outputs :
+  Wfc_topology.Complex.t ->
+  inputs:int * int ->
+  participation:participation ->
+  int option * int option ->
+  (unit, string) result
+(** With [Both], present outputs must span a simplex of [C]; with
+    [Solo i], process [i]'s output must equal its input. Carrier
+    conditions beyond connectivity are the caller's affair. *)
+
+val validate : ?seeds:int list -> Wfc_topology.Complex.t -> inputs:int * int -> (unit, string) result
+(** Runs the protocol under random adversaries, solo and together, checking
+    outputs each time. *)

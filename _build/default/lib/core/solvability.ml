@@ -1,0 +1,303 @@
+open Wfc_topology
+open Wfc_tasks
+
+type map = {
+  task : Task.t;
+  level : int;
+  sds : Sds.t;
+  decide : int -> int;
+}
+
+type verdict =
+  | Solvable of map
+  | Unsolvable_at of int
+  | Exhausted of { level : int; nodes : int }
+
+let last_nodes = ref 0
+
+let search_nodes_of_last_call () = !last_nodes
+
+(* The CSP instance, with dense variable indices. *)
+type instance = {
+  nvars : int;
+  domains : int array array; (* var -> candidate output vertices *)
+  simplices : int array array; (* constraint -> member vars *)
+  allowed : Simplex.t list array; (* constraint -> maximal allowed output simplices *)
+  containing : int list array; (* var -> constraints containing it *)
+}
+
+let build_instance task level =
+  let sds = Sds.iterate task.Task.input level in
+  let scx = Chromatic.complex (Sds.complex sds) in
+  let verts = Array.of_list (Complex.vertices scx) in
+  let nvars = Array.length verts in
+  let var_of = Hashtbl.create nvars in
+  Array.iteri (fun i v -> Hashtbl.replace var_of v i) verts;
+  let out_cx = Chromatic.complex task.Task.output in
+  let out_vertices = Complex.vertices out_cx in
+  let sd = Sds.subdiv sds in
+  (* Per-carrier allowed list, cached. *)
+  let delta_cache = Simplex.Tbl.create 64 in
+  let delta_of carrier =
+    match Simplex.Tbl.find_opt delta_cache carrier with
+    | Some l -> l
+    | None ->
+      let l = task.Task.delta carrier in
+      Simplex.Tbl.replace delta_cache carrier l;
+      l
+  in
+  let domains =
+    Array.map
+      (fun v ->
+        let color = Sds.color sds v in
+        let carrier = sd.Subdiv.carrier v in
+        let allowed = delta_of carrier in
+        out_vertices
+        |> List.filter (fun w ->
+               Chromatic.color task.Task.output w = color
+               && List.exists (fun m -> Simplex.mem w m) allowed)
+        |> Array.of_list)
+      verts
+  in
+  let simplex_list =
+    (* Singletons are handled by the domains; keep simplices of size >= 2. *)
+    List.filter (fun s -> Simplex.card s >= 2) (Complex.simplices scx)
+  in
+  let simplices =
+    Array.of_list
+      (List.map
+         (fun s -> Array.of_list (List.map (Hashtbl.find var_of) (Simplex.to_list s)))
+         simplex_list)
+  in
+  let allowed =
+    Array.of_list
+      (List.map (fun s -> delta_of (Subdiv.simplex_carrier sd s)) simplex_list)
+  in
+  let containing = Array.make nvars [] in
+  Array.iteri
+    (fun ci members -> Array.iter (fun v -> containing.(v) <- ci :: containing.(v)) members)
+    simplices;
+  (sds, verts, { nvars; domains; simplices; allowed; containing })
+
+exception Found of int array
+
+(* AC-3 over the binary (edge) constraints: delete domain values with no
+   support in some neighbor's domain. Cheap, and often decisive for
+   impossibility proofs before search even starts. *)
+let arc_consistency inst live =
+  let edges =
+    Array.to_list inst.simplices
+    |> List.mapi (fun ci m -> (ci, m))
+    |> List.filter (fun (_, m) -> Array.length m = 2)
+  in
+  let supported ci a b_dom =
+    List.exists
+      (fun wb ->
+        let s = Simplex.of_list [ a; wb ] in
+        List.exists (fun m -> Simplex.subset s m) inst.allowed.(ci))
+      b_dom
+  in
+  let changed = ref true in
+  let alive = ref true in
+  while !changed && !alive do
+    changed := false;
+    List.iter
+      (fun (ci, m) ->
+        let u = m.(0) and v = m.(1) in
+        let revise x y =
+          let dom = live.(x) in
+          let dom' = List.filter (fun wx -> supported ci wx live.(y)) dom in
+          if List.length dom' < List.length dom then begin
+            live.(x) <- dom';
+            changed := true;
+            if dom' = [] then alive := false
+          end
+        in
+        revise u v;
+        revise v u)
+      edges
+  done;
+  !alive
+
+(* Static BFS order over the vertex adjacency graph, used to tie-break the
+   dynamic most-constrained-first selection so the search stays local. *)
+let bfs_positions inst =
+  let adj = Array.make inst.nvars [] in
+  Array.iter
+    (fun m ->
+      if Array.length m = 2 then begin
+        adj.(m.(0)) <- m.(1) :: adj.(m.(0));
+        adj.(m.(1)) <- m.(0) :: adj.(m.(1))
+      end)
+    inst.simplices;
+  let pos = Array.make inst.nvars max_int in
+  let counter = ref 0 in
+  let queue = Queue.create () in
+  for start = 0 to inst.nvars - 1 do
+    if pos.(start) = max_int then begin
+      pos.(start) <- !counter;
+      incr counter;
+      Queue.add start queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.take queue in
+        List.iter
+          (fun u ->
+            if pos.(u) = max_int then begin
+              pos.(u) <- !counter;
+              incr counter;
+              Queue.add u queue
+            end)
+          adj.(v)
+      done
+    end
+  done;
+  pos
+
+let solve_instance ~budget inst =
+  last_nodes := 0;
+  let assignment = Array.make inst.nvars (-1) in
+  (* live domains as mutable arrays of candidate lists *)
+  let live = Array.map Array.to_list inst.domains in
+  let bfs_pos = bfs_positions inst in
+  let unassigned_count = Array.map Array.length inst.simplices in
+  (* trail for backtracking: var domains replaced *)
+  let image_ok ci extra_var extra_val =
+    (* image of the constraint's simplex, assuming [extra_var := extra_val]
+       on top of current assignment; unassigned members are skipped (only
+       called when all others are assigned) *)
+    let members = inst.simplices.(ci) in
+    let img =
+      Array.to_list members
+      |> List.map (fun v -> if v = extra_var then extra_val else assignment.(v))
+      |> List.filter (fun w -> w >= 0)
+    in
+    let s = Simplex.of_list img in
+    List.exists (fun m -> Simplex.subset s m) inst.allowed.(ci)
+  in
+  let rec select_var () =
+    (* most-constrained-first among unassigned, BFS position as tie-break *)
+    let best = ref (-1) and best_key = ref (max_int, max_int) in
+    for v = 0 to inst.nvars - 1 do
+      if assignment.(v) < 0 then begin
+        let key = (List.length live.(v), bfs_pos.(v)) in
+        if key < !best_key then begin
+          best := v;
+          best_key := key
+        end
+      end
+    done;
+    !best
+  and search nodes_left =
+    if nodes_left <= 0 then `Budget
+    else begin
+      let v = select_var () in
+      if v < 0 then raise (Found (Array.copy assignment))
+      else begin
+        incr last_nodes;
+        let candidates = live.(v) in
+        let rec try_candidates budget = function
+          | [] -> `Fail budget
+          | w :: rest -> (
+            (* check completed constraints *)
+            let ok =
+              List.for_all
+                (fun ci ->
+                  unassigned_count.(ci) > 1 || image_ok ci v w)
+                inst.containing.(v)
+            in
+            if not ok then try_candidates budget rest
+            else begin
+              assignment.(v) <- w;
+              (* forward checking: constraints now missing exactly one var *)
+              let pruned = ref [] in
+              let consistent = ref true in
+              List.iter
+                (fun ci ->
+                  unassigned_count.(ci) <- unassigned_count.(ci) - 1;
+                  if !consistent && unassigned_count.(ci) = 1 then begin
+                    let u = ref (-1) in
+                    Array.iter
+                      (fun m -> if assignment.(m) < 0 then u := m)
+                      inst.simplices.(ci);
+                    if !u >= 0 then begin
+                      let before = live.(!u) in
+                      let after = List.filter (fun w' -> image_ok ci !u w') before in
+                      if List.length after < List.length before then begin
+                        pruned := (!u, before) :: !pruned;
+                        live.(!u) <- after;
+                        if after = [] then consistent := false
+                      end
+                    end
+                  end)
+                inst.containing.(v);
+              let result =
+                if !consistent then search (budget - 1) else `Fail (budget - 1)
+              in
+              match result with
+              | `Budget -> `Budget
+              | `Fail budget' ->
+                (* undo *)
+                List.iter (fun (u, dom) -> live.(u) <- dom) !pruned;
+                List.iter
+                  (fun ci -> unassigned_count.(ci) <- unassigned_count.(ci) + 1)
+                  inst.containing.(v);
+                assignment.(v) <- -1;
+                try_candidates budget' rest
+            end)
+        in
+        try_candidates (nodes_left - 1) candidates
+      end
+    end
+  in
+  if Array.exists (fun d -> Array.length d = 0) inst.domains then `Unsat
+  else if not (arc_consistency inst live) then `Unsat
+  else
+    match search budget with
+    | `Fail _ -> `Unsat
+    | `Budget -> `Budget
+    | exception Found a -> `Sat a
+
+let solve_at ?(budget = 5_000_000) task level =
+  let sds, verts, inst = build_instance task level in
+  match solve_instance ~budget inst with
+  | `Sat assignment ->
+    let table = Hashtbl.create inst.nvars in
+    Array.iteri (fun i v -> Hashtbl.replace table v assignment.(i)) verts;
+    Solvable { task; level; sds; decide = (fun v -> Hashtbl.find table v) }
+  | `Unsat -> Unsolvable_at level
+  | `Budget -> Exhausted { level; nodes = !last_nodes }
+
+let solve ?budget ~max_level task =
+  let rec go level last =
+    if level > max_level then last
+    else
+      match solve_at ?budget task level with
+      | Solvable _ as s -> s
+      | Unsolvable_at _ as u -> go (level + 1) u
+      | Exhausted _ as e -> e
+  in
+  go 0 (Unsolvable_at (-1))
+
+let verify { task; sds; decide; level = _ } =
+  let scx = Chromatic.complex (Sds.complex sds) in
+  let sd = Sds.subdiv sds in
+  let errors = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  List.iter
+    (fun v ->
+      let w = decide v in
+      if Chromatic.color task.Task.output w <> Sds.color sds v then
+        add "vertex %d: color not preserved" v)
+    (Complex.vertices scx);
+  List.iter
+    (fun s ->
+      let img = Simplex.of_list (List.map decide (Simplex.to_list s)) in
+      if not (Complex.mem img (Chromatic.complex task.Task.output)) then
+        add "simplex %s: image not a simplex" (Simplex.to_string s)
+      else begin
+        let carrier = Subdiv.simplex_carrier sd s in
+        if not (Task.allows task carrier img) then
+          add "simplex %s: image violates delta(carrier)" (Simplex.to_string s)
+      end)
+    (Complex.simplices scx);
+  match !errors with [] -> Ok () | errs -> Error (String.concat "; " (List.rev errs))

@@ -1,0 +1,47 @@
+(** The decision procedure of Proposition 3.1 for bounded round counts.
+
+    A bounded-input task [T = (I, O, Δ)] is wait-free solvable in the IIS
+    model iff for some [b] there is a color-preserving simplicial map
+    [φ : SDS^b(I) → O] with [φ(s) ∈ Δ(carrier(s, I))] for every simplex [s]
+    — and by the paper's main theorem (§4) the same characterizes the
+    atomic-snapshot model. For a fixed [b] the condition is a finite
+    constraint-satisfaction problem; this module decides it by backtracking
+    with forward checking:
+
+    - one variable per vertex of [SDS^b(I)], domain = output vertices of the
+      same color whose singleton is allowed for the vertex's carrier;
+    - one constraint per simplex [s] of the closure: the image of [s] must
+      be a face of some simplex in [Δ(carrier s)].
+
+    Exhausting the search space is a {e proof} that no decision map exists
+    at level [b]; it is not a proof for larger [b] (by [9], no algorithm can
+    decide all levels at once for three or more processes). *)
+
+type map = {
+  task : Wfc_tasks.Task.t;
+  level : int;
+  sds : Wfc_topology.Sds.t;  (** [SDS^level] of the task's input complex *)
+  decide : int -> int;  (** SDS vertex -> output vertex *)
+}
+
+type verdict =
+  | Solvable of map
+  | Unsolvable_at of int  (** search space of this level exhausted *)
+  | Exhausted of { level : int; nodes : int }  (** budget ran out *)
+
+val solve_at : ?budget:int -> Wfc_tasks.Task.t -> int -> verdict
+(** Decide level [b] exactly (up to [budget] search nodes,
+    default 5_000_000). *)
+
+val solve : ?budget:int -> max_level:int -> Wfc_tasks.Task.t -> verdict
+(** Try levels [0 .. max_level] in order; returns the first [Solvable], the
+    last [Unsolvable_at] if all levels exhaust their search spaces, or
+    [Exhausted] as soon as a level overruns the budget. *)
+
+val verify : map -> (unit, string) result
+(** Independent re-check of a claimed decision map: color preservation,
+    simpliciality, and the [Δ]-condition on every closure simplex. The
+    search already guarantees this; tests use it as an oracle. *)
+
+val search_nodes_of_last_call : unit -> int
+(** Instrumentation: nodes expanded by the most recent [solve_at]. *)

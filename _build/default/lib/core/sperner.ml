@@ -1,0 +1,49 @@
+open Wfc_topology
+
+let vertices_of sds = Complex.vertices (Chromatic.complex (Sds.complex sds))
+
+let is_sperner_labeling sds ~label =
+  List.for_all
+    (fun v -> Simplex.mem (label v) (Sds.carrier sds v))
+    (vertices_of sds)
+
+let panchromatic_facets sds ~label =
+  let cx = Chromatic.complex (Sds.complex sds) in
+  let n = Complex.dim cx in
+  List.filter
+    (fun f ->
+      let labels = List.sort_uniq Stdlib.compare (List.map label (Simplex.to_list f)) in
+      List.length labels = n + 1)
+    (Complex.facets cx)
+
+let random_sperner_labeling ~seed sds =
+  let st = Random.State.make [| seed; 0x5be4 |] in
+  let table = Hashtbl.create 128 in
+  List.iter
+    (fun v ->
+      let carrier = Simplex.to_list (Sds.carrier sds v) in
+      let pick = List.nth carrier (Random.State.int st (List.length carrier)) in
+      Hashtbl.replace table v pick)
+    (vertices_of sds);
+  fun v -> Hashtbl.find table v
+
+let decision_map_labeling (m : Solvability.map) =
+  let task = m.Solvability.task in
+  let sds = m.Solvability.sds in
+  let ok = ref true in
+  let table = Hashtbl.create 128 in
+  (* The decided value is a process id; the labeling lives on input-complex
+     vertices, so translate through the (proc, own-id) input vertex. *)
+  let base_vertex_of_id id =
+    match int_of_string_opt id with
+    | None -> None
+    | Some p -> Wfc_tasks.Task.input_vertex task ~proc:p ~value:id
+  in
+  List.iter
+    (fun v ->
+      let w = m.Solvability.decide v in
+      match base_vertex_of_id (task.Wfc_tasks.Task.output_label w) with
+      | Some bv when Simplex.mem bv (Sds.carrier sds v) -> Hashtbl.replace table v bv
+      | Some _ | None -> ok := false)
+    (vertices_of sds);
+  if !ok then Some (fun v -> Hashtbl.find table v) else None

@@ -1,0 +1,34 @@
+(** Sperner's lemma on chromatic subdivisions — the elementary obstruction
+    behind set-consensus impossibility.
+
+    The paper recalls (§1) that the impossibility of [(n+1, n)]-set
+    consensus was proved by elementary arguments in [7]. The combinatorial
+    heart is Sperner's lemma: in any subdivision of [sⁿ] whose vertices are
+    labeled by base vertices of their own carrier (a {e Sperner labeling}),
+    the number of panchromatic facets — facets carrying all [n + 1] labels
+    — is odd, hence non-zero.
+
+    A decision map for [(n+1, n)]-set consensus over [SDS^b(sⁿ)] would be
+    exactly a Sperner labeling with {e no} panchromatic facet (at most [n]
+    distinct ids may be decided), so the lemma rules it out at {e every}
+    level [b] — complementing the exhaustive-search proofs of
+    {!Solvability}, which are bounded-level by nature. This module counts
+    panchromatic facets so tests can confirm the parity on every
+    machine-generated labeling. *)
+
+open Wfc_topology
+
+val is_sperner_labeling : Sds.t -> label:(int -> int) -> bool
+(** Every subdivision vertex is labeled by a vertex of its own carrier
+    (the base must be a standard simplex). *)
+
+val panchromatic_facets : Sds.t -> label:(int -> int) -> Simplex.t list
+(** Facets whose vertices carry all [n + 1] distinct labels. *)
+
+val random_sperner_labeling : seed:int -> Sds.t -> int -> int
+(** A labeling choosing uniformly among each vertex's carrier vertices. *)
+
+val decision_map_labeling : Solvability.map -> (int -> int) option
+(** For a set-consensus decision map: the labeling sending each [SDS^b]
+    vertex to the id it decides. [None] if some decided label falls outside
+    the vertex's carrier (cannot happen for a valid map). *)

@@ -1,0 +1,1 @@
+lib/model/bg_is.ml: Action Array List Runtime

@@ -1,0 +1,1 @@
+lib/model/bg_is.mli: Action Runtime Trace

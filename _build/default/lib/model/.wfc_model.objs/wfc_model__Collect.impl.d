@@ -1,0 +1,1 @@
+lib/model/collect.ml: Action Array Full_information

@@ -1,0 +1,1 @@
+lib/model/collect.mli: Action Full_information

@@ -1,0 +1,1 @@
+lib/model/explore.ml: List Runtime Schedule

@@ -1,0 +1,1 @@
+lib/model/full_information.ml: Action Array List Printf Stdlib String

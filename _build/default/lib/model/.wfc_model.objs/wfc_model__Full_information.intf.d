@@ -1,0 +1,1 @@
+lib/model/full_information.mli: Action

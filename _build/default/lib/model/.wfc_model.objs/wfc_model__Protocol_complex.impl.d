@@ -1,0 +1,1 @@
+lib/model/protocol_complex.ml: Action Array Chromatic Complex Full_information Hashtbl List Option Printf Runtime Schedule Sds Simplex Stdlib Wfc_topology

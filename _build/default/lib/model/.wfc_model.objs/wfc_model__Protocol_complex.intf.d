@@ -1,0 +1,1 @@
+lib/model/protocol_complex.mli: Wfc_topology

@@ -1,0 +1,1 @@
+lib/model/runtime.ml: Action Array Hashtbl List Printf Random Stdlib Trace

@@ -1,0 +1,1 @@
+lib/model/runtime.mli: Action Trace Wfc_topology

@@ -1,0 +1,1 @@
+lib/model/schedule.ml: Array List Random Stdlib Wfc_topology

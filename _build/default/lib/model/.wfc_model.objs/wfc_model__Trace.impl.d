@@ -1,0 +1,1 @@
+lib/model/trace.ml: Array Format Hashtbl List Printf Stdlib String Wfc_topology

@@ -1,0 +1,15 @@
+type 'v wr_result = { time : int; seen : 'v list }
+
+type 'v t =
+  | Write of 'v * (unit -> 'v t)
+  | Read of int * ('v option -> 'v t)
+  | Snapshot of ('v option array -> 'v t)
+  | Write_read of { level : int; value : 'v; k : 'v wr_result -> 'v t }
+  | Note of string * (unit -> 'v t)
+  | Decide of 'v
+
+let decide v = Decide v
+
+let rounds k ~init body finish =
+  let rec go acc r = if r = k then finish acc else body acc r (fun acc' -> go acc' (r + 1)) in
+  go init 0

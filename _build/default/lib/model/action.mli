@@ -1,0 +1,39 @@
+(** Protocol steps for the simulated shared-memory machine.
+
+    A process is a state machine written in continuation-passing style: each
+    constructor is one {e operation} on shared memory together with the rest
+    of the process as a closure. The runtime owns the shared state — a SWMR
+    cell per process ({!Write}/{!Read}/{!Snapshot}, the atomic-snapshot model
+    of §3.1) and a sequence of one-shot immediate snapshot memories
+    ({!Write_read}, the IIS model of §3.5) — and decides when each operation
+    executes, so a strategy (adversary) controls the interleaving completely
+    and runs are replayable.
+
+    ['v] is the type of values a protocol stores in shared memory. *)
+
+type 'v wr_result = {
+  time : int;
+      (** sequence number of the firing that released this operation; firings
+          are totally ordered across all memories, so [time] is a global
+          logical clock usable for linearizability checks *)
+  seen : 'v list;
+      (** the immediate-snapshot output [S_i]: inputs of all processes in
+          blocks up to and including the caller's, sorted by process id *)
+}
+
+type 'v t =
+  | Write of 'v * (unit -> 'v t)  (** write own SWMR cell *)
+  | Read of int * ('v option -> 'v t)  (** read one cell *)
+  | Snapshot of ('v option array -> 'v t)  (** atomic snapshot of all cells *)
+  | Write_read of { level : int; value : 'v; k : 'v wr_result -> 'v t }
+      (** WriteRead on the one-shot immediate snapshot memory [M_level];
+          each process may use each level at most once (checked) *)
+  | Note of string * (unit -> 'v t)  (** trace annotation, no shared effect *)
+  | Decide of 'v  (** terminate with an output *)
+
+val decide : 'v -> 'v t
+
+val rounds : int -> init:'a -> ('a -> int -> ('a -> 'v t) -> 'v t) -> ('a -> 'v t) -> 'v t
+(** [rounds k ~init body finish] runs [body acc round continue] for
+    [round = 0 .. k-1], threading an accumulator, then [finish acc] —
+    a convenience for round-structured protocols. *)

@@ -1,0 +1,58 @@
+type 'v cell = { level : int; value : 'v }
+
+let actions_with ~inputs record =
+  let m = Array.length inputs in
+  Array.init m (fun i ->
+      let rec descend level =
+        Action.Write
+          ( { level; value = inputs.(i) },
+            fun () ->
+              Action.Snapshot
+                (fun cells ->
+                  let below =
+                    Array.to_list cells
+                    |> List.mapi (fun j c -> (j, c))
+                    |> List.filter_map (fun (j, c) ->
+                           match c with
+                           | Some { level = lj; value } when lj <= level -> Some (j, value)
+                           | _ -> None)
+                  in
+                  if List.length below >= level then begin
+                    record i below (m + 1 - level);
+                    Action.Decide { level = List.length below; value = inputs.(i) }
+                  end
+                  else descend (level - 1)) )
+      in
+      descend m)
+
+type 'v run = {
+  outcome : 'v cell Runtime.outcome;
+  outputs : (int * 'v) list option array;
+  snapshots_taken : int array;
+}
+
+let actions ~inputs = actions_with ~inputs (fun _ _ _ -> ())
+
+let actions_recording ~inputs ~record = actions_with ~inputs record
+
+let run ?max_steps ~inputs strategy =
+  let m = Array.length inputs in
+  let outputs = Array.make m None in
+  let snapshots_taken = Array.make m 0 in
+  let record i set snaps =
+    outputs.(i) <- Some set;
+    snapshots_taken.(i) <- snaps
+  in
+  let outcome = Runtime.run ?max_steps (actions_with ~inputs record) strategy in
+  (* A process that crashed after recording but before deciding still has a
+     recorded output; hide it to keep the interface faithful. *)
+  Array.iteri
+    (fun i r -> if r = None then outputs.(i) <- None)
+    outcome.Runtime.results;
+  { outcome; outputs; snapshots_taken }
+
+let views r =
+  Array.to_list r.outputs
+  |> List.mapi (fun i o -> (i, o))
+  |> List.filter_map (fun (i, o) ->
+         match o with Some set -> Some (i, List.map fst set) | None -> None)

@@ -1,0 +1,44 @@
+(** One-shot immediate snapshot from atomic snapshots — Borowsky–Gafni [8].
+
+    The classic level-descent algorithm: every process starts at level
+    [n + 1] (for [n + 1] processes) and repeatedly descends one level,
+    writes its level, takes an atomic snapshot, and returns the set of
+    processes at or below its level as soon as that set has at least
+    [level] members. The returned sets satisfy the three immediate-snapshot
+    properties of §3.5 under {e every} interleaving — this is the paper's
+    citation for the fact that the (iterated) immediate snapshot model can
+    be simulated by the atomic snapshot model, i.e. the easy direction of
+    the equivalence whose converse is the paper's main result.
+
+    Termination is wait-free: the level of a process only decreases, and a
+    process at level [l] with fewer than [l] processes at or below it must
+    have at least [n + 1 - l] processes above it, so some level satisfies
+    its exit condition after at most [n + 1] descents. *)
+
+type 'v cell = { level : int; value : 'v }
+
+val actions : inputs:'v array -> 'v cell Action.t array
+(** One process per input; each decides on the cell containing its own
+    value with [level] = the size of its output set, after privately
+    recording the output set (retrieve it with {!outputs}). *)
+
+val actions_recording :
+  inputs:'v array ->
+  record:(int -> (int * 'v) list -> int -> unit) ->
+  'v cell Action.t array
+(** Like {!actions} but calls [record proc output_set snapshots_used] when a
+    process obtains its set — for exhaustive-exploration harnesses that
+    drive {!Runtime.run} themselves. *)
+
+type 'v run = {
+  outcome : 'v cell Runtime.outcome;
+  outputs : (int * 'v) list option array;
+      (** per process: the immediate-snapshot output set [S_i] as
+          [(process, value)] pairs, [None] if the process did not finish *)
+  snapshots_taken : int array;  (** per-process snapshot count (≤ n+1) *)
+}
+
+val run : ?max_steps:int -> inputs:'v array -> Runtime.strategy -> 'v run
+
+val views : 'v run -> Trace.is_views
+(** Output sets projected to process ids, for {!Trace.check_immediate_snapshot}. *)

@@ -1,0 +1,34 @@
+let collect ~procs k =
+  let acc = Array.make procs None in
+  let rec read_from cell =
+    if cell = procs then k (Array.copy acc)
+    else
+      Action.Read
+        ( cell,
+          fun v ->
+            acc.(cell) <- v;
+            read_from (cell + 1) )
+  in
+  read_from 0
+
+let double_collect ~procs k =
+  let rec retry previous =
+    collect ~procs (fun current ->
+        match previous with
+        | Some prev when prev = current -> k current
+        | _ -> retry (Some current))
+  in
+  retry None
+
+let full_information ~procs ~k ~inputs =
+  if Array.length inputs <> procs then invalid_arg "Collect.full_information: inputs size";
+  Array.init procs (fun i ->
+      Action.rounds k
+        ~init:(Full_information.Vinit { proc = i; input = inputs.(i) })
+        (fun v round continue ->
+          Action.Write
+            ( v,
+              fun () ->
+                double_collect ~procs (fun cells ->
+                    continue (Full_information.Vsnap { proc = i; round = round + 1; cells })) ))
+        Action.decide)

@@ -1,0 +1,27 @@
+(** Snapshots from single-cell reads by repeated collects.
+
+    The atomic [Snapshot] operation of the runtime is a model primitive. This
+    module rebuilds it from elementary SWMR reads in the style the paper
+    attributes to the snapshot construction of Afek et al. [1] {e without}
+    embedded scans: collect all cells, collect again, and retry until two
+    consecutive collects are equal ("double collect"). A successful double
+    collect is a legal snapshot; the construction is non-blocking rather than
+    wait-free, mirroring the paper's remark in §4 that its own emulation has
+    the same flavor.
+
+    Correctness requires written values to never repeat (ABA); protocols
+    whose values strictly grow — e.g. full-information views — satisfy
+    this. *)
+
+val collect : procs:int -> ('v option array -> 'v Action.t) -> 'v Action.t
+(** Read cells [0 .. procs-1] one at a time and pass the collected array to
+    the continuation. *)
+
+val double_collect : procs:int -> ('v option array -> 'v Action.t) -> 'v Action.t
+(** Repeat {!collect} until two consecutive collects agree (structural
+    equality); the agreed collect is a legal snapshot. *)
+
+val full_information : procs:int -> k:int -> inputs:'v array ->
+  'v Full_information.view Action.t array
+(** Figure 1 rebuilt on double collects instead of the [Snapshot]
+    primitive — same protocol, one model level lower. *)

@@ -1,0 +1,70 @@
+exception Too_many of int
+
+let decisions_at (v : Runtime.view) =
+  let steps = List.map (fun p -> Runtime.Step p) v.Runtime.runnable in
+  let fires =
+    List.concat_map
+      (fun (level, procs) ->
+        List.map (fun block -> Runtime.Fire (level, block)) (Schedule.nonempty_subsets procs))
+      v.Runtime.arrived
+  in
+  steps @ fires
+
+(* Replay a decision prefix, then capture the view reached. *)
+let replay make_actions prefix =
+  let remaining = ref prefix in
+  let captured = ref None in
+  let strategy v =
+    match !remaining with
+    | d :: rest ->
+      remaining := rest;
+      d
+    | [] ->
+      captured := Some v;
+      Runtime.Halt
+  in
+  let outcome = Runtime.run (make_actions ()) strategy in
+  (outcome, !captured)
+
+let explore ?(max_runs = 200_000) ?(crashes = 0) make_actions f =
+  let runs = ref 0 in
+  let rec go prefix crashed =
+    match replay make_actions (List.rev prefix) with
+    | outcome, None ->
+      (* the run finished during the prefix itself *)
+      incr runs;
+      if !runs > max_runs then raise (Too_many !runs);
+      f outcome
+    | outcome, Some v ->
+      let ds = decisions_at v in
+      let ds =
+        if crashed < crashes then
+          ds
+          @ List.filter_map
+              (fun p ->
+                if List.mem p v.Runtime.decided || List.mem p v.Runtime.crashed then None
+                else Some (Runtime.Crash p))
+              (v.Runtime.runnable @ List.concat_map snd v.Runtime.arrived)
+        else ds
+      in
+      let live_work =
+        v.Runtime.runnable <> []
+        || List.exists
+             (fun (_, procs) ->
+               List.exists (fun p -> not (List.mem p v.Runtime.crashed)) procs)
+             v.Runtime.arrived
+      in
+      if not live_work then begin
+        incr runs;
+        if !runs > max_runs then raise (Too_many !runs);
+        f outcome
+      end
+      else
+        List.iter
+          (fun d ->
+            let crashed' = match d with Runtime.Crash _ -> crashed + 1 | _ -> crashed in
+            go (d :: prefix) crashed')
+          ds
+  in
+  go [] 0;
+  !runs

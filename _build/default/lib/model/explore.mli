@@ -1,0 +1,34 @@
+(** Exhaustive exploration of the scheduling tree.
+
+    Replays a protocol under {e every} adversary decision sequence (steps,
+    and optionally every way of firing immediate-snapshot blocks), calling a
+    callback per complete run. This is the brute-force companion to
+    {!Protocol_complex}: where that module enumerates the well-understood
+    schedule spaces of the full-information protocols, this one explores the
+    decision tree of {e arbitrary} protocols — used to certify, e.g., that
+    the Borowsky–Gafni algorithm returns legal immediate snapshots under
+    every interleaving, and to compute the decision bound of Lemma 3.1.
+
+    Because runtime state is not copyable, each leaf replays the decision
+    prefix from scratch; cost is O(runs × depth²), fine for the protocol
+    sizes this is meant for. *)
+
+exception Too_many of int
+
+val explore :
+  ?max_runs:int ->
+  ?crashes:int ->
+  (unit -> 'v Action.t array) ->
+  ('v Runtime.outcome -> unit) ->
+  int
+(** [explore make_actions f] runs [f] on the outcome of every complete
+    schedule and returns the number of runs. [make_actions] must build fresh
+    actions on every call (closures may hold per-run state). [crashes] > 0
+    additionally explores crashing up to that many processes at every
+    point. @raise Too_many when more than [max_runs] (default 200_000) runs
+    would be explored. *)
+
+val decisions_at : Runtime.view -> Runtime.decision list
+(** All decisions available in a view: one [Step] per runnable process and
+    one [Fire] per (level, non-empty subset of arrived processes). Exposed
+    for custom searches. *)

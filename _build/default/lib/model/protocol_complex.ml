@@ -1,0 +1,180 @@
+open Wfc_topology
+
+type t = {
+  chromatic : Chromatic.t;
+  view_of : int -> string;
+  proc_of : int -> int;
+  seen_of : int -> int list;
+}
+
+(* Accumulates runs into a complex: vertices keyed by canonical view. *)
+type builder = {
+  mutable next : int;
+  ids : (string, int) Hashtbl.t;
+  views : (int, string) Hashtbl.t;
+  procs_tbl : (int, int) Hashtbl.t;
+  mutable seen_tbl : (int, int list) Hashtbl.t;
+  mutable facets : int list list;
+}
+
+let new_builder () =
+  {
+    next = 0;
+    ids = Hashtbl.create 256;
+    views = Hashtbl.create 256;
+    procs_tbl = Hashtbl.create 256;
+    seen_tbl = Hashtbl.create 256;
+    facets = [];
+  }
+
+let add_run b vertices =
+  let simplex =
+    List.map
+      (fun (proc, canonical, seen) ->
+        match Hashtbl.find_opt b.ids canonical with
+        | Some id -> id
+        | None ->
+          let id = b.next in
+          b.next <- id + 1;
+          Hashtbl.replace b.ids canonical id;
+          Hashtbl.replace b.views id canonical;
+          Hashtbl.replace b.procs_tbl id proc;
+          Hashtbl.replace b.seen_tbl id seen;
+          id)
+      vertices
+  in
+  b.facets <- simplex :: b.facets
+
+let finish b name =
+  let complex = Complex.of_facets ~name b.facets in
+  let chromatic = Chromatic.make ~check:false complex ~color:(fun v -> Hashtbl.find b.procs_tbl v) in
+  {
+    chromatic;
+    view_of = (fun v -> Hashtbl.find b.views v);
+    proc_of = (fun v -> Hashtbl.find b.procs_tbl v);
+    seen_of = (fun v -> Hashtbl.find b.seen_tbl v);
+  }
+
+let enc_input i = Printf.sprintf "#%d" i
+
+let iis_general ~procs ~rounds =
+  let b = new_builder () in
+  let inputs = Array.init procs (fun i -> i) in
+  let all = List.init procs (fun i -> i) in
+  List.iter
+    (fun participating ->
+      let sequences = Schedule.partition_sequences participating rounds in
+      List.iter
+        (fun seq ->
+          let actions =
+            Full_information.iis_participants ~procs ~k:rounds ~inputs ~participating
+          in
+          let outcome = Runtime.run actions (Runtime.iis_schedule (Array.of_list seq)) in
+          let vertices =
+            List.filter_map
+              (fun p ->
+                match outcome.Runtime.results.(p) with
+                | Some view ->
+                  Some
+                    ( p,
+                      Full_information.canonical_iview enc_input view,
+                      Full_information.iview_procs_seen view )
+                | None -> None)
+              participating
+          in
+          add_run b vertices)
+        sequences)
+    (Schedule.nonempty_subsets all);
+  finish b (Printf.sprintf "iis-%d-shot" rounds)
+
+let one_shot_is ~procs = iis_general ~procs ~rounds:1
+
+let iis ~procs ~rounds = iis_general ~procs ~rounds
+
+let atomic ~procs ~rounds =
+  let b = new_builder () in
+  let inputs = Array.init procs (fun i -> i) in
+  let all = List.init procs (fun i -> i) in
+  let seen_of_view = function
+    | Full_information.Vinit { proc; _ } -> [ proc ]
+    | Full_information.Vsnap { cells; _ } ->
+      let seen = ref [] in
+      Array.iteri (fun j c -> if c <> None then seen := j :: !seen) cells;
+      List.sort Stdlib.compare !seen
+  in
+  List.iter
+    (fun participating ->
+      let counts =
+        Array.init procs (fun i -> if List.mem i participating then 2 * rounds else 0)
+      in
+      let schedules = Schedule.interleavings counts in
+      List.iter
+        (fun order ->
+          let actions =
+            Array.mapi
+              (fun i a ->
+                if List.mem i participating then a
+                else Action.Decide (Full_information.Vinit { proc = i; input = inputs.(i) }))
+              (Full_information.atomic_k_shot ~procs ~k:rounds ~inputs)
+          in
+          let outcome = Runtime.run actions (Runtime.linear_schedule order) in
+          let vertices =
+            List.filter_map
+              (fun p ->
+                match outcome.Runtime.results.(p) with
+                | Some view ->
+                  Some
+                    (p, Full_information.canonical_view enc_input view, seen_of_view view)
+                | None -> None)
+              participating
+          in
+          add_run b vertices)
+        schedules)
+    (Schedule.nonempty_subsets all);
+  finish b (Printf.sprintf "atomic-%d-round" rounds)
+
+let matches_sds t sds =
+  let scx = Chromatic.complex (Sds.complex sds) in
+  let tcx = Chromatic.complex t.chromatic in
+  Complex.num_vertices scx = Complex.num_vertices tcx
+  && Complex.num_facets scx = Complex.num_facets tcx
+  &&
+  let table = Hashtbl.create 256 in
+  List.iter
+    (fun v -> Hashtbl.replace table (t.view_of v) v)
+    (Complex.vertices tcx);
+  let ok = ref true in
+  let mapped = Hashtbl.create 256 in
+  List.iter
+    (fun v ->
+      match Hashtbl.find_opt table (Sds.canonical_view sds v) with
+      | Some w -> Hashtbl.replace mapped v w
+      | None -> ok := false)
+    (Complex.vertices scx);
+  !ok
+  &&
+  let image_facets =
+    List.map
+      (fun f -> Simplex.of_list (List.map (Hashtbl.find mapped) (Simplex.to_list f)))
+      (Complex.facets scx)
+  in
+  List.equal Simplex.equal
+    (List.sort_uniq Simplex.compare image_facets)
+    (Complex.facets tcx)
+
+let is_subcomplex_of a b =
+  (* Match vertices by (process, set of processes seen); only meaningful for
+     one-round complexes, where that pair determines the view. *)
+  let b_table = Hashtbl.create 256 in
+  List.iter
+    (fun v -> Hashtbl.replace b_table (b.proc_of v, b.seen_of v) v)
+    (Complex.vertices (Chromatic.complex b.chromatic));
+  let translate v = Hashtbl.find_opt b_table (a.proc_of v, a.seen_of v) in
+  List.for_all
+    (fun f ->
+      let imgs = List.map translate (Simplex.to_list f) in
+      List.for_all Option.is_some imgs
+      &&
+      let s = Simplex.of_list (List.map Option.get imgs) in
+      Complex.mem s (Chromatic.complex b.chromatic))
+    (Complex.facets (Chromatic.complex a.chromatic))

@@ -1,0 +1,41 @@
+(** Protocol complexes built by exhaustively executing the models.
+
+    Vertices are pairs (process, local view) reachable in some execution;
+    a set of vertices is a simplex when the views arise in one execution
+    (§3.1, §3.6). The complexes here are produced by actually {e running}
+    the full-information protocols under every schedule of the bounded
+    schedule space — so matching them against the combinatorial
+    constructions of {!Wfc_topology.Sds} is a genuine reproduction of
+    Lemmas 3.2 and 3.3 rather than a definition chase. *)
+
+type t = {
+  chromatic : Wfc_topology.Chromatic.t;  (** colored by process id *)
+  view_of : int -> string;  (** canonical view encoding per vertex *)
+  proc_of : int -> int;
+  seen_of : int -> int list;  (** processes visible in the final view *)
+}
+
+val one_shot_is : procs:int -> t
+(** Protocol complex of the one-shot immediate snapshot over all
+    participating sets and all ordered partitions (Lemma 3.2: isomorphic to
+    [SDS(sⁿ)]). *)
+
+val iis : procs:int -> rounds:int -> t
+(** Protocol complex of the [rounds]-shot IIS full-information protocol
+    (Lemma 3.3: isomorphic to [SDS^rounds(sⁿ)]). *)
+
+val atomic : procs:int -> rounds:int -> t
+(** Protocol complex of the [rounds]-round atomic-snapshot full-information
+    protocol (Figure 1) over all interleavings. Grows very fast; intended
+    for [procs <= 3], [rounds <= 2]. *)
+
+val matches_sds : t -> Wfc_topology.Sds.t -> bool
+(** Whether the protocol complex coincides with the given iterated standard
+    chromatic subdivision, matching vertices by canonical view encoding
+    (stronger than isomorphism: it checks that the views themselves
+    agree). *)
+
+val is_subcomplex_of : t -> t -> bool
+(** Whether every simplex of the first appears in the second, matching
+    vertices by process id and immediate-snapshot view content. Used for
+    E11 (the IS complex sits inside the one-round atomic complex). *)

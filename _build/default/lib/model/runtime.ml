@@ -1,0 +1,332 @@
+type view = {
+  time : int;
+  runnable : int list;
+  arrived : (int * int list) list;
+  decided : int list;
+  crashed : int list;
+}
+
+type decision = Step of int | Fire of int * int list | Crash of int | Halt
+
+type strategy = view -> decision
+
+type 'v outcome = {
+  results : 'v option array;
+  trace : 'v Trace.t;
+  time : int;
+  memories_used : int;
+}
+
+exception Invalid_decision of string
+
+type 'v proc_state =
+  | Ready of 'v Action.t
+  | Waiting of { level : int; value : 'v; k : 'v Action.wr_result -> 'v Action.t }
+  | Decided of 'v
+  | Crashed
+
+type 'v memory = {
+  mutable fired : (int * 'v) list; (* (proc, value) of all fired blocks, proc-sorted *)
+  mutable waiting : (int * 'v) list; (* arrived but not fired *)
+  mutable used_by : int list; (* one-shot enforcement *)
+}
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid_decision s)) fmt
+
+let run ?(max_steps = 1_000_000) initial strategy =
+  let n = Array.length initial in
+  let states = Array.map (fun a -> Ready a) initial in
+  let cells : 'v option array = Array.make n None in
+  let memories : (int, 'v memory) Hashtbl.t = Hashtbl.create 16 in
+  let memory level =
+    match Hashtbl.find_opt memories level with
+    | Some m -> m
+    | None ->
+      let m = { fired = []; waiting = []; used_by = [] } in
+      Hashtbl.replace memories level m;
+      m
+  in
+  let trace = ref [] in
+  let time = ref 0 in
+  let emit e = trace := e :: !trace in
+  (* Settle a process: consume non-blocking pseudo-operations (notes) are
+     still individual decisions? No — notes are free: they carry no shared
+     effect, so we process them eagerly to keep strategies focused on real
+     operations. Decides are also recorded eagerly. *)
+  let rec settle p action =
+    match action with
+    | Action.Note (note, k) ->
+      emit (Trace.E_note { time = !time; proc = p; note });
+      settle p (k ())
+    | Action.Decide v ->
+      emit (Trace.E_decide { time = !time; proc = p; value = v });
+      states.(p) <- Decided v
+    | Action.Write_read { level; value; k } ->
+      let m = memory level in
+      if List.mem p m.used_by then invalid "P%d uses one-shot memory M%d twice" p level;
+      m.used_by <- p :: m.used_by;
+      m.waiting <- (p, value) :: m.waiting;
+      emit (Trace.E_arrive { time = !time; proc = p; level; value });
+      states.(p) <- Waiting { level; value; k }
+    | (Action.Write _ | Action.Read _ | Action.Snapshot _) as a -> states.(p) <- Ready a
+  in
+  Array.iteri (fun p a -> settle p a) initial;
+  let current_view () =
+    let runnable = ref [] and decided = ref [] and crashed = ref [] in
+    Array.iteri
+      (fun p s ->
+        match s with
+        | Ready _ -> runnable := p :: !runnable
+        | Decided _ -> decided := p :: !decided
+        | Crashed -> crashed := p :: !crashed
+        | Waiting _ -> ())
+      states;
+    let arrived =
+      Hashtbl.fold
+        (fun level m acc ->
+          (* only processes still waiting (not crashed-and-waiting: crashed
+             processes remain listed — the adversary may fire them) *)
+          match m.waiting with
+          | [] -> acc
+          | w -> (level, List.sort Stdlib.compare (List.map fst w)) :: acc)
+        memories []
+      |> List.sort Stdlib.compare
+    in
+    {
+      time = !time;
+      runnable = List.sort Stdlib.compare !runnable;
+      arrived;
+      decided = List.sort Stdlib.compare !decided;
+      crashed = List.sort Stdlib.compare !crashed;
+    }
+  in
+  let alive_work v =
+    (* Any non-crashed process that has not decided and can still make
+       progress: runnable, or waiting (needs a fire). *)
+    v.runnable <> []
+    || List.exists
+         (fun (_, procs) -> List.exists (fun p -> not (List.mem p v.crashed)) procs)
+         v.arrived
+  in
+  let apply_step p =
+    match states.(p) with
+    | Ready (Action.Write (v, k)) ->
+      cells.(p) <- Some v;
+      emit (Trace.E_write { time = !time; proc = p; value = v });
+      settle p (k ())
+    | Ready (Action.Read (cell, k)) ->
+      if cell < 0 || cell >= n then invalid "P%d reads cell %d out of range" p cell;
+      let v = cells.(cell) in
+      emit (Trace.E_read { time = !time; proc = p; cell; value = v });
+      settle p (k v)
+    | Ready (Action.Snapshot k) ->
+      let snap = Array.copy cells in
+      emit (Trace.E_snapshot { time = !time; proc = p; view = snap });
+      settle p (k snap)
+    | Ready (Action.Note _ | Action.Decide _ | Action.Write_read _) ->
+      assert false (* settled eagerly *)
+    | Waiting _ -> invalid "Step %d: process is waiting inside a WriteRead" p
+    | Decided _ -> invalid "Step %d: process already decided" p
+    | Crashed -> invalid "Step %d: process crashed" p
+  in
+  let apply_fire level block =
+    let block = List.sort_uniq Stdlib.compare block in
+    if block = [] then invalid "Fire M%d: empty block" level;
+    let m = memory level in
+    let extracted =
+      List.map
+        (fun p ->
+          match List.assoc_opt p m.waiting with
+          | Some v -> (p, v)
+          | None -> invalid "Fire M%d: process %d has not arrived" level p)
+        block
+    in
+    m.waiting <- List.filter (fun (p, _) -> not (List.mem p block)) m.waiting;
+    m.fired <- List.merge (fun (a, _) (b, _) -> compare a b) m.fired
+        (List.sort (fun (a, _) (b, _) -> compare a b) extracted);
+    emit (Trace.E_fire { time = !time; level; block });
+    let seen = List.map snd m.fired in
+    List.iter
+      (fun (p, _) ->
+        match states.(p) with
+        | Waiting { level = l; k; _ } when l = level ->
+          settle p (k { Action.time = !time; seen })
+        | Crashed -> () (* write took effect; the process never sees the result *)
+        | _ -> invalid "Fire M%d: process %d in inconsistent state" level p)
+      extracted
+  in
+  let apply_crash p =
+    (match states.(p) with
+    | Decided _ -> invalid "Crash %d: process already decided" p
+    | Crashed -> invalid "Crash %d: process already crashed" p
+    | Ready _ | Waiting _ -> ());
+    (* A crash while waiting leaves the written value in the memory: the
+       adversary may still fire it. We keep it in [waiting]. *)
+    states.(p) <- Crashed;
+    emit (Trace.E_crash { time = !time; proc = p })
+  in
+  let halted = ref false in
+  let steps = ref 0 in
+  let rec loop () =
+    let v = current_view () in
+    if (not !halted) && alive_work v then begin
+      incr steps;
+      if !steps > max_steps then invalid "run exceeded %d decisions" max_steps;
+      (match strategy v with
+      | Step p -> apply_step p
+      | Fire (level, block) -> apply_fire level block
+      | Crash p -> apply_crash p
+      | Halt -> halted := true);
+      incr time;
+      loop ()
+    end
+  in
+  loop ();
+  let results =
+    Array.map (function Decided v -> Some v | Ready _ | Waiting _ | Crashed -> None) states
+  in
+  let memories_used =
+    Hashtbl.fold (fun _ m acc -> if m.fired <> [] then acc + 1 else acc) memories 0
+  in
+  { results; trace = List.rev !trace; time = !time; memories_used }
+
+(* --- Stock adversaries --- *)
+
+let round_robin () =
+  let next = ref 0 in
+  fun v ->
+    let n =
+      1
+      + List.fold_left max (-1)
+          (v.runnable @ List.concat_map snd v.arrived @ v.decided @ v.crashed)
+    in
+    let rec pick tries p =
+      if tries > n then Halt
+      else if List.mem p v.runnable then begin
+        next := (p + 1) mod n;
+        Step p
+      end
+      else if
+        List.exists (fun (_, procs) -> List.mem p procs) v.arrived && not (List.mem p v.crashed)
+      then begin
+        next := (p + 1) mod n;
+        let level, _ = List.find (fun (_, procs) -> List.mem p procs) v.arrived in
+        Fire (level, [ p ])
+      end
+      else pick (tries + 1) ((p + 1) mod n)
+    in
+    pick 0 !next
+
+let random ~seed () =
+  let st = Random.State.make [| seed |] in
+  fun v ->
+    let fireable =
+      List.filter_map
+        (fun (level, procs) ->
+          let live = List.filter (fun p -> not (List.mem p v.crashed)) procs in
+          if live = [] then None else Some (level, procs, live))
+        v.arrived
+    in
+    let n_choices = List.length v.runnable + List.length fireable in
+    if n_choices = 0 then Halt
+    else begin
+      let c = Random.State.int st n_choices in
+      if c < List.length v.runnable then Step (List.nth v.runnable c)
+      else begin
+        let level, procs, live = List.nth fireable (c - List.length v.runnable) in
+        (* Random non-empty block that contains at least one live process (so
+           progress is guaranteed); crashed arrivals may be swept in. *)
+        let must = List.nth live (Random.State.int st (List.length live)) in
+        let others = List.filter (fun p -> p <> must) procs in
+        let block = must :: List.filter (fun _ -> Random.State.bool st) others in
+        Fire (level, block)
+      end
+    end
+
+let random_with_crashes ~seed ~crash () =
+  let st = Random.State.make [| seed; 0x5ead |] in
+  let pending = ref crash in
+  let inner = random ~seed () in
+  fun v ->
+    let crashable =
+      List.filter
+        (fun p ->
+          (not (List.mem p v.decided))
+          && (not (List.mem p v.crashed))
+          && (List.mem p v.runnable
+             || List.exists (fun (_, procs) -> List.mem p procs) v.arrived))
+        !pending
+    in
+    match crashable with
+    | p :: _ when Random.State.int st 4 = 0 ->
+      pending := List.filter (fun q -> q <> p) !pending;
+      Crash p
+    | _ -> inner v
+
+let iis_schedule partitions =
+  (* Per level: blocks still to fire, in order. *)
+  let remaining = Hashtbl.create 16 in
+  let blocks_for level =
+    match Hashtbl.find_opt remaining level with
+    | Some b -> b
+    | None ->
+      let b = if level < Array.length partitions then partitions.(level) else [] in
+      Hashtbl.replace remaining level b;
+      b
+  in
+  fun v ->
+    match v.runnable with
+    | p :: _ -> Step p
+    | [] ->
+      (* fire the lowest level whose next block has fully arrived *)
+      let rec try_levels = function
+        | [] -> (
+          (* fall back: fire singletons for levels beyond the plan *)
+          match v.arrived with
+          | (level, procs) :: _ -> (
+            let live = List.filter (fun p -> not (List.mem p v.crashed)) procs in
+            match live with
+            | [] -> Halt
+            | p :: _ -> if blocks_for level = [] then Fire (level, [ p ]) else Halt)
+          | [] -> Halt)
+        | (level, procs) :: rest -> (
+          match blocks_for level with
+          | [] -> try_levels rest
+          | block :: more ->
+            if List.for_all (fun p -> List.mem p procs) block then begin
+              Hashtbl.replace remaining level more;
+              Fire (level, block)
+            end
+            else try_levels rest)
+      in
+      try_levels v.arrived
+
+let linear_schedule order =
+  let rest = ref order in
+  fun v ->
+    match !rest with
+    | [] -> Halt
+    | p :: tl ->
+      rest := tl;
+      if List.mem p v.runnable then Step p
+      else invalid "linear_schedule: process %d has no pending cell operation" p
+
+let isolating ~victim () =
+ fun v ->
+  if List.mem victim v.runnable then Step victim
+  else
+    let victim_level =
+      List.find_opt (fun (_, procs) -> List.mem victim procs) v.arrived
+    in
+    match victim_level with
+    | Some (level, _) -> Fire (level, [ victim ])
+    | None -> (
+      (* victim is done or crashed: drive the rest, whole blocks at once *)
+      match v.runnable with
+      | p :: _ -> Step p
+      | [] -> (
+        match v.arrived with
+        | (level, procs) :: _ ->
+          let live = List.filter (fun p -> not (List.mem p v.crashed)) procs in
+          if live = [] then Halt else Fire (level, procs)
+        | [] -> Halt))

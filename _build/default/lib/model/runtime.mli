@@ -1,0 +1,91 @@
+(** Deterministic simulated execution of protocols under an adversary.
+
+    The runtime owns one SWMR cell per process and an unbounded sequence of
+    one-shot immediate snapshot memories [M0, M1, ...]. A {!strategy} — the
+    adversary — picks every scheduling decision, so every interleaving of
+    the real asynchronous machine corresponds to a run here, and runs are
+    replayable from the strategy alone.
+
+    Two decision kinds drive the two operation families:
+
+    - [Step p] executes process [p]'s pending cell operation atomically
+      (write / read / snapshot);
+    - [Fire (level, block)] releases a set of processes that have all
+      invoked WriteRead on memory [level] and are waiting inside it. The
+      block becomes the next block of the ordered partition for that memory:
+      every member receives the union of everything fired at that level so
+      far, including the block itself — which is exactly the one-shot
+      immediate snapshot semantics of §3.5, and makes the adversary's firing
+      choices at a level an ordered partition of its participants.
+
+    Crashed processes take no further steps; a crashed process that had
+    arrived at a memory may still be fired (its write is visible) or not —
+    the adversary chooses, like a real crash between write and read. *)
+
+type view = {
+  time : int;  (** decisions taken so far *)
+  runnable : int list;  (** processes with a pending cell operation *)
+  arrived : (int * int list) list;
+      (** per level with waiting processes: [(level, procs)], level-sorted *)
+  decided : int list;
+  crashed : int list;
+}
+
+type decision =
+  | Step of int
+  | Fire of int * int list  (** level, block *)
+  | Crash of int
+  | Halt  (** abandon the run; undecided processes stay undecided *)
+
+type strategy = view -> decision
+
+type 'v outcome = {
+  results : 'v option array;  (** decision value per process, if decided *)
+  trace : 'v Trace.t;
+  time : int;
+  memories_used : int;  (** number of IIS memories that saw at least one firing *)
+}
+
+exception Invalid_decision of string
+
+val run : ?max_steps:int -> 'v Action.t array -> strategy -> 'v outcome
+(** Executes until every non-crashed process has decided, the strategy
+    halts, or [max_steps] decisions have been taken (default 1_000_000 —
+    exceeding it raises [Invalid_decision], since a correct adversary must
+    let wait-free protocols finish).
+    @raise Invalid_decision on an inapplicable decision (stepping a blocked
+    process, firing a non-arrived block, re-using a one-shot memory slot,
+    etc.). *)
+
+(** {1 Stock adversaries} *)
+
+val round_robin : unit -> strategy
+(** Cycles over processes; a blocked process is fired as a singleton —
+    produces fully sequential executions. *)
+
+val random : seed:int -> unit -> strategy
+(** Seeded random adversary mixing steps and block firings; always makes
+    progress. *)
+
+val random_with_crashes : seed:int -> crash:int list -> unit -> strategy
+(** Like {!random}, but additionally crashes the given processes at random
+    times. *)
+
+val iis_schedule : Wfc_topology.Ordered_partition.t array -> strategy
+(** Drives IIS-only protocols deterministically: memory [l] fires the blocks
+    of partition [l] in order (each block as soon as all members arrived);
+    pending cell operations are stepped round-robin. Levels beyond the array
+    are fired as singletons in process-id order. *)
+
+val linear_schedule : int list -> strategy
+(** For cell-only protocols: the list is the global order of atomic steps,
+    one entry per operation. @raise Invalid_decision (at run time) if the
+    designated process has no pending operation. *)
+
+val isolating : victim:int -> unit -> strategy
+(** A structured worst-case adversary for IIS protocols: the victim is
+    always stepped first and fired {e alone} as the first block of every
+    memory, so it never learns anything from the others in the same shot;
+    everyone else is then fired together. Against the Figure-2 emulation
+    this maximizes the others' retry loops — the victim keeps completing
+    instantly while the rest chase its tuples one memory behind. *)

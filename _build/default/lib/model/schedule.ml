@@ -1,0 +1,73 @@
+exception Too_many of int
+
+let count_interleavings counts =
+  let total = Array.fold_left ( + ) 0 counts in
+  (* multinomial(total; counts) computed without overflow drama by
+     incremental binomials *)
+  let binom n k =
+    let k = min k (n - k) in
+    let rec go acc i = if i > k then acc else go (acc * (n - k + i) / i) (i + 1) in
+    if k < 0 then 0 else go 1 1
+  in
+  let _, product =
+    Array.fold_left
+      (fun (remaining, acc) c -> (remaining - c, acc * binom remaining c))
+      (total, 1) counts
+  in
+  product
+
+let interleavings ?(limit = 2_000_000) counts =
+  let total_count = count_interleavings counts in
+  if total_count > limit then raise (Too_many total_count);
+  let n = Array.length counts in
+  let remaining = Array.copy counts in
+  let rec go length =
+    if length = 0 then [ [] ]
+    else begin
+      let out = ref [] in
+      for p = n - 1 downto 0 do
+        if remaining.(p) > 0 then begin
+          remaining.(p) <- remaining.(p) - 1;
+          List.iter (fun tail -> out := (p :: tail) :: !out) (go (length - 1));
+          remaining.(p) <- remaining.(p) + 1
+        end
+      done;
+      !out
+    end
+  in
+  go (Array.fold_left ( + ) 0 counts)
+
+let partition_sequences ?(limit = 2_000_000) procs rounds =
+  let per_round = Wfc_topology.Ordered_partition.enumerate procs in
+  let k = List.length per_round in
+  let total = int_of_float (float_of_int k ** float_of_int rounds) in
+  if total > limit then raise (Too_many total);
+  let rec go r = if r = 0 then [ [] ] else
+      let tails = go (r - 1) in
+      List.concat_map (fun p -> List.map (fun tail -> p :: tail) tails) per_round
+  in
+  go rounds
+
+let random_interleaving st counts =
+  let remaining = Array.copy counts in
+  let total = Array.fold_left ( + ) 0 counts in
+  let rec pick k i = if k < remaining.(i) then i else pick (k - remaining.(i)) (i + 1) in
+  let rec go left acc =
+    if left = 0 then List.rev acc
+    else begin
+      let p = pick (Random.State.int st left) 0 in
+      remaining.(p) <- remaining.(p) - 1;
+      go (left - 1) (p :: acc)
+    end
+  in
+  go total []
+
+let nonempty_subsets xs =
+  let xs = List.sort_uniq Stdlib.compare xs in
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let subs = go rest in
+      List.map (fun s -> x :: s) subs @ subs
+  in
+  List.filter (( <> ) []) (go xs)

@@ -1,0 +1,29 @@
+(** Schedule enumeration and generation.
+
+    Exhaustive schedule spaces are what turn the simulated machine into a
+    proof device: protocol complexes are built by running a protocol under
+    {e every} schedule of a bounded space (§3.1, §3.6). *)
+
+exception Too_many of int
+(** Raised when an enumeration would exceed the given bound. *)
+
+val interleavings : ?limit:int -> int array -> int list list
+(** [interleavings counts]: all sequences over process ids [0..n-1] in which
+    process [i] appears exactly [counts.(i)] times — the schedule space of a
+    cell-stepping protocol with a fixed per-process operation count.
+    @raise Too_many if the multinomial count exceeds [limit]
+    (default [2_000_000]). *)
+
+val count_interleavings : int array -> int
+
+val partition_sequences :
+  ?limit:int -> int list -> int -> Wfc_topology.Ordered_partition.t list list
+(** [partition_sequences procs rounds]: every sequence of [rounds] ordered
+    partitions of [procs] — the schedule space of the [rounds]-shot IIS
+    model with full participation. @raise Too_many as above. *)
+
+val random_interleaving : Random.State.t -> int array -> int list
+(** Uniform random interleaving with the given per-process counts. *)
+
+val nonempty_subsets : int list -> int list list
+(** All non-empty subsets, each sorted. *)

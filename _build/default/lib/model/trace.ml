@@ -1,0 +1,217 @@
+type 'v event =
+  | E_write of { time : int; proc : int; value : 'v }
+  | E_read of { time : int; proc : int; cell : int; value : 'v option }
+  | E_snapshot of { time : int; proc : int; view : 'v option array }
+  | E_arrive of { time : int; proc : int; level : int; value : 'v }
+  | E_fire of { time : int; level : int; block : int list }
+  | E_note of { time : int; proc : int; note : string }
+  | E_decide of { time : int; proc : int; value : 'v }
+  | E_crash of { time : int; proc : int }
+
+type 'v t = 'v event list
+
+let pp pp_value ppf trace =
+  let pp_event ppf = function
+    | E_write { time; proc; value } -> Format.fprintf ppf "%4d  P%d write %a" time proc pp_value value
+    | E_read { time; proc; cell; value } ->
+      Format.fprintf ppf "%4d  P%d read C%d = %a" time proc cell
+        (Format.pp_print_option pp_value) value
+    | E_snapshot { time; proc; _ } -> Format.fprintf ppf "%4d  P%d snapshot" time proc
+    | E_arrive { time; proc; level; _ } -> Format.fprintf ppf "%4d  P%d arrive M%d" time proc level
+    | E_fire { time; level; block } ->
+      Format.fprintf ppf "%4d  fire M%d {%s}" time level
+        (String.concat "," (List.map string_of_int block))
+    | E_note { time; proc; note } -> Format.fprintf ppf "%4d  P%d note %s" time proc note
+    | E_decide { time; proc; _ } -> Format.fprintf ppf "%4d  P%d decide" time proc
+    | E_crash { time; proc } -> Format.fprintf ppf "%4d  P%d crash" time proc
+  in
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_event ppf trace
+
+let proc_of_event = function
+  | E_write { proc; _ }
+  | E_read { proc; _ }
+  | E_snapshot { proc; _ }
+  | E_arrive { proc; _ }
+  | E_note { proc; _ }
+  | E_decide { proc; _ }
+  | E_crash { proc; _ } ->
+    Some proc
+  | E_fire _ -> None
+
+let steps_of trace p =
+  List.length
+    (List.filter
+       (fun e ->
+         match e with
+         | E_note _ | E_decide _ | E_crash _ -> false
+         | _ -> proc_of_event e = Some p)
+       trace)
+
+let fires trace =
+  List.filter_map (function E_fire { level; block; _ } -> Some (level, block) | _ -> None) trace
+
+(* --- Immediate snapshot specification --- *)
+
+type is_views = (int * int list) list
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+let is_self_inclusive views = List.for_all (fun (i, s) -> List.mem i s) views
+
+let is_comparable views =
+  List.for_all
+    (fun (_, si) -> List.for_all (fun (_, sj) -> subset si sj || subset sj si) views)
+    views
+
+let is_immediate views =
+  List.for_all
+    (fun (i, si) ->
+      List.for_all (fun (_, sj) -> (not (List.mem i sj)) || subset si sj) views)
+    views
+
+let check_immediate_snapshot ?participants views =
+  let participants =
+    match participants with
+    | Some p -> p
+    | None ->
+      (* Every process appearing anywhere: view owners plus members (a
+         crashed process that wrote is seen but returns nothing). *)
+      List.sort_uniq Stdlib.compare (List.concat_map (fun (i, s) -> i :: s) views)
+  in
+  let in_participants s = List.for_all (fun x -> List.mem x participants) s in
+  if not (List.for_all (fun (_, s) -> in_participants s) views) then
+    Error "view contains a non-participating process"
+  else if not (is_self_inclusive views) then Error "self-inclusion violated"
+  else if not (is_comparable views) then Error "comparability violated"
+  else if not (is_immediate views) then Error "immediacy violated"
+  else Ok ()
+
+let partition_of_views views =
+  match check_immediate_snapshot views with
+  | Error _ -> None
+  | Ok () ->
+    (* Blocks are the distinct view sets, ordered by size; the block for a
+       view set S is { i : S_i = S }. *)
+    let distinct =
+      List.sort_uniq
+        (fun a b -> compare (List.length a, a) (List.length b, b))
+        (List.map snd views)
+    in
+    let blocks =
+      List.map
+        (fun s ->
+          List.sort Stdlib.compare
+            (List.filter_map (fun (i, si) -> if si = s then Some i else None) views))
+        distinct
+    in
+    if Wfc_topology.Ordered_partition.check blocks then Some blocks else None
+
+(* --- Atomicity of emulated snapshot histories --- *)
+
+type op_record = {
+  proc : int;
+  index : int;
+  kind : [ `Write of int | `Snapshot of int array ];
+  t_start : int;
+  t_end : int;
+}
+
+let check_snapshot_atomicity ops =
+  let writes =
+    List.filter_map (fun o -> match o.kind with `Write s -> Some (o, s) | `Snapshot _ -> None) ops
+  in
+  let snaps =
+    List.filter_map
+      (fun o -> match o.kind with `Snapshot v -> Some (o, v) | `Write _ -> None)
+      ops
+  in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec check_all checks = match checks with [] -> Ok () | c :: rest -> (
+      match c () with Ok () -> check_all rest | Error _ as e -> e)
+  in
+  let check_write_seqs () =
+    (* per process, write sequence numbers are 1, 2, 3, ... in index order *)
+    let by_proc = Hashtbl.create 8 in
+    List.iter
+      (fun (o, s) ->
+        let l = try Hashtbl.find by_proc o.proc with Not_found -> [] in
+        Hashtbl.replace by_proc o.proc ((o.index, s) :: l))
+      writes;
+    let ok = ref (Ok ()) in
+    Hashtbl.iter
+      (fun p l ->
+        let l = List.sort Stdlib.compare l in
+        List.iteri
+          (fun i (_, s) -> if s <> i + 1 then ok := err "P%d: write seq %d at position %d" p s i)
+          l)
+      by_proc;
+    !ok
+  in
+  let check_real_time () =
+    let rec go = function
+      | [] -> Ok ()
+      | (snap, vec) :: rest ->
+        let bad = ref None in
+        List.iter
+          (fun (w, seq) ->
+            (* a write completed strictly before the snapshot started must
+               be visible *)
+            if w.t_end < snap.t_start && vec.(w.proc) < seq then
+              bad := Some (Printf.sprintf
+                             "snapshot P%d#%d misses write P%d seq %d completed earlier"
+                             snap.proc snap.index w.proc seq);
+            (* a write that started strictly after the snapshot ended must
+               not be visible *)
+            if w.t_start > snap.t_end && vec.(w.proc) >= seq then
+              bad := Some (Printf.sprintf
+                             "snapshot P%d#%d sees future write P%d seq %d"
+                             snap.proc snap.index w.proc seq))
+          writes;
+        (match !bad with Some m -> Error m | None -> go rest)
+    in
+    go snaps
+  in
+  let pointwise_le a b =
+    let ok = ref true in
+    Array.iteri (fun i x -> if x > b.(i) then ok := false) a;
+    !ok
+  in
+  let check_comparable () =
+    let rec go = function
+      | [] -> Ok ()
+      | (s1, v1) :: rest ->
+        (match
+           List.find_opt (fun (_, v2) -> (not (pointwise_le v1 v2)) && not (pointwise_le v2 v1)) rest
+         with
+        | Some (s2, _) ->
+          err "snapshots P%d#%d and P%d#%d are incomparable" s1.proc s1.index s2.proc s2.index
+        | None -> go rest)
+    in
+    go snaps
+  in
+  let check_own_program_order () =
+    (* a process's later snapshot dominates its earlier one, and sees its own
+       preceding writes *)
+    let rec go = function
+      | [] -> Ok ()
+      | (s1, v1) :: rest ->
+        let later =
+          List.find_opt
+            (fun (s2, v2) -> s2.proc = s1.proc && s2.index > s1.index && not (pointwise_le v1 v2))
+            rest
+        in
+        (match later with
+        | Some (s2, _) ->
+          err "P%d: snapshot #%d not monotone w.r.t. #%d" s1.proc s2.index s1.index
+        | None ->
+          let own_writes_before =
+            List.filter (fun (w, _) -> w.proc = s1.proc && w.index < s1.index) writes
+          in
+          let max_own = List.fold_left (fun acc (_, s) -> max acc s) 0 own_writes_before in
+          if v1.(s1.proc) < max_own then
+            err "P%d: snapshot #%d misses own write seq %d" s1.proc s1.index max_own
+          else go rest)
+    in
+    go snaps
+  in
+  check_all [ check_write_seqs; check_real_time; check_comparable; check_own_program_order ]

@@ -1,0 +1,84 @@
+(** Execution traces and correctness checkers.
+
+    The runtime logs every shared-memory operation with a global sequence
+    number. The checkers here are the measuring instruments of the
+    experiments: they validate immediate-snapshot outputs against the
+    three-part specification of §3.5, and emulated snapshot histories
+    against atomicity (Proposition 4.1 / Corollary 4.1). *)
+
+type 'v event =
+  | E_write of { time : int; proc : int; value : 'v }
+  | E_read of { time : int; proc : int; cell : int; value : 'v option }
+  | E_snapshot of { time : int; proc : int; view : 'v option array }
+  | E_arrive of { time : int; proc : int; level : int; value : 'v }
+      (** the process invoked WriteRead on memory [level] and is now inside
+          the operation *)
+  | E_fire of { time : int; level : int; block : int list }
+      (** the adversary released a block of arrived processes; their
+          WriteReads take effect simultaneously *)
+  | E_note of { time : int; proc : int; note : string }
+  | E_decide of { time : int; proc : int; value : 'v }
+  | E_crash of { time : int; proc : int }
+
+type 'v t = 'v event list
+(** In execution order. *)
+
+val pp : (Format.formatter -> 'v -> unit) -> Format.formatter -> 'v t -> unit
+
+val steps_of : 'v t -> int -> int
+(** Number of shared-memory operations performed by a process (measures
+    per-process work, e.g. emulation overhead). *)
+
+val fires : 'v t -> (int * int list) list
+(** The [(level, block)] firing sequence. *)
+
+(** {1 Immediate snapshot specification (§3.5)}
+
+    A family of views [S_i ⊆ P] (one per participating process) is a legal
+    one-shot immediate snapshot output iff:
+
+    + self-inclusion: [i ∈ S_i];
+    + comparability: [S_i ⊆ S_j] or [S_j ⊆ S_i];
+    + immediacy: [i ∈ S_j ⟹ S_i ⊆ S_j]. *)
+
+type is_views = (int * int list) list
+(** [(process, set of processes in its view)], e.g. after projecting values
+    back to the process ids that wrote them. *)
+
+val is_self_inclusive : is_views -> bool
+
+val is_comparable : is_views -> bool
+
+val is_immediate : is_views -> bool
+
+val check_immediate_snapshot : ?participants:int list -> is_views -> (unit, string) result
+(** All three properties, with a diagnostic on failure. [participants]
+    bounds who may legally appear inside views; it defaults to everyone
+    appearing in the given views (view owners and members), which accounts
+    for processes that wrote and crashed before returning. *)
+
+val partition_of_views : is_views -> Wfc_topology.Ordered_partition.t option
+(** Reconstructs the ordered partition generating legal views (blocks in
+    increasing view-size order); [None] if the views are not legal. *)
+
+(** {1 Atomicity of emulated snapshot histories (Prop 4.1)}
+
+    The emulation of Figure 2 produces, per process, a history of completed
+    operations on the simulated SWMR snapshot memory. Each operation carries
+    the interval [(t_start, t_end)] of global firing times during which it
+    executed. A snapshot returns a {e vector}: for every cell, the sequence
+    number of the write it read ([0] = nothing read yet). Atomicity holds
+    iff snapshot vectors are pairwise comparable (pointwise), each process's
+    successive snapshots are monotone, and every vector respects real time:
+    it includes any write that completed before the snapshot started and
+    nothing that started after it ended. *)
+
+type op_record = {
+  proc : int;
+  index : int;  (** per-process operation counter *)
+  kind : [ `Write of int (** seq *) | `Snapshot of int array (** seq vector *) ];
+  t_start : int;
+  t_end : int;
+}
+
+val check_snapshot_atomicity : op_record list -> (unit, string) result

@@ -1,0 +1,1 @@
+lib/tasks/instances.ml: Array Chromatic Complex Fillin List Option Printf Sds Simplex Stdlib Subdiv Task Wfc_topology

@@ -1,0 +1,1 @@
+lib/tasks/instances.mli: Task Wfc_topology

@@ -1,0 +1,1 @@
+lib/tasks/protocols.ml: Action Array List Printf Rat Stdlib Wfc_model Wfc_topology

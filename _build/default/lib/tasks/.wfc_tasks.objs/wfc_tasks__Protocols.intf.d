@@ -1,0 +1,1 @@
+lib/tasks/protocols.mli: Action Wfc_model Wfc_topology

@@ -1,0 +1,1 @@
+lib/tasks/simplex_agreement.ml: Chromatic Complex List Printf Simplex Stdlib Subdiv Task Wfc_topology

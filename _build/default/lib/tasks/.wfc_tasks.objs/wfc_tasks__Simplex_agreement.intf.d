@@ -1,0 +1,1 @@
+lib/tasks/simplex_agreement.mli: Task Wfc_topology

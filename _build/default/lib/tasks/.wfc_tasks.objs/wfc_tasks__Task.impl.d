@@ -1,0 +1,1 @@
+lib/tasks/task.ml: Chromatic Complex Format Hashtbl List Option Printf Simplex String Wfc_model Wfc_topology

@@ -1,0 +1,159 @@
+let consensus ~procs ~values =
+  Task.of_relation
+    ~name:(Printf.sprintf "consensus-%d" procs)
+    ~procs
+    ~inputs:(fun _ -> values)
+    ~outputs:(fun _ -> values)
+    ~legal:(fun ~participants ~input ~output ->
+      match participants with
+      | [] -> false
+      | p0 :: _ ->
+        let v = output p0 in
+        List.for_all (fun p -> output p = v) participants
+        && List.exists (fun p -> input p = v) participants)
+
+let binary_consensus ~procs = consensus ~procs ~values:[ "0"; "1" ]
+
+let set_consensus ~procs ~k =
+  Task.of_relation
+    ~name:(Printf.sprintf "set-consensus-%d-%d" procs k)
+    ~procs
+    ~inputs:(fun i -> [ string_of_int i ])
+    ~outputs:(fun _ -> List.init procs string_of_int)
+    ~legal:(fun ~participants ~input:_ ~output ->
+      let decided = List.map output participants in
+      let distinct = List.sort_uniq Stdlib.compare decided in
+      List.length distinct <= k
+      && List.for_all
+           (fun d -> List.exists (fun p -> string_of_int p = d) participants)
+           distinct)
+
+let adaptive_renaming ~procs ~names =
+  Task.of_relation
+    ~name:(Printf.sprintf "adaptive-renaming-%d-%d" procs names)
+    ~procs
+    ~inputs:(fun i -> [ string_of_int i ])
+    ~outputs:(fun _ -> List.init names (fun j -> string_of_int (j + 1)))
+    ~legal:(fun ~participants ~input:_ ~output ->
+      let q = List.length participants in
+      let bound = min names (q * (q + 1) / 2) in
+      let picked = List.map (fun p -> int_of_string (output p)) participants in
+      List.length (List.sort_uniq Stdlib.compare picked) = q
+      && List.for_all (fun nm -> 1 <= nm && nm <= bound) picked)
+
+let approximate_agreement ~procs ~grid =
+  (* grid point j/grid encoded by its numerator j *)
+  let point_of s = int_of_string s in
+  Task.of_relation
+    ~name:(Printf.sprintf "approx-agreement-%d-1/%d" procs grid)
+    ~procs
+    ~inputs:(fun _ -> [ "0"; string_of_int grid ])
+    ~outputs:(fun _ -> List.init (grid + 1) string_of_int)
+    ~legal:(fun ~participants ~input ~output ->
+      let outs = List.map (fun p -> point_of (output p)) participants in
+      let ins = List.map (fun p -> point_of (input p)) participants in
+      let omin = List.fold_left min max_int outs and omax = List.fold_left max min_int outs in
+      let imin = List.fold_left min max_int ins and imax = List.fold_left max min_int ins in
+      omax - omin <= 1 && omin >= imin && omax <= imax)
+
+let id_task ~procs =
+  Task.of_relation
+    ~name:(Printf.sprintf "identity-%d" procs)
+    ~procs
+    ~inputs:(fun i -> [ string_of_int i ])
+    ~outputs:(fun i -> [ string_of_int i ])
+    ~legal:(fun ~participants:_ ~input:_ ~output:_ -> true)
+
+let k_test_and_set ~procs ~k =
+  Task.of_relation
+    ~name:(Printf.sprintf "%d-test-and-set-%d" k procs)
+    ~procs
+    ~inputs:(fun i -> [ string_of_int i ])
+    ~outputs:(fun _ -> [ "win"; "lose" ])
+    ~legal:(fun ~participants ~input:_ ~output ->
+      let winners = List.length (List.filter (fun p -> output p = "win") participants) in
+      1 <= winners && winners <= k)
+
+let fetch_and_increment_order ~procs =
+  Task.of_relation
+    ~name:(Printf.sprintf "fai-order-%d" procs)
+    ~procs
+    ~inputs:(fun i -> [ string_of_int i ])
+    ~outputs:(fun _ -> List.init procs string_of_int)
+    ~legal:(fun ~participants ~input:_ ~output ->
+      let q = List.length participants in
+      let ranks = List.sort_uniq Stdlib.compare (List.map output participants) in
+      List.length ranks = q
+      && List.for_all (fun r -> int_of_string r < q) ranks)
+
+let loop_agreement cx ~corners:(v0, v1, v2) ~paths:(p01, p12, p02) =
+  let open Wfc_topology in
+  let check_path name p a b =
+    let ok =
+      match (p, List.rev p) with
+      | x :: _, y :: _ -> x = a && y = b
+      | _ -> false
+    in
+    if not ok then invalid_arg (Printf.sprintf "loop_agreement: %s does not connect its corners" name);
+    let rec edges = function
+      | x :: (y :: _ as rest) -> Simplex.of_list [ x; y ] :: edges rest
+      | [ _ ] | [] -> []
+    in
+    if not (List.for_all (fun e -> Complex.mem e cx) (edges p)) then
+      invalid_arg (Printf.sprintf "loop_agreement: %s is not a path in the complex" name)
+  in
+  check_path "p01" p01 v0 v1;
+  check_path "p12" p12 v1 v2;
+  check_path "p02" p02 v0 v2;
+  let corner = [| v0; v1; v2 |] in
+  let path_of i j =
+    match (i, j) with
+    | 0, 1 | 1, 0 -> p01
+    | 1, 2 | 2, 1 -> p12
+    | 0, 2 | 2, 0 -> p02
+    | _ -> invalid_arg "loop_agreement: three processes only"
+  in
+  Task.of_relation
+    ~name:(Printf.sprintf "loop-agreement(%s)" (Complex.name cx))
+    ~procs:3
+    ~inputs:(fun i -> [ string_of_int i ])
+    ~outputs:(fun _ -> List.map string_of_int (Complex.vertices cx))
+    ~legal:(fun ~participants ~input:_ ~output ->
+      let ws =
+        List.sort_uniq Stdlib.compare (List.map (fun p -> int_of_string (output p)) participants)
+      in
+      let w = Simplex.of_list ws in
+      Complex.mem w cx
+      &&
+      match participants with
+      | [ i ] -> ws = [ corner.(i) ]
+      | [ i; j ] -> List.for_all (fun x -> List.mem x (path_of i j)) ws
+      | _ -> true)
+
+(* Canonical instances over SDS(s^2) and its boundary. *)
+let disk_setup () =
+  let open Wfc_topology in
+  let s = Sds.standard ~dim:2 ~levels:1 in
+  let cx = Chromatic.complex (Sds.complex s) in
+  let corner i =
+    List.find
+      (fun v -> Simplex.equal (Sds.carrier s v) (Simplex.of_list [ i ]))
+      (Complex.vertices cx)
+  in
+  let v0 = corner 0 and v1 = corner 1 and v2 = corner 2 in
+  let side i j a b =
+    let face = Option.get (Subdiv.face (Sds.subdiv s) (Simplex.of_list [ i; j ])) in
+    Option.get (Fillin.path face ~src:a ~dst:b)
+  in
+  (cx, (v0, v1, v2), (side 0 1 v0 v1, side 1 2 v1 v2, side 0 2 v0 v2))
+
+let loop_agreement_on_disk () =
+  let cx, corners, paths = disk_setup () in
+  loop_agreement cx ~corners ~paths
+
+let loop_agreement_on_circle () =
+  let cx, corners, paths = disk_setup () in
+  let circle = Option.get (Wfc_topology.Complex.boundary cx) in
+  loop_agreement
+    (Wfc_topology.Complex.with_name "sds-boundary" circle)
+    ~corners ~paths

@@ -1,0 +1,76 @@
+(** Concrete task instances from the paper and its surroundings.
+
+    Each constructor returns a {!Task.t} built by enumeration, ready for the
+    solvability checker. Sizes are exponential in [procs] and value counts;
+    all instances here are meant for [procs <= 3]-ish experiments, matching
+    the decidability boundary the paper cites ([9]: solvability is
+    undecidable from 3 processes on — small instances are the honest scope
+    of any checker). *)
+
+val consensus : procs:int -> values:string list -> Task.t
+(** Every participant decides the same value, which must be some
+    participant's input. With [procs >= 2] this is the FLP-style
+    wait-free-unsolvable task. *)
+
+val set_consensus : procs:int -> k:int -> Task.t
+(** The [(procs, k)] set consensus of Chaudhuri [4] (§3.2): process [i]
+    inputs its own id; participants decide at most [k] distinct ids, each
+    the id of a participant. Trivially solvable for [k = procs] (decide your
+    own id); wait-free unsolvable for every [k < procs] — the theorem of
+    [5, 6, 7] that the paper's framework re-derives. *)
+
+val adaptive_renaming : procs:int -> names:int -> Task.t
+(** Participants pick distinct names in [1 .. min names (q(q+1)/2)] where
+    [q] is the participation size — the size-adaptive output constraint that
+    makes renaming non-trivial as a colored task. [names] caps the total
+    namespace. *)
+
+val approximate_agreement : procs:int -> grid:int -> Task.t
+(** ε-agreement with [ε = 1/grid] on the unit interval: inputs are the
+    endpoints [0] and [1]; outputs are grid points [j/grid]; participants'
+    outputs must lie within one grid step of each other and inside the range
+    of the participants' inputs. The minimal IIS round count needed grows
+    with [grid] — the library's cleanest solvable-but-not-trivially-so
+    family. *)
+
+val binary_consensus : procs:int -> Task.t
+(** [consensus] with values ["0"] and ["1"]. *)
+
+val id_task : procs:int -> Task.t
+(** The trivial task: everyone outputs its own input id. Solvable with
+    [b = 0]; used as a sanity floor. *)
+
+val k_test_and_set : procs:int -> k:int -> Task.t
+(** [(procs, k)] test-and-set: every participant outputs [win] or [lose];
+    between 1 and [k] participants win, and a solo participant must win.
+    [(2,1)] is classical test-and-set, which has consensus number 2 and is
+    therefore wait-free unsolvable from read/write registers — another
+    impossibility the checker certifies level by level. *)
+
+val fetch_and_increment_order : procs:int -> Task.t
+(** A strong ordering task: participants output distinct ranks
+    [0 .. q-1] where [q] is the participation size (the counting behaviour
+    of fetch&increment). Solvable for one process, unsolvable wait-free for
+    two or more (rank 0 is a consensus winner). *)
+
+val loop_agreement :
+  Wfc_topology.Complex.t ->
+  corners:int * int * int ->
+  paths:int list * int list * int list ->
+  Task.t
+(** Loop agreement over a complex [C] for three processes: process [i]
+    alone outputs its corner [v_i]; two participants [{i, j}] output
+    vertices spanning a simplex lying on the designated path [p_ij]; all
+    three output any simplex of [C]. Wait-free solvability hinges on the
+    loop [p01 · p12 · p20] being contractible in [C] — a disk admits a
+    decision map, a bare circle does not. Paths must be vertex paths in
+    [C]'s 1-skeleton connecting the right corners (checked). *)
+
+val loop_agreement_on_disk : unit -> Task.t
+(** Loop agreement over [SDS(s^2)] with the subdivided boundary sides as
+    paths: the loop is contractible, so the task is solvable (the identity
+    on [SDS(s^2)] is a decision map at [b = 1]). *)
+
+val loop_agreement_on_circle : unit -> Task.t
+(** The same corners and paths, but over the boundary circle only: the loop
+    cannot be filled, and the task is wait-free unsolvable. *)

@@ -1,0 +1,64 @@
+open Wfc_model
+open Wfc_topology
+
+let own_id_set_consensus ~procs = Array.init procs (fun i -> Action.Decide i)
+
+let is_renaming ~procs =
+  Array.init procs (fun i ->
+      Action.Write_read
+        {
+          level = 0;
+          value = i;
+          k =
+            (fun { Action.seen; _ } ->
+              let q = List.length seen in
+              let rank =
+                List.length (List.filter (fun j -> j < i) seen)
+              in
+              Action.Decide ((q * (q - 1) / 2) + rank + 1));
+        })
+
+let check_renaming ~participants outputs =
+  let q = List.length participants in
+  let bound = q * (q + 1) / 2 in
+  let names = List.map snd outputs in
+  if List.length (List.sort_uniq Stdlib.compare names) <> List.length names then
+    Error "renaming: duplicate names"
+  else if List.exists (fun nm -> nm < 1 || nm > bound) names then
+    Error (Printf.sprintf "renaming: name out of range 1..%d" bound)
+  else Ok ()
+
+let approximate_agreement ~procs ~rounds ~inputs =
+  if Array.length inputs <> procs then invalid_arg "approximate_agreement: inputs size";
+  Array.init procs (fun i ->
+      Action.rounds rounds ~init:inputs.(i)
+        (fun v level continue ->
+          Action.Write_read
+            {
+              level;
+              value = v;
+              k =
+                (fun { Action.seen; _ } ->
+                  match seen with
+                  | [] -> assert false
+                  | first :: rest ->
+                    let lo = List.fold_left Rat.min first rest in
+                    let hi = List.fold_left Rat.max first rest in
+                    continue (Rat.mul Rat.half (Rat.add lo hi)));
+            })
+        Action.decide)
+
+let check_approximate ~eps ~inputs outputs =
+  match (inputs, outputs) with
+  | [], _ | _, [] -> Error "approximate agreement: empty run"
+  | i0 :: irest, o0 :: orest ->
+    let imin = List.fold_left Rat.min i0 irest and imax = List.fold_left Rat.max i0 irest in
+    let omin = List.fold_left Rat.min o0 orest and omax = List.fold_left Rat.max o0 orest in
+    if Rat.compare (Rat.sub omax omin) eps > 0 then
+      Error
+        (Printf.sprintf "approximate agreement: diameter %s exceeds eps %s"
+           (Rat.to_string (Rat.sub omax omin))
+           (Rat.to_string eps))
+    else if Rat.compare omin imin < 0 || Rat.compare omax imax > 0 then
+      Error "approximate agreement: output outside input range"
+    else Ok ()

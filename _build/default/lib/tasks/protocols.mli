@@ -1,0 +1,38 @@
+(** Runnable wait-free protocols for concrete tasks.
+
+    Where the solvability checker certifies {e existence} of decision maps,
+    these are hand-written protocols in the executable model — the kind of
+    object the characterization reasons about. Each comes with an output
+    checker used by tests and benchmarks over adversarial schedules. *)
+
+open Wfc_model
+
+val own_id_set_consensus : procs:int -> int Action.t array
+(** The trivial [(procs, procs)]-set consensus: decide your own id. *)
+
+val is_renaming : procs:int -> int Action.t array
+(** Size-adaptive renaming from one one-shot immediate snapshot: with a view
+    [S] containing [q] processes, a process of rank [r] in [S] (0-based)
+    takes name [q(q-1)/2 + r + 1]. Comparability and immediacy of IS views
+    make the names distinct, and a participation of size [q] uses names at
+    most [q(q+1)/2] — the renaming flavor the paper attributes to immediate
+    snapshots [8]. *)
+
+val check_renaming : participants:int list -> (int * int) list -> (unit, string) result
+(** [(process, name)] pairs: distinct, in range [1 .. q(q+1)/2]. *)
+
+val approximate_agreement :
+  procs:int -> rounds:int -> inputs:Wfc_topology.Rat.t array -> Wfc_topology.Rat.t Action.t array
+(** Iterated-averaging ε-agreement in the IIS model: each round, WriteRead
+    your estimate and move to the midpoint of the extremes you saw. Each
+    round at least halves the diameter of the estimates (a process that sees
+    only itself keeps its estimate but is then inside everyone else's
+    view). After [rounds] rounds the diameter is at most
+    [diam(inputs) / 2^rounds]. *)
+
+val check_approximate :
+  eps:Wfc_topology.Rat.t ->
+  inputs:Wfc_topology.Rat.t list ->
+  Wfc_topology.Rat.t list ->
+  (unit, string) result
+(** Outputs pairwise within [eps] and inside the input range. *)

@@ -1,0 +1,46 @@
+open Wfc_topology
+
+let check_standard_base sd =
+  let base = sd.Subdiv.base in
+  let cx = Chromatic.complex base in
+  let n = Complex.dim cx in
+  let expected = Chromatic.standard_simplex n in
+  if not (Complex.equal cx (Chromatic.complex expected))
+     || not (List.for_all (fun v -> Chromatic.color base v = v) (Complex.vertices cx))
+  then
+    invalid_arg "Simplex_agreement: the subdivision base must be a standard chromatic simplex";
+  n
+
+let build ~chromatic_variant sd =
+  let n = check_standard_base sd in
+  let procs = n + 1 in
+  let acx = Chromatic.complex sd.Subdiv.cx in
+  let vertex_label v = string_of_int v in
+  let outputs i =
+    Complex.vertices acx
+    |> List.filter (fun v -> (not chromatic_variant) || Chromatic.color sd.Subdiv.cx v = i)
+    |> List.map vertex_label
+  in
+  let legal ~participants ~input:_ ~output =
+    let ws =
+      List.sort_uniq Stdlib.compare
+        (List.map (fun p -> int_of_string (output p)) participants)
+    in
+    let w = Simplex.of_list ws in
+    Complex.mem w acx
+    && Simplex.subset (Subdiv.simplex_carrier sd w) (Simplex.of_list participants)
+  in
+  Task.of_relation
+    ~name:
+      (Printf.sprintf "%s-simplex-agreement(%s)"
+         (if chromatic_variant then "chromatic" else "non-chromatic")
+         (Complex.name acx))
+    ~procs
+    ~inputs:(fun i -> [ Printf.sprintf "corner%d" i ])
+    ~outputs ~legal
+
+let chromatic sd = build ~chromatic_variant:true sd
+
+let non_chromatic sd = build ~chromatic_variant:false sd
+
+let output_vertex_in_target task v = int_of_string (task.Task.output_label v)

@@ -1,0 +1,28 @@
+(** Simplex agreement tasks over a subdivided simplex (§5).
+
+    Given a subdivision [A(sⁿ)], each process [i] starts at the corner [i]
+    of [sⁿ] and must output a vertex of [A] such that the outputs form a
+    simplex [W] of [A] with [carrier(W) ⊆] the face spanned by the
+    participants. The {e chromatic} variant (CSASS) additionally requires
+    process [i] to output a vertex of color [i].
+
+    These tasks are the algorithmic content of Theorem 5.1: CSASS over
+    [A(sⁿ)] is wait-free solvable iff a color-and-carrier-preserving
+    simplicial map [SDS^k(sⁿ) → A] exists — so the solvability checker
+    doubles as the theorem's computational witness, and the witness map
+    doubles as a distributed protocol solving CSASS. *)
+
+val chromatic : Wfc_topology.Subdiv.t -> Task.t
+(** CSASS over the given subdivision. The subdivision's base must be a
+    standard chromatic simplex (corner [i] colored [i]); its complex's
+    vertices become output labels (stringified vertex ids).
+    @raise Invalid_argument if the base is not a standard simplex. *)
+
+val non_chromatic : Wfc_topology.Subdiv.t -> Task.t
+(** NCSASS: same without the color restriction — any process may output any
+    vertex of the subdivision (outputs need not be distinct; the distinct
+    outputs must form a simplex). *)
+
+val output_vertex_in_target : Task.t -> int -> int
+(** Decodes an output vertex of a simplex-agreement task back to the vertex
+    id in the target subdivision. *)

@@ -1,0 +1,1 @@
+lib/topology/chromatic.ml: Complex Format Hashtbl List Simplex Stdlib

@@ -1,0 +1,1 @@
+lib/topology/chromatic.mli: Complex Format Simplex

@@ -1,0 +1,1 @@
+lib/topology/complex.ml: Array Format Hashtbl List Printf Simplex Stdlib String

@@ -1,0 +1,1 @@
+lib/topology/export.ml: Array Buffer Chromatic Complex List Point Printf Rat Simplex Subdiv

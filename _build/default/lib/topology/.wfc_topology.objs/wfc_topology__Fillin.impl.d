@@ -1,0 +1,1 @@
+lib/topology/fillin.ml: Array Complex Hashtbl List Option Queue Simplex Stdlib

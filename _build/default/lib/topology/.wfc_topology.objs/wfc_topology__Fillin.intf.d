@@ -1,0 +1,1 @@
+lib/topology/fillin.mli: Complex

@@ -1,0 +1,1 @@
+lib/topology/homology.mli: Complex

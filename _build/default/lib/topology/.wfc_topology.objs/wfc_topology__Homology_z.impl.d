@@ -1,0 +1,1 @@
+lib/topology/homology_z.ml: Array Complex List Printf Rat Simplex String

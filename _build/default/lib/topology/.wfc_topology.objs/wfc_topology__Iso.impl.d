@@ -1,0 +1,1 @@
+lib/topology/iso.ml: Chromatic Complex Hashtbl List Option Simplex Simplicial_map Stdlib

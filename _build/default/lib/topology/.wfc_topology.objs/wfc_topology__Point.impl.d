@@ -1,0 +1,1 @@
+lib/topology/point.ml: Array Format List Rat Stdlib

@@ -1,0 +1,1 @@
+lib/topology/point.mli: Format Rat

@@ -1,0 +1,1 @@
+lib/topology/rat.ml: Format List Printf Stdlib

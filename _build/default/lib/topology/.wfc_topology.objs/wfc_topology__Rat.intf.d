@@ -1,0 +1,1 @@
+lib/topology/rat.mli: Format

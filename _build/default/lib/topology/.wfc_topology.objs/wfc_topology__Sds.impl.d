@@ -1,0 +1,1 @@
+lib/topology/sds.ml: Chromatic Complex Hashtbl List Map Ordered_partition Point Printf Rat Simplex Stdlib String Subdiv

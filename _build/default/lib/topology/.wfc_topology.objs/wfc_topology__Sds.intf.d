@@ -1,0 +1,1 @@
+lib/topology/sds.mli: Chromatic Ordered_partition Simplex Subdiv

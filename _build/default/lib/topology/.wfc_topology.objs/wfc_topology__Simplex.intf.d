@@ -1,0 +1,1 @@
+lib/topology/simplex.mli: Format Hashtbl Map Set

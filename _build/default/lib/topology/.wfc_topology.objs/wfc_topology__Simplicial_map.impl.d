@@ -1,0 +1,1 @@
+lib/topology/simplicial_map.ml: Complex Format Hashtbl List Printf Result Simplex Stdlib String

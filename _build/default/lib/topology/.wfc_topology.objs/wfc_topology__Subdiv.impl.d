@@ -1,0 +1,1 @@
+lib/topology/subdiv.ml: Array Chromatic Complex Hashtbl List Point Printf Random Rat Simplex Simplicial_map String

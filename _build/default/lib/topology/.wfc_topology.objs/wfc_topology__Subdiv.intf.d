@@ -1,0 +1,1 @@
+lib/topology/subdiv.mli: Chromatic Complex Point Random Rat Simplex Simplicial_map

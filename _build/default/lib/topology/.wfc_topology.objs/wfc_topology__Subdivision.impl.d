@@ -1,0 +1,1 @@
+lib/topology/subdivision.ml: Chromatic Complex Hashtbl List Point Sds Simplex Simplicial_map Subdiv

@@ -1,0 +1,1 @@
+lib/topology/subdivision.mli: Chromatic Sds Simplex Simplicial_map Subdiv

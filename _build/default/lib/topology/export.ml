@@ -1,0 +1,104 @@
+let dot c =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph complex {\n";
+  List.iter (fun v -> Buffer.add_string buf (Printf.sprintf "  v%d;\n" v)) (Complex.vertices c);
+  List.iter
+    (fun e ->
+      match Simplex.to_list e with
+      | [ a; b ] -> Buffer.add_string buf (Printf.sprintf "  v%d -- v%d;\n" a b)
+      | _ -> ())
+    (Complex.faces c ~dim:1);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* Planar position of a subdivision vertex: barycentric coordinates over at
+   most three base vertices, placed at the corners of an equilateral
+   triangle. *)
+let planar_positions sd =
+  let base_cx = Chromatic.complex sd.Subdiv.base in
+  let nbase = Complex.num_vertices base_cx in
+  if nbase > 3 then invalid_arg "Export: base dimension must be <= 2";
+  let corners =
+    [| (0.0, 0.866); (1.0, 0.866); (0.5, 0.0) |]
+  in
+  fun v ->
+    let p = sd.Subdiv.point v in
+    let x = ref 0.0 and y = ref 0.0 in
+    for i = 0 to nbase - 1 do
+      let c = Rat.to_float (Point.coord p i) in
+      let cx, cy = corners.(i) in
+      x := !x +. (c *. cx);
+      y := !y +. (c *. cy)
+    done;
+    (!x, !y)
+
+let palette = [| "#e41a1c"; "#377eb8"; "#4daf4a"; "#984ea3"; "#ff7f00"; "#a65628" |]
+
+let svg ?(size = 480) sd =
+  let pos = planar_positions sd in
+  let cx = Chromatic.complex sd.Subdiv.cx in
+  let scale (x, y) =
+    let m = float_of_int size in
+    (20.0 +. (x *. (m -. 40.0)), 20.0 +. ((0.866 -. y) *. (m -. 40.0)))
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\">\n" size size);
+  List.iter
+    (fun tri ->
+      match Simplex.to_list tri with
+      | [ a; b; c ] ->
+        let xa, ya = scale (pos a) and xb, yb = scale (pos b) and xc, yc = scale (pos c) in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  <polygon points=\"%.2f,%.2f %.2f,%.2f %.2f,%.2f\" fill=\"#f3f3f3\" \
+              stroke=\"none\"/>\n"
+             xa ya xb yb xc yc)
+      | _ -> ())
+    (Complex.faces cx ~dim:2);
+  List.iter
+    (fun e ->
+      match Simplex.to_list e with
+      | [ a; b ] ->
+        let xa, ya = scale (pos a) and xb, yb = scale (pos b) in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  <line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" stroke=\"#666\" \
+              stroke-width=\"1\"/>\n"
+             xa ya xb yb)
+      | _ -> ())
+    (Complex.faces cx ~dim:1);
+  List.iter
+    (fun v ->
+      let x, y = scale (pos v) in
+      let color = palette.(Chromatic.color sd.Subdiv.cx v mod Array.length palette) in
+      Buffer.add_string buf
+        (Printf.sprintf "  <circle cx=\"%.2f\" cy=\"%.2f\" r=\"4\" fill=\"%s\"/>\n" x y color))
+    (Complex.vertices cx);
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let tikz sd =
+  let pos = planar_positions sd in
+  let cx = Chromatic.complex sd.Subdiv.cx in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "\\begin{tikzpicture}[scale=5]\n";
+  List.iter
+    (fun e ->
+      match Simplex.to_list e with
+      | [ a; b ] ->
+        let xa, ya = pos a and xb, yb = pos b in
+        Buffer.add_string buf
+          (Printf.sprintf "  \\draw[gray] (%.3f,%.3f) -- (%.3f,%.3f);\n" xa ya xb yb)
+      | _ -> ())
+    (Complex.faces cx ~dim:1);
+  List.iter
+    (fun v ->
+      let x, y = pos v in
+      Buffer.add_string buf
+        (Printf.sprintf "  \\fill (%.3f,%.3f) circle (0.015) node[above right] {\\tiny %d};\n" x
+           y (Chromatic.color sd.Subdiv.cx v)))
+    (Complex.vertices cx);
+  Buffer.add_string buf "\\end{tikzpicture}\n";
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Export of low-dimensional complexes for inspection.
+
+    Subdivided simplices of dimension ≤ 2 have a canonical planar drawing
+    (the base triangle drawn equilateral, subdivision vertices at their
+    exact rational barycentric positions). These exporters are meant for
+    documentation and debugging, not for the algorithms. *)
+
+val dot : Complex.t -> string
+(** GraphViz rendering of the 1-skeleton. *)
+
+val svg : ?size:int -> Subdiv.t -> string
+(** SVG drawing of a subdivision whose base has dimension ≤ 2; triangles are
+    filled, vertices are colored by their chromatic color.
+    @raise Invalid_argument for higher-dimensional bases. *)
+
+val tikz : Subdiv.t -> string
+(** TikZ picture (same restrictions as {!svg}). *)

@@ -1,0 +1,151 @@
+let neighbors cx =
+  let tbl = Hashtbl.create 64 in
+  let add a b =
+    let l = try Hashtbl.find tbl a with Not_found -> [] in
+    if not (List.mem b l) then Hashtbl.replace tbl a (b :: l)
+  in
+  List.iter
+    (fun e ->
+      match Simplex.to_list e with
+      | [ a; b ] ->
+        add a b;
+        add b a
+      | _ -> ())
+    (Complex.faces cx ~dim:1);
+  fun v -> List.sort Stdlib.compare (try Hashtbl.find tbl v with Not_found -> [])
+
+let path cx ~src ~dst =
+  if not (Complex.mem_vertex src cx && Complex.mem_vertex dst cx) then raise Not_found;
+  if src = dst then Some [ src ]
+  else begin
+    let next = neighbors cx in
+    let parent = Hashtbl.create 64 in
+    let queue = Queue.create () in
+    Hashtbl.replace parent src src;
+    Queue.add src queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let v = Queue.take queue in
+      List.iter
+        (fun u ->
+          if not (Hashtbl.mem parent u) then begin
+            Hashtbl.replace parent u v;
+            if u = dst then found := true;
+            Queue.add u queue
+          end)
+        (next v)
+    done;
+    if not !found then None
+    else begin
+      let rec build v acc = if v = src then v :: acc else build (Hashtbl.find parent v) (v :: acc) in
+      Some (build dst [])
+    end
+  end
+
+let distance cx a b = Option.map (fun p -> List.length p - 1) (path cx ~src:a ~dst:b)
+
+let path_midpoint cx a b =
+  match path cx ~src:a ~dst:b with
+  | None -> None
+  | Some p -> List.nth_opt p ((List.length p - 1) / 2)
+
+let diameter cx =
+  if not (Complex.is_connected cx) then invalid_arg "Fillin.diameter: disconnected complex";
+  let vs = Complex.vertices cx in
+  List.fold_left
+    (fun acc a ->
+      List.fold_left
+        (fun acc b ->
+          match distance cx a b with Some d -> max acc d | None -> acc)
+        acc vs)
+    0 vs
+
+let fill_path cx a b =
+  match path cx ~src:a ~dst:b with
+  | None -> None
+  | Some [ v ] -> Some (Complex.of_facets [ [ v ] ])
+  | Some p ->
+    let rec edges = function
+      | x :: (y :: _ as rest) -> [ x; y ] :: edges rest
+      | [ _ ] | [] -> []
+    in
+    Some (Complex.of_facets (edges p))
+
+let is_cycle cx vs =
+  List.length vs >= 3
+  && List.length (List.sort_uniq Stdlib.compare vs) = List.length vs
+  &&
+  let rec edges = function
+    | x :: (y :: _ as rest) -> (x, y) :: edges rest
+    | [ last ] -> [ (last, List.hd vs) ]
+    | [] -> []
+  in
+  List.for_all (fun (a, b) -> Complex.mem (Simplex.of_list [ a; b ]) cx) (edges vs)
+
+let cycle_edges vs =
+  let rec go = function
+    | x :: (y :: _ as rest) -> Simplex.of_list [ x; y ] :: go rest
+    | [ last ] -> [ Simplex.of_list [ last; List.hd vs ] ]
+    | [] -> []
+  in
+  go vs
+
+let fill_cycle cx vs =
+  if not (is_cycle cx vs) then None
+  else if Complex.dim cx <> 2 || not (Complex.is_pure cx) then None
+  else begin
+    let wall = Simplex.Set.of_list (cycle_edges vs) in
+    let facets = Array.of_list (Complex.facets cx) in
+    (* union-find over triangles, merging across non-wall shared edges *)
+    let uf = Array.init (Array.length facets) (fun i -> i) in
+    let rec find i = if uf.(i) = i then i else (uf.(i) <- find uf.(i); uf.(i)) in
+    let union a b =
+      let ra = find a and rb = find b in
+      if ra <> rb then uf.(ra) <- rb
+    in
+    let owners = Simplex.Tbl.create 128 in
+    Array.iteri
+      (fun i f ->
+        List.iter
+          (fun e ->
+            if not (Simplex.Set.mem e wall) then begin
+              (match Simplex.Tbl.find_opt owners e with
+              | Some j -> union i j
+              | None -> ());
+              Simplex.Tbl.replace owners e i
+            end)
+          (Simplex.facets f))
+      facets;
+    (* group triangles per region *)
+    let regions = Hashtbl.create 8 in
+    Array.iteri
+      (fun i f ->
+        let r = find i in
+        let l = try Hashtbl.find regions r with Not_found -> [] in
+        Hashtbl.replace regions r (f :: l))
+      facets;
+    (* a region is a fill-in iff its rim (edges in exactly one of its
+       triangles) is exactly the cycle *)
+    let rim triangles =
+      let count = Simplex.Tbl.create 64 in
+      List.iter
+        (fun f ->
+          List.iter
+            (fun e ->
+              let c = try Simplex.Tbl.find count e with Not_found -> 0 in
+              Simplex.Tbl.replace count e (c + 1))
+            (Simplex.facets f))
+        triangles;
+      Simplex.Tbl.fold (fun e c acc -> if c = 1 then Simplex.Set.add e acc else acc) count
+        Simplex.Set.empty
+    in
+    let candidates =
+      Hashtbl.fold
+        (fun _ triangles acc ->
+          if Simplex.Set.equal (rim triangles) wall then triangles :: acc else acc)
+        regions []
+    in
+    match List.sort (fun a b -> compare (List.length a) (List.length b)) candidates with
+    | [] -> None
+    | smallest :: _ -> Some (Complex.of_simplices smallest)
+  end

@@ -1,0 +1,47 @@
+(** Fill-ins (spans) of low-dimensional spheres — §2 and §5 machinery.
+
+    The paper's "no holes" condition says every simplicial image of a
+    [(k-1)]-sphere has a fill-in. In dimensions the algorithms of §5
+    actually manipulate, fill-ins are concrete objects:
+
+    - a {e 0-sphere} is a pair of vertices; its fill-in is a path in the
+      1-skeleton ({!path});
+    - a {e 1-sphere} is a cycle; in a pure 2-complex that is a planar disk
+      (e.g. any subdivided triangle) its fill-in is the sub-disk the cycle
+      bounds ({!fill_cycle}).
+
+    Paths are computed by breadth-first search with deterministic tie
+    breaking, so every process of a distributed algorithm recomputes the
+    same path from the same pair — the property the convergence protocol of
+    {!Wfc_core.Ncsac} relies on. *)
+
+val path : Complex.t -> src:int -> dst:int -> int list option
+(** Shortest path in the 1-skeleton, inclusive of both endpoints; ties are
+    broken toward smaller vertex ids. [None] if disconnected.
+    @raise Not_found if either endpoint is not a vertex. *)
+
+val path_midpoint : Complex.t -> int -> int -> int option
+(** The middle vertex (rounding toward [src]) of the shortest path — the
+    convergence step of two-process simplex agreement. *)
+
+val distance : Complex.t -> int -> int -> int option
+(** Length (edge count) of the shortest path. *)
+
+val diameter : Complex.t -> int
+(** Max finite pairwise distance (0 for a single vertex).
+    @raise Invalid_argument if the complex is disconnected. *)
+
+val fill_path : Complex.t -> int -> int -> Complex.t option
+(** The subcomplex spanned by the shortest path: a fill-in of the 0-sphere
+    [{a, b}]. *)
+
+val is_cycle : Complex.t -> int list -> bool
+(** The vertex list is a simple cycle of length ≥ 3 in the 1-skeleton. *)
+
+val fill_cycle : Complex.t -> int list -> Complex.t option
+(** For a pure 2-complex [D]: the sub-disk bounded by a simple cycle,
+    i.e. a set of triangles whose rim (edges in exactly one chosen
+    triangle) is exactly the cycle. Works whenever the cycle separates [D]
+    (always the case when [D] is a subdivided triangle). Returns the
+    smaller side; [None] when the cycle is not simple, not in the
+    1-skeleton, or bounds no region. *)

@@ -1,0 +1,91 @@
+(* Rows are bitsets packed into int arrays: 62 usable bits per word keeps the
+   arithmetic simple and safe on 63-bit native ints. *)
+
+let bits_per_word = 62
+
+let make_row ncols = Array.make ((ncols + bits_per_word - 1) / bits_per_word) 0
+
+let set_bit row j = row.(j / bits_per_word) <- row.(j / bits_per_word) lor (1 lsl (j mod bits_per_word))
+
+let get_bit row j = row.(j / bits_per_word) land (1 lsl (j mod bits_per_word)) <> 0
+
+let xor_into ~target ~src = Array.iteri (fun i w -> target.(i) <- target.(i) lxor w) src
+
+(* Rank of a GF(2) matrix given as a list of rows. *)
+let rank_gf2 rows ncols =
+  let rows = Array.of_list rows in
+  let nrows = Array.length rows in
+  let rank = ref 0 in
+  let col = ref 0 in
+  while !rank < nrows && !col < ncols do
+    (* find a pivot row with a 1 in this column *)
+    let piv = ref (-1) in
+    for i = !rank to nrows - 1 do
+      if !piv < 0 && get_bit rows.(i) !col then piv := i
+    done;
+    (if !piv >= 0 then begin
+       let tmp = rows.(!rank) in
+       rows.(!rank) <- rows.(!piv);
+       rows.(!piv) <- tmp;
+       for i = 0 to nrows - 1 do
+         if i <> !rank && get_bit rows.(i) !col then xor_into ~target:rows.(i) ~src:rows.(!rank)
+       done;
+       incr rank
+     end);
+    incr col
+  done;
+  !rank
+
+let boundary_rank c k =
+  if k <= 0 then 0
+  else begin
+    let k_faces = Complex.faces c ~dim:k in
+    let km1_faces = Complex.faces c ~dim:(k - 1) in
+    if k_faces = [] || km1_faces = [] then 0
+    else begin
+      let col_index = Simplex.Tbl.create (List.length km1_faces) in
+      List.iteri (fun i s -> Simplex.Tbl.replace col_index s i) km1_faces;
+      let ncols = List.length km1_faces in
+      (* one row per k-simplex: its boundary chain *)
+      let rows =
+        List.map
+          (fun s ->
+            let row = make_row ncols in
+            List.iter
+              (fun face -> set_bit row (Simplex.Tbl.find col_index face))
+              (Simplex.facets s);
+            row)
+          k_faces
+      in
+      rank_gf2 rows ncols
+    end
+  end
+
+let betti c =
+  let n = Complex.dim c in
+  let f = Complex.f_vector c in
+  Array.init (n + 1) (fun k ->
+      let rank_k = boundary_rank c k in
+      let rank_k1 = if k < n then boundary_rank c (k + 1) else 0 in
+      f.(k) - rank_k - rank_k1)
+
+let reduced_betti c =
+  let b = betti c in
+  if Array.length b > 0 then b.(0) <- b.(0) - 1;
+  b
+
+let is_acyclic c = Array.for_all (fun b -> b = 0) (reduced_betti c)
+
+let no_holes_up_to c m =
+  let b = reduced_betti c in
+  let ok = ref true in
+  for k = 1 to m do
+    if k - 1 <= Complex.dim c && k - 1 < Array.length b && b.(k - 1) <> 0 then ok := false
+  done;
+  !ok
+
+let euler_consistent c =
+  let b = betti c in
+  let alt = ref 0 in
+  Array.iteri (fun k bk -> alt := !alt + (if k mod 2 = 0 then bk else -bk)) b;
+  !alt = Complex.euler_characteristic c

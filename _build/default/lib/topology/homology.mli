@@ -1,0 +1,37 @@
+(** Simplicial homology over ℤ/2 and "no holes" checks.
+
+    The paper's geometric facts (Lemma 2.2) are stated in terms of {e holes}:
+    a complex [C] has no hole of dimension [k] if every simplicial image of a
+    [(k-1)]-sphere in [C] has a fill-in (span). We verify such statements
+    through ℤ/2 homology: "no hole of dimension [k]" corresponds to the
+    vanishing of the reduced homology group [H̃_{k-1}(C)].
+
+    ℤ/2 coefficients make the computation pure linear algebra over GF(2)
+    (bitset Gaussian elimination, no orientations), which is exactly enough
+    to {e falsify} hole-freeness and to confirm it for the subdivided
+    simplices and links the paper cares about. *)
+
+val boundary_rank : Complex.t -> int -> int
+(** Rank over GF(2) of the boundary operator [∂_k] from [k]-chains to
+    [(k-1)]-chains. [∂_0] has rank 0 by convention. *)
+
+val betti : Complex.t -> int array
+(** Unreduced ℤ/2 Betti numbers [b_0 .. b_dim]. *)
+
+val reduced_betti : Complex.t -> int array
+(** Reduced Betti numbers: same as {!betti} with [b_0] decremented (a
+    non-empty complex). *)
+
+val is_acyclic : Complex.t -> bool
+(** All reduced Betti numbers vanish — "no hole of any dimension"
+    (first half of Lemma 2.2 for subdivided simplices). *)
+
+val no_holes_up_to : Complex.t -> int -> bool
+(** [no_holes_up_to c m]: no hole of dimension [<= m], i.e.
+    [H̃_{k-1}(c) = 0] for [1 <= k <= m] and [c] connected (a hole of
+    dimension 1 would be a disconnection: a 0-sphere that cannot be filled
+    by a path). *)
+
+val euler_consistent : Complex.t -> bool
+(** Sanity invariant: the Euler characteristic equals the alternating sum of
+    the ℤ/2 Betti numbers. (True over any field.) *)

@@ -1,0 +1,179 @@
+(* Overflow-checked integer helpers (entries can grow during elimination). *)
+let checked_mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let r = a * b in
+    if r / b <> a then raise Rat.Overflow else r
+
+let checked_sub a b =
+  let r = a - b in
+  if (a >= 0) <> (b >= 0) && (r >= 0) <> (a >= 0) then raise Rat.Overflow else r
+
+let boundary_matrix c k =
+  if k <= 0 then [||]
+  else begin
+    let rows = Complex.faces c ~dim:(k - 1) in
+    let cols = Complex.faces c ~dim:k in
+    if rows = [] || cols = [] then [||]
+    else begin
+      let row_index = Simplex.Tbl.create (List.length rows) in
+      List.iteri (fun i s -> Simplex.Tbl.replace row_index s i) rows;
+      let m = Array.make_matrix (List.length rows) (List.length cols) 0 in
+      List.iteri
+        (fun col s ->
+          (* the i-th facet of a sorted simplex (dropping vertex i) carries
+             sign (-1)^i *)
+          List.iteri
+            (fun i v ->
+              let face = Simplex.remove v s in
+              let row = Simplex.Tbl.find row_index face in
+              m.(row).(col) <- (if i mod 2 = 0 then 1 else -1))
+            (Simplex.to_list s))
+        cols;
+      m
+    end
+  end
+
+let smith_invariants m =
+  let rows = Array.length m in
+  if rows = 0 then []
+  else begin
+    let cols = Array.length m.(0) in
+    let m = Array.map Array.copy m in
+    let swap_rows i j =
+      let t = m.(i) in
+      m.(i) <- m.(j);
+      m.(j) <- t
+    in
+    let swap_cols i j =
+      Array.iter
+        (fun row ->
+          let t = row.(i) in
+          row.(i) <- row.(j);
+          row.(j) <- t)
+        m
+    in
+    let add_row_multiple ~target ~src q =
+      (* row target -= q * row src *)
+      for c = 0 to cols - 1 do
+        m.(target).(c) <- checked_sub m.(target).(c) (checked_mul q m.(src).(c))
+      done
+    in
+    let add_col_multiple ~target ~src q =
+      for r = 0 to rows - 1 do
+        m.(r).(target) <- checked_sub m.(r).(target) (checked_mul q m.(r).(src))
+      done
+    in
+    let invariants = ref [] in
+    let t = ref 0 in
+    let continue = ref true in
+    while !continue && !t < rows && !t < cols do
+      (* find entry of smallest absolute value in the remaining block *)
+      let best = ref None in
+      for r = !t to rows - 1 do
+        for c = !t to cols - 1 do
+          let v = abs m.(r).(c) in
+          if v <> 0 then
+            match !best with
+            | Some (_, _, bv) when bv <= v -> ()
+            | _ -> best := Some (r, c, v)
+        done
+      done;
+      match !best with
+      | None -> continue := false
+      | Some (r, c, _) ->
+        swap_rows !t r;
+        swap_cols !t c;
+        (* eliminate the pivot row and column; restart if a remainder
+           appears (standard SNF loop, terminates since |pivot| shrinks) *)
+        let clean = ref false in
+        while not !clean do
+          clean := true;
+          let pivot = m.(!t).(!t) in
+          for r = !t + 1 to rows - 1 do
+            if m.(r).(!t) <> 0 then begin
+              let q = m.(r).(!t) / pivot in
+              add_row_multiple ~target:r ~src:!t q;
+              if m.(r).(!t) <> 0 then begin
+                (* remainder smaller than pivot: make it the new pivot *)
+                swap_rows !t r;
+                clean := false
+              end
+            end
+          done;
+          if !clean then begin
+            let pivot = m.(!t).(!t) in
+            for c = !t + 1 to cols - 1 do
+              if m.(!t).(c) <> 0 then begin
+                let q = m.(!t).(c) / pivot in
+                add_col_multiple ~target:c ~src:!t q;
+                if m.(!t).(c) <> 0 then begin
+                  swap_cols !t c;
+                  clean := false
+                end
+              end
+            done
+          end
+        done;
+        (* divisibility fix-up: pivot must divide every remaining entry *)
+        let pivot = abs m.(!t).(!t) in
+        let offender = ref None in
+        (try
+           for r = !t + 1 to rows - 1 do
+             for c = !t + 1 to cols - 1 do
+               if m.(r).(c) mod pivot <> 0 then begin
+                 offender := Some r;
+                 raise Exit
+               end
+             done
+           done
+         with Exit -> ());
+        (match !offender with
+        | Some r ->
+          (* fold the offending row into the pivot row and redo this step *)
+          add_row_multiple ~target:!t ~src:r (-1)
+        | None -> begin
+          invariants := pivot :: !invariants;
+          incr t
+        end)
+    done;
+    List.rev !invariants
+  end
+
+let rank_z c k = List.length (smith_invariants (boundary_matrix c k))
+
+let betti_z c =
+  let n = Complex.dim c in
+  let f = Complex.f_vector c in
+  Array.init (n + 1) (fun k ->
+      let rk = rank_z c k in
+      let rk1 = if k < n then rank_z c (k + 1) else 0 in
+      f.(k) - rk - rk1)
+
+let reduced_betti_z c =
+  let b = betti_z c in
+  if Array.length b > 0 then b.(0) <- b.(0) - 1;
+  b
+
+let torsion c =
+  let n = Complex.dim c in
+  Array.init (n + 1) (fun k ->
+      if k >= n then []
+      else
+        List.filter (fun d -> d > 1) (smith_invariants (boundary_matrix c (k + 1))))
+
+let is_acyclic_z c =
+  Array.for_all (fun b -> b = 0) (reduced_betti_z c)
+  && Array.for_all (fun t -> t = []) (torsion c)
+
+let homology_summary c =
+  let b = betti_z c and t = torsion c in
+  let group k =
+    let free = if k = 0 then b.(0) else b.(k) in
+    let parts =
+      (if free > 0 then [ (if free = 1 then "Z" else Printf.sprintf "Z^%d" free) ] else [])
+      @ List.map (Printf.sprintf "Z/%d") t.(k)
+    in
+    Printf.sprintf "H%d=%s" k (if parts = [] then "0" else String.concat "+" parts)
+  in
+  String.concat "  " (List.init (Array.length b) group)

@@ -1,0 +1,41 @@
+(** Integer simplicial homology via Smith normal form.
+
+    {!Homology} works over ℤ/2, which suffices to verify the paper's
+    "no holes" claims but cannot distinguish torsion from free cycles (the
+    projective plane has [H_1 = ℤ/2]: invisible as a free rank, visible as
+    a ℤ/2 class). This module computes homology over ℤ: oriented boundary
+    matrices (faces signed [(-1)^i] on sorted simplices) reduced to Smith
+    normal form with exact integer arithmetic, giving both the free Betti
+    numbers and the torsion coefficients
+
+      [H_k ≅ ℤ^{b_k} ⊕ ℤ/d_1 ⊕ ... ⊕ ℤ/d_t],  [d_1 | d_2 | ... | d_t].
+
+    For the complexes in this library the matrices are small incidence
+    matrices; entries are overflow-checked and raise {!Rat.Overflow} in the
+    (unreached) pathological case. *)
+
+val boundary_matrix : Complex.t -> int -> int array array
+(** Oriented boundary operator [∂_k] as a dense matrix: rows indexed by
+    [(k-1)]-simplices, columns by [k]-simplices, both in
+    {!Complex.faces} order. Empty (0×0) when either dimension is empty. *)
+
+val smith_invariants : int array array -> int list
+(** Non-zero invariant factors (positive, each dividing the next) of an
+    integer matrix. The length is the rank. *)
+
+val betti_z : Complex.t -> int array
+(** Free Betti numbers over ℤ, [b_0 .. b_dim]. *)
+
+val reduced_betti_z : Complex.t -> int array
+
+val torsion : Complex.t -> int list array
+(** [torsion c].(k) lists the torsion coefficients of [H_k] (invariant
+    factors [> 1] of [∂_{k+1}]). *)
+
+val is_acyclic_z : Complex.t -> bool
+(** Reduced ℤ-homology trivial: all reduced Betti numbers zero and no
+    torsion anywhere. Strictly stronger than {!Homology.is_acyclic}'s ℤ/2
+    statement on torsion-bearing complexes. *)
+
+val homology_summary : Complex.t -> string
+(** Human-readable [H_k] groups, e.g. ["H0=Z  H1=Z/2  H2=0"]. *)

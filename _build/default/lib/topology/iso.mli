@@ -1,0 +1,26 @@
+(** Isomorphism of simplicial complexes.
+
+    Two complexes are isomorphic when a vertex bijection carries the facets
+    of one exactly onto the facets of the other. The experiments use this to
+    match protocol complexes built by {e executing} the immediate snapshot
+    model against the combinatorial standard chromatic subdivision
+    (Lemmas 3.2 and 3.3) without relying on a shared vertex numbering.
+
+    The search is plain backtracking pruned by vertex signatures (facet
+    dimension profiles, simplex membership counts, and colors when given) —
+    more than fast enough for the complexes of this library. *)
+
+val isomorphism :
+  ?color_src:(int -> int) ->
+  ?color_dst:(int -> int) ->
+  Complex.t ->
+  Complex.t ->
+  Simplicial_map.t option
+(** A witness isomorphism, color-preserving when colorings are supplied for
+    both sides. [None] when the complexes are not isomorphic. *)
+
+val isomorphic :
+  ?color_src:(int -> int) -> ?color_dst:(int -> int) -> Complex.t -> Complex.t -> bool
+
+val chromatic_isomorphic : Chromatic.t -> Chromatic.t -> bool
+(** Color-preserving isomorphism of chromatic complexes. *)

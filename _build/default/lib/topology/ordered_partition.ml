@@ -1,0 +1,99 @@
+type t = int list list
+
+let rec sorted_distinct = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) -> a < b && sorted_distinct rest
+
+let check p =
+  List.for_all (fun b -> b <> [] && sorted_distinct b) p
+  &&
+  let all = List.concat p in
+  List.length (List.sort_uniq Stdlib.compare all) = List.length all
+
+let elements p = List.sort Stdlib.compare (List.concat p)
+
+let num_blocks = List.length
+
+(* All non-empty subsets of a sorted list, paired with their complement. *)
+let nonempty_subsets_with_complement xs =
+  let rec go = function
+    | [] -> [ ([], []) ]
+    | x :: rest ->
+      let subs = go rest in
+      List.concat_map (fun (inc, out) -> [ (x :: inc, out); (inc, x :: out) ]) subs
+  in
+  List.filter (fun (inc, _) -> inc <> []) (go xs)
+
+let rec enumerate xs =
+  match List.sort_uniq Stdlib.compare xs with
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun (first_block, rest) ->
+        List.map (fun tail -> first_block :: tail) (enumerate rest))
+      (nonempty_subsets_with_complement xs)
+
+let count n =
+  if n < 0 then invalid_arg "Ordered_partition.count";
+  (* a(n) = sum_{k=1..n} C(n,k) a(n-k), a(0) = 1. *)
+  let a = Array.make (n + 1) 0 in
+  a.(0) <- 1;
+  let binom = Array.make_matrix (n + 1) (n + 1) 0 in
+  for i = 0 to n do
+    binom.(i).(0) <- 1;
+    for j = 1 to i do
+      binom.(i).(j) <- binom.(i - 1).(j - 1) + (if j <= i - 1 then binom.(i - 1).(j) else 0)
+    done
+  done;
+  for m = 1 to n do
+    let s = ref 0 in
+    for k = 1 to m do
+      s := !s + (binom.(m).(k) * a.(m - k))
+    done;
+    a.(m) <- !s
+  done;
+  a.(n)
+
+let prefix_upto p x =
+  let rec go acc = function
+    | [] -> raise Not_found
+    | block :: rest ->
+      let acc = List.rev_append block acc in
+      if List.mem x block then List.sort Stdlib.compare acc else go acc rest
+  in
+  go [] p
+
+let views p = List.map (fun x -> (x, prefix_upto p x)) (elements p)
+
+let of_linear xs = List.map (fun x -> [ x ]) xs
+
+let random st xs =
+  let xs = List.sort_uniq Stdlib.compare xs in
+  (* Shuffle, then cut into blocks at random positions. *)
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  let blocks = ref [] and current = ref [] in
+  Array.iter
+    (fun x ->
+      current := x :: !current;
+      if Random.State.bool st then begin
+        blocks := List.sort Stdlib.compare !current :: !blocks;
+        current := []
+      end)
+    arr;
+  if !current <> [] then blocks := List.sort Stdlib.compare !current :: !blocks;
+  List.rev !blocks
+
+let pp ppf p =
+  let pp_block ppf b =
+    Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int b))
+  in
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") pp_block)
+    p

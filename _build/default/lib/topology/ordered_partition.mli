@@ -1,0 +1,48 @@
+(** Ordered set partitions.
+
+    An ordered partition of a finite set splits it into a sequence of
+    disjoint non-empty blocks. They are the combinatorial skeleton of the
+    one-shot immediate snapshot model (§3.4–3.6): an execution is an ordered
+    partition of the participating set — the processes in block [j] all
+    WriteRead concurrently, after the blocks before them — and the facets of
+    the standard chromatic subdivision are in bijection with them
+    (Lemma 3.2). Counting them gives the Fubini (ordered Bell) numbers:
+    1, 1, 3, 13, 75, 541, ... *)
+
+type t = int list list
+(** Blocks in temporal order; each block sorted; blocks disjoint and
+    non-empty. *)
+
+val check : t -> bool
+(** Structural validity (sorted non-empty disjoint blocks). *)
+
+val enumerate : int list -> t list
+(** All ordered partitions of the given set (must have distinct elements).
+    The empty set has exactly one (empty) partition. *)
+
+val count : int -> int
+(** Fubini number [a(n)]: the number of ordered partitions of an [n]-set. *)
+
+val elements : t -> int list
+(** Sorted union of the blocks. *)
+
+val num_blocks : t -> int
+
+val prefix_upto : t -> int -> int list
+(** [prefix_upto p x]: the sorted union of all blocks up to and including
+    the block containing [x] — exactly the immediate-snapshot view [S_x]
+    of process [x] in the execution [p]. @raise Not_found if [x] absent. *)
+
+val views : t -> (int * int list) list
+(** [(x, prefix_upto p x)] for every element [x], sorted by element. *)
+
+val of_linear : int list -> t
+(** The ordered partition with singleton blocks, i.e. a sequential
+    execution. *)
+
+val random : Random.State.t -> int list -> t
+(** Uniformly shaped random ordered partition (each refinement choice made
+    uniformly; not the uniform distribution over all ordered partitions, but
+    spanning all of them with positive probability). *)
+
+val pp : Format.formatter -> t -> unit

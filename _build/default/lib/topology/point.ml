@@ -1,0 +1,229 @@
+type t = Rat.t array
+
+let of_list l = Array.of_list l
+
+let of_ints l = Array.of_list (List.map Rat.of_int l)
+
+let to_list p = Array.to_list p
+
+let dim p = Array.length p
+
+let coord p i = p.(i)
+
+let equal p q = dim p = dim q && Array.for_all2 Rat.equal p q
+
+let compare p q =
+  let c = Stdlib.compare (dim p) (dim q) in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i = dim p then 0
+      else
+        let c = Rat.compare p.(i) q.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let zero d = Array.make d Rat.zero
+
+let unit d i =
+  if i < 0 || i >= d then invalid_arg "Point.unit";
+  Array.init d (fun j -> if j = i then Rat.one else Rat.zero)
+
+let check_same_dim p q = if dim p <> dim q then invalid_arg "Point: dimension mismatch"
+
+let add p q =
+  check_same_dim p q;
+  Array.mapi (fun i x -> Rat.add x q.(i)) p
+
+let sub p q =
+  check_same_dim p q;
+  Array.mapi (fun i x -> Rat.sub x q.(i)) p
+
+let smul c p = Array.map (Rat.mul c) p
+
+let midpoint p q = smul Rat.half (add p q)
+
+let barycenter = function
+  | [] -> invalid_arg "Point.barycenter: empty list"
+  | p :: ps ->
+    let s = List.fold_left add p ps in
+    smul (Rat.inv (Rat.of_int (1 + List.length ps))) s
+
+let combine = function
+  | [] -> invalid_arg "Point.combine: empty list"
+  | (c, p) :: rest -> List.fold_left (fun acc (c, p) -> add acc (smul c p)) (smul c p) rest
+
+let coord_sum p = Array.fold_left Rat.add Rat.zero p
+
+let is_barycentric p =
+  Array.for_all (fun x -> Rat.sign x >= 0) p && Rat.equal (coord_sum p) Rat.one
+
+(* Fraction-free Bareiss elimination keeps intermediate entries integral in
+   spirit; with rationals plain Gaussian elimination is exact anyway, so we
+   use the straightforward version. *)
+let det m =
+  let n = Array.length m in
+  if n = 0 then Rat.one
+  else begin
+    Array.iter (fun row -> if Array.length row <> n then invalid_arg "Point.det: not square") m;
+    let m = Array.map Array.copy m in
+    let sign = ref 1 in
+    let result = ref Rat.one in
+    (try
+       for col = 0 to n - 1 do
+         (* Find a pivot. *)
+         let pivot = ref (-1) in
+         for row = col to n - 1 do
+           if !pivot < 0 && not (Rat.is_zero m.(row).(col)) then pivot := row
+         done;
+         if !pivot < 0 then begin
+           result := Rat.zero;
+           raise Exit
+         end;
+         if !pivot <> col then begin
+           let tmp = m.(col) in
+           m.(col) <- m.(!pivot);
+           m.(!pivot) <- tmp;
+           sign := - !sign
+         end;
+         let p = m.(col).(col) in
+         result := Rat.mul !result p;
+         for row = col + 1 to n - 1 do
+           let f = Rat.div m.(row).(col) p in
+           if not (Rat.is_zero f) then
+             for j = col to n - 1 do
+               m.(row).(j) <- Rat.sub m.(row).(j) (Rat.mul f m.(col).(j))
+             done
+         done
+       done
+     with Exit -> ());
+    if !sign < 0 then Rat.neg !result else !result
+  end
+
+let simplex_volume_scaled = function
+  | [] -> invalid_arg "Point.simplex_volume_scaled: empty"
+  | [ _ ] -> Rat.one
+  | p0 :: rest ->
+    let k = List.length rest in
+    if dim p0 <> k then invalid_arg "Point.simplex_volume_scaled: need k coordinates for a k-simplex";
+    let rows = List.map (fun p -> sub p p0) rest in
+    Rat.abs (det (Array.of_list (rows :> Rat.t array list)))
+
+(* Rank of a rational matrix by Gaussian elimination. *)
+let rank rows =
+  match rows with
+  | [] -> 0
+  | first :: _ ->
+    let ncols = Array.length first in
+    let rows = Array.of_list (List.map Array.copy rows) in
+    let nrows = Array.length rows in
+    let r = ref 0 in
+    let col = ref 0 in
+    while !r < nrows && !col < ncols do
+      let pivot = ref (-1) in
+      for i = !r to nrows - 1 do
+        if !pivot < 0 && not (Rat.is_zero rows.(i).(!col)) then pivot := i
+      done;
+      (if !pivot >= 0 then begin
+         let tmp = rows.(!r) in
+         rows.(!r) <- rows.(!pivot);
+         rows.(!pivot) <- tmp;
+         let p = rows.(!r).(!col) in
+         for i = !r + 1 to nrows - 1 do
+           let f = Rat.div rows.(i).(!col) p in
+           if not (Rat.is_zero f) then
+             for j = !col to ncols - 1 do
+               rows.(i).(j) <- Rat.sub rows.(i).(j) (Rat.mul f rows.(!r).(j))
+             done
+         done;
+         incr r
+       end);
+      incr col
+    done;
+    !r
+
+let affinely_independent = function
+  | [] -> true
+  | [ _ ] -> true
+  | p0 :: rest ->
+    let vectors = List.map (fun p -> (sub p p0 :> Rat.t array)) rest in
+    rank vectors = List.length rest
+
+(* Solve the linear system [sum l_i p_i = q, sum l_i = 1] by Gaussian
+   elimination with exact rationals. The augmented system has one row per
+   coordinate plus the normalization row. *)
+let solve_barycentric ps q =
+  match ps with
+  | [] -> None
+  | p0 :: _ ->
+    let k = List.length ps in
+    let d = dim p0 in
+    if List.exists (fun p -> dim p <> d) ps || dim q <> d then None
+    else begin
+      (* rows: d coordinate equations + 1 normalization; columns: k unknowns
+         + rhs. *)
+      let parr = Array.of_list ps in
+      let rows = Array.init (d + 1) (fun r ->
+          Array.init (k + 1) (fun c ->
+              if r < d then if c < k then parr.(c).(r) else q.(r)
+              else if c < k then Rat.one
+              else Rat.one))
+      in
+      let nrows = d + 1 in
+      let pivot_cols = Array.make k (-1) in
+      let r = ref 0 in
+      (* Forward elimination with partial (first non-zero) pivoting. *)
+      for col = 0 to k - 1 do
+        let piv = ref (-1) in
+        for i = !r to nrows - 1 do
+          if !piv < 0 && not (Rat.is_zero rows.(i).(col)) then piv := i
+        done;
+        if !piv >= 0 then begin
+          let tmp = rows.(!r) in
+          rows.(!r) <- rows.(!piv);
+          rows.(!piv) <- tmp;
+          let p = rows.(!r).(col) in
+          for i = 0 to nrows - 1 do
+            if i <> !r && not (Rat.is_zero rows.(i).(col)) then begin
+              let f = Rat.div rows.(i).(col) p in
+              for j = col to k do
+                rows.(i).(j) <- Rat.sub rows.(i).(j) (Rat.mul f rows.(!r).(j))
+              done
+            end
+          done;
+          pivot_cols.(col) <- !r;
+          incr r
+        end
+      done;
+      (* Under-determined column ⇒ points affinely dependent; reject. *)
+      if Array.exists (fun c -> c < 0) pivot_cols then None
+      else begin
+        (* Inconsistent row ⇒ q outside affine hull. *)
+        let inconsistent = ref false in
+        for i = !r to nrows - 1 do
+          if not (Rat.is_zero rows.(i).(k)) then inconsistent := true
+        done;
+        if !inconsistent then None
+        else
+          Some
+            (List.init k (fun col ->
+                 let row = pivot_cols.(col) in
+                 Rat.div rows.(row).(k) rows.(row).(col)))
+      end
+    end
+
+let in_simplex ps q =
+  match solve_barycentric ps q with
+  | None -> false
+  | Some ls -> List.for_all (fun l -> Rat.sign l >= 0) ls
+
+let in_open_simplex ps q =
+  match solve_barycentric ps q with
+  | None -> false
+  | Some ls -> List.for_all (fun l -> Rat.sign l > 0) ls
+
+let pp ppf p =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") Rat.pp)
+    (to_list p)

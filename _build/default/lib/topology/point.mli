@@ -1,0 +1,84 @@
+(** Points with exact rational coordinates.
+
+    Points serve two purposes in this library:
+
+    - {b barycentric coordinates} of subdivision vertices relative to a base
+      simplex (the realization used by the simplicial-approximation algorithm
+      of Lemma 5.3), and
+    - generic affine geometry (convex combinations, barycenters,
+      determinant-based orientation/volume tests) used to validate that a
+      claimed subdivision really is one.
+
+    A point is an immutable array of {!Rat.t}. All binary operations require
+    equal dimensions and raise [Invalid_argument] otherwise. *)
+
+type t
+
+val of_list : Rat.t list -> t
+
+val of_ints : int list -> t
+
+val to_list : t -> Rat.t list
+
+val dim : t -> int
+(** Number of coordinates (not geometric dimension). *)
+
+val coord : t -> int -> Rat.t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val zero : int -> t
+(** [zero d] is the origin with [d] coordinates. *)
+
+val unit : int -> int -> t
+(** [unit d i] is the [i]-th standard basis point in [d] coordinates. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val smul : Rat.t -> t -> t
+
+val midpoint : t -> t -> t
+
+val barycenter : t list -> t
+(** Arithmetic mean of a non-empty list of points. *)
+
+val combine : (Rat.t * t) list -> t
+(** Affine/linear combination [sum_i (c_i * p_i)] of a non-empty list. *)
+
+val coord_sum : t -> Rat.t
+
+val is_barycentric : t -> bool
+(** All coordinates non-negative and summing to one. *)
+
+val det : Rat.t array array -> Rat.t
+(** Determinant of a square matrix by fraction-free Gaussian elimination. *)
+
+val simplex_volume_scaled : t list -> Rat.t
+(** [simplex_volume_scaled [p0; ...; pk]] is the absolute value of
+    [det (p1 - p0, ..., pk - p0)] — i.e. [k!] times the Euclidean volume of
+    the simplex spanned by the points, which must live in a space of exactly
+    [k] coordinates. Zero iff the points are affinely dependent. *)
+
+val affinely_independent : t list -> bool
+(** Whether the points span a simplex of full dimension ([length - 1]). Works
+    in any ambient dimension via Gram-style rank computation. *)
+
+val solve_barycentric : t list -> t -> Rat.t list option
+(** [solve_barycentric [p0; ...; pk] q] finds coefficients [l0..lk] with
+    [sum l_i = 1] and [sum (l_i * p_i) = q], if the [p_i] are affinely
+    independent and [q] lies in their affine hull; [None] otherwise.
+    Coefficients may be negative — combine with a sign check to test
+    membership in the closed simplex. *)
+
+val in_simplex : t list -> t -> bool
+(** Whether the point lies in the {e closed} convex hull of the (affinely
+    independent) vertices. *)
+
+val in_open_simplex : t list -> t -> bool
+(** Strict version: all barycentric coordinates positive. *)
+
+val pp : Format.formatter -> t -> unit

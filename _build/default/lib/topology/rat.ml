@@ -1,0 +1,112 @@
+type t = { num : int; den : int }
+
+exception Overflow
+
+exception Division_by_zero
+
+(* Overflow-checked machine arithmetic. The checks are branchy but cheap
+   compared to the combinatorial work around them. *)
+
+let checked_add a b =
+  let r = a + b in
+  if (a >= 0) = (b >= 0) && (r >= 0) <> (a >= 0) then raise Overflow else r
+
+let checked_mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let r = a * b in
+    if r / b <> a || (a = min_int && b = -1) then raise Overflow else r
+
+let checked_neg a = if a = min_int then raise Overflow else -a
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let normalize num den =
+  if den = 0 then raise Division_by_zero
+  else
+    let num, den = if den < 0 then (checked_neg num, checked_neg den) else (num, den) in
+    if num = 0 then { num = 0; den = 1 }
+    else
+      let g = gcd (Stdlib.abs num) den in
+      { num = num / g; den = den / g }
+
+let make num den = normalize num den
+
+let of_int n = { num = n; den = 1 }
+
+let zero = { num = 0; den = 1 }
+
+let one = { num = 1; den = 1 }
+
+let half = { num = 1; den = 2 }
+
+let num q = q.num
+
+let den q = q.den
+
+let add a b =
+  (* Knuth's trick: reduce by gcd of denominators first to delay overflow. *)
+  let g = gcd a.den b.den in
+  let da = a.den / g and db = b.den / g in
+  let num = checked_add (checked_mul a.num db) (checked_mul b.num da) in
+  let den = checked_mul a.den db in
+  normalize num den
+
+let neg a = { a with num = checked_neg a.num }
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  let g1 = gcd (Stdlib.abs a.num) b.den and g2 = gcd (Stdlib.abs b.num) a.den in
+  let num = checked_mul (a.num / g1) (b.num / g2) in
+  let den = checked_mul (a.den / g2) (b.den / g1) in
+  normalize num den
+
+let inv a = if a.num = 0 then raise Division_by_zero else normalize a.den a.num
+
+let div a b = mul a (inv b)
+
+let abs a = { a with num = Stdlib.abs a.num }
+
+let sign a = compare a.num 0
+
+let is_zero a = a.num = 0
+
+let compare a b =
+  (* Compare via subtraction on widened products; denominators are positive. *)
+  let l = checked_mul a.num b.den and r = checked_mul b.num a.den in
+  Stdlib.compare l r
+
+let equal a b = a.num = b.num && a.den = b.den
+
+let min a b = if compare a b <= 0 then a else b
+
+let max a b = if compare a b >= 0 then a else b
+
+let ( + ) = add
+
+let ( - ) = sub
+
+let ( * ) = mul
+
+let ( / ) = div
+
+let ( = ) = equal
+
+let ( < ) a b = Stdlib.( < ) (compare a b) 0
+
+let ( <= ) a b = Stdlib.( <= ) (compare a b) 0
+
+let ( > ) a b = Stdlib.( > ) (compare a b) 0
+
+let ( >= ) a b = Stdlib.( >= ) (compare a b) 0
+
+let to_float q = float_of_int q.num /. float_of_int q.den
+
+let to_string q = if Stdlib.( = ) q.den 1 then string_of_int q.num else Printf.sprintf "%d/%d" q.num q.den
+
+let pp ppf q = Format.pp_print_string ppf (to_string q)
+
+let sum qs = List.fold_left add zero qs
+
+let scale k q = mul (of_int k) q

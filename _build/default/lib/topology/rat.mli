@@ -1,0 +1,91 @@
+(** Exact rational arithmetic over native integers.
+
+    Geometric realizations of subdivided simplices (standard chromatic and
+    barycentric) need exact barycentric coordinates: floating point would make
+    point-location predicates unreliable after a few subdivision levels. The
+    denominators that arise here stay tiny (products of [2q - 1] and [q + 1]
+    factors across subdivision levels), so machine integers with explicit
+    overflow checking are sufficient and keep the library dependency-free.
+
+    Values are kept normalized: [den > 0] and [gcd (abs num) den = 1]. All
+    operations raise {!Overflow} instead of silently wrapping. *)
+
+type t = private { num : int; den : int }
+
+exception Overflow
+
+exception Division_by_zero
+
+val make : int -> int -> t
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+
+val zero : t
+
+val one : t
+
+val half : t
+
+val num : t -> int
+
+val den : t -> int
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is {!zero}. *)
+
+val neg : t -> t
+
+val inv : t -> t
+(** @raise Division_by_zero on {!zero}. *)
+
+val abs : t -> t
+
+val min : t -> t -> t
+
+val max : t -> t -> t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+
+val ( + ) : t -> t -> t
+
+val ( - ) : t -> t -> t
+
+val ( * ) : t -> t -> t
+
+val ( / ) : t -> t -> t
+
+val ( = ) : t -> t -> bool
+
+val ( < ) : t -> t -> bool
+
+val ( <= ) : t -> t -> bool
+
+val ( > ) : t -> t -> bool
+
+val ( >= ) : t -> t -> bool
+
+val to_float : t -> float
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val sum : t list -> t
+
+val scale : int -> t -> t
+(** [scale k q] is [k * q]. *)

@@ -1,0 +1,173 @@
+type t = {
+  sd : Subdiv.t;
+  prev : t option;
+  own_tbl : (int, int) Hashtbl.t; (* top vertex -> prev vertex *)
+  snap_tbl : (int, Simplex.t) Hashtbl.t; (* top vertex -> prev simplex *)
+}
+
+let of_chromatic a =
+  { sd = Subdiv.identity a; prev = None; own_tbl = Hashtbl.create 0; snap_tbl = Hashtbl.create 0 }
+
+let subdiv t = t.sd
+
+let complex t = t.sd.Subdiv.cx
+
+let base t = t.sd.Subdiv.base
+
+let levels t = t.sd.Subdiv.levels
+
+let prev t = t.prev
+
+let own t v =
+  match Hashtbl.find_opt t.own_tbl v with
+  | Some u -> u
+  | None -> invalid_arg "Sds.own: not available (level 0 or unknown vertex)"
+
+let snap t v =
+  match Hashtbl.find_opt t.snap_tbl v with
+  | Some s -> s
+  | None -> invalid_arg "Sds.snap: not available (level 0 or unknown vertex)"
+
+let carrier t v = t.sd.Subdiv.carrier v
+
+let color t v = Chromatic.color (complex t) v
+
+module Key = struct
+  type t = int * int list (* own prev vertex, snap as sorted list *)
+
+  let compare = Stdlib.compare
+end
+
+module Key_map = Map.Make (Key)
+
+let subdivide t =
+  let prev_cx = complex t in
+  let prev_complex = Chromatic.complex prev_cx in
+  (* Collect the vertex universe: all (v, S) with v ∈ S a simplex. The
+     simplices of the closure are exactly the possible snapshots. *)
+  let keys = ref Key_map.empty in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun v -> keys := Key_map.add (v, Simplex.to_list s) () !keys)
+        (Simplex.to_list s))
+    (Complex.simplices prev_complex);
+  let next_id = ref 0 in
+  let ids = ref Key_map.empty in
+  Key_map.iter
+    (fun key () ->
+      ids := Key_map.add key !next_id !ids;
+      incr next_id)
+    !keys;
+  let id_of key = Key_map.find key !ids in
+  (* Facets: ordered partitions of each facet of the previous complex. *)
+  let facets =
+    List.concat_map
+      (fun facet ->
+        let vs = Simplex.to_list facet in
+        List.map
+          (fun partition ->
+            List.map
+              (fun (v, prefix) -> id_of (v, prefix))
+              (Ordered_partition.views partition))
+          (Ordered_partition.enumerate vs))
+      (Complex.facets prev_complex)
+  in
+  let new_complex =
+    Complex.of_facets ~name:(Complex.name prev_complex ^ "'") facets
+  in
+  let own_tbl = Hashtbl.create (Key_map.cardinal !ids) in
+  let snap_tbl = Hashtbl.create (Key_map.cardinal !ids) in
+  Key_map.iter
+    (fun (v, s) id ->
+      Hashtbl.replace own_tbl id v;
+      Hashtbl.replace snap_tbl id (Simplex.of_sorted s))
+    !ids;
+  let color_of id = Chromatic.color prev_cx (Hashtbl.find own_tbl id) in
+  let chroma = Chromatic.make ~check:false new_complex ~color:color_of in
+  (* Carrier in the base: union of previous carriers over the snapshot. *)
+  let carrier_tbl = Hashtbl.create (Hashtbl.length own_tbl) in
+  Hashtbl.iter
+    (fun id s ->
+      let c =
+        List.fold_left
+          (fun acc u -> Simplex.union acc (t.sd.Subdiv.carrier u))
+          Simplex.empty (Simplex.to_list s)
+      in
+      Hashtbl.replace carrier_tbl id c)
+    snap_tbl;
+  (* Kozlov realization relative to the previous level's points. *)
+  let point_tbl = Hashtbl.create (Hashtbl.length own_tbl) in
+  Hashtbl.iter
+    (fun id s ->
+      let v = Hashtbl.find own_tbl id in
+      let q = Simplex.card s in
+      let denom = (2 * q) - 1 in
+      let terms =
+        List.map
+          (fun u ->
+            let w = if u = v then 1 else 2 in
+            (Rat.make w denom, t.sd.Subdiv.point u))
+          (Simplex.to_list s)
+      in
+      Hashtbl.replace point_tbl id (Point.combine terms))
+    snap_tbl;
+  let sd =
+    {
+      Subdiv.kind = "sds";
+      levels = t.sd.Subdiv.levels + 1;
+      base = t.sd.Subdiv.base;
+      cx = chroma;
+      carrier = (fun v -> Hashtbl.find carrier_tbl v);
+      point = (fun v -> Hashtbl.find point_tbl v);
+    }
+  in
+  { sd; prev = Some t; own_tbl; snap_tbl }
+
+let iterate a b =
+  if b < 0 then invalid_arg "Sds.iterate: negative level";
+  let rec go acc k = if k = 0 then acc else go (subdivide acc) (k - 1) in
+  go (of_chromatic a) b
+
+let standard ~dim ~levels = iterate (Chromatic.standard_simplex dim) levels
+
+let facet_partition t facet =
+  if t.prev = None then invalid_arg "Sds.facet_partition: level 0";
+  if not (Complex.is_facet facet (Chromatic.complex (complex t))) then
+    invalid_arg "Sds.facet_partition: not a facet";
+  let vs = Simplex.to_list facet in
+  (* Vertices of a facet sorted by snapshot size recover the blocks: block j
+     holds the processes whose snapshot is the union of blocks 1..j. *)
+  let by_size =
+    List.sort
+      (fun a b -> compare (Simplex.card (snap t a)) (Simplex.card (snap t b)))
+      vs
+  in
+  let rec blocks = function
+    | [] -> []
+    | v :: _ as group ->
+      let size = Simplex.card (snap t v) in
+      let same, rest = List.partition (fun u -> Simplex.card (snap t u) = size) group in
+      List.sort Stdlib.compare (List.map (own t) same) :: blocks rest
+  in
+  blocks by_size
+
+let rec canonical_view t v =
+  match t.prev with
+  | None -> Printf.sprintf "#%d" v
+  | Some p ->
+    let members = List.map (canonical_view p) (Simplex.to_list (snap t v)) in
+    Printf.sprintf "P%d{%s}" (color t v) (String.concat "," (List.sort Stdlib.compare members))
+
+let count_facets ~dim ~levels =
+  let a = Ordered_partition.count (dim + 1) in
+  let rec pow acc k = if k = 0 then acc else pow (acc * a) (k - 1) in
+  pow 1 levels
+
+let vertex_of_view t ~color:c ~snap:s =
+  let found = ref None in
+  Hashtbl.iter
+    (fun id s' ->
+      if !found = None && Simplex.equal s s' && color t id = c then found := Some id)
+    t.snap_tbl;
+  !found

@@ -1,0 +1,104 @@
+type t = int list
+
+let rec strictly_increasing = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+
+let of_list vs = List.sort_uniq Stdlib.compare vs
+
+let of_sorted vs =
+  assert (strictly_increasing vs);
+  vs
+
+let to_list s = s
+
+let vertices = to_list
+
+let singleton v = [ v ]
+
+let empty = []
+
+let is_empty s = s = []
+
+let card = List.length
+
+let dim s = card s - 1
+
+let mem v s = List.mem v s
+
+let rec subset s t =
+  match (s, t) with
+  | [], _ -> true
+  | _, [] -> false
+  | a :: s', b :: t' -> if a = b then subset s' t' else if a > b then subset s t' else false
+
+let equal (a : t) b = a = b
+
+let compare (a : t) b = Stdlib.compare a b
+
+let rec union a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | x :: a', y :: b' ->
+    if x = y then x :: union a' b' else if x < y then x :: union a' b else y :: union a b'
+
+let rec inter a b =
+  match (a, b) with
+  | [], _ | _, [] -> []
+  | x :: a', y :: b' ->
+    if x = y then x :: inter a' b' else if x < y then inter a' b else inter a b'
+
+let rec diff a b =
+  match (a, b) with
+  | [], _ -> []
+  | l, [] -> l
+  | x :: a', y :: b' -> if x = y then diff a' b' else if x < y then x :: diff a' b else diff a b'
+
+let remove v s = List.filter (fun x -> x <> v) s
+
+let add v s = union [ v ] s
+
+(* Non-empty subsets, preserving sortedness. *)
+let faces s =
+  let rec go = function
+    | [] -> [ [] ]
+    | v :: rest ->
+      let subs = go rest in
+      List.rev_append (List.rev_map (fun sub -> v :: sub) subs) subs
+  in
+  List.filter (fun f -> f <> []) (go s)
+
+let proper_faces s = List.filter (fun f -> f <> s) (faces s)
+
+let facets s = List.map (fun v -> remove v s) s
+
+let subsets_of_card k s =
+  let rec choose k = function
+    | _ when k = 0 -> [ [] ]
+    | [] -> []
+    | v :: rest ->
+      let with_v = List.map (fun sub -> v :: sub) (choose (k - 1) rest) in
+      with_v @ choose k rest
+  in
+  if k < 0 then [] else choose k s
+
+let to_string s = "{" ^ String.concat "," (List.map string_of_int s) ^ "}"
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+
+  let hash = Hashtbl.hash
+end)

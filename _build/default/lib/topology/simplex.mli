@@ -1,0 +1,72 @@
+(** Simplices as canonical sorted vertex lists.
+
+    Following the paper (§2), an [n]-dimensional simplex is a set of [n + 1]
+    vertices. Vertices are dense integer identifiers managed by the enclosing
+    {!Complex}. The canonical representation is a strictly increasing list,
+    enforced by {!of_list}; functions below assume (and preserve)
+    canonicity. *)
+
+type t = private int list
+
+val of_list : int list -> t
+(** Sorts and de-duplicates. [of_list [] ] is the empty simplex, which only
+    appears transiently (complexes store non-empty simplices). *)
+
+val of_sorted : int list -> t
+(** Trusts the input to be strictly increasing (checked with [assert]). *)
+
+val to_list : t -> int list
+
+val vertices : t -> int list
+(** Alias of {!to_list}. *)
+
+val singleton : int -> t
+
+val empty : t
+
+val is_empty : t -> bool
+
+val dim : t -> int
+(** [card - 1]; the empty simplex has dimension [-1]. *)
+
+val card : t -> int
+
+val mem : int -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset s t] iff [s] is a face of [t] (improper faces included). *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val remove : int -> t -> t
+
+val add : int -> t -> t
+
+val faces : t -> t list
+(** All non-empty faces, including [t] itself. [2^card - 1] of them. *)
+
+val proper_faces : t -> t list
+(** All non-empty faces excluding [t] itself. *)
+
+val facets : t -> t list
+(** Codimension-1 faces: [t] minus each single vertex. *)
+
+val subsets_of_card : int -> t -> t list
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+
+module Map : Map.S with type key = t
+
+module Tbl : Hashtbl.S with type key = t

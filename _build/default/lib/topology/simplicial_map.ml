@@ -1,0 +1,76 @@
+type t = { src : Complex.t; dst : Complex.t; table : (int, int) Hashtbl.t }
+
+let make ~src ~dst f =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      let w = f v in
+      if not (Complex.mem_vertex w dst) then
+        invalid_arg
+          (Printf.sprintf "Simplicial_map.make: image vertex %d not in target" w);
+      Hashtbl.replace table v w)
+    (Complex.vertices src);
+  { src; dst; table }
+
+let of_assoc ~src ~dst assoc =
+  let lookup v =
+    match List.assoc_opt v assoc with
+    | Some w -> w
+    | None -> invalid_arg "Simplicial_map.of_assoc: vertex without an image"
+  in
+  make ~src ~dst lookup
+
+let src t = t.src
+
+let dst t = t.dst
+
+let apply_vertex t v =
+  match Hashtbl.find_opt t.table v with
+  | Some w -> w
+  | None -> raise Not_found
+
+let apply t s = Simplex.of_list (List.map (apply_vertex t) (Simplex.to_list s))
+
+let check_simplicial t =
+  let rec go = function
+    | [] -> Ok ()
+    | f :: rest -> if Complex.mem (apply t f) t.dst then go rest else Error f
+  in
+  go (Complex.facets t.src)
+
+let is_simplicial t = Result.is_ok (check_simplicial t)
+
+let is_dimension_preserving t =
+  List.for_all
+    (fun s -> Simplex.dim (apply t s) = Simplex.dim s)
+    (Complex.simplices t.src)
+
+let is_color_preserving ~src_color ~dst_color t =
+  List.for_all (fun v -> src_color v = dst_color (apply_vertex t v)) (Complex.vertices t.src)
+
+let is_injective t =
+  let images = List.map (apply_vertex t) (Complex.vertices t.src) in
+  List.length (List.sort_uniq Stdlib.compare images) = List.length images
+
+let compose g f =
+  if not (Complex.equal (dst f) (src g)) then
+    invalid_arg "Simplicial_map.compose: middle complexes differ";
+  make ~src:f.src ~dst:g.dst (fun v -> apply_vertex g (apply_vertex f v))
+
+let image t =
+  if not (is_simplicial t) then invalid_arg "Simplicial_map.image: map is not simplicial";
+  Complex.of_simplices
+    ~name:(Complex.name t.src ^ "-img")
+    (List.map (apply t) (Complex.facets t.src))
+
+let identity c = make ~src:c ~dst:c (fun v -> v)
+
+let equal a b =
+  Complex.equal a.src b.src && Complex.equal a.dst b.dst
+  && List.for_all (fun v -> apply_vertex a v = apply_vertex b v) (Complex.vertices a.src)
+
+let pp ppf t =
+  let bindings =
+    List.map (fun v -> Printf.sprintf "%d->%d" v (apply_vertex t v)) (Complex.vertices t.src)
+  in
+  Format.fprintf ppf "{%s}" (String.concat ", " bindings)

@@ -1,0 +1,52 @@
+(** Vertex maps between complexes and their simplicial properties.
+
+    A map of vertices is {e simplicial} when the image of every simplex is a
+    simplex of the target (§2). Decision functions of protocols, the
+    characterization maps of Proposition 3.1, and the approximation maps of
+    Lemma 5.3 / Theorem 5.1 are all values of this type. *)
+
+type t
+
+val make : src:Complex.t -> dst:Complex.t -> (int -> int) -> t
+(** Records the image of every vertex of [src]. Does not require
+    simpliciality — use {!is_simplicial} / {!check_simplicial}.
+    @raise Invalid_argument if some image vertex is not in [dst]. *)
+
+val of_assoc : src:Complex.t -> dst:Complex.t -> (int * int) list -> t
+
+val src : t -> Complex.t
+
+val dst : t -> Complex.t
+
+val apply_vertex : t -> int -> int
+(** @raise Not_found outside [src]. *)
+
+val apply : t -> Simplex.t -> Simplex.t
+(** Image of a simplex (duplicate images collapse, so the image can have
+    lower dimension when the map is not injective on the simplex). *)
+
+val is_simplicial : t -> bool
+(** Image of every facet of [src] is a simplex of [dst]. (Faces follow.) *)
+
+val check_simplicial : t -> (unit, Simplex.t) result
+(** [Error f] returns a witness facet whose image is not a simplex. *)
+
+val is_dimension_preserving : t -> bool
+
+val is_color_preserving : src_color:(int -> int) -> dst_color:(int -> int) -> t -> bool
+(** [X(v) = X(phi v)] for every vertex of [src]. *)
+
+val is_injective : t -> bool
+
+val compose : t -> t -> t
+(** [compose g f] is [g ∘ f]; requires [dst f = src g] (checked). *)
+
+val image : t -> Complex.t
+(** The image subcomplex in [dst] (requires the map to be simplicial).
+    @raise Invalid_argument otherwise. *)
+
+val identity : Complex.t -> t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

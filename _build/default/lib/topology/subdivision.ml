@@ -1,0 +1,105 @@
+type t = {
+  sd : Subdiv.t;
+  prev : t option;
+  face_tbl : (int, Simplex.t) Hashtbl.t; (* vertex -> previous-level simplex *)
+}
+
+let of_chromatic a = { sd = Subdiv.identity a; prev = None; face_tbl = Hashtbl.create 0 }
+
+let subdiv t = t.sd
+
+let complex t = t.sd.Subdiv.cx
+
+let levels t = t.sd.Subdiv.levels
+
+let prev t = t.prev
+
+let face_of_vertex t v =
+  match Hashtbl.find_opt t.face_tbl v with
+  | Some s -> s
+  | None -> invalid_arg "Subdivision.face_of_vertex: not available (level 0 or unknown vertex)"
+
+(* Maximal flags of a facet F correspond to permutations of its vertices:
+   the permutation (v1, ..., vk) yields the flag {v1} ⊂ {v1,v2} ⊂ ... ⊂ F. *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x -> List.map (fun rest -> x :: rest) (permutations (List.filter (( <> ) x) xs)))
+      xs
+
+let subdivide t =
+  let prev_cx = complex t in
+  let prev_complex = Chromatic.complex prev_cx in
+  let faces = Complex.simplices prev_complex in
+  let ids = Simplex.Tbl.create (List.length faces) in
+  List.iteri (fun i s -> Simplex.Tbl.replace ids s i) faces;
+  let id_of s = Simplex.Tbl.find ids s in
+  let facets =
+    List.concat_map
+      (fun facet ->
+        let vs = Simplex.to_list facet in
+        List.map
+          (fun perm ->
+            let rec prefixes acc = function
+              | [] -> []
+              | v :: rest ->
+                let acc = Simplex.add v acc in
+                id_of acc :: prefixes acc rest
+            in
+            prefixes Simplex.empty perm)
+          (permutations vs))
+      (Complex.facets prev_complex)
+  in
+  let new_complex = Complex.of_facets ~name:(Complex.name prev_complex ^ "~") facets in
+  let face_tbl = Hashtbl.create (List.length faces) in
+  Simplex.Tbl.iter (fun s i -> Hashtbl.replace face_tbl i s) ids;
+  let chroma =
+    Chromatic.make ~check:false new_complex ~color:(fun v ->
+        Simplex.dim (Hashtbl.find face_tbl v))
+  in
+  let carrier_tbl = Hashtbl.create (List.length faces) in
+  let point_tbl = Hashtbl.create (List.length faces) in
+  Hashtbl.iter
+    (fun id s ->
+      let vs = Simplex.to_list s in
+      let c =
+        List.fold_left (fun acc u -> Simplex.union acc (t.sd.Subdiv.carrier u)) Simplex.empty vs
+      in
+      Hashtbl.replace carrier_tbl id c;
+      Hashtbl.replace point_tbl id (Point.barycenter (List.map t.sd.Subdiv.point vs)))
+    face_tbl;
+  let sd =
+    {
+      Subdiv.kind = "bsd";
+      levels = t.sd.Subdiv.levels + 1;
+      base = t.sd.Subdiv.base;
+      cx = chroma;
+      carrier = (fun v -> Hashtbl.find carrier_tbl v);
+      point = (fun v -> Hashtbl.find point_tbl v);
+    }
+  in
+  { sd; prev = Some t; face_tbl }
+
+let iterate a k =
+  if k < 0 then invalid_arg "Subdivision.iterate: negative level";
+  let rec go acc i = if i = 0 then acc else go (subdivide acc) (i - 1) in
+  go (of_chromatic a) k
+
+let sds_to_bsd sds bsd =
+  if Sds.levels sds <> 1 || levels bsd <> 1 then
+    invalid_arg "Subdivision.sds_to_bsd: both arguments must be one-level subdivisions";
+  if not (Complex.equal (Chromatic.complex (Sds.base sds)) (Chromatic.complex (subdiv bsd).Subdiv.base))
+  then invalid_arg "Subdivision.sds_to_bsd: different base complexes";
+  let barycenter_id = Simplex.Tbl.create 64 in
+  Hashtbl.iter (fun id s -> Simplex.Tbl.replace barycenter_id s id) bsd.face_tbl;
+  Simplicial_map.make
+    ~src:(Chromatic.complex (Sds.complex sds))
+    ~dst:(Chromatic.complex (complex bsd))
+    (fun v -> Simplex.Tbl.find barycenter_id (Sds.snap sds v))
+
+let count_facets ~dim ~levels =
+  let rec fact n = if n <= 1 then 1 else n * fact (n - 1) in
+  let per_level = fact (dim + 1) in
+  let rec pow acc k = if k = 0 then acc else pow (acc * per_level) (k - 1) in
+  pow 1 levels

@@ -1,0 +1,46 @@
+(** Barycentric subdivision [Bsd], plain and iterated.
+
+    [Bsd(C)] has one vertex per non-empty simplex of [C] (placed at its
+    barycenter) and one facet per maximal flag [σ1 ⊂ σ2 ⊂ ... ⊂ σk] inside
+    each facet of [C] (§2). The paper uses [Bsd^k] through the simplicial
+    approximation theorem (Lemma 2.1): for [k] large enough there is a
+    carrier-preserving simplicial map [Bsd^k(sⁿ) → A(sⁿ)] for any
+    subdivision [A].
+
+    [Bsd] is canonically chromatic by {e dimension}: coloring a flag vertex
+    by the dimension of the face it subdivides is proper, because a flag has
+    strictly increasing dimensions. This coloring also makes the "obvious"
+    carrier-preserving simplicial map [SDS(C) → Bsd(C)] of Lemma 5.3 well
+    defined: [(v, S) ↦ S]. *)
+
+type t
+
+val of_chromatic : Chromatic.t -> t
+(** Level-0 wrapper. *)
+
+val subdivide : t -> t
+(** One more level of barycentric subdivision, composing carriers and
+    realizations down to the base. *)
+
+val iterate : Chromatic.t -> int -> t
+(** [iterate c k] is [Bsd^k(c)]. *)
+
+val subdiv : t -> Subdiv.t
+
+val complex : t -> Chromatic.t
+
+val levels : t -> int
+
+val prev : t -> t option
+
+val face_of_vertex : t -> int -> Simplex.t
+(** The previous-level simplex this vertex is the barycenter of.
+    @raise Invalid_argument at level 0. *)
+
+val sds_to_bsd : Sds.t -> t -> Simplicial_map.t
+(** The canonical carrier-preserving simplicial map [SDS(C) → Bsd(C)]
+    sending [(v, S)] to the barycenter vertex of [S]. Both arguments must be
+    one-level subdivisions of the same complex (checked). *)
+
+val count_facets : dim:int -> levels:int -> int
+(** Facet count of [Bsd^k(sⁿ)]: [((n+1)!)^k]. *)

@@ -1,0 +1,1 @@
+test/test_tasks.ml: Alcotest Array Chromatic Complex Instances List Option Protocols QCheck2 QCheck_alcotest Rat Runtime Sds Simplex Simplex_agreement Subdiv Task Wfc_model Wfc_tasks Wfc_topology

@@ -1,0 +1,645 @@
+(* Tests for the paper's core results: solvability, emulation,
+   approximation, convergence, boundedness, Sperner. *)
+
+open Wfc_topology
+open Wfc_model
+open Wfc_tasks
+open Wfc_core
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let solvable_at task max_level =
+  match Solvability.solve ~max_level task with
+  | Solvability.Solvable m -> Some m
+  | Solvability.Unsolvable_at _ | Solvability.Exhausted _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Solvability                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let solvability_unit_tests =
+  [
+    Alcotest.test_case "identity solvable at level 0" `Quick (fun () ->
+        match solvable_at (Instances.id_task ~procs:3) 0 with
+        | Some m ->
+          checki "level" 0 m.Solvability.level;
+          checkb "verifies" true (Solvability.verify m = Ok ())
+        | None -> Alcotest.fail "identity must be solvable");
+    Alcotest.test_case "consensus unsolvable (2 procs, b <= 3)" `Quick (fun () ->
+        match Solvability.solve ~max_level:3 (Instances.binary_consensus ~procs:2) with
+        | Solvability.Unsolvable_at 3 -> ()
+        | Solvability.Unsolvable_at b -> checki "last level" 3 b
+        | _ -> Alcotest.fail "consensus must be unsolvable");
+    Alcotest.test_case "consensus unsolvable (3 procs, b <= 1)" `Quick (fun () ->
+        match Solvability.solve ~max_level:1 (Instances.binary_consensus ~procs:3) with
+        | Solvability.Unsolvable_at _ -> ()
+        | _ -> Alcotest.fail "consensus must be unsolvable");
+    Alcotest.test_case "set consensus verdicts" `Quick (fun () ->
+        checkb "(3,3) trivially solvable" true
+          (solvable_at (Instances.set_consensus ~procs:3 ~k:3) 0 <> None);
+        (match Solvability.solve ~max_level:1 (Instances.set_consensus ~procs:3 ~k:2) with
+        | Solvability.Unsolvable_at _ -> ()
+        | _ -> Alcotest.fail "(3,2) must be unsolvable at level <= 1");
+        checkb "(2,2) trivially solvable" true
+          (solvable_at (Instances.set_consensus ~procs:2 ~k:2) 0 <> None);
+        match Solvability.solve ~max_level:2 (Instances.set_consensus ~procs:2 ~k:1) with
+        | Solvability.Unsolvable_at _ -> ()
+        | _ -> Alcotest.fail "(2,1) is consensus, must be unsolvable");
+    Alcotest.test_case "adaptive renaming verdicts" `Quick (fun () ->
+        (match solvable_at (Instances.adaptive_renaming ~procs:2 ~names:3) 2 with
+        | Some m -> checki "needs one round" 1 m.Solvability.level
+        | None -> Alcotest.fail "3-name renaming solvable");
+        match Solvability.solve ~max_level:2 (Instances.adaptive_renaming ~procs:2 ~names:2) with
+        | Solvability.Unsolvable_at _ -> ()
+        | _ -> Alcotest.fail "2-name adaptive renaming unsolvable");
+    Alcotest.test_case "approximate agreement: rounds grow with 1/eps" `Quick (fun () ->
+        let min_level grid =
+          match solvable_at (Instances.approximate_agreement ~procs:2 ~grid) 3 with
+          | Some m -> m.Solvability.level
+          | None -> -1
+        in
+        checki "grid 1 level 0" 0 (min_level 1);
+        checki "grid 3 level 1" 1 (min_level 3);
+        checki "grid 9 level 2" 2 (min_level 9);
+        checki "grid 27 level 3" 3 (min_level 27));
+    Alcotest.test_case "verify rejects corrupted maps" `Quick (fun () ->
+        match solvable_at (Instances.approximate_agreement ~procs:2 ~grid:3) 2 with
+        | None -> Alcotest.fail "should be solvable"
+        | Some m ->
+          let out_vertices =
+            Complex.vertices (Chromatic.complex m.Solvability.task.Task.output)
+          in
+          let corrupt =
+            {
+              m with
+              Solvability.decide =
+                (fun v ->
+                  let w = m.Solvability.decide v in
+                  (* move every vertex to some other output vertex of the
+                     same color: breaks the delta condition somewhere *)
+                  match
+                    List.find_opt
+                      (fun w' ->
+                        w' <> w
+                        && Chromatic.color m.Solvability.task.Task.output w'
+                           = Chromatic.color m.Solvability.task.Task.output w)
+                      out_vertices
+                  with
+                  | Some w' -> w'
+                  | None -> w);
+            }
+          in
+          checkb "corrupted map fails" true (Solvability.verify corrupt <> Ok ()));
+    Alcotest.test_case "solvable tasks stay solvable at higher levels" `Quick (fun () ->
+        (* subdivision composes: a level-1 map induces level-2 solvability *)
+        let t = Instances.adaptive_renaming ~procs:2 ~names:3 in
+        checkb "level 2 also solvable" true
+          (match Solvability.solve_at t 2 with Solvability.Solvable _ -> true | _ -> false));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Characterization: maps as protocols                                  *)
+(* ------------------------------------------------------------------ *)
+
+let characterization_unit_tests =
+  [
+    Alcotest.test_case "validated protocols for solvable tasks" `Slow (fun () ->
+        List.iter
+          (fun (name, task, max_level) ->
+            match solvable_at task max_level with
+            | Some m ->
+              checkb (name ^ " validates") true (Characterization.validate m = Ok ())
+            | None -> Alcotest.fail (name ^ " should be solvable"))
+          [
+            ("identity", Instances.id_task ~procs:3, 0);
+            ("renaming(2,3)", Instances.adaptive_renaming ~procs:2 ~names:3, 1);
+            ("approx(2,3)", Instances.approximate_agreement ~procs:2 ~grid:3, 1);
+            ("set-consensus(3,3)", Instances.set_consensus ~procs:3 ~k:3, 0);
+          ]);
+    Alcotest.test_case "outputs decode correctly" `Quick (fun () ->
+        let m = Option.get (solvable_at (Instances.id_task ~procs:2) 0) in
+        let input_vertices =
+          Array.init 2 (fun i ->
+              Option.get (Task.input_vertex m.Solvability.task ~proc:i ~value:(string_of_int i)))
+        in
+        match
+          Characterization.run_and_check m ~input_vertices ~participating:[ 0; 1 ]
+            (Runtime.round_robin ())
+        with
+        | Ok outputs -> checki "both decided" 2 (List.length outputs)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "rejects wrong-color input vertices" `Quick (fun () ->
+        let m = Option.get (solvable_at (Instances.id_task ~procs:2) 0) in
+        let v1 =
+          Option.get (Task.input_vertex m.Solvability.task ~proc:1 ~value:"1")
+        in
+        (try
+           ignore (Characterization.protocol_of_map m ~input_vertices:[| v1; v1 |]);
+           Alcotest.fail "expected Invalid_argument"
+         with Invalid_argument _ -> ()));
+  ]
+
+let characterization_prop_tests =
+  [
+    qtest ~count:60 "renaming map solves under random adversaries and participation"
+      QCheck2.Gen.(pair (int_range 0 500) (int_range 1 3))
+      (let m =
+         lazy (Option.get (solvable_at (Instances.adaptive_renaming ~procs:2 ~names:3) 1))
+       in
+       fun (seed, subset_id) ->
+         let m = Lazy.force m in
+         let participating =
+           match subset_id with 1 -> [ 0 ] | 2 -> [ 1 ] | _ -> [ 0; 1 ]
+         in
+         let input_vertices =
+           Array.init 2 (fun i ->
+               Option.get
+                 (Task.input_vertex m.Solvability.task ~proc:i ~value:(string_of_int i)))
+         in
+         Result.is_ok
+           (Characterization.run_and_check m ~input_vertices ~participating
+              (Runtime.random ~seed ())));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Emulation (Figure 2)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let emulation_unit_tests =
+  [
+    Alcotest.test_case "round-robin runs are atomic" `Quick (fun () ->
+        List.iter
+          (fun (n, k) ->
+            let r = Emulation.run (Emulation.full_information_spec ~procs:n ~k) (Runtime.round_robin ()) in
+            checkb (Printf.sprintf "n=%d k=%d" n k) true (Emulation.check r = Ok ()))
+          [ (2, 1); (2, 3); (3, 2); (4, 2) ]);
+    Alcotest.test_case "sequential emulation uses ~2k memories for n=2" `Quick (fun () ->
+        let r = Emulation.run (Emulation.full_information_spec ~procs:2 ~k:3) (Runtime.round_robin ()) in
+        checkb "memories between 2k and 4k" true
+          (r.Emulation.memories_used >= 6 && r.Emulation.memories_used <= 12));
+    Alcotest.test_case "every process performs its k rounds" `Quick (fun () ->
+        let r = Emulation.run (Emulation.full_information_spec ~procs:3 ~k:2) (Runtime.random ~seed:11 ()) in
+        let writes =
+          List.filter (fun o -> match o.Trace.kind with `Write _ -> true | _ -> false) r.Emulation.ops
+        in
+        let snaps =
+          List.filter (fun o -> match o.Trace.kind with `Snapshot _ -> true | _ -> false) r.Emulation.ops
+        in
+        checki "3 procs x 2 writes" 6 (List.length writes);
+        checki "3 procs x 2 snapshots" 6 (List.length snaps));
+    Alcotest.test_case "final snapshots contain own last value" `Quick (fun () ->
+        let r = Emulation.run (Emulation.full_information_spec ~procs:3 ~k:2) (Runtime.random ~seed:5 ()) in
+        Array.iteri
+          (fun i snap -> checkb "own cell non-empty" true (snap.(i) <> None))
+          r.Emulation.final_snapshots);
+    Alcotest.test_case "atomicity checker sees through a doctored history" `Quick (fun () ->
+        let r = Emulation.run (Emulation.full_information_spec ~procs:2 ~k:2) (Runtime.round_robin ()) in
+        (* corrupt one snapshot vector: erase another process's write that
+           completed before the snapshot started *)
+        let doctored =
+          List.map
+            (fun o ->
+              match o.Trace.kind with
+              | `Snapshot v when o.Trace.proc = 1 && Array.length v > 0 && v.(0) > 0 ->
+                let v' = Array.copy v in
+                v'.(0) <- 0;
+                { o with Trace.kind = `Snapshot v' }
+              | _ -> o)
+            r.Emulation.ops
+        in
+        if doctored <> r.Emulation.ops then
+          checkb "rejected" true (Trace.check_snapshot_atomicity doctored <> Ok ()));
+  ]
+
+let emulation_prop_tests =
+  [
+    qtest ~count:150 "random adversaries: emulated histories are atomic"
+      QCheck2.Gen.(pair (int_range 0 5000) (pair (int_range 2 4) (int_range 1 3)))
+      (fun (seed, (n, k)) ->
+        let r = Emulation.run (Emulation.full_information_spec ~procs:n ~k) (Runtime.random ~seed ()) in
+        Emulation.check r = Ok ());
+    qtest ~count:60 "crash adversaries: surviving history is atomic"
+      QCheck2.Gen.(pair (int_range 0 2000) (int_range 0 2))
+      (fun (seed, victim) ->
+        let r =
+          Emulation.run
+            (Emulation.full_information_spec ~procs:3 ~k:2)
+            (Runtime.random_with_crashes ~seed ~crash:[ victim ] ())
+        in
+        Emulation.check r = Ok ());
+    qtest ~count:50 "memory usage grows linearly in k (n=2, sequential)"
+      QCheck2.Gen.(int_range 1 8)
+      (fun k ->
+        let r = Emulation.run (Emulation.full_information_spec ~procs:2 ~k) (Runtime.round_robin ()) in
+        r.Emulation.memories_used = 4 * k);
+    qtest ~count:30 "isolating adversary: histories stay atomic"
+      QCheck2.Gen.(pair (int_range 2 4) (int_range 0 3))
+      (fun (procs, victim) ->
+        let victim = victim mod procs in
+        let r =
+          Emulation.run
+            (Emulation.full_information_spec ~procs ~k:2)
+            (Runtime.isolating ~victim ())
+        in
+        Emulation.check r = Ok ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Approximation (Lemma 5.3) and convergence (Theorem 5.1)              *)
+(* ------------------------------------------------------------------ *)
+
+let approximation_unit_tests =
+  [
+    Alcotest.test_case "Bsd^k approximates SDS(s^2)" `Slow (fun () ->
+        let target = Sds.subdiv (Sds.standard ~dim:2 ~levels:1) in
+        match Approximation.min_level ~scheme:`Bsd ~target () with
+        | Some (k, phi) ->
+          checkb "k small" true (k <= 4);
+          checkb "simplicial" true (Simplicial_map.is_simplicial phi)
+        | None -> Alcotest.fail "approximation must exist");
+    Alcotest.test_case "SDS refines SDS in one step" `Quick (fun () ->
+        let target = Sds.subdiv (Sds.standard ~dim:2 ~levels:1) in
+        match Approximation.min_level ~scheme:`Sds ~target () with
+        | Some (k, _) -> checki "level 1 suffices" 1 k
+        | None -> Alcotest.fail "must exist");
+    Alcotest.test_case "approximation maps are carrier monotone" `Quick (fun () ->
+        let base = Chromatic.standard_simplex 1 in
+        let target = Subdivision.subdiv (Subdivision.iterate base 2) in
+        match Approximation.min_level ~scheme:`Sds ~target () with
+        | Some (k, phi) ->
+          let source = Sds.subdiv (Sds.iterate base k) in
+          checkb "carrier monotone" true (Subdiv.is_carrier_monotone source target phi)
+        | None -> Alcotest.fail "must exist");
+    Alcotest.test_case "coarse source fails gracefully" `Quick (fun () ->
+        let base = Chromatic.standard_simplex 1 in
+        let fine = Subdivision.subdiv (Subdivision.iterate base 3) in
+        let coarse = Sds.subdiv (Sds.iterate base 1) in
+        match Approximation.approximate ~source:coarse ~target:fine with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "a 3-cell source cannot map onto an 8-cell path");
+    Alcotest.test_case "different bases rejected" `Quick (fun () ->
+        let a = Sds.subdiv (Sds.standard ~dim:1 ~levels:1) in
+        let b = Sds.subdiv (Sds.standard ~dim:2 ~levels:1) in
+        match Approximation.approximate ~source:a ~target:b with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "geometric chromatic fast path SDS^2 -> SDS^1" `Quick (fun () ->
+        let source = Sds.subdiv (Sds.standard ~dim:2 ~levels:2) in
+        let target = Sds.subdiv (Sds.standard ~dim:2 ~levels:1) in
+        match Approximation.chromatic_geometric ~source ~target with
+        | Ok phi ->
+          checkb "simplicial" true (Simplicial_map.is_simplicial phi);
+          checkb "color preserving" true
+            (Simplicial_map.is_color_preserving
+               ~src_color:(Chromatic.color source.Subdiv.cx)
+               ~dst_color:(Chromatic.color target.Subdiv.cx)
+               phi);
+          checkb "carrier monotone" true (Subdiv.is_carrier_monotone source target phi)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "chromatic map onto SDS^2(s^2) at k=2" `Slow (fun () ->
+        match
+          Approximation.chromatic ~max_k:2 ~target:(Sds.subdiv (Sds.standard ~dim:2 ~levels:2)) ()
+        with
+        | Some (k, m) ->
+          checki "k = 2" 2 k;
+          checkb "verifies" true (Solvability.verify m = Ok ())
+        | None -> Alcotest.fail "must exist");
+    Alcotest.test_case "Theorem 5.1: chromatic maps exist" `Slow (fun () ->
+        List.iter
+          (fun (name, target) ->
+            match Approximation.chromatic ~target () with
+            | Some (_, m) ->
+              checkb (name ^ " verifies") true (Solvability.verify m = Ok ())
+            | None -> Alcotest.fail (name ^ ": chromatic approximation must exist"))
+          [
+            ("SDS^2(s^1)", Sds.subdiv (Sds.standard ~dim:1 ~levels:2));
+            ("SDS(s^2)", Sds.subdiv (Sds.standard ~dim:2 ~levels:1));
+          ]);
+  ]
+
+let convergence_unit_tests =
+  [
+    Alcotest.test_case "CSASS over SDS^2(s^1) end to end" `Slow (fun () ->
+        match Convergence.prepare (Sds.subdiv (Sds.standard ~dim:1 ~levels:2)) with
+        | Some t -> checkb "validates" true (Convergence.validate t = Ok ())
+        | None -> Alcotest.fail "prepare failed");
+    Alcotest.test_case "CSASS over SDS(s^2) end to end" `Slow (fun () ->
+        match Convergence.prepare (Sds.subdiv (Sds.standard ~dim:2 ~levels:1)) with
+        | Some t -> checkb "validates" true (Convergence.validate t = Ok ())
+        | None -> Alcotest.fail "prepare failed");
+    Alcotest.test_case "solo convergence lands on the corner" `Quick (fun () ->
+        match Convergence.prepare (Sds.subdiv (Sds.standard ~dim:1 ~levels:1)) with
+        | None -> Alcotest.fail "prepare failed"
+        | Some t -> (
+          match Convergence.run t ~participating:[ 0 ] (Runtime.round_robin ()) with
+          | Ok [ (0, w) ] ->
+            checkb "corner carrier" true
+              (Simplex.equal (t.Convergence.target.Subdiv.carrier w) (Simplex.of_list [ 0 ]))
+          | Ok _ -> Alcotest.fail "expected exactly one output"
+          | Error e -> Alcotest.fail e));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bounded (Lemma 3.1)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let bounded_unit_tests =
+  [
+    Alcotest.test_case "renaming bound is one WriteRead" `Quick (fun () ->
+        let r = Bounded.decision_bound (fun () -> Protocols.is_renaming ~procs:2) in
+        checki "bound" 1 r.Bounded.bound;
+        checkb "explored > 1 run" true (r.Bounded.runs > 1));
+    Alcotest.test_case "k-round IIS full information has bound k" `Quick (fun () ->
+        let inputs = Array.init 2 (fun i -> i) in
+        let r =
+          Bounded.decision_bound (fun () ->
+              Full_information.iis_k_shot ~procs:2 ~k:3 ~inputs)
+        in
+        checki "bound" 3 r.Bounded.bound);
+    Alcotest.test_case "BG immediate snapshot bound is <= 2m" `Quick (fun () ->
+        let r = Bounded.decision_bound (fun () -> Bg_is.actions ~inputs:[| 0; 1 |]) in
+        checkb "bound within 2m" true (r.Bounded.bound <= 4));
+    Alcotest.test_case "crashes do not raise the bound" `Quick (fun () ->
+        let plain = Bounded.decision_bound (fun () -> Protocols.is_renaming ~procs:2) in
+        let crashy =
+          Bounded.decision_bound ~crashes:1 (fun () -> Protocols.is_renaming ~procs:2)
+        in
+        checkb "no increase" true (crashy.Bounded.bound <= plain.Bounded.bound));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Sperner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sperner_unit_tests =
+  [
+    Alcotest.test_case "set-consensus decision maps would contradict parity" `Quick (fun () ->
+        (* the (2,2) map exists and is a Sperner labeling with panchromatic
+           facets allowed; (3,2) would need zero panchromatic facets *)
+        match Solvability.solve_at (Instances.set_consensus ~procs:2 ~k:2) 1 with
+        | Solvability.Solvable m -> (
+          match Sperner.decision_map_labeling m with
+          | Some label ->
+            let sds = m.Solvability.sds in
+            checkb "is sperner labeling" true (Sperner.is_sperner_labeling sds ~label);
+            checki "odd panchromatic count" 1
+              (List.length (Sperner.panchromatic_facets sds ~label) mod 2)
+          | None -> Alcotest.fail "labeling should decode")
+        | _ -> Alcotest.fail "(2,2) solvable");
+  ]
+
+let sperner_prop_tests =
+  [
+    qtest ~count:150 "Sperner parity on SDS^b(s^n)"
+      QCheck2.Gen.(pair (int_range 0 10_000) (oneofl [ (1, 1); (1, 2); (1, 3); (2, 1); (2, 2); (3, 1) ]))
+      (fun (seed, (n, b)) ->
+        let sds = Sds.standard ~dim:n ~levels:b in
+        let label = Sperner.random_sperner_labeling ~seed sds in
+        Sperner.is_sperner_labeling sds ~label
+        && List.length (Sperner.panchromatic_facets sds ~label) mod 2 = 1);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* NCSAC: two-process simplex agreement over a no-hole complex          *)
+(* ------------------------------------------------------------------ *)
+
+let path_n n = Complex.of_facets (List.init n (fun i -> [ i; i + 1 ]))
+
+let ncsac_unit_tests =
+  [
+    Alcotest.test_case "rounds follow the diameter" `Quick (fun () ->
+        checki "path 8" 3 (Ncsac.rounds_needed (path_n 8));
+        checki "path 1" 1 (Ncsac.rounds_needed (path_n 1));
+        checki "path 2" 1 (Ncsac.rounds_needed (path_n 2)));
+    Alcotest.test_case "validates on paths, skeleta, and cycles" `Quick (fun () ->
+        let sds = Chromatic.complex (Sds.complex (Sds.standard ~dim:2 ~levels:2)) in
+        List.iter
+          (fun (name, cx, a, b) ->
+            Alcotest.(check string) name "ok"
+              (match Ncsac.validate ~seeds:(List.init 10 (fun i -> i)) cx ~inputs:(a, b) with
+              | Ok () -> "ok"
+              | Error e -> e))
+          [
+            ("path-8", path_n 8, 0, 8);
+            ("sds-skeleton", sds, List.hd (Complex.vertices sds), List.nth (Complex.vertices sds) 50);
+            ("circle-6", Complex.of_facets [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ]; [ 4; 5 ]; [ 0; 5 ] ], 0, 3);
+          ]);
+    Alcotest.test_case "rejects bad inputs" `Quick (fun () ->
+        let two = Complex.of_facets [ [ 0; 1 ]; [ 2; 3 ] ] in
+        (try
+           ignore (Ncsac.protocol two ~inputs:(0, 3));
+           Alcotest.fail "expected Invalid_argument"
+         with Invalid_argument _ -> ()));
+    Alcotest.test_case "checker logic" `Quick (fun () ->
+        let c = path_n 3 in
+        checkb "solo off input" true
+          (Ncsac.check_outputs c ~inputs:(0, 3) ~participation:(Ncsac.Solo 0) (Some 1, None)
+          <> Ok ());
+        checkb "non-simplex pair" true
+          (Ncsac.check_outputs c ~inputs:(0, 3) ~participation:Ncsac.Both (Some 0, Some 3)
+          <> Ok ());
+        checkb "adjacent ok" true
+          (Ncsac.check_outputs c ~inputs:(0, 3) ~participation:Ncsac.Both (Some 1, Some 2)
+          = Ok ()));
+  ]
+
+let ncsac_prop_tests =
+  [
+    qtest ~count:80 "two-process convergence on random paths"
+      QCheck2.Gen.(triple (int_range 0 500) (int_range 1 12) (int_range 0 12))
+      (fun (seed, len, b0) ->
+        let cx = path_n len in
+        let a = 0 and b = min b0 len in
+        let o = Runtime.run (Ncsac.protocol cx ~inputs:(a, b)) (Runtime.random ~seed ()) in
+        Ncsac.check_outputs cx ~inputs:(a, b) ~participation:Ncsac.Both
+          (o.Runtime.results.(0), o.Runtime.results.(1))
+        = Ok ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* New task instances: test-and-set and fetch&increment order           *)
+(* ------------------------------------------------------------------ *)
+
+let tas_unit_tests =
+  [
+    Alcotest.test_case "test-and-set verdicts" `Quick (fun () ->
+        (match Solvability.solve ~max_level:2 (Instances.k_test_and_set ~procs:2 ~k:1) with
+        | Solvability.Unsolvable_at _ -> ()
+        | _ -> Alcotest.fail "(2,1)-TAS must be unsolvable (consensus number 2)");
+        checkb "(2,2)-TAS trivial" true
+          (match Solvability.solve_at (Instances.k_test_and_set ~procs:2 ~k:2) 0 with
+          | Solvability.Solvable _ -> true
+          | _ -> false);
+        match Solvability.solve ~max_level:1 (Instances.k_test_and_set ~procs:3 ~k:2) with
+        | Solvability.Unsolvable_at _ -> ()
+        | _ -> Alcotest.fail "(3,2)-TAS must be unsolvable at b<=1");
+    Alcotest.test_case "fetch&increment order verdicts" `Quick (fun () ->
+        (match Solvability.solve ~max_level:2 (Instances.fetch_and_increment_order ~procs:2) with
+        | Solvability.Unsolvable_at _ -> ()
+        | _ -> Alcotest.fail "FAI order (2 procs) must be unsolvable");
+        checkb "solo trivially solvable" true
+          (match Solvability.solve_at (Instances.fetch_and_increment_order ~procs:1) 0 with
+          | Solvability.Solvable _ -> true
+          | _ -> false));
+    Alcotest.test_case "new instances are well-formed" `Quick (fun () ->
+        checkb "TAS" true (Task.well_formed (Instances.k_test_and_set ~procs:3 ~k:2) = Ok ());
+        checkb "FAI" true (Task.well_formed (Instances.fetch_and_increment_order ~procs:2) = Ok ()));
+    Alcotest.test_case "loop agreement: disk solvable, circle not" `Quick (fun () ->
+        (match Solvability.solve ~max_level:1 (Instances.loop_agreement_on_disk ()) with
+        | Solvability.Solvable m ->
+          checki "one round" 1 m.Solvability.level;
+          checkb "verifies" true (Solvability.verify m = Ok ())
+        | _ -> Alcotest.fail "disk loop agreement must be solvable");
+        match Solvability.solve ~max_level:2 (Instances.loop_agreement_on_circle ()) with
+        | Solvability.Unsolvable_at _ -> ()
+        | _ -> Alcotest.fail "circle loop agreement must be unsolvable");
+    Alcotest.test_case "task products: closure properties" `Slow (fun () ->
+        (* product of solvables solvable at max level *)
+        (match
+           Solvability.solve ~max_level:1
+             (Task.product
+                (Instances.adaptive_renaming ~procs:2 ~names:3)
+                (Instances.approximate_agreement ~procs:2 ~grid:3))
+         with
+        | Solvability.Solvable m ->
+          checki "level 1" 1 m.Solvability.level;
+          checkb "verifies" true (Solvability.verify m = Ok ())
+        | _ -> Alcotest.fail "product of solvables must be solvable");
+        (* a product with an unsolvable factor is unsolvable *)
+        match
+          Solvability.solve ~max_level:1
+            (Task.product
+               (Instances.adaptive_renaming ~procs:2 ~names:3)
+               (Instances.binary_consensus ~procs:2))
+        with
+        | Solvability.Unsolvable_at _ -> ()
+        | _ -> Alcotest.fail "product with consensus must be unsolvable");
+    Alcotest.test_case "loop agreement rejects broken paths" `Quick (fun () ->
+        let cx = Complex.of_facets [ [ 0; 1; 2 ] ] in
+        (try
+           ignore
+             (Instances.loop_agreement cx ~corners:(0, 1, 2) ~paths:([ 0; 1 ], [ 1; 2 ], [ 0; 1 ]));
+           Alcotest.fail "expected Invalid_argument (p02 wrong endpoints)"
+         with Invalid_argument _ -> ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Exact two-process decidability                                       *)
+(* ------------------------------------------------------------------ *)
+
+let decidability_unit_tests =
+  [
+    Alcotest.test_case "all-level impossibilities" `Quick (fun () ->
+        List.iter
+          (fun (name, t) ->
+            checkb name true (Decidability.two_process t = Decidability.Unsolvable))
+          [
+            ("consensus", Instances.binary_consensus ~procs:2);
+            ("renaming 2 names", Instances.adaptive_renaming ~procs:2 ~names:2);
+            ("test-and-set", Instances.k_test_and_set ~procs:2 ~k:1);
+            ("fetch&inc order", Instances.fetch_and_increment_order ~procs:2);
+          ]);
+    Alcotest.test_case "exact minimal levels" `Quick (fun () ->
+        List.iter
+          (fun (name, t, expect) ->
+            match Decidability.two_process t with
+            | Decidability.Solvable_at b -> checki name expect b
+            | Decidability.Unsolvable -> Alcotest.fail (name ^ " should be solvable"))
+          [
+            ("identity", Instances.id_task ~procs:2, 0);
+            ("renaming 3 names", Instances.adaptive_renaming ~procs:2 ~names:3, 1);
+            ("approx grid 9", Instances.approximate_agreement ~procs:2 ~grid:9, 2);
+            ("approx grid 10", Instances.approximate_agreement ~procs:2 ~grid:10, 3);
+          ]);
+    Alcotest.test_case "agrees with the bounded search" `Slow (fun () ->
+        List.iter
+          (fun (name, t) -> checkb name true (Decidability.agrees_with_search t))
+          [
+            ("consensus", Instances.binary_consensus ~procs:2);
+            ("renaming(2,3)", Instances.adaptive_renaming ~procs:2 ~names:3);
+            ("TAS(2,1)", Instances.k_test_and_set ~procs:2 ~k:1);
+            ("approx grid 3", Instances.approximate_agreement ~procs:2 ~grid:3);
+            ("set-consensus(2,2)", Instances.set_consensus ~procs:2 ~k:2);
+          ]);
+    Alcotest.test_case "rejects non-two-process tasks" `Quick (fun () ->
+        (try
+           ignore (Decidability.two_process (Instances.id_task ~procs:3));
+           Alcotest.fail "expected Invalid_argument"
+         with Invalid_argument _ -> ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* BG simulation                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let bg_sim_unit_tests =
+  [
+    Alcotest.test_case "2 simulators x 3 processes, sequential" `Quick (fun () ->
+        let spec = Bg_simulation.full_information_spec ~procs:3 ~k:2 in
+        let r = Bg_simulation.run ~simulators:2 spec (Runtime.round_robin ()) in
+        checkb "all complete" true (Array.for_all (fun b -> b) r.Bg_simulation.completed);
+        checkb "history legal" true (Bg_simulation.check spec r = Ok ()));
+    Alcotest.test_case "3 simulators x 4 processes, random" `Quick (fun () ->
+        let spec = Bg_simulation.full_information_spec ~procs:4 ~k:2 in
+        List.iter
+          (fun seed ->
+            let r = Bg_simulation.run ~simulators:3 spec (Runtime.random ~seed ()) in
+            checkb "all complete" true (Array.for_all (fun b -> b) r.Bg_simulation.completed);
+            checkb "history legal" true (Bg_simulation.check spec r = Ok ()))
+          [ 0; 3; 7; 11 ]);
+    Alcotest.test_case "check rejects a forged history" `Quick (fun () ->
+        let spec = Bg_simulation.full_information_spec ~procs:2 ~k:1 in
+        let r = Bg_simulation.run ~simulators:2 spec (Runtime.round_robin ()) in
+        let forged =
+          {
+            r with
+            Bg_simulation.snapshots =
+              (* add an incomparable sibling snapshot *)
+              (0, 1, [| 1; 0 |]) :: (1, 1, [| 0; 1 |]) :: [];
+          }
+        in
+        checkb "rejected" true (Bg_simulation.check spec forged <> Ok ()));
+  ]
+
+let bg_sim_prop_tests =
+  [
+    qtest ~count:50 "random adversaries: simulated histories legal, all complete"
+      QCheck2.Gen.(int_range 0 1000)
+      (fun seed ->
+        let spec = Bg_simulation.full_information_spec ~procs:3 ~k:2 in
+        let r = Bg_simulation.run ~simulators:2 spec (Runtime.random ~seed ()) in
+        Array.for_all (fun b -> b) r.Bg_simulation.completed
+        && Bg_simulation.check spec r = Ok ());
+    qtest ~count:40 "one simulator crash blocks at most one simulated process"
+      QCheck2.Gen.(int_range 0 1000)
+      (fun seed ->
+        let spec = Bg_simulation.full_information_spec ~procs:3 ~k:2 in
+        let r =
+          Bg_simulation.run ~simulators:2 spec
+            (Runtime.random_with_crashes ~seed ~crash:[ seed mod 2 ] ())
+        in
+        let completed =
+          Array.fold_left (fun a b -> if b then a + 1 else a) 0 r.Bg_simulation.completed
+        in
+        completed >= Bg_simulation.min_completed ~simulators:2 ~crashed:1 spec
+        && Bg_simulation.check spec r = Ok ());
+  ]
+
+let () =
+  Alcotest.run "wfc_core"
+    [
+      ("solvability", solvability_unit_tests @ tas_unit_tests);
+      ("decidability", decidability_unit_tests);
+      ("bg-simulation", bg_sim_unit_tests @ bg_sim_prop_tests);
+      ("characterization", characterization_unit_tests @ characterization_prop_tests);
+      ("emulation", emulation_unit_tests @ emulation_prop_tests);
+      ("approximation", approximation_unit_tests);
+      ("convergence", convergence_unit_tests);
+      ("bounded", bounded_unit_tests);
+      ("sperner", sperner_unit_tests @ sperner_prop_tests);
+      ("ncsac", ncsac_unit_tests @ ncsac_prop_tests);
+    ]

@@ -1,0 +1,526 @@
+(* Tests for the executable concurrency substrate. *)
+
+open Wfc_topology
+open Wfc_model
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime semantics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let write_then_read_protocol i =
+  (* write own id, read the other cell *)
+  Action.Write (i, fun () -> Action.Read (1 - i, fun v -> Action.Decide (Option.value v ~default:(-1))))
+
+let runtime_unit_tests =
+  [
+    Alcotest.test_case "round-robin interleaves writes before reads" `Quick (fun () ->
+        let o = Runtime.run (Array.init 2 write_then_read_protocol) (Runtime.round_robin ()) in
+        (* schedule: P0 write, P1 write, P0 read(sees 1), P1 read(sees 0) *)
+        Alcotest.check (Alcotest.array (Alcotest.option Alcotest.int)) "results"
+          [| Some 1; Some 0 |] o.Runtime.results);
+    Alcotest.test_case "linear schedule controls visibility" `Quick (fun () ->
+        (* P0 runs completely before P1 starts: P0 sees nothing *)
+        let o =
+          Runtime.run
+            (Array.init 2 write_then_read_protocol)
+            (Runtime.linear_schedule [ 0; 0; 1; 1 ])
+        in
+        Alcotest.check (Alcotest.array (Alcotest.option Alcotest.int)) "results"
+          [| Some (-1); Some 0 |] o.Runtime.results);
+    Alcotest.test_case "linear schedule rejects blocked process" `Quick (fun () ->
+        let procs =
+          [| Action.Write_read { level = 0; value = 0; k = (fun _ -> Action.Decide 0) } |]
+        in
+        (try
+           ignore (Runtime.run procs (Runtime.linear_schedule [ 0 ]));
+           Alcotest.fail "expected Invalid_decision"
+         with Runtime.Invalid_decision _ -> ()));
+    Alcotest.test_case "snapshot sees own write" `Quick (fun () ->
+        let protocol i =
+          Action.Write
+            ( i,
+              fun () ->
+                Action.Snapshot
+                  (fun view ->
+                    Action.Decide (match view.(i) with Some x when x = i -> 1 | _ -> 0)) )
+        in
+        let o = Runtime.run (Array.init 3 protocol) (Runtime.random ~seed:3 ()) in
+        Array.iter
+          (fun r ->
+            match r with
+            | None -> Alcotest.fail "everyone decides"
+            | Some bit -> checkb "self visible" true (bit = 1))
+          o.Runtime.results);
+    Alcotest.test_case "one-shot memory enforced" `Quick (fun () ->
+        let procs =
+          [|
+            Action.Write_read
+              {
+                level = 0;
+                value = 0;
+                k =
+                  (fun _ ->
+                    Action.Write_read { level = 0; value = 1; k = (fun _ -> Action.Decide 0) });
+              };
+          |]
+        in
+        (try
+           ignore (Runtime.run procs (Runtime.round_robin ()));
+           Alcotest.fail "expected Invalid_decision"
+         with Runtime.Invalid_decision _ -> ()));
+    Alcotest.test_case "crash stops a process" `Quick (fun () ->
+        let strategy =
+          let step = ref 0 in
+          fun (v : Runtime.view) ->
+            incr step;
+            if !step = 1 then Runtime.Crash 0
+            else
+              match v.Runtime.runnable with
+              | p :: _ -> Runtime.Step p
+              | [] -> Runtime.Halt
+        in
+        let o = Runtime.run (Array.init 2 write_then_read_protocol) strategy in
+        checkb "P0 undecided" true (o.Runtime.results.(0) = None);
+        checkb "P1 decided" true (o.Runtime.results.(1) <> None);
+        (* P1 must not have seen P0's write *)
+        Alcotest.check (Alcotest.option Alcotest.int) "P1 saw nothing" (Some (-1))
+          o.Runtime.results.(1));
+    Alcotest.test_case "fire requires arrival" `Quick (fun () ->
+        let procs = [| Action.Decide 0 |] in
+        ignore procs;
+        let strategy _ = Runtime.Fire (0, [ 0 ]) in
+        let waiting =
+          [| Action.Write_read { level = 0; value = 7; k = (fun _ -> Action.Decide 1) }; Action.Decide 9 |]
+        in
+        (* firing process 1 (never arrived) must fail *)
+        let bad _ = Runtime.Fire (0, [ 1 ]) in
+        (try
+           ignore (Runtime.run waiting bad);
+           Alcotest.fail "expected Invalid_decision"
+         with Runtime.Invalid_decision _ -> ());
+        (* firing process 0 works *)
+        let o = Runtime.run waiting strategy in
+        Alcotest.check (Alcotest.option Alcotest.int) "decided" (Some 1) o.Runtime.results.(0));
+    Alcotest.test_case "fire semantics: block sees all previous blocks" `Quick (fun () ->
+        let protocol i =
+          (* values are singleton lists so the decision can carry the whole
+             view (the runtime's value type is shared between memory and
+             decisions) *)
+          Action.Write_read
+            {
+              level = 0;
+              value = [ i * 10 ];
+              k = (fun r -> Action.Decide (List.concat r.Action.seen));
+            }
+        in
+        let fires = ref [ Runtime.Fire (0, [ 1 ]); Runtime.Fire (0, [ 0; 2 ]) ] in
+        let strategy _ =
+          match !fires with
+          | d :: rest ->
+            fires := rest;
+            d
+          | [] -> Runtime.Halt
+        in
+        let o = Runtime.run (Array.init 3 protocol) strategy in
+        Alcotest.check (Alcotest.list Alcotest.int) "P1 sees own block only" [ 10 ]
+          (Option.get o.Runtime.results.(1));
+        Alcotest.check (Alcotest.list Alcotest.int) "P0 sees both blocks" [ 0; 10; 20 ]
+          (Option.get o.Runtime.results.(0));
+        Alcotest.check (Alcotest.list Alcotest.int) "P2 sees both blocks" [ 0; 10; 20 ]
+          (Option.get o.Runtime.results.(2)));
+    Alcotest.test_case "isolating adversary: victim never sees the others" `Quick (fun () ->
+        let inputs = Array.init 3 (fun i -> i) in
+        let o =
+          Runtime.run
+            (Full_information.iis_k_shot ~procs:3 ~k:2 ~inputs)
+            (Runtime.isolating ~victim:1 ())
+        in
+        checkb "all decide" true (Array.for_all Option.is_some o.Runtime.results);
+        (match o.Runtime.results.(1) with
+        | Some v ->
+          Alcotest.check (Alcotest.list Alcotest.int) "victim sees only itself" [ 1 ]
+            (Full_information.iview_procs_seen v)
+        | None -> Alcotest.fail "victim decides");
+        match o.Runtime.results.(0) with
+        | Some v ->
+          Alcotest.check (Alcotest.list Alcotest.int) "others see everyone" [ 0; 1; 2 ]
+            (Full_information.iview_procs_seen v)
+        | None -> Alcotest.fail "others decide");
+    Alcotest.test_case "memories_used counts fired memories" `Quick (fun () ->
+        let inputs = Array.init 3 (fun i -> i) in
+        let o =
+          Runtime.run (Full_information.iis_k_shot ~procs:3 ~k:2 ~inputs) (Runtime.round_robin ())
+        in
+        checki "two memories" 2 o.Runtime.memories_used);
+  ]
+
+let runtime_prop_tests =
+  [
+    qtest "random adversary always finishes IIS full-information"
+      QCheck2.Gen.(pair (int_range 0 1000) (pair (int_range 2 5) (int_range 1 4)))
+      (fun (seed, (procs, k)) ->
+        let inputs = Array.init procs (fun i -> i) in
+        let o =
+          Runtime.run (Full_information.iis_k_shot ~procs ~k ~inputs) (Runtime.random ~seed ())
+        in
+        Array.for_all Option.is_some o.Runtime.results
+        && o.Runtime.memories_used = k);
+    qtest "IS views from every random run satisfy the spec"
+      QCheck2.Gen.(pair (int_range 0 2000) (int_range 2 6))
+      (fun (seed, procs) ->
+        let inputs = Array.init procs (fun i -> i) in
+        let o =
+          Runtime.run (Full_information.iis_k_shot ~procs ~k:1 ~inputs) (Runtime.random ~seed ())
+        in
+        let views =
+          Array.to_list o.Runtime.results
+          |> List.mapi (fun p r -> (p, r))
+          |> List.filter_map (fun (p, r) ->
+                 Option.map (fun v -> (p, Full_information.iview_procs_seen v)) r)
+        in
+        Trace.check_immediate_snapshot views = Ok ());
+    qtest "crashing any one process never blocks the others (IIS)"
+      QCheck2.Gen.(pair (int_range 0 500) (int_range 0 2))
+      (fun (seed, victim) ->
+        let inputs = Array.init 3 (fun i -> i) in
+        let o =
+          Runtime.run
+            (Full_information.iis_k_shot ~procs:3 ~k:3 ~inputs)
+            (Runtime.random_with_crashes ~seed ~crash:[ victim ] ())
+        in
+        Array.for_all Option.is_some
+          (Array.of_list
+             (List.filteri (fun i _ -> i <> victim) (Array.to_list o.Runtime.results))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace checkers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let trace_unit_tests =
+  [
+    Alcotest.test_case "IS spec checker accepts partition views" `Quick (fun () ->
+        List.iter
+          (fun p ->
+            let views = Ordered_partition.views p in
+            checkb
+              (Format.asprintf "%a" Ordered_partition.pp p)
+              true
+              (Trace.check_immediate_snapshot views = Ok ()))
+          (Ordered_partition.enumerate [ 0; 1; 2 ]));
+    Alcotest.test_case "IS spec checker rejects violations" `Quick (fun () ->
+        checkb "no self" true
+          (Trace.check_immediate_snapshot [ (0, [ 1 ]); (1, [ 1 ]) ] <> Ok ());
+        checkb "incomparable" true
+          (Trace.check_immediate_snapshot [ (0, [ 0; 1 ]); (1, [ 1; 2 ]); (2, [ 2 ]) ] <> Ok ());
+        checkb "immediacy broken" true
+          (Trace.check_immediate_snapshot [ (0, [ 0; 1; 2 ]); (1, [ 0; 1 ]); (2, [ 0; 1; 2 ]) ]
+          <> Ok ()));
+    Alcotest.test_case "partition reconstruction" `Quick (fun () ->
+        List.iter
+          (fun p ->
+            match Trace.partition_of_views (Ordered_partition.views p) with
+            | Some p' ->
+              checkb "round trip" true (p = p')
+            | None -> Alcotest.fail "expected reconstruction")
+          (Ordered_partition.enumerate [ 0; 1; 2 ]));
+    Alcotest.test_case "atomicity checker accepts a serial history" `Quick (fun () ->
+        let ops =
+          [
+            { Trace.proc = 0; index = 0; kind = `Write 1; t_start = 0; t_end = 0 };
+            { Trace.proc = 0; index = 1; kind = `Snapshot [| 1; 0 |]; t_start = 1; t_end = 1 };
+            { Trace.proc = 1; index = 0; kind = `Write 1; t_start = 2; t_end = 2 };
+            { Trace.proc = 1; index = 1; kind = `Snapshot [| 1; 1 |]; t_start = 3; t_end = 3 };
+          ]
+        in
+        checkb "legal" true (Trace.check_snapshot_atomicity ops = Ok ()));
+    Alcotest.test_case "atomicity checker rejects missed writes" `Quick (fun () ->
+        let ops =
+          [
+            { Trace.proc = 0; index = 0; kind = `Write 1; t_start = 0; t_end = 0 };
+            { Trace.proc = 1; index = 0; kind = `Snapshot [| 0; 0 |]; t_start = 5; t_end = 5 };
+          ]
+        in
+        checkb "missed write" true (Trace.check_snapshot_atomicity ops <> Ok ()));
+    Alcotest.test_case "atomicity checker rejects future reads" `Quick (fun () ->
+        let ops =
+          [
+            { Trace.proc = 1; index = 0; kind = `Snapshot [| 1; 0 |]; t_start = 0; t_end = 0 };
+            { Trace.proc = 0; index = 0; kind = `Write 1; t_start = 5; t_end = 5 };
+          ]
+        in
+        checkb "future read" true (Trace.check_snapshot_atomicity ops <> Ok ()));
+    Alcotest.test_case "atomicity checker rejects incomparable snapshots" `Quick (fun () ->
+        let ops =
+          [
+            { Trace.proc = 0; index = 0; kind = `Snapshot [| 1; 0 |]; t_start = 0; t_end = 10 };
+            { Trace.proc = 1; index = 0; kind = `Snapshot [| 0; 1 |]; t_start = 0; t_end = 10 };
+            { Trace.proc = 0; index = 1; kind = `Write 1; t_start = 11; t_end = 11 };
+            { Trace.proc = 1; index = 1; kind = `Write 1; t_start = 11; t_end = 11 };
+          ]
+        in
+        checkb "incomparable" true (Trace.check_snapshot_atomicity ops <> Ok ()));
+    Alcotest.test_case "steps_of counts shared ops" `Quick (fun () ->
+        let o = Runtime.run (Array.init 2 write_then_read_protocol) (Runtime.round_robin ()) in
+        checki "P0 two ops" 2 (Trace.steps_of o.Runtime.trace 0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Schedules                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let schedule_unit_tests =
+  [
+    Alcotest.test_case "interleaving counts" `Quick (fun () ->
+        checki "2+2" 6 (Schedule.count_interleavings [| 2; 2 |]);
+        checki "2,2,2" 90 (Schedule.count_interleavings [| 2; 2; 2 |]);
+        checki "enumerated" 90 (List.length (Schedule.interleavings [| 2; 2; 2 |])));
+    Alcotest.test_case "interleavings respect counts" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            checki "total" 4 (List.length s);
+            checki "zeros" 2 (List.length (List.filter (( = ) 0) s)))
+          (Schedule.interleavings [| 2; 2 |]));
+    Alcotest.test_case "limit raises" `Quick (fun () ->
+        (try
+           ignore (Schedule.interleavings ~limit:10 [| 4; 4; 4 |]);
+           Alcotest.fail "expected Too_many"
+         with Schedule.Too_many _ -> ()));
+    Alcotest.test_case "partition sequences" `Quick (fun () ->
+        checki "3 procs 2 rounds" (13 * 13)
+          (List.length (Schedule.partition_sequences [ 0; 1; 2 ] 2)));
+    Alcotest.test_case "nonempty subsets" `Quick (fun () ->
+        checki "2^3 - 1" 7 (List.length (Schedule.nonempty_subsets [ 0; 1; 2 ])));
+  ]
+
+let schedule_prop_tests =
+  [
+    qtest "random interleavings have the right counts"
+      QCheck2.Gen.(pair (int_range 0 1000) (int_range 1 4))
+      (fun (seed, n) ->
+        let st = Random.State.make [| seed |] in
+        let counts = Array.init n (fun i -> i + 1) in
+        let s = Schedule.random_interleaving st counts in
+        Array.for_all (fun x -> x)
+          (Array.mapi
+             (fun p c -> List.length (List.filter (( = ) p) s) = c)
+             counts));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Full information and protocol complexes                              *)
+(* ------------------------------------------------------------------ *)
+
+let pc_unit_tests =
+  [
+    Alcotest.test_case "Lemma 3.2: one-shot IS complex = SDS(s^n)" `Slow (fun () ->
+        List.iter
+          (fun n ->
+            let pc = Protocol_complex.one_shot_is ~procs:(n + 1) in
+            let sds = Sds.standard ~dim:n ~levels:1 in
+            checkb (Printf.sprintf "n=%d" n) true (Protocol_complex.matches_sds pc sds))
+          [ 0; 1; 2; 3 ]);
+    Alcotest.test_case "Lemma 3.3: b-shot IIS complex = SDS^b(s^n)" `Slow (fun () ->
+        List.iter
+          (fun (n, b) ->
+            let pc = Protocol_complex.iis ~procs:(n + 1) ~rounds:b in
+            let sds = Sds.standard ~dim:n ~levels:b in
+            checkb (Printf.sprintf "n=%d b=%d" n b) true (Protocol_complex.matches_sds pc sds))
+          [ (1, 2); (1, 3); (2, 2) ]);
+    Alcotest.test_case "atomic 1-round complex strictly contains IS complex" `Slow (fun () ->
+        let pa = Protocol_complex.atomic ~procs:3 ~rounds:1 in
+        let pis = Protocol_complex.one_shot_is ~procs:3 in
+        checkb "IS inside atomic" true (Protocol_complex.is_subcomplex_of pis pa);
+        checkb "atomic not inside IS" false (Protocol_complex.is_subcomplex_of pa pis);
+        checki "19 facets for 3 procs" 19
+          (Complex.num_facets (Chromatic.complex pa.Protocol_complex.chromatic)));
+    Alcotest.test_case "2 procs: atomic 1-round = IS (models coincide)" `Quick (fun () ->
+        let pa = Protocol_complex.atomic ~procs:2 ~rounds:1 in
+        let pis = Protocol_complex.one_shot_is ~procs:2 in
+        checkb "both directions" true
+          (Protocol_complex.is_subcomplex_of pis pa && Protocol_complex.is_subcomplex_of pa pis));
+    Alcotest.test_case "protocol complexes are chromatic and pure" `Quick (fun () ->
+        let pc = Protocol_complex.iis ~procs:3 ~rounds:1 in
+        let cx = Chromatic.complex pc.Protocol_complex.chromatic in
+        checkb "pure" true (Complex.is_pure cx);
+        checkb "acyclic (it is a subdivided simplex)" true (Homology.is_acyclic cx));
+    Alcotest.test_case "canonical encodings agree between model and topology" `Quick (fun () ->
+        let sds = Sds.standard ~dim:1 ~levels:1 in
+        let pc = Protocol_complex.one_shot_is ~procs:2 in
+        let sds_views =
+          List.map (Sds.canonical_view sds)
+            (Complex.vertices (Chromatic.complex (Sds.complex sds)))
+          |> List.sort compare
+        in
+        let pc_views =
+          List.map pc.Protocol_complex.view_of
+            (Complex.vertices (Chromatic.complex pc.Protocol_complex.chromatic))
+          |> List.sort compare
+        in
+        Alcotest.check (Alcotest.list Alcotest.string) "same view sets" sds_views pc_views);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Double collect                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let collect_unit_tests =
+  [
+    Alcotest.test_case "collect reads all cells" `Quick (fun () ->
+        let protocol i =
+          Action.Write
+            ( i,
+              fun () ->
+                Collect.collect ~procs:2 (fun view ->
+                    Action.Decide (match view.(i) with Some x when x = i -> 1 | _ -> 0)) )
+        in
+        let o = Runtime.run (Array.init 2 protocol) (Runtime.round_robin ()) in
+        Array.iter
+          (fun r -> checkb "own value present" true (Option.get r = 1))
+          o.Runtime.results);
+    Alcotest.test_case "double collect terminates once writers stop" `Quick (fun () ->
+        let inputs = Array.init 3 (fun i -> i) in
+        List.iter
+          (fun seed ->
+            let o =
+              Runtime.run
+                (Collect.full_information ~procs:3 ~k:2 ~inputs)
+                (Runtime.random ~seed ())
+            in
+            checkb "all decide" true (Array.for_all Option.is_some o.Runtime.results))
+          [ 0; 1; 2; 3; 4 ]);
+    Alcotest.test_case "double collect views match primitive snapshots in sequential runs"
+      `Quick (fun () ->
+        let inputs = Array.init 2 (fun i -> i) in
+        let via_collect =
+          Runtime.run (Collect.full_information ~procs:2 ~k:1 ~inputs) (Runtime.round_robin ())
+        in
+        checkb "decided" true (Array.for_all Option.is_some via_collect.Runtime.results));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Borowsky–Gafni immediate snapshot                                    *)
+(* ------------------------------------------------------------------ *)
+
+let bg_unit_tests =
+  [
+    Alcotest.test_case "exhaustive: all outputs legal (2 procs)" `Quick (fun () ->
+        let current = ref [] in
+        let make () =
+          current := [];
+          Bg_is.actions_recording ~inputs:[| "a"; "b" |]
+            ~record:(fun i set _ -> current := (i, List.map fst set) :: !current)
+        in
+        let runs =
+          Explore.explore make (fun _ ->
+              checkb "legal" true (Trace.check_immediate_snapshot !current = Ok ()))
+        in
+        checkb "explored some runs" true (runs > 1));
+    Alcotest.test_case "exhaustive: all outputs legal (3 procs)" `Slow (fun () ->
+        let current = ref [] in
+        let make () =
+          current := [];
+          Bg_is.actions_recording ~inputs:[| 0; 1; 2 |]
+            ~record:(fun i set _ -> current := (i, List.map fst set) :: !current)
+        in
+        let runs =
+          Explore.explore ~max_runs:100_000 make (fun _ ->
+              checkb "legal" true (Trace.check_immediate_snapshot !current = Ok ()))
+        in
+        checki "16380 schedules" 16380 runs);
+    Alcotest.test_case "exhaustive with a crash (2 procs)" `Quick (fun () ->
+        let current = ref [] in
+        let make () =
+          current := [];
+          Bg_is.actions_recording ~inputs:[| 0; 1 |]
+            ~record:(fun i set _ -> current := (i, List.map fst set) :: !current)
+        in
+        ignore
+          (Explore.explore ~crashes:1 make (fun _ ->
+               checkb "legal" true (Trace.check_immediate_snapshot !current = Ok ()))));
+    Alcotest.test_case "snapshot count bounded by m" `Quick (fun () ->
+        List.iter
+          (fun seed ->
+            let r = Bg_is.run ~inputs:[| 0; 1; 2; 3 |] (Runtime.random ~seed ()) in
+            Array.iter (fun c -> checkb "<= 4 snapshots" true (c <= 4)) r.Bg_is.snapshots_taken)
+          [ 0; 1; 2; 3; 4; 5; 6; 7 ]);
+    Alcotest.test_case "sequential run gives singleton-ish blocks" `Quick (fun () ->
+        let r = Bg_is.run ~inputs:[| "x"; "y" |] (Runtime.round_robin ()) in
+        match Trace.partition_of_views (Bg_is.views r) with
+        | Some p -> checkb "valid" true (Ordered_partition.check p)
+        | None -> Alcotest.fail "views must be legal");
+  ]
+
+let bg_prop_tests =
+  [
+    qtest "random runs of BG are legal immediate snapshots"
+      QCheck2.Gen.(pair (int_range 0 3000) (int_range 2 5))
+      (fun (seed, m) ->
+        let inputs = Array.init m (fun i -> i) in
+        let r = Bg_is.run ~inputs (Runtime.random ~seed ()) in
+        Trace.check_immediate_snapshot (Bg_is.views r) = Ok ());
+    qtest "BG under crashes stays legal and others finish"
+      QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 2))
+      (fun (seed, victim) ->
+        let inputs = Array.init 3 (fun i -> i) in
+        let r = Bg_is.run ~inputs (Runtime.random_with_crashes ~seed ~crash:[ victim ] ()) in
+        Trace.check_immediate_snapshot (Bg_is.views r) = Ok ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Explore                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let explore_unit_tests =
+  [
+    Alcotest.test_case "counts cell-only interleavings" `Quick (fun () ->
+        (* two procs, one write each: 2 schedules *)
+        let make () = Array.init 2 (fun i -> Action.Write (i, fun () -> Action.Decide i)) in
+        checki "2 interleavings" 2 (Explore.explore make (fun _ -> ())));
+    Alcotest.test_case "enumerates IS firings" `Quick (fun () ->
+        (* two procs, one WriteRead each: ordered partitions of {0,1} = 3,
+           but firing orders distinguish {0}{1} and {1}{0} and {0,1}: 3 runs *)
+        let make () =
+          Array.init 2 (fun i ->
+              Action.Write_read { level = 0; value = i; k = (fun _ -> Action.Decide i) })
+        in
+        checki "3 runs" 3 (Explore.explore make (fun _ -> ())));
+    Alcotest.test_case "decisions_at lists steps and fires" `Quick (fun () ->
+        let v =
+          {
+            Runtime.time = 0;
+            runnable = [ 0 ];
+            arrived = [ (0, [ 1; 2 ]) ];
+            decided = [];
+            crashed = [];
+          }
+        in
+        checki "1 step + 3 subsets" 4 (List.length (Explore.decisions_at v)));
+    Alcotest.test_case "max_runs raises" `Quick (fun () ->
+        let make () =
+          Array.init 3 (fun i ->
+              Action.Write (i, fun () -> Action.Write (i, fun () -> Action.Decide i)))
+        in
+        (try
+           ignore (Explore.explore ~max_runs:5 make (fun _ -> ()));
+           Alcotest.fail "expected Too_many"
+         with Explore.Too_many _ -> ()));
+  ]
+
+let () =
+  Alcotest.run "wfc_model"
+    [
+      ("runtime", runtime_unit_tests @ runtime_prop_tests);
+      ("trace", trace_unit_tests);
+      ("schedule", schedule_unit_tests @ schedule_prop_tests);
+      ("protocol-complex", pc_unit_tests);
+      ("collect", collect_unit_tests);
+      ("bg-immediate-snapshot", bg_unit_tests @ bg_prop_tests);
+      ("explore", explore_unit_tests);
+    ]
