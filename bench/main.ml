@@ -591,22 +591,113 @@ let micro () =
         analysis)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* timed scenarios (--json FILE): machine-readable perf trajectory      *)
+(* ------------------------------------------------------------------ *)
+
+type scenario_result = { sname : string; seconds : float; nodes : int option }
+
+(* Each scenario is a thunk returning an optional search-node count. Timed
+   cold: every per-run cache that survives across calls is cleared first so
+   the JSON numbers track the representation, not the memo. *)
+let scenarios : (string * (unit -> int option)) list =
+  let solv task level =
+    fun () ->
+      ignore (Solvability.solve_at task level);
+      Some (Solvability.search_nodes_of_last_call ())
+  in
+  let solve_up task max_level =
+    fun () ->
+      ignore (Solvability.solve ~max_level task);
+      Some (Solvability.search_nodes_of_last_call ())
+  in
+  [
+    ("sds_iterate_s2_l3", fun () -> ignore (Sds.standard ~dim:2 ~levels:3); None);
+    ("sds_iterate_s2_l4", fun () -> ignore (Sds.standard ~dim:2 ~levels:4); None);
+    ("sds_iterate_s3_l2", fun () -> ignore (Sds.standard ~dim:3 ~levels:2); None);
+    ( "sds_closure_f_vector_s2_l3",
+      fun () ->
+        let cx = Chromatic.complex (Sds.complex (Sds.standard ~dim:2 ~levels:3)) in
+        ignore (Complex.f_vector cx);
+        None );
+    ( "drop_non_maximal_sds_s2_l3",
+      fun () ->
+        let cx = Chromatic.complex (Sds.complex (Sds.standard ~dim:2 ~levels:3)) in
+        (* rebuild a complex from the full closure: stress-tests maximality
+           filtering on ~46k simplices *)
+        ignore (Complex.of_simplices (Complex.simplices cx));
+        None );
+    ("solvability_renaming_3_6_l3", solv (Instances.adaptive_renaming ~procs:3 ~names:6) 3);
+    ("solvability_set_consensus_3_3_l4", solv (Instances.set_consensus ~procs:3 ~k:3) 4);
+    ("solvability_consensus_2_unsat_l4", solv (Instances.binary_consensus ~procs:2) 4);
+    ( "solvability_eps_agreement_grid27",
+      solve_up (Instances.approximate_agreement ~procs:2 ~grid:27) 5 );
+    ( "protocol_complex_iis_3_r2",
+      fun () -> ignore (Protocol_complex.iis ~procs:3 ~rounds:2); None );
+  ]
+
+let run_scenarios () =
+  section "timed scenarios";
+  Printf.printf "%-36s %12s %12s\n" "scenario" "seconds" "nodes";
+  List.map
+    (fun (sname, thunk) ->
+      Sds.clear_cache ();
+      let t0 = Unix.gettimeofday () in
+      let nodes = thunk () in
+      let seconds = Unix.gettimeofday () -. t0 in
+      Printf.printf "%-36s %12.4f %12s\n%!" sname seconds
+        (match nodes with Some n -> string_of_int n | None -> "-");
+      { sname; seconds; nodes })
+    scenarios
+
+let write_json file results =
+  let oc = open_out file in
+  Printf.fprintf oc "{\n  \"scenarios\": [\n";
+  List.iteri
+    (fun i { sname; seconds; nodes } ->
+      Printf.fprintf oc "    {\"name\": %S, \"seconds\": %.6f, \"nodes\": %s}%s\n" sname
+        seconds
+        (match nodes with Some n -> string_of_int n | None -> "null")
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" file
+
 let () =
-  let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
-  e1 ();
-  e2 ();
-  e3_e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  e10 ();
-  e11 ();
-  e12 ();
-  e13 ();
-  e14 ();
-  e15 ();
-  e16 ();
-  if not quick then micro ();
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "quick" args || List.mem "--quick" args in
+  let json_file =
+    let rec find = function
+      | [ "--json" ] ->
+        prerr_endline "bench: --json requires a FILE argument";
+        exit 2
+      | "--json" :: file :: _ -> Some file
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let experiments = json_file = None || List.mem "--experiments" args in
+  if experiments then begin
+    e1 ();
+    e2 ();
+    e3_e4 ();
+    e5 ();
+    e6 ();
+    e7 ();
+    e8 ();
+    e9 ();
+    e10 ();
+    e11 ();
+    e12 ();
+    e13 ();
+    e14 ();
+    e15 ();
+    e16 ()
+  end;
+  (match json_file with
+  | Some file -> write_json file (run_scenarios ())
+  | None -> ());
+  if (not quick) && json_file = None then micro ();
   print_endline "\nall experiments complete."

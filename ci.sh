@@ -1,0 +1,8 @@
+#!/bin/sh
+# Tier-1 gate: build, full test suite, quick benchmark with machine-readable
+# timings (written to BENCH_ci.json, which is gitignored).
+set -eux
+
+dune build
+dune runtest
+dune exec bench/main.exe -- --quick --json BENCH_ci.json

@@ -90,11 +90,14 @@ let arc_consistency inst live =
     |> List.mapi (fun ci m -> (ci, m))
     |> List.filter (fun (_, m) -> Array.length m = 2)
   in
+  (* {a, wb} ⊆ m ⟺ both vertices are members: no pair simplex is ever
+     interned in the propagation loop. *)
   let supported ci a b_dom =
     List.exists
       (fun wb ->
-        let s = Simplex.of_list [ a; wb ] in
-        List.exists (fun m -> Simplex.subset s m) inst.allowed.(ci))
+        List.exists
+          (fun m -> Simplex.mem a m && Simplex.mem wb m)
+          inst.allowed.(ci))
       b_dom
   in
   let changed = ref true in
@@ -107,7 +110,7 @@ let arc_consistency inst live =
         let revise x y =
           let dom = live.(x) in
           let dom' = List.filter (fun wx -> supported ci wx live.(y)) dom in
-          if List.length dom' < List.length dom then begin
+          if List.compare_lengths dom' dom < 0 then begin
             live.(x) <- dom';
             changed := true;
             if dom' = [] then alive := false
@@ -160,34 +163,73 @@ let solve_instance ~budget inst =
   let live = Array.map Array.to_list inst.domains in
   let bfs_pos = bfs_positions inst in
   let unassigned_count = Array.map Array.length inst.simplices in
+  (* Variable selection state: live-domain sizes are maintained incrementally,
+     and the unassigned variables sit in a doubly-linked list ordered by BFS
+     position (index [nvars] is the sentinel). Selection then scans only
+     unassigned variables and can stop at the first singleton domain, instead
+     of recomputing [List.length] over every variable at every node. *)
+  let domlen = Array.make inst.nvars 0 in
+  let sentinel = inst.nvars in
+  let nxt = Array.make (inst.nvars + 1) sentinel in
+  let prv = Array.make (inst.nvars + 1) sentinel in
+  let init_search_state () =
+    Array.iteri (fun i dom -> domlen.(i) <- List.length dom) live;
+    let order = Array.init inst.nvars (fun i -> i) in
+    Array.sort (fun a b -> compare bfs_pos.(a) bfs_pos.(b)) order;
+    nxt.(sentinel) <- sentinel;
+    prv.(sentinel) <- sentinel;
+    Array.iter
+      (fun v ->
+        let last = prv.(sentinel) in
+        nxt.(last) <- v;
+        prv.(v) <- last;
+        nxt.(v) <- sentinel;
+        prv.(sentinel) <- v)
+      order
+  in
+  let detach v =
+    nxt.(prv.(v)) <- nxt.(v);
+    prv.(nxt.(v)) <- prv.(v)
+  in
+  (* valid only in LIFO order w.r.t. [detach] — the backtracking discipline *)
+  let attach v =
+    nxt.(prv.(v)) <- v;
+    prv.(nxt.(v)) <- v
+  in
   (* trail for backtracking: var domains replaced *)
   let image_ok ci extra_var extra_val =
     (* image of the constraint's simplex, assuming [extra_var := extra_val]
        on top of current assignment; unassigned members are skipped (only
-       called when all others are assigned) *)
+       called when all others are assigned). The image is contained in an
+       allowed simplex iff each member's output is: checked by O(log) member
+       probes, with no simplex construction in the search's hot loop. *)
     let members = inst.simplices.(ci) in
-    let img =
-      Array.to_list members
-      |> List.map (fun v -> if v = extra_var then extra_val else assignment.(v))
-      |> List.filter (fun w -> w >= 0)
-    in
-    let s = Simplex.of_list img in
-    List.exists (fun m -> Simplex.subset s m) inst.allowed.(ci)
+    List.exists
+      (fun m ->
+        Array.for_all
+          (fun v ->
+            let w = if v = extra_var then extra_val else assignment.(v) in
+            w < 0 || Simplex.mem w m)
+          members)
+      inst.allowed.(ci)
   in
-  let rec select_var () =
-    (* most-constrained-first among unassigned, BFS position as tie-break *)
-    let best = ref (-1) and best_key = ref (max_int, max_int) in
-    for v = 0 to inst.nvars - 1 do
-      if assignment.(v) < 0 then begin
-        let key = (List.length live.(v), bfs_pos.(v)) in
-        if key < !best_key then begin
-          best := v;
-          best_key := key
-        end
-      end
+  let select_var () =
+    (* most-constrained-first among unassigned, BFS position as tie-break.
+       Scanning in ascending BFS order with a strict [<] update yields the
+       same variable as minimizing [(List.length live.(v), bfs_pos.(v))];
+       a singleton domain cannot be beaten, so the scan stops there. *)
+    let best = ref (-1) and best_len = ref max_int in
+    let v = ref nxt.(sentinel) in
+    while !v <> sentinel && !best_len > 1 do
+      if domlen.(!v) < !best_len then begin
+        best := !v;
+        best_len := domlen.(!v)
+      end;
+      v := nxt.(!v)
     done;
     !best
-  and search nodes_left =
+  in
+  let rec search nodes_left =
     if nodes_left <= 0 then `Budget
     else begin
       let v = select_var () in
@@ -208,6 +250,7 @@ let solve_instance ~budget inst =
             if not ok then try_candidates budget rest
             else begin
               assignment.(v) <- w;
+              detach v;
               (* forward checking: constraints now missing exactly one var *)
               let pruned = ref [] in
               let consistent = ref true in
@@ -221,11 +264,14 @@ let solve_instance ~budget inst =
                       inst.simplices.(ci);
                     if !u >= 0 then begin
                       let before = live.(!u) in
+                      let len_before = domlen.(!u) in
                       let after = List.filter (fun w' -> image_ok ci !u w') before in
-                      if List.length after < List.length before then begin
-                        pruned := (!u, before) :: !pruned;
+                      let len_after = List.length after in
+                      if len_after < len_before then begin
+                        pruned := (!u, before, len_before) :: !pruned;
                         live.(!u) <- after;
-                        if after = [] then consistent := false
+                        domlen.(!u) <- len_after;
+                        if len_after = 0 then consistent := false
                       end
                     end
                   end)
@@ -237,10 +283,15 @@ let solve_instance ~budget inst =
               | `Budget -> `Budget
               | `Fail budget' ->
                 (* undo *)
-                List.iter (fun (u, dom) -> live.(u) <- dom) !pruned;
+                List.iter
+                  (fun (u, dom, len) ->
+                    live.(u) <- dom;
+                    domlen.(u) <- len)
+                  !pruned;
                 List.iter
                   (fun ci -> unassigned_count.(ci) <- unassigned_count.(ci) + 1)
                   inst.containing.(v);
+                attach v;
                 assignment.(v) <- -1;
                 try_candidates budget' rest
             end)
@@ -251,11 +302,13 @@ let solve_instance ~budget inst =
   in
   if Array.exists (fun d -> Array.length d = 0) inst.domains then `Unsat
   else if not (arc_consistency inst live) then `Unsat
-  else
+  else begin
+    init_search_state ();
     match search budget with
     | `Fail _ -> `Unsat
     | `Budget -> `Budget
     | exception Found a -> `Sat a
+  end
 
 let solve_at ?(budget = 5_000_000) task level =
   let sds, verts, inst = build_instance task level in

@@ -1,7 +1,9 @@
 type t = {
   name : string;
   facets : Simplex.t list; (* maximal simplices, sorted *)
-  mutable closure : unit Simplex.Tbl.t option; (* cached face set *)
+  nfacets : int; (* cached [List.length facets] *)
+  cdim : int; (* cached max facet dimension *)
+  mutable closure : unit Simplex.Tbl.t option; (* cached face set, id-keyed *)
   mutable by_dim : Simplex.t list array option; (* cached faces per dimension *)
 }
 
@@ -11,9 +13,11 @@ let with_name name c = { c with name }
 
 let facets c = c.facets
 
-let num_facets c = List.length c.facets
+let num_facets c = c.nfacets
 
-let drop_non_maximal simplices =
+(* Quadratic fallback for very large simplices, where enumerating all 2^card
+   faces would cost more than pairwise subset scans. *)
+let drop_non_maximal_scan simplices =
   let sorted = List.sort (fun a b -> compare (Simplex.card b) (Simplex.card a)) simplices in
   let keep = ref [] in
   let kept_tbl = Simplex.Tbl.create 64 in
@@ -31,19 +35,57 @@ let drop_non_maximal simplices =
     sorted;
   List.sort Simplex.compare !keep
 
+(* Maximality filtering bucketed by cardinality over interned ids: scan
+   largest-first; a simplex survives unless a previously kept facet already
+   marked it as one of its proper faces. Every face of a kept facet is
+   marked, so domination is transitive without any subset tests. Linear in
+   the total closure size instead of quadratic in the number of inputs. *)
+let drop_non_maximal simplices =
+  let seen = Simplex.Tbl.create 256 in
+  let uniq =
+    List.filter
+      (fun s ->
+        if Simplex.Tbl.mem seen s then false
+        else begin
+          Simplex.Tbl.add seen s ();
+          true
+        end)
+      simplices
+  in
+  let max_card = List.fold_left (fun acc s -> max acc (Simplex.card s)) 0 uniq in
+  if max_card > 16 then drop_non_maximal_scan uniq
+  else begin
+    let buckets = Array.make (max_card + 1) [] in
+    List.iter (fun s -> buckets.(Simplex.card s) <- s :: buckets.(Simplex.card s)) uniq;
+    let dominated = Simplex.Tbl.create 1024 in
+    let keep = ref [] in
+    for c = max_card downto 1 do
+      List.iter
+        (fun s ->
+          if not (Simplex.Tbl.mem dominated s) then begin
+            keep := s :: !keep;
+            List.iter (fun f -> Simplex.Tbl.replace dominated f ()) (Simplex.proper_faces s)
+          end)
+        buckets.(c)
+    done;
+    List.sort Simplex.compare !keep
+  end
+
 let of_simplices ?(name = "") simplices =
   if simplices = [] then invalid_arg "Complex.of_simplices: empty complex";
   List.iter
     (fun s ->
       if Simplex.is_empty s then invalid_arg "Complex.of_simplices: empty simplex";
-      if List.exists (fun v -> v < 0) (Simplex.to_list s) then
-        invalid_arg "Complex.of_simplices: negative vertex")
+      if Simplex.min_vertex s < 0 then invalid_arg "Complex.of_simplices: negative vertex")
     simplices;
-  { name; facets = drop_non_maximal simplices; closure = None; by_dim = None }
+  let facets = drop_non_maximal simplices in
+  let nfacets = List.length facets in
+  let cdim = List.fold_left (fun acc f -> max acc (Simplex.dim f)) (-1) facets in
+  { name; facets; nfacets; cdim; closure = None; by_dim = None }
 
 let of_facets ?name facets = of_simplices ?name (List.map Simplex.of_list facets)
 
-let dim c = List.fold_left (fun acc f -> max acc (Simplex.dim f)) (-1) c.facets
+let dim c = c.cdim
 
 let closure c =
   match c.closure with
@@ -78,7 +120,7 @@ let faces c ~dim:k =
   let a = by_dim c in
   if k < 0 || k >= Array.length a then [] else a.(k)
 
-let vertices c = List.map (fun s -> List.hd (Simplex.to_list s)) (faces c ~dim:0)
+let vertices c = List.map Simplex.min_vertex (faces c ~dim:0)
 
 let num_vertices c = List.length (faces c ~dim:0)
 

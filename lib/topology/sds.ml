@@ -32,34 +32,49 @@ let carrier t v = t.sd.Subdiv.carrier v
 
 let color t v = Chromatic.color (complex t) v
 
+(* Vertices of the next level are pairs (v, S) with v ∈ S; key them by
+   (v, interned id of S) so collection costs one integer-pair hash per
+   occurrence instead of a polymorphic comparison of vertex lists. *)
 module Key = struct
-  type t = int * int list (* own prev vertex, snap as sorted list *)
+  type t = int * int (* own prev vertex, interned snap id *)
 
-  let compare = Stdlib.compare
+  let equal (a, b) (c, d) = a = c && b = d
+
+  let hash (a, b) = (a * 0x9e3779b1) lxor b
 end
 
-module Key_map = Map.Make (Key)
+module Key_tbl = Hashtbl.Make (Key)
 
 let subdivide t =
   let prev_cx = complex t in
   let prev_complex = Chromatic.complex prev_cx in
   (* Collect the vertex universe: all (v, S) with v ∈ S a simplex. The
      simplices of the closure are exactly the possible snapshots. *)
-  let keys = ref Key_map.empty in
+  let seen = Key_tbl.create 1024 in
+  let pairs = ref [] in
   List.iter
     (fun s ->
-      List.iter
-        (fun v -> keys := Key_map.add (v, Simplex.to_list s) () !keys)
-        (Simplex.to_list s))
+      Simplex.iter
+        (fun v ->
+          let key = (v, Simplex.id s) in
+          if not (Key_tbl.mem seen key) then begin
+            Key_tbl.add seen key ();
+            pairs := (v, s) :: !pairs
+          end)
+        s)
     (Complex.simplices prev_complex);
-  let next_id = ref 0 in
-  let ids = ref Key_map.empty in
-  Key_map.iter
-    (fun key () ->
-      ids := Key_map.add key !next_id !ids;
-      incr next_id)
-    !keys;
-  let id_of key = Key_map.find key !ids in
+  (* Number vertices in the historical order — ascending (v, snap) — so the
+     complexes produced are bit-for-bit those of the list-keyed builder. *)
+  let ordered =
+    List.sort
+      (fun (v1, s1) (v2, s2) ->
+        if v1 <> v2 then compare v1 v2 else Simplex.compare s1 s2)
+      !pairs
+  in
+  let nverts = List.length ordered in
+  let ids = Key_tbl.create nverts in
+  List.iteri (fun i (v, s) -> Key_tbl.replace ids (v, Simplex.id s) i) ordered;
+  let id_of v s = Key_tbl.find ids (v, Simplex.id s) in
   (* Facets: ordered partitions of each facet of the previous complex. *)
   let facets =
     List.concat_map
@@ -68,7 +83,7 @@ let subdivide t =
         List.map
           (fun partition ->
             List.map
-              (fun (v, prefix) -> id_of (v, prefix))
+              (fun (v, prefix) -> id_of v (Simplex.of_sorted prefix))
               (Ordered_partition.views partition))
           (Ordered_partition.enumerate vs))
       (Complex.facets prev_complex)
@@ -76,28 +91,26 @@ let subdivide t =
   let new_complex =
     Complex.of_facets ~name:(Complex.name prev_complex ^ "'") facets
   in
-  let own_tbl = Hashtbl.create (Key_map.cardinal !ids) in
-  let snap_tbl = Hashtbl.create (Key_map.cardinal !ids) in
-  Key_map.iter
-    (fun (v, s) id ->
+  let own_tbl = Hashtbl.create nverts in
+  let snap_tbl = Hashtbl.create nverts in
+  List.iteri
+    (fun id (v, s) ->
       Hashtbl.replace own_tbl id v;
-      Hashtbl.replace snap_tbl id (Simplex.of_sorted s))
-    !ids;
+      Hashtbl.replace snap_tbl id s)
+    ordered;
   let color_of id = Chromatic.color prev_cx (Hashtbl.find own_tbl id) in
   let chroma = Chromatic.make ~check:false new_complex ~color:color_of in
   (* Carrier in the base: union of previous carriers over the snapshot. *)
-  let carrier_tbl = Hashtbl.create (Hashtbl.length own_tbl) in
+  let carrier_tbl = Hashtbl.create nverts in
   Hashtbl.iter
     (fun id s ->
       let c =
-        List.fold_left
-          (fun acc u -> Simplex.union acc (t.sd.Subdiv.carrier u))
-          Simplex.empty (Simplex.to_list s)
+        Simplex.fold (fun acc u -> Simplex.union acc (t.sd.Subdiv.carrier u)) Simplex.empty s
       in
       Hashtbl.replace carrier_tbl id c)
     snap_tbl;
   (* Kozlov realization relative to the previous level's points. *)
-  let point_tbl = Hashtbl.create (Hashtbl.length own_tbl) in
+  let point_tbl = Hashtbl.create nverts in
   Hashtbl.iter
     (fun id s ->
       let v = Hashtbl.find own_tbl id in
@@ -113,21 +126,44 @@ let subdivide t =
       Hashtbl.replace point_tbl id (Point.combine terms))
     snap_tbl;
   let sd =
-    {
-      Subdiv.kind = "sds";
-      levels = t.sd.Subdiv.levels + 1;
-      base = t.sd.Subdiv.base;
-      cx = chroma;
-      carrier = (fun v -> Hashtbl.find carrier_tbl v);
-      point = (fun v -> Hashtbl.find point_tbl v);
-    }
+    Subdiv.make ~kind:"sds"
+      ~levels:(t.sd.Subdiv.levels + 1)
+      ~base:t.sd.Subdiv.base ~cx:chroma
+      ~carrier:(fun v -> Hashtbl.find carrier_tbl v)
+      ~point:(fun v -> Hashtbl.find point_tbl v)
   in
   { sd; prev = Some t; own_tbl; snap_tbl }
 
+(* [iterate] memo: keyed by (base complex name, level), verified against the
+   actual base with [Chromatic.equal] before reuse (names are not unique).
+   Levels share their [prev] chain, so solving a task at increasing levels
+   re-subdivides only the top level instead of rebuilding from scratch. *)
+let memo : (string * int, t) Hashtbl.t = Hashtbl.create 64
+
+let clear_cache () = Hashtbl.reset memo
+
 let iterate a b =
   if b < 0 then invalid_arg "Sds.iterate: negative level";
-  let rec go acc k = if k = 0 then acc else go (subdivide acc) (k - 1) in
-  go (of_chromatic a) b
+  let name = Complex.name (Chromatic.complex a) in
+  let matches t = Chromatic.equal (base t) a in
+  let rec cached k =
+    if k < 0 then (0, of_chromatic a)
+    else
+      match Hashtbl.find_opt memo (name, k) with
+      | Some t when matches t -> (k, t)
+      | _ -> cached (k - 1)
+  in
+  let k0, t0 = cached b in
+  Hashtbl.replace memo (name, k0) t0;
+  let rec go t k =
+    if k = b then t
+    else begin
+      let t' = subdivide t in
+      Hashtbl.replace memo (name, k + 1) t';
+      go t' (k + 1)
+    end
+  in
+  go t0 k0
 
 let standard ~dim ~levels = iterate (Chromatic.standard_simplex dim) levels
 

@@ -1,76 +1,374 @@
-type t = int list
+(* Interned simplices over a hash-consed arena.
 
-let rec strictly_increasing = function
-  | [] | [ _ ] -> true
-  | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+   A simplex is a strictly increasing [int array] of vertices, interned in a
+   global table so that every vertex set has exactly one live representative.
+   Consequences exploited throughout the library:
 
-let of_list vs = List.sort_uniq Stdlib.compare vs
+   - [equal]/[hash] are O(1) (the interned [id]);
+   - [card]/[dim] are O(1) (array length);
+   - [Tbl] keys on the id, so closure/carrier/delta caches cost one integer
+     hash per probe instead of a polymorphic traversal;
+   - set operations short-circuit to an existing representative whenever the
+     result equals one of the operands, avoiding both allocation and an
+     arena probe.
+
+   The arena is guarded by a [Mutex] so interning is domain-safe. [reset]
+   empties it (keeping the canonical empty simplex alive); it is only safe
+   when no interned simplex from before the reset is still in use. *)
+
+type t = { id : int; verts : int array }
+
+(* ------------------------------------------------------------------ *)
+(* arena                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Key = struct
+  type t = int array
+
+  let equal a b =
+    a == b
+    || (Array.length a = Array.length b
+       &&
+       let n = Array.length a in
+       let rec go i = i = n || (a.(i) = b.(i) && go (i + 1)) in
+       go 0)
+
+  let hash a =
+    let h = ref 5381 in
+    for i = 0 to Array.length a - 1 do
+      h := (!h * 33) lxor a.(i)
+    done;
+    !h land max_int
+end
+
+module Arena = Hashtbl.Make (Key)
+
+let lock = Mutex.create ()
+
+let arena : t Arena.t = Arena.create 4096
+
+let next_id = ref 0
+
+(* Faces are enumerated often (complex closures) and are immutable per
+   simplex: cache them by id, in the arena's critical section. *)
+let faces_tbl : (int, t list) Hashtbl.t = Hashtbl.create 1024
+
+let max_cached_faces_card = 16
+
+(* [intern verts] takes ownership of [verts] (never copied, never mutated
+   afterwards). *)
+let intern verts =
+  Mutex.lock lock;
+  let s =
+    match Arena.find_opt arena verts with
+    | Some s -> s
+    | None ->
+      let s = { id = !next_id; verts } in
+      incr next_id;
+      Arena.add arena verts s;
+      s
+  in
+  Mutex.unlock lock;
+  s
+
+let empty = intern [||]
+
+let arena_size () =
+  Mutex.lock lock;
+  let n = Arena.length arena in
+  Mutex.unlock lock;
+  n
+
+let reset () =
+  Mutex.lock lock;
+  Arena.reset arena;
+  Hashtbl.reset faces_tbl;
+  (* keep the canonical empty simplex (and its id 0) alive across resets *)
+  Arena.add arena empty.verts empty;
+  next_id := 1;
+  Mutex.unlock lock
+
+(* ------------------------------------------------------------------ *)
+(* construction                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec strictly_increasing_arr a i =
+  i >= Array.length a - 1 || (a.(i) < a.(i + 1) && strictly_increasing_arr a (i + 1))
+
+let of_list vs = intern (Array.of_list (List.sort_uniq Stdlib.compare vs))
 
 let of_sorted vs =
-  assert (strictly_increasing vs);
-  vs
+  let a = Array.of_list vs in
+  assert (strictly_increasing_arr a 0);
+  intern a
 
-let to_list s = s
+let singleton v = intern [| v |]
 
-let vertices = to_list
+(* ------------------------------------------------------------------ *)
+(* O(1) observers                                                       *)
+(* ------------------------------------------------------------------ *)
 
-let singleton v = [ v ]
+let id s = s.id
 
-let empty = []
-
-let is_empty s = s = []
-
-let card = List.length
+let card s = Array.length s.verts
 
 let dim s = card s - 1
 
-let mem v s = List.mem v s
+let is_empty s = card s = 0
 
-let rec subset s t =
-  match (s, t) with
-  | [], _ -> true
-  | _, [] -> false
-  | a :: s', b :: t' -> if a = b then subset s' t' else if a > b then subset s t' else false
+let equal a b = a.id = b.id
 
-let equal (a : t) b = a = b
+let hash s = s.id
 
-let compare (a : t) b = Stdlib.compare a b
+let min_vertex s =
+  if is_empty s then invalid_arg "Simplex.min_vertex: empty simplex";
+  s.verts.(0)
 
-let rec union a b =
-  match (a, b) with
-  | [], l | l, [] -> l
-  | x :: a', y :: b' ->
-    if x = y then x :: union a' b' else if x < y then x :: union a' b else y :: union a b'
+let max_vertex s =
+  if is_empty s then invalid_arg "Simplex.max_vertex: empty simplex";
+  s.verts.(card s - 1)
 
-let rec inter a b =
-  match (a, b) with
-  | [], _ | _, [] -> []
-  | x :: a', y :: b' ->
-    if x = y then x :: inter a' b' else if x < y then inter a' b else inter a b'
+(* ------------------------------------------------------------------ *)
+(* traversal                                                            *)
+(* ------------------------------------------------------------------ *)
 
-let rec diff a b =
-  match (a, b) with
-  | [], _ -> []
-  | l, [] -> l
-  | x :: a', y :: b' -> if x = y then diff a' b' else if x < y then x :: diff a' b else diff a b'
+let to_list s = Array.to_list s.verts
 
-let remove v s = List.filter (fun x -> x <> v) s
+let vertices = to_list
 
-let add v s = union [ v ] s
+let iter f s = Array.iter f s.verts
 
-(* Non-empty subsets, preserving sortedness. *)
-let faces s =
-  let rec go = function
-    | [] -> [ [] ]
-    | v :: rest ->
-      let subs = go rest in
-      List.rev_append (List.rev_map (fun sub -> v :: sub) subs) subs
+let fold f init s = Array.fold_left f init s.verts
+
+let for_all f s = Array.for_all f s.verts
+
+let exists f s = Array.exists f s.verts
+
+let nth s i = s.verts.(i)
+
+(* Lexicographic on the vertex sequences — the same total order the previous
+   sorted-list representation got from [Stdlib.compare], so every sorted
+   output of the library is unchanged by the interning refactor. *)
+let compare a b =
+  if a.id = b.id then 0
+  else
+    let va = a.verts and vb = b.verts in
+    let la = Array.length va and lb = Array.length vb in
+    let n = if la < lb then la else lb in
+    let rec go i =
+      if i = n then Stdlib.compare la lb
+      else
+        let c = Stdlib.compare va.(i) vb.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let mem v s =
+  let a = s.verts in
+  let rec go lo hi =
+    lo <= hi
+    &&
+    let mid = (lo + hi) / 2 in
+    let x = a.(mid) in
+    if x = v then true else if x < v then go (mid + 1) hi else go lo (mid - 1)
   in
-  List.filter (fun f -> f <> []) (go s)
+  go 0 (Array.length a - 1)
 
-let proper_faces s = List.filter (fun f -> f <> s) (faces s)
+(* ------------------------------------------------------------------ *)
+(* set algebra (sorted-array merges; results re-interned)               *)
+(* ------------------------------------------------------------------ *)
 
-let facets s = List.map (fun v -> remove v s) s
+let subset s t =
+  s.id = t.id
+  ||
+  let a = s.verts and b = t.verts in
+  let la = Array.length a and lb = Array.length b in
+  la <= lb
+  &&
+  let rec go i j =
+    if i = la then true
+    else if lb - j < la - i then false
+    else if a.(i) = b.(j) then go (i + 1) (j + 1)
+    else if a.(i) < b.(j) then false
+    else go i (j + 1)
+  in
+  go 0 0
+
+let union s t =
+  if s.id = t.id then s
+  else
+    let a = s.verts and b = t.verts in
+    let la = Array.length a and lb = Array.length b in
+    if la = 0 then t
+    else if lb = 0 then s
+    else begin
+      let buf = Array.make (la + lb) 0 in
+      let rec go i j k =
+        if i = la then begin
+          Array.blit b j buf k (lb - j);
+          k + lb - j
+        end
+        else if j = lb then begin
+          Array.blit a i buf k (la - i);
+          k + la - i
+        end
+        else if a.(i) = b.(j) then begin
+          buf.(k) <- a.(i);
+          go (i + 1) (j + 1) (k + 1)
+        end
+        else if a.(i) < b.(j) then begin
+          buf.(k) <- a.(i);
+          go (i + 1) j (k + 1)
+        end
+        else begin
+          buf.(k) <- b.(j);
+          go i (j + 1) (k + 1)
+        end
+      in
+      let n = go 0 0 0 in
+      (* |a ∪ b| = |a| iff b ⊆ a: reuse the interned operand *)
+      if n = la then s else if n = lb then t else intern (Array.sub buf 0 n)
+    end
+
+let inter s t =
+  if s.id = t.id then s
+  else
+    let a = s.verts and b = t.verts in
+    let la = Array.length a and lb = Array.length b in
+    if la = 0 || lb = 0 then empty
+    else begin
+      let buf = Array.make (if la < lb then la else lb) 0 in
+      let rec go i j k =
+        if i = la || j = lb then k
+        else if a.(i) = b.(j) then begin
+          buf.(k) <- a.(i);
+          go (i + 1) (j + 1) (k + 1)
+        end
+        else if a.(i) < b.(j) then go (i + 1) j k
+        else go i (j + 1) k
+      in
+      let n = go 0 0 0 in
+      if n = 0 then empty
+      else if n = la then s
+      else if n = lb then t
+      else intern (Array.sub buf 0 n)
+    end
+
+let diff s t =
+  if s.id = t.id then empty
+  else
+    let a = s.verts and b = t.verts in
+    let la = Array.length a and lb = Array.length b in
+    if la = 0 then empty
+    else if lb = 0 then s
+    else begin
+      let buf = Array.make la 0 in
+      let rec go i j k =
+        if i = la then k
+        else if j = lb then begin
+          Array.blit a i buf k (la - i);
+          k + la - i
+        end
+        else if a.(i) = b.(j) then go (i + 1) (j + 1) k
+        else if a.(i) < b.(j) then begin
+          buf.(k) <- a.(i);
+          go (i + 1) j (k + 1)
+        end
+        else go i (j + 1) k
+      in
+      let n = go 0 0 0 in
+      if n = 0 then empty else if n = la then s else intern (Array.sub buf 0 n)
+    end
+
+let remove v s =
+  if not (mem v s) then s
+  else
+    let a = s.verts in
+    let n = Array.length a in
+    let buf = Array.make (n - 1) 0 in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      if a.(i) <> v then begin
+        buf.(!k) <- a.(i);
+        incr k
+      end
+    done;
+    intern buf
+
+let add v s =
+  if mem v s then s
+  else
+    let a = s.verts in
+    let n = Array.length a in
+    let buf = Array.make (n + 1) 0 in
+    let k = ref 0 in
+    let placed = ref false in
+    for i = 0 to n - 1 do
+      if (not !placed) && a.(i) > v then begin
+        buf.(!k) <- v;
+        incr k;
+        placed := true
+      end;
+      buf.(!k) <- a.(i);
+      incr k
+    done;
+    if not !placed then buf.(n) <- v;
+    intern buf
+
+(* ------------------------------------------------------------------ *)
+(* faces                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let enumerate_faces s =
+  let a = s.verts in
+  let n = Array.length a in
+  let out = ref [] in
+  for mask = 1 to (1 lsl n) - 1 do
+    let c = ref 0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then incr c
+    done;
+    let buf = Array.make !c 0 in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        buf.(!k) <- a.(i);
+        incr k
+      end
+    done;
+    out := intern buf :: !out
+  done;
+  !out
+
+let faces s =
+  let n = card s in
+  if n = 0 then []
+  else if n > max_cached_faces_card then enumerate_faces s
+  else begin
+    Mutex.lock lock;
+    let cached = Hashtbl.find_opt faces_tbl s.id in
+    Mutex.unlock lock;
+    match cached with
+    | Some fs -> fs
+    | None ->
+      let fs = enumerate_faces s in
+      Mutex.lock lock;
+      Hashtbl.replace faces_tbl s.id fs;
+      Mutex.unlock lock;
+      fs
+  end
+
+let proper_faces s = List.filter (fun f -> f.id <> s.id) (faces s)
+
+let facets s =
+  let a = s.verts in
+  let n = Array.length a in
+  List.init n (fun drop ->
+      let buf = Array.make (n - 1) 0 in
+      for i = 0 to n - 2 do
+        buf.(i) <- a.(if i < drop then i else i + 1)
+      done;
+      intern buf)
 
 let subsets_of_card k s =
   let rec choose k = function
@@ -80,9 +378,15 @@ let subsets_of_card k s =
       let with_v = List.map (fun sub -> v :: sub) (choose (k - 1) rest) in
       with_v @ choose k rest
   in
-  if k < 0 then [] else choose k s
+  if k < 0 then []
+  else List.map (fun vs -> intern (Array.of_list vs)) (choose k (to_list s))
 
-let to_string s = "{" ^ String.concat "," (List.map string_of_int s) ^ "}"
+(* ------------------------------------------------------------------ *)
+(* printing and containers                                              *)
+(* ------------------------------------------------------------------ *)
+
+let to_string s =
+  "{" ^ String.concat "," (List.map string_of_int (to_list s)) ^ "}"
 
 let pp ppf s = Format.pp_print_string ppf (to_string s)
 
@@ -100,5 +404,5 @@ module Tbl = Hashtbl.Make (struct
 
   let equal = equal
 
-  let hash = Hashtbl.hash
+  let hash = hash
 end)

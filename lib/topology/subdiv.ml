@@ -5,7 +5,11 @@ type t = {
   cx : Chromatic.t;
   carrier : int -> Simplex.t;
   point : int -> Point.t;
+  scarrier_cache : Simplex.t Simplex.Tbl.t;
 }
+
+let make ~kind ~levels ~base ~cx ~carrier ~point =
+  { kind; levels; base; cx; carrier; point; scarrier_cache = Simplex.Tbl.create 256 }
 
 let base_vertex_order base = Complex.vertices (Chromatic.complex base)
 
@@ -17,23 +21,18 @@ let base_index base =
 let identity base =
   let idx = base_index base in
   let n = Hashtbl.length idx in
-  {
-    kind = "id";
-    levels = 0;
-    base;
-    cx = base;
-    carrier = (fun v -> Simplex.singleton v);
-    point = (fun v -> Point.unit n (Hashtbl.find idx v));
-  }
+  make ~kind:"id" ~levels:0 ~base ~cx:base
+    ~carrier:(fun v -> Simplex.singleton v)
+    ~point:(fun v -> Point.unit n (Hashtbl.find idx v))
 
 let simplex_carrier sd s =
-  let carrier =
-    List.fold_left
-      (fun acc v -> Simplex.union acc (sd.carrier v))
-      Simplex.empty (Simplex.to_list s)
-  in
-  assert (Complex.mem carrier (Chromatic.complex sd.base));
-  carrier
+  match Simplex.Tbl.find_opt sd.scarrier_cache s with
+  | Some carrier -> carrier
+  | None ->
+    let carrier = Simplex.fold (fun acc v -> Simplex.union acc (sd.carrier v)) Simplex.empty s in
+    assert (Complex.mem carrier (Chromatic.complex sd.base));
+    Simplex.Tbl.add sd.scarrier_cache s carrier;
+    carrier
 
 let face sd q =
   let survivors =

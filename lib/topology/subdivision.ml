@@ -62,22 +62,19 @@ let subdivide t =
   let point_tbl = Hashtbl.create (List.length faces) in
   Hashtbl.iter
     (fun id s ->
-      let vs = Simplex.to_list s in
       let c =
-        List.fold_left (fun acc u -> Simplex.union acc (t.sd.Subdiv.carrier u)) Simplex.empty vs
+        Simplex.fold (fun acc u -> Simplex.union acc (t.sd.Subdiv.carrier u)) Simplex.empty s
       in
       Hashtbl.replace carrier_tbl id c;
-      Hashtbl.replace point_tbl id (Point.barycenter (List.map t.sd.Subdiv.point vs)))
+      Hashtbl.replace point_tbl id
+        (Point.barycenter (List.map t.sd.Subdiv.point (Simplex.to_list s))))
     face_tbl;
   let sd =
-    {
-      Subdiv.kind = "bsd";
-      levels = t.sd.Subdiv.levels + 1;
-      base = t.sd.Subdiv.base;
-      cx = chroma;
-      carrier = (fun v -> Hashtbl.find carrier_tbl v);
-      point = (fun v -> Hashtbl.find point_tbl v);
-    }
+    Subdiv.make ~kind:"bsd"
+      ~levels:(t.sd.Subdiv.levels + 1)
+      ~base:t.sd.Subdiv.base ~cx:chroma
+      ~carrier:(fun v -> Hashtbl.find carrier_tbl v)
+      ~point:(fun v -> Hashtbl.find point_tbl v)
   in
   { sd; prev = Some t; face_tbl }
 
