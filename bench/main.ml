@@ -66,8 +66,8 @@ let e2 () =
         let r =
           Emulation.run (Emulation.full_information_spec ~procs ~k) (Runtime.random ~seed ())
         in
-        mem := !mem + r.Emulation.memories_used;
-        wr := !wr + Array.fold_left ( + ) 0 r.Emulation.write_reads;
+        mem := !mem + r.Emulation.cost.Emulation.memories;
+        wr := !wr + Array.fold_left ( + ) 0 r.Emulation.cost.Emulation.write_reads;
         if Emulation.check r = Ok () then incr ok
       done;
       Printf.printf "%6d %6d %12.1f %14.1f %9d/%d\n" procs k
@@ -169,19 +169,16 @@ let e6 () =
   section "E6  Proposition 3.1: solvability verdicts";
   Printf.printf "%-30s %8s %22s %12s\n" "task" "max b" "verdict" "nodes";
   let entry name task max_level =
-    match Solvability.solve ~max_level task with
-    | Solvability.Solvable m ->
-      Printf.printf "%-30s %8d %22s %12d\n" name max_level
-        (Printf.sprintf "solvable at b=%d" m.Solvability.level)
-        (Solvability.search_nodes_of_last_call ())
-    | Solvability.Unsolvable_at b ->
-      Printf.printf "%-30s %8d %22s %12d\n" name max_level
-        (Printf.sprintf "unsolvable (b<=%d)" b)
-        (Solvability.search_nodes_of_last_call ())
-    | Solvability.Exhausted { level; nodes } ->
-      Printf.printf "%-30s %8d %22s %12d\n" name max_level
-        (Printf.sprintf "undecided at b=%d" level)
-        nodes
+    let verdict = Solvability.solve ~max_level task in
+    let nodes = (Solvability.stats_of_verdict verdict).Solvability.nodes in
+    let label =
+      match verdict with
+      | Solvability.Solvable { map; _ } ->
+        Printf.sprintf "solvable at b=%d" map.Solvability.level
+      | Solvability.Unsolvable_at { level = b; _ } -> Printf.sprintf "unsolvable (b<=%d)" b
+      | Solvability.Exhausted { level; _ } -> Printf.sprintf "undecided at b=%d" level
+    in
+    Printf.printf "%-30s %8d %22s %12d\n" name max_level label nodes
   in
   entry "identity (3 procs)" (Instances.id_task ~procs:3) 1;
   entry "consensus (2 procs)" (Instances.binary_consensus ~procs:2) 3;
@@ -216,7 +213,7 @@ let e6 () =
   List.iter
     (fun grid ->
       match Solvability.solve ~max_level:4 (Instances.approximate_agreement ~procs:2 ~grid) with
-      | Solvability.Solvable m -> Printf.printf "%8d %8d\n" grid m.Solvability.level
+      | Solvability.Solvable { map; _ } -> Printf.printf "%8d %8d\n" grid map.Solvability.level
       | _ -> Printf.printf "%8d %8s\n" grid "?")
     [ 1; 2; 3; 4; 8; 9; 10; 27 ]
 
@@ -432,8 +429,8 @@ let e14 () =
     let mem = ref 0 and wr = ref 0 and ok = ref 0 in
     for seed = 0 to trials - 1 do
       let r = Emulation.run spec (strategy_of seed) in
-      mem := !mem + r.Emulation.memories_used;
-      wr := !wr + Array.fold_left ( + ) 0 r.Emulation.write_reads;
+      mem := !mem + r.Emulation.cost.Emulation.memories;
+      wr := !wr + Array.fold_left ( + ) 0 r.Emulation.cost.Emulation.write_reads;
       if Emulation.check r = Ok () then incr ok
     done;
     Printf.printf "%-26s %12.1f %14.1f %7d/%d\n" name
@@ -487,8 +484,8 @@ let e15 () =
         let r = Bg_simulation.run ~simulators:s spec (Runtime.random ~seed ()) in
         complete :=
           !complete + Array.fold_left (fun a b -> if b then a + 1 else a) 0 r.Bg_simulation.completed;
-        agreements := !agreements + List.length r.Bg_simulation.snapshots;
-        ops := !ops + Array.fold_left ( + ) 0 r.Bg_simulation.simulator_ops;
+        agreements := !agreements + r.Bg_simulation.cost.Bg_simulation.agreements;
+        ops := !ops + Array.fold_left ( + ) 0 r.Bg_simulation.cost.Bg_simulation.simulator_ops;
         if Bg_simulation.check spec r = Ok () then incr legal
       done;
       Printf.printf "%6d %6d %6d %10.1f %12.1f %14.1f %7d/%d\n" s m k
@@ -595,73 +592,63 @@ let micro () =
 (* timed scenarios (--json FILE): machine-readable perf trajectory      *)
 (* ------------------------------------------------------------------ *)
 
-type scenario_result = { sname : string; seconds : float; nodes : int option }
-
-(* Each scenario is a thunk returning an optional search-node count. Timed
-   cold: every per-run cache that survives across calls is cleared first so
-   the JSON numbers track the representation, not the memo. *)
-let scenarios : (string * (unit -> int option)) list =
-  let solv task level =
-    fun () ->
-      ignore (Solvability.solve_at task level);
-      Some (Solvability.search_nodes_of_last_call ())
+(* Each scenario is a thunk returning (search nodes, verdict), both optional.
+   Timed cold: every per-run cache that survives across calls is cleared
+   first so the JSON numbers track the representation, not the memo. *)
+let scenarios : (string * (unit -> int option * string option)) list =
+  let solved v =
+    let s = Solvability.stats_of_verdict v in
+    (Some s.Solvability.nodes, Some (Solvability.verdict_name v))
   in
-  let solve_up task max_level =
-    fun () ->
-      ignore (Solvability.solve ~max_level task);
-      Some (Solvability.search_nodes_of_last_call ())
-  in
+  let solv task level = fun () -> solved (Solvability.solve_at task level) in
+  let solve_up task max_level = fun () -> solved (Solvability.solve ~max_level task) in
+  let plain thunk = fun () -> thunk (); (None, None) in
   [
-    ("sds_iterate_s2_l3", fun () -> ignore (Sds.standard ~dim:2 ~levels:3); None);
-    ("sds_iterate_s2_l4", fun () -> ignore (Sds.standard ~dim:2 ~levels:4); None);
-    ("sds_iterate_s3_l2", fun () -> ignore (Sds.standard ~dim:3 ~levels:2); None);
+    ("sds_iterate_s2_l3", plain (fun () -> ignore (Sds.standard ~dim:2 ~levels:3)));
+    ("sds_iterate_s2_l4", plain (fun () -> ignore (Sds.standard ~dim:2 ~levels:4)));
+    ("sds_iterate_s3_l2", plain (fun () -> ignore (Sds.standard ~dim:3 ~levels:2)));
     ( "sds_closure_f_vector_s2_l3",
-      fun () ->
-        let cx = Chromatic.complex (Sds.complex (Sds.standard ~dim:2 ~levels:3)) in
-        ignore (Complex.f_vector cx);
-        None );
+      plain (fun () ->
+          let cx = Chromatic.complex (Sds.complex (Sds.standard ~dim:2 ~levels:3)) in
+          ignore (Complex.f_vector cx)) );
     ( "drop_non_maximal_sds_s2_l3",
-      fun () ->
-        let cx = Chromatic.complex (Sds.complex (Sds.standard ~dim:2 ~levels:3)) in
-        (* rebuild a complex from the full closure: stress-tests maximality
-           filtering on ~46k simplices *)
-        ignore (Complex.of_simplices (Complex.simplices cx));
-        None );
+      plain (fun () ->
+          let cx = Chromatic.complex (Sds.complex (Sds.standard ~dim:2 ~levels:3)) in
+          (* rebuild a complex from the full closure: stress-tests maximality
+             filtering on ~46k simplices *)
+          ignore (Complex.of_simplices (Complex.simplices cx))) );
     ("solvability_renaming_3_6_l3", solv (Instances.adaptive_renaming ~procs:3 ~names:6) 3);
     ("solvability_set_consensus_3_3_l4", solv (Instances.set_consensus ~procs:3 ~k:3) 4);
     ("solvability_consensus_2_unsat_l4", solv (Instances.binary_consensus ~procs:2) 4);
     ( "solvability_eps_agreement_grid27",
       solve_up (Instances.approximate_agreement ~procs:2 ~grid:27) 5 );
     ( "protocol_complex_iis_3_r2",
-      fun () -> ignore (Protocol_complex.iis ~procs:3 ~rounds:2); None );
+      plain (fun () -> ignore (Protocol_complex.iis ~procs:3 ~rounds:2)) );
   ]
 
 let run_scenarios () =
   section "timed scenarios";
+  (* metrics restart here so the report's counters cover exactly these runs *)
+  Wfc_obs.Metrics.reset ();
   Printf.printf "%-36s %12s %12s\n" "scenario" "seconds" "nodes";
   List.map
     (fun (sname, thunk) ->
       Sds.clear_cache ();
-      let t0 = Unix.gettimeofday () in
-      let nodes = thunk () in
-      let seconds = Unix.gettimeofday () -. t0 in
+      (* heap state inherited from earlier scenarios otherwise dominates the
+         small ones: a major slice landing inside a 3 ms scenario reads as a
+         2x swing. Compact so every scenario starts from the same GC phase. *)
+      Gc.compact ();
+      let t0 = Wfc_obs.Metrics.now_s () in
+      let nodes, verdict = thunk () in
+      let seconds = Wfc_obs.Metrics.now_s () -. t0 in
       Printf.printf "%-36s %12.4f %12s\n%!" sname seconds
         (match nodes with Some n -> string_of_int n | None -> "-");
-      { sname; seconds; nodes })
+      Wfc_obs.Report.scenario ?nodes ?verdict sname seconds)
     scenarios
 
 let write_json file results =
-  let oc = open_out file in
-  Printf.fprintf oc "{\n  \"scenarios\": [\n";
-  List.iteri
-    (fun i { sname; seconds; nodes } ->
-      Printf.fprintf oc "    {\"name\": %S, \"seconds\": %.6f, \"nodes\": %s}%s\n" sname
-        seconds
-        (match nodes with Some n -> string_of_int n | None -> "null")
-        (if i = List.length results - 1 then "" else ","))
-    results;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
+  Wfc_obs.Report.write_file file
+    (Wfc_obs.Report.to_json ~snapshot:(Wfc_obs.Snapshot.take ()) results);
   Printf.printf "\nwrote %s\n" file
 
 let () =

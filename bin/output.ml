@@ -1,0 +1,34 @@
+(* The one output path for wfc subcommands.
+
+   Every subcommand that does measurable work threads its results through
+   [emit]: [--stats] renders the Wfc_obs snapshot as text, [--json FILE]
+   writes a wfc.obs.v1 report — the same schema bench/main.exe --json
+   emits, so CI validates both with one checker. *)
+
+open Cmdliner
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print the collected metrics (counters, timers, spans) after the run.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write a wfc.obs.v1 JSON report to $(docv).")
+
+let timed f =
+  let t0 = Wfc_obs.Metrics.now_s () in
+  let x = f () in
+  (x, Wfc_obs.Metrics.now_s () -. t0)
+
+let emit ~stats ~json scenarios =
+  let snap = Wfc_obs.Snapshot.take () in
+  if stats then print_string (Wfc_obs.Snapshot.to_text snap);
+  match json with
+  | None -> ()
+  | Some path ->
+    Wfc_obs.Report.write_file path (Wfc_obs.Report.to_json ~snapshot:snap scenarios);
+    Format.printf "wrote %s@." path

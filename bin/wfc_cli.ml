@@ -2,13 +2,23 @@
 
    Subcommands mirror the paper's artifacts: subdivisions and their geometry
    (§2, §3.6), protocol complexes by execution (§3), the Figure-2 emulation
-   (§4), task solvability (Prop 3.1), and convergence/approximation (§5). *)
+   (§4), task solvability (Prop 3.1), and convergence/approximation (§5).
+
+   Output is unified through [Output]: subcommands that do measurable work
+   accept [--stats] (print the Wfc_obs metrics) and [--json FILE] (write a
+   wfc.obs.v1 report, same schema as bench/main.exe --json).
+
+   Exit codes: 0 = clean verdict (including "unsolvable" — a completed
+   exhaustive search is a successful answer), 3 = search budget exhausted
+   (no verdict), 1/124/125 = cmdliner's usual failures. *)
 
 open Cmdliner
 open Wfc_topology
 open Wfc_model
 open Wfc_tasks
 open Wfc_core
+
+let exit_exhausted = 3
 
 (* ---------- shared arguments ---------- *)
 
@@ -26,14 +36,20 @@ let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Adver
 (* ---------- sds ---------- *)
 
 let sds_cmd =
-  let run dim levels svg tikz =
-    let s = Sds.standard ~dim ~levels in
+  let run dim levels svg tikz stats json =
+    let s, seconds = Output.timed (fun () -> Sds.standard ~dim ~levels) in
     let cx = Chromatic.complex (Sds.complex s) in
     Format.printf "%a@." Complex.pp_stats cx;
     Format.printf "expected facets: %d@." (Sds.count_facets ~dim ~levels);
-    (match Subdiv.check_geometric (Sds.subdiv s) with
-    | Ok () -> Format.printf "geometric realization: exact@."
-    | Error e -> Format.printf "geometric realization: BROKEN (%s)@." e);
+    let geometric_ok =
+      match Subdiv.check_geometric (Sds.subdiv s) with
+      | Ok () ->
+        Format.printf "geometric realization: exact@.";
+        true
+      | Error e ->
+        Format.printf "geometric realization: BROKEN (%s)@." e;
+        false
+    in
     (match svg with
     | Some path ->
       let oc = open_out path in
@@ -41,7 +57,19 @@ let sds_cmd =
       close_out oc;
       Format.printf "wrote %s@." path
     | None -> ());
-    if tikz then print_string (Export.tikz (Sds.subdiv s))
+    if tikz then print_string (Export.tikz (Sds.subdiv s));
+    Output.emit ~stats ~json
+      [
+        Wfc_obs.Report.scenario
+          ~extra:
+            [
+              ("facets", Wfc_obs.Json.Int (List.length (Complex.facets cx)));
+              ("geometric_ok", Wfc_obs.Json.Bool geometric_ok);
+            ]
+          (Printf.sprintf "sds(dim=%d,levels=%d)" dim levels)
+          seconds;
+      ];
+    0
   in
   let svg =
     Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc:"Write an SVG drawing.")
@@ -49,26 +77,45 @@ let sds_cmd =
   let tikz = Arg.(value & flag & info [ "tikz" ] ~doc:"Print a TikZ picture.") in
   Cmd.v
     (Cmd.info "sds" ~doc:"Iterated standard chromatic subdivision: stats, geometry, drawings.")
-    Term.(const run $ dim_arg $ levels_arg $ svg $ tikz)
+    Term.(const run $ dim_arg $ levels_arg $ svg $ tikz $ Output.stats_arg $ Output.json_arg)
 
 (* ---------- homology ---------- *)
 
 let homology_cmd =
-  let run dim levels integer =
-    let cx = Chromatic.complex (Sds.complex (Sds.standard ~dim ~levels)) in
-    let b = Homology.reduced_betti cx in
+  let run dim levels integer stats json =
+    let (b, acyclic), seconds =
+      Output.timed (fun () ->
+          let cx = Chromatic.complex (Sds.complex (Sds.standard ~dim ~levels)) in
+          let b = Homology.reduced_betti cx in
+          let acyclic = Homology.is_acyclic cx in
+          if integer then
+            Format.printf "integer homology: %s@." (Homology_z.homology_summary cx);
+          (b, acyclic))
+    in
     Format.printf "SDS^%d(s^%d): reduced betti (Z/2) = (%s), acyclic = %b@." levels dim
       (String.concat "," (Array.to_list (Array.map string_of_int b)))
-      (Homology.is_acyclic cx);
-    if integer then
-      Format.printf "integer homology: %s@." (Homology_z.homology_summary cx)
+      acyclic;
+    Output.emit ~stats ~json
+      [
+        Wfc_obs.Report.scenario
+          ~extra:
+            [
+              ( "betti",
+                Wfc_obs.Json.Arr
+                  (Array.to_list (Array.map (fun x -> Wfc_obs.Json.Int x) b)) );
+              ("acyclic", Wfc_obs.Json.Bool acyclic);
+            ]
+          (Printf.sprintf "homology(dim=%d,levels=%d)" dim levels)
+          seconds;
+      ];
+    0
   in
   let integer =
     Arg.(value & flag & info [ "z"; "integer" ] ~doc:"Also compute integer homology (SNF).")
   in
   Cmd.v
     (Cmd.info "homology" ~doc:"Z/2 (and optionally Z) homology of SDS^b(s^n) (Lemma 2.2).")
-    Term.(const run $ dim_arg $ levels_arg $ integer)
+    Term.(const run $ dim_arg $ levels_arg $ integer $ Output.stats_arg $ Output.json_arg)
 
 (* ---------- simulate (BG simulation) ---------- *)
 
@@ -84,13 +131,18 @@ let simulate_cmd =
     Format.printf "completed simulated processes: %s@."
       (String.concat ","
          (Array.to_list (Array.mapi (fun j b -> Printf.sprintf "P%d:%b" j b) r.Bg_simulation.completed)));
-    Format.printf "snapshot agreements: %d@." (List.length r.Bg_simulation.snapshots);
+    Format.printf "snapshot agreements: %d@." r.Bg_simulation.cost.Bg_simulation.agreements;
     Format.printf "ops per simulator: %s@."
       (String.concat ","
-         (Array.to_list (Array.map string_of_int r.Bg_simulation.simulator_ops)));
+         (Array.to_list
+            (Array.map string_of_int r.Bg_simulation.cost.Bg_simulation.simulator_ops)));
     match Bg_simulation.check spec r with
-    | Ok () -> Format.printf "simulated history: legal@."
-    | Error e -> Format.printf "simulated history: BROKEN (%s)@." e
+    | Ok () ->
+      Format.printf "simulated history: legal@.";
+      0
+    | Error e ->
+      Format.printf "simulated history: BROKEN (%s)@." e;
+      1
   in
   let simulators =
     Arg.(value & opt int 2 & info [ "s"; "simulators" ] ~docv:"S" ~doc:"Number of simulators.")
@@ -118,7 +170,8 @@ let pc_cmd =
     if model <> "atomic" then begin
       let sds = Sds.standard ~dim:(procs - 1) ~levels:(if model = "is" then 1 else rounds) in
       Format.printf "matches SDS^b(s^n): %b@." (Protocol_complex.matches_sds pc sds)
-    end
+    end;
+    0
   in
   let model =
     Arg.(
@@ -134,21 +187,28 @@ let pc_cmd =
 (* ---------- emulate ---------- *)
 
 let emulate_cmd =
-  let run procs rounds seed trace crash =
+  let run procs rounds seed trace crash stats json =
     let spec = Emulation.full_information_spec ~procs ~k:rounds in
     let strategy =
       match crash with
       | [] -> Runtime.random ~seed ()
       | victims -> Runtime.random_with_crashes ~seed ~crash:victims ()
     in
-    let r = Emulation.run spec strategy in
-    Format.printf "IIS memories used: %d@." r.Emulation.memories_used;
+    let r, seconds = Output.timed (fun () -> Emulation.run spec strategy) in
+    let cost = r.Emulation.cost in
+    Format.printf "IIS memories used: %d@." cost.Emulation.memories;
     Format.printf "WriteReads per process: %s@."
       (String.concat ", "
-         (Array.to_list (Array.mapi (Printf.sprintf "P%d:%d") r.Emulation.write_reads)));
-    (match Emulation.check r with
-    | Ok () -> Format.printf "atomicity: OK@."
-    | Error e -> Format.printf "atomicity: VIOLATED (%s)@." e);
+         (Array.to_list (Array.mapi (Printf.sprintf "P%d:%d") cost.Emulation.write_reads)));
+    let atomic =
+      match Emulation.check r with
+      | Ok () ->
+        Format.printf "atomicity: OK@.";
+        true
+      | Error e ->
+        Format.printf "atomicity: VIOLATED (%s)@." e;
+        false
+    in
     if trace then
       List.iter
         (fun o ->
@@ -160,7 +220,22 @@ let emulate_cmd =
             Format.printf "  P%d snap (%s)  [%d,%d]@." o.Trace.proc
               (String.concat "," (Array.to_list (Array.map string_of_int v)))
               o.Trace.t_start o.Trace.t_end)
-        r.Emulation.ops
+        r.Emulation.ops;
+    Output.emit ~stats ~json
+      [
+        Wfc_obs.Report.scenario
+          ~verdict:(if atomic then "atomic" else "violated")
+          ~extra:
+            [
+              ("memories", Wfc_obs.Json.Int cost.Emulation.memories);
+              ( "write_reads",
+                Wfc_obs.Json.Int (Array.fold_left ( + ) 0 cost.Emulation.write_reads) );
+              ("steps", Wfc_obs.Json.Int cost.Emulation.steps);
+            ]
+          (Printf.sprintf "emulate(procs=%d,rounds=%d,seed=%d)" procs rounds seed)
+          seconds;
+      ];
+    if atomic then 0 else 1
   in
   let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the emulated operation log.") in
   let crash =
@@ -169,7 +244,9 @@ let emulate_cmd =
   Cmd.v
     (Cmd.info "emulate"
        ~doc:"Emulate the k-shot atomic snapshot protocol over IIS (Figure 2) and certify it.")
-    Term.(const run $ procs_arg $ levels_arg $ seed_arg $ trace $ crash)
+    Term.(
+      const run $ procs_arg $ levels_arg $ seed_arg $ trace $ crash $ Output.stats_arg
+      $ Output.json_arg)
 
 (* ---------- solve ---------- *)
 
@@ -187,22 +264,51 @@ let task_of name procs param =
   | t -> failwith ("unknown task: " ^ t)
 
 let solve_cmd =
-  let run task procs param max_level validate =
+  let run task procs param max_level validate stats json =
     let t = task_of task procs param in
     Format.printf "%a@." Task.pp_stats t;
-    match Solvability.solve ~max_level t with
-    | Solvability.Solvable m ->
-      Format.printf "SOLVABLE with %d IIS round(s); map verified: %b@." m.Solvability.level
-        (Solvability.verify m = Ok ());
-      if validate then begin
-        match Characterization.validate m with
-        | Ok () -> Format.printf "distributed validation: OK@."
-        | Error e -> Format.printf "distributed validation: FAILED (%s)@." e
-      end
-    | Solvability.Unsolvable_at b ->
-      Format.printf "UNSOLVABLE for every b <= %d (search space exhausted)@." b
-    | Solvability.Exhausted { level; nodes } ->
-      Format.printf "UNDECIDED at b = %d (budget: %d nodes)@." level nodes
+    let verdict = Solvability.solve ~max_level t in
+    let vstats = Solvability.stats_of_verdict verdict in
+    let level =
+      match verdict with
+      | Solvability.Solvable { map; _ } -> map.Solvability.level
+      | Solvability.Unsolvable_at { level; _ } | Solvability.Exhausted { level; _ } -> level
+    in
+    let code =
+      match verdict with
+      | Solvability.Solvable { map; _ } ->
+        Format.printf "SOLVABLE with %d IIS round(s); map verified: %b@."
+          map.Solvability.level
+          (Solvability.verify map = Ok ());
+        if validate then begin
+          match Characterization.validate map with
+          | Ok () -> Format.printf "distributed validation: OK@."
+          | Error e -> Format.printf "distributed validation: FAILED (%s)@." e
+        end;
+        0
+      | Solvability.Unsolvable_at { level = b; _ } ->
+        (* a completed exhaustive search IS the answer: exit 0 *)
+        Format.printf "UNSOLVABLE for every b <= %d (search space exhausted)@." b;
+        0
+      | Solvability.Exhausted { level; stats = s } ->
+        Format.printf "UNDECIDED at b = %d (budget: %d nodes)@." level s.Solvability.nodes;
+        exit_exhausted
+    in
+    if stats then Format.printf "search: %a@." Solvability.pp_stats vstats;
+    Output.emit ~stats ~json
+      [
+        Wfc_obs.Report.scenario ~nodes:vstats.Solvability.nodes
+          ~verdict:(Solvability.verdict_name verdict)
+          ~extra:
+            [
+              ("level", Wfc_obs.Json.Int level);
+              ("backtracks", Wfc_obs.Json.Int vstats.Solvability.backtracks);
+              ("prunes", Wfc_obs.Json.Int vstats.Solvability.prunes);
+            ]
+          (Printf.sprintf "solve(%s,procs=%d,param=%d)" task procs param)
+          vstats.Solvability.elapsed;
+      ];
+    code
   in
   let task =
     Arg.(
@@ -224,8 +330,13 @@ let solve_cmd =
     Arg.(value & flag & info [ "validate" ] ~doc:"Run the found map as a distributed protocol.")
   in
   Cmd.v
-    (Cmd.info "solve" ~doc:"Decide wait-free solvability of a task (Proposition 3.1).")
-    Term.(const run $ task $ procs_arg $ param $ max_level $ validate)
+    (Cmd.info "solve"
+       ~doc:
+         "Decide wait-free solvability of a task (Proposition 3.1). Exits 0 on a verdict \
+          (solvable or unsolvable), 3 if the node budget ran out.")
+    Term.(
+      const run $ task $ procs_arg $ param $ max_level $ validate $ Output.stats_arg
+      $ Output.json_arg)
 
 (* ---------- converge ---------- *)
 
@@ -233,7 +344,9 @@ let converge_cmd =
   let run dim levels seed =
     let target = Sds.subdiv (Sds.standard ~dim ~levels) in
     match Convergence.prepare target with
-    | None -> Format.printf "no chromatic map found@."
+    | None ->
+      Format.printf "no chromatic map found@.";
+      1
     | Some t ->
       Format.printf "CSASS over SDS^%d(s^%d): decision map at k=%d@." levels dim
         t.Convergence.level;
@@ -244,8 +357,11 @@ let converge_cmd =
           (fun (p, w) ->
             Format.printf "  P%d -> vertex %d (carrier %s)@." p w
               (Simplex.to_string (t.Convergence.target.Subdiv.carrier w)))
-          outputs
-      | Error e -> Format.printf "  run failed: %s@." e)
+          outputs;
+        0
+      | Error e ->
+        Format.printf "  run failed: %s@." e;
+        1)
   in
   Cmd.v
     (Cmd.info "converge"
@@ -261,8 +377,11 @@ let approx_cmd =
     match Approximation.min_level ~scheme ~target () with
     | Some (k, phi) ->
       Format.printf "minimal k = %d; map is simplicial: %b@." k
-        (Simplicial_map.is_simplicial phi)
-    | None -> Format.printf "no approximation found up to k = 6@."
+        (Simplicial_map.is_simplicial phi);
+      0
+    | None ->
+      Format.printf "no approximation found up to k = 6@.";
+      1
   in
   let scheme =
     Arg.(
@@ -282,7 +401,8 @@ let bound_cmd =
     let r = Bounded.decision_bound ~crashes (fun () -> Protocols.is_renaming ~procs) in
     Format.printf
       "IS renaming, %d processes: %d executions explored, decision bound %d, max depth %d@."
-      procs r.Bounded.runs r.Bounded.bound r.Bounded.depth
+      procs r.Bounded.runs r.Bounded.bound r.Bounded.depth;
+    0
   in
   let crashes =
     Arg.(value & opt int 0 & info [ "crashes" ] ~docv:"C" ~doc:"Also explore up to C crashes.")
@@ -292,10 +412,72 @@ let bound_cmd =
        ~doc:"Materialize the execution tree and extract the decision bound (Lemma 3.1).")
     Term.(const run $ procs_arg $ crashes)
 
+(* ---------- check-json ---------- *)
+
+let check_json_cmd =
+  let run file expect_verdict min_nodes scenario =
+    let contents =
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Wfc_obs.Json.parse contents with
+    | Error e ->
+      Format.eprintf "%s: not valid JSON (%s)@." file e;
+      1
+    | Ok j -> (
+      match
+        Wfc_obs.Report.validate ?expect_verdict ?min_nodes ?scenario_name:scenario j
+      with
+      | Ok () ->
+        Format.printf "%s: valid %s report@." file Wfc_obs.Report.schema_version;
+        0
+      | Error e ->
+        Format.eprintf "%s: invalid report (%s)@." file e;
+        1)
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Report to check.")
+  in
+  let expect_verdict =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "expect-verdict" ] ~docv:"V" ~doc:"Require a scenario with this verdict.")
+  in
+  let min_nodes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "min-nodes" ] ~docv:"N" ~doc:"Require a scenario with at least $(docv) nodes.")
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"NAME" ~doc:"Apply the constraints to this scenario only.")
+  in
+  Cmd.v
+    (Cmd.info "check-json"
+       ~doc:"Validate a wfc.obs.v1 JSON report (used by CI on both wfc and bench output).")
+    Term.(const run $ file $ expect_verdict $ min_nodes $ scenario)
+
 let main_cmd =
   let doc = "wait-free computations via iterated immediate snapshots (Borowsky-Gafni, PODC'97)" in
   Cmd.group
     (Cmd.info "wfc" ~version:"1.0.0" ~doc)
-    [ sds_cmd; homology_cmd; pc_cmd; emulate_cmd; solve_cmd; converge_cmd; approx_cmd; bound_cmd; simulate_cmd ]
+    [
+      sds_cmd;
+      homology_cmd;
+      pc_cmd;
+      emulate_cmd;
+      solve_cmd;
+      converge_cmd;
+      approx_cmd;
+      bound_cmd;
+      simulate_cmd;
+      check_json_cmd;
+    ]
 
-let () = exit (Cmd.eval main_cmd)
+let () = exit (Cmd.eval' main_cmd)

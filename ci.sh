@@ -1,8 +1,20 @@
 #!/bin/sh
 # Tier-1 gate: build, full test suite, quick benchmark with machine-readable
-# timings (written to BENCH_ci.json, which is gitignored).
+# timings (written to BENCH_ci.json, which is gitignored), and a smoke test
+# of the observability pipeline: `wfc solve --json` must produce a
+# wfc.obs.v1 report that the repo's own validator accepts, with the known
+# verdict for 2-process consensus and a nonzero node count. The bench
+# report goes through the same validator, so the two JSON producers cannot
+# drift apart.
 set -eux
 
 dune build
 dune runtest
 dune exec bench/main.exe -- --quick --json BENCH_ci.json
+dune exec bin/wfc_cli.exe -- check-json BENCH_ci.json
+
+dune exec bin/wfc_cli.exe -- solve --task consensus --procs 2 --max-level 2 \
+  --json SOLVE_ci.json
+dune exec bin/wfc_cli.exe -- check-json SOLVE_ci.json \
+  --expect-verdict unsolvable --min-nodes 1
+rm -f SOLVE_ci.json

@@ -42,9 +42,9 @@ let () =
     (fun grid ->
       let task = Instances.approximate_agreement ~procs:2 ~grid in
       match Solvability.solve ~max_level:4 task with
-      | Solvability.Solvable m ->
+      | Solvability.Solvable { map = m; stats } ->
         Format.printf "  %6d %12d %14d@." grid m.Solvability.level
-          (Solvability.search_nodes_of_last_call ())
+          stats.Solvability.nodes
       | _ -> Format.printf "  %6d %12s@." grid "????")
     [ 1; 2; 3; 4; 9; 10; 27 ];
   print_endline "\n  (b = ceil(log3 grid): SDS(s^1) cuts an edge into 3 pieces per round.)";
@@ -52,7 +52,7 @@ let () =
   (* 3. Run one of the machine-found maps as a protocol. *)
   print_endline "Executing the machine-found map for grid=9:";
   match Solvability.solve ~max_level:3 (Instances.approximate_agreement ~procs:2 ~grid:9) with
-  | Solvability.Solvable m -> (
+  | Solvability.Solvable { map = m; _ } -> (
     let task = m.Solvability.task in
     let input_vertices =
       [|

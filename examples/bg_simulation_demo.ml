@@ -19,7 +19,8 @@ let show name spec r =
   Format.printf "  snapshot agreements reached: %d@." (List.length r.Bg_simulation.snapshots);
   Format.printf "  shared ops per simulator: %s@."
     (String.concat ", "
-       (Array.to_list (Array.mapi (Printf.sprintf "S%d:%d") r.Bg_simulation.simulator_ops)));
+       (Array.to_list
+          (Array.mapi (Printf.sprintf "S%d:%d") r.Bg_simulation.cost.Bg_simulation.simulator_ops)));
   (match Bg_simulation.check spec r with
   | Ok () -> Format.printf "  simulated history: legal snapshot execution@."
   | Error e -> Format.printf "  HISTORY BROKEN: %s@." e);
@@ -43,7 +44,7 @@ let () =
   (match
      Solvability.solve ~max_level:2 (Wfc_tasks.Instances.binary_consensus ~procs:2)
    with
-  | Solvability.Unsolvable_at b ->
+  | Solvability.Unsolvable_at { level = b; _ } ->
     Format.printf "    consensus (2 procs): unsolvable for every b <= %d (exhaustive)@." b
   | _ -> print_endline "    (unexpected verdict)");
   print_endline "";
@@ -54,6 +55,6 @@ let () =
       let spec = Bg_simulation.full_information_spec ~procs:m ~k in
       let r = Bg_simulation.run ~simulators:s spec (Runtime.random ~seed:5 ()) in
       Format.printf "  %6d %6d %6d %14.1f@." s m k
-        (float_of_int (Array.fold_left ( + ) 0 r.Bg_simulation.simulator_ops)
+        (float_of_int (Array.fold_left ( + ) 0 r.Bg_simulation.cost.Bg_simulation.simulator_ops)
         /. float_of_int s))
     [ (2, 3, 2); (2, 4, 2); (3, 4, 2); (3, 5, 3); (4, 6, 2) ]

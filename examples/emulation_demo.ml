@@ -10,10 +10,11 @@ open Wfc_core
 let show_run ~name spec strategy =
   let r = Emulation.run spec strategy in
   Format.printf "--- %s ---@." name;
-  Format.printf "  IIS memories consumed: %d@." r.Emulation.memories_used;
+  Format.printf "  IIS memories consumed: %d@." r.Emulation.cost.Emulation.memories;
   Format.printf "  WriteReads per emulator: %s@."
     (String.concat ", "
-       (Array.to_list (Array.mapi (Printf.sprintf "P%d:%d") r.Emulation.write_reads)));
+       (Array.to_list
+          (Array.mapi (Printf.sprintf "P%d:%d") r.Emulation.cost.Emulation.write_reads)));
   Format.printf "  emulated operations: %d@." (List.length r.Emulation.ops);
   (match Emulation.check r with
   | Ok () -> Format.printf "  atomicity certificate: OK@."
@@ -46,7 +47,7 @@ let () =
         let r =
           Emulation.run (Emulation.full_information_spec ~procs ~k) (Runtime.random ~seed ())
         in
-        total := !total + r.Emulation.memories_used
+        total := !total + r.Emulation.cost.Emulation.memories
       done;
       Format.printf "  %6d %6d %10.1f@." procs k
         (float_of_int !total /. float_of_int trials))

@@ -9,15 +9,16 @@ open Wfc_core
 
 let report name verdict =
   (match verdict with
-  | Solvability.Solvable m ->
+  | Solvability.Solvable { map = m; _ } ->
     Format.printf "  %-28s SOLVABLE with %d IIS round(s)" name m.Solvability.level;
     (match Solvability.verify m with
     | Ok () -> Format.printf "  [map verified]@."
     | Error e -> Format.printf "  [BROKEN MAP: %s]@." e)
-  | Solvability.Unsolvable_at b ->
+  | Solvability.Unsolvable_at { level = b; _ } ->
     Format.printf "  %-28s UNSOLVABLE for every b <= %d (exhaustive)@." name b
-  | Solvability.Exhausted { level; nodes } ->
-    Format.printf "  %-28s undecided at b=%d (search budget: %d nodes)@." name level nodes);
+  | Solvability.Exhausted { level; stats } ->
+    Format.printf "  %-28s undecided at b=%d (search budget: %d nodes)@." name level
+      stats.Solvability.nodes);
   verdict
 
 let () =
@@ -41,7 +42,7 @@ let () =
   (* The solvable ones are not just certificates: run them. *)
   print_endline "Running the renaming decision map as a distributed protocol:";
   (match Solvability.solve ~max_level:1 (Instances.adaptive_renaming ~procs:2 ~names:3) with
-  | Solvability.Solvable m -> (
+  | Solvability.Solvable { map = m; _ } -> (
     match Characterization.validate m with
     | Ok () ->
       print_endline

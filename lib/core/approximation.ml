@@ -101,7 +101,7 @@ let chromatic ?budget ?(max_k = 4) ~target () =
     if k > max_k then None
     else
       match Solvability.solve_at ?budget task k with
-      | Solvability.Solvable m -> Some (k, m)
+      | Solvability.Solvable { map; _ } -> Some (k, map)
       | Solvability.Unsolvable_at _ | Solvability.Exhausted _ -> go (k + 1)
   in
   go 0

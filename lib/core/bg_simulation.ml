@@ -28,13 +28,18 @@ type cell = {
   agreed : ((int * int) * int array) list; (* decided snapshots *)
 }
 
+type cost = { simulator_ops : int array; agreements : int; steps : int }
+
 type result = {
   completed : bool array;
   snapshots : (int * int * int array) list;
   values : (int * int * string) list;
-  simulator_ops : int array;
-  time : int;
+  cost : cost;
 }
+
+let c_agreements = Wfc_obs.Metrics.counter "bg.agreements"
+
+let c_simulator_ops = Wfc_obs.Metrics.counter "bg.simulator_ops"
 
 (* ----- pure helpers on knowledge ----- *)
 
@@ -250,12 +255,15 @@ let run ?(max_steps = 2_000_000) ~simulators spec strategy =
   let completed =
     Array.init m (fun j -> List.mem_assoc (j, spec.k) knowledge.agreed)
   in
+  let snapshots = List.rev !agreement_log in
+  Wfc_obs.Metrics.add c_agreements (List.length snapshots);
+  Wfc_obs.Metrics.add c_simulator_ops (Array.fold_left ( + ) 0 ops_count);
   {
     completed;
-    snapshots = List.rev !agreement_log;
+    snapshots;
     values = knowledge.performed;
-    simulator_ops = ops_count;
-    time = outcome.Runtime.time;
+    cost =
+      { simulator_ops = ops_count; agreements = List.length snapshots; steps = outcome.Runtime.time };
   }
 
 let check spec r =

@@ -50,13 +50,20 @@ type spec = {
 val full_information_spec : procs:int -> k:int -> spec
 (** The simulated protocol of Figure 1 (canonically encoded views). *)
 
+type cost = {
+  simulator_ops : int array;  (** shared-memory operations per simulator *)
+  agreements : int;  (** safe agreements decided *)
+  steps : int;  (** total scheduler decisions *)
+}
+(** The run's resource consumption, also fed into the [bg.*] counters of
+    {!Wfc_obs}. *)
+
 type result = {
   completed : bool array;  (** per simulated process: finished all k rounds *)
   snapshots : (int * int * int array) list;
       (** agreed (process, round, seq vector) snapshots, in agreement order *)
   values : (int * int * string) list;  (** performed simulated writes *)
-  simulator_ops : int array;  (** shared-memory operations per simulator *)
-  time : int;
+  cost : cost;
 }
 
 val run :

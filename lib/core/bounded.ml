@@ -26,7 +26,10 @@ let ops_before_decision trace =
     trace;
   !best
 
+let c_runs = Wfc_obs.Metrics.counter "bounded.runs"
+
 let decision_bound ?max_runs ?crashes make_actions =
+  Wfc_obs.Metrics.with_span "bounded.decision_bound" @@ fun () ->
   let bound = ref 0 and depth = ref 0 in
   let runs =
     Explore.explore ?max_runs ?crashes make_actions (fun outcome ->
@@ -34,4 +37,5 @@ let decision_bound ?max_runs ?crashes make_actions =
         if b > !bound then bound := b;
         if outcome.Runtime.time > !depth then depth := outcome.Runtime.time)
   in
+  Wfc_obs.Metrics.add c_runs runs;
   { runs; bound = !bound; depth = !depth }

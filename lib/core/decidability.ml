@@ -97,9 +97,9 @@ let two_process (task : Task.t) =
 
 let agrees_with_search ?(max_level = 2) task =
   match (two_process task, Solvability.solve ~max_level task) with
-  | Solvable_at exact, Solvability.Solvable m ->
-    exact = m.Solvability.level
-  | Solvable_at exact, Solvability.Unsolvable_at b ->
+  | Solvable_at exact, Solvability.Solvable { map; _ } ->
+    exact = map.Solvability.level
+  | Solvable_at exact, Solvability.Unsolvable_at { level = b; _ } ->
     (* the search only looked up to b; exact level must lie beyond *)
     exact > b
   | Unsolvable, Solvability.Unsolvable_at _ -> true

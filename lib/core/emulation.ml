@@ -7,13 +7,17 @@ type 'v spec = {
   next : proc:int -> round:int -> 'v option array -> 'v;
 }
 
+type cost = { memories : int; write_reads : int array; steps : int }
+
 type 'v result = {
   final_snapshots : 'v option array array;
   ops : Trace.op_record list;
-  memories_used : int;
-  write_reads : int array;
-  time : int;
+  cost : cost;
 }
+
+let c_memories = Wfc_obs.Metrics.counter "emulation.memories"
+
+let c_write_reads = Wfc_obs.Metrics.counter "emulation.write_reads"
 
 (* A tuple of Figure 2: (id, seq, value-or-placeholder). Kept in sorted
    lists that act as sets. *)
@@ -117,12 +121,17 @@ let run ?(max_steps = 2_000_000) spec strategy =
   in
   let actions = Array.init n emulator in
   let outcome = Runtime.run ~max_steps actions strategy in
+  Wfc_obs.Metrics.add c_memories outcome.Runtime.memories_used;
+  Wfc_obs.Metrics.add c_write_reads (Array.fold_left ( + ) 0 write_reads);
   {
     final_snapshots;
     ops = List.rev !ops;
-    memories_used = outcome.Runtime.memories_used;
-    write_reads;
-    time = outcome.Runtime.time;
+    cost =
+      {
+        memories = outcome.Runtime.memories_used;
+        write_reads;
+        steps = outcome.Runtime.time;
+      };
   }
 
 let check r = Trace.check_snapshot_atomicity r.ops

@@ -37,12 +37,18 @@ type 'v spec = {
       (** value for round [round + 1] from the round-[round] snapshot *)
 }
 
+type cost = {
+  memories : int;  (** one-shot IIS memories consumed *)
+  write_reads : int array;  (** WriteReads performed per process *)
+  steps : int;  (** total scheduler decisions *)
+}
+(** The run's resource consumption, also fed into the [emulation.*]
+    counters of {!Wfc_obs}. *)
+
 type 'v result = {
   final_snapshots : 'v option array array;  (** per process: last snapshot *)
   ops : Trace.op_record list;  (** all completed operations, with intervals *)
-  memories_used : int;
-  write_reads : int array;  (** WriteReads performed per process *)
-  time : int;  (** total scheduler decisions *)
+  cost : cost;
 }
 
 val run : ?max_steps:int -> 'v spec -> Runtime.strategy -> 'v result

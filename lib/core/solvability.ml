@@ -8,14 +8,48 @@ type map = {
   decide : int -> int;
 }
 
+type stats = { nodes : int; backtracks : int; prunes : int; elapsed : float }
+
 type verdict =
-  | Solvable of map
-  | Unsolvable_at of int
-  | Exhausted of { level : int; nodes : int }
+  | Solvable of { map : map; stats : stats }
+  | Unsolvable_at of { level : int; stats : stats }
+  | Exhausted of { level : int; stats : stats }
 
-let last_nodes = ref 0
+let zero_stats = { nodes = 0; backtracks = 0; prunes = 0; elapsed = 0. }
 
-let search_nodes_of_last_call () = !last_nodes
+let add_stats a b =
+  {
+    nodes = a.nodes + b.nodes;
+    backtracks = a.backtracks + b.backtracks;
+    prunes = a.prunes + b.prunes;
+    elapsed = a.elapsed +. b.elapsed;
+  }
+
+let stats_of_verdict = function
+  | Solvable { stats; _ } | Unsolvable_at { stats; _ } | Exhausted { stats; _ } -> stats
+
+let verdict_name = function
+  | Solvable _ -> "solvable"
+  | Unsolvable_at _ -> "unsolvable"
+  | Exhausted _ -> "exhausted"
+
+let pp_stats ppf s =
+  Format.fprintf ppf "nodes=%d backtracks=%d prunes=%d elapsed=%.6fs" s.nodes s.backtracks
+    s.prunes s.elapsed
+
+(* Search-local tallies: plain mutable ints on the hot path, folded into the
+   global Wfc_obs counters once per [solve_at]. *)
+type counts = { mutable n_nodes : int; mutable n_backtracks : int; mutable n_prunes : int }
+
+let c_nodes = Wfc_obs.Metrics.counter "solvability.nodes"
+
+let c_backtracks = Wfc_obs.Metrics.counter "solvability.backtracks"
+
+let c_prunes = Wfc_obs.Metrics.counter "solvability.prunes"
+
+let c_calls = Wfc_obs.Metrics.counter "solvability.calls"
+
+let h_solve_at = Wfc_obs.Metrics.histogram "solvability.solve_at.seconds"
 
 (* The CSP instance, with dense variable indices. *)
 type instance = {
@@ -156,8 +190,7 @@ let bfs_positions inst =
   done;
   pos
 
-let solve_instance ~budget inst =
-  last_nodes := 0;
+let solve_instance ~budget ~counts inst =
   let assignment = Array.make inst.nvars (-1) in
   (* live domains as mutable arrays of candidate lists *)
   let live = Array.map Array.to_list inst.domains in
@@ -235,7 +268,7 @@ let solve_instance ~budget inst =
       let v = select_var () in
       if v < 0 then raise (Found (Array.copy assignment))
       else begin
-        incr last_nodes;
+        counts.n_nodes <- counts.n_nodes + 1;
         let candidates = live.(v) in
         let rec try_candidates budget = function
           | [] -> `Fail budget
@@ -268,6 +301,7 @@ let solve_instance ~budget inst =
                       let after = List.filter (fun w' -> image_ok ci !u w') before in
                       let len_after = List.length after in
                       if len_after < len_before then begin
+                        counts.n_prunes <- counts.n_prunes + (len_before - len_after);
                         pruned := (!u, before, len_before) :: !pruned;
                         live.(!u) <- after;
                         domlen.(!u) <- len_after;
@@ -283,6 +317,7 @@ let solve_instance ~budget inst =
               | `Budget -> `Budget
               | `Fail budget' ->
                 (* undo *)
+                counts.n_backtracks <- counts.n_backtracks + 1;
                 List.iter
                   (fun (u, dom, len) ->
                     live.(u) <- dom;
@@ -300,6 +335,10 @@ let solve_instance ~budget inst =
       end
     end
   in
+  (* The root (empty assignment) always counts as a visited node, even when
+     the instance dies in preprocessing — "nodes = 0" would otherwise be
+     ambiguous between "refuted instantly" and "never ran". *)
+  counts.n_nodes <- counts.n_nodes + 1;
   if Array.exists (fun d -> Array.length d = 0) inst.domains then `Unsat
   else if not (arc_consistency inst live) then `Unsat
   else begin
@@ -311,25 +350,49 @@ let solve_instance ~budget inst =
   end
 
 let solve_at ?(budget = 5_000_000) task level =
+  Wfc_obs.Metrics.with_span (Printf.sprintf "solvability.level.%d" level) @@ fun () ->
+  let t0 = Wfc_obs.Metrics.now_s () in
+  let counts = { n_nodes = 0; n_backtracks = 0; n_prunes = 0 } in
   let sds, verts, inst = build_instance task level in
-  match solve_instance ~budget inst with
+  let outcome = solve_instance ~budget ~counts inst in
+  let elapsed = Wfc_obs.Metrics.now_s () -. t0 in
+  Wfc_obs.Metrics.incr c_calls;
+  Wfc_obs.Metrics.add c_nodes counts.n_nodes;
+  Wfc_obs.Metrics.add c_backtracks counts.n_backtracks;
+  Wfc_obs.Metrics.add c_prunes counts.n_prunes;
+  Wfc_obs.Metrics.observe h_solve_at elapsed;
+  let stats =
+    {
+      nodes = counts.n_nodes;
+      backtracks = counts.n_backtracks;
+      prunes = counts.n_prunes;
+      elapsed;
+    }
+  in
+  match outcome with
   | `Sat assignment ->
     let table = Hashtbl.create inst.nvars in
     Array.iteri (fun i v -> Hashtbl.replace table v assignment.(i)) verts;
-    Solvable { task; level; sds; decide = (fun v -> Hashtbl.find table v) }
-  | `Unsat -> Unsolvable_at level
-  | `Budget -> Exhausted { level; nodes = !last_nodes }
+    Solvable
+      { map = { task; level; sds; decide = (fun v -> Hashtbl.find table v) }; stats }
+  | `Unsat -> Unsolvable_at { level; stats }
+  | `Budget -> Exhausted { level; stats }
 
+(* [solve] reports {e cumulative} stats over every level it tried, so the
+   caller sees the full cost of the level sweep, not just the last level. *)
 let solve ?budget ~max_level task =
-  let rec go level last =
+  Wfc_obs.Metrics.with_span "solvability.solve" @@ fun () ->
+  let rec go level acc last =
     if level > max_level then last
     else
       match solve_at ?budget task level with
-      | Solvable _ as s -> s
-      | Unsolvable_at _ as u -> go (level + 1) u
-      | Exhausted _ as e -> e
+      | Solvable { map; stats } -> Solvable { map; stats = add_stats acc stats }
+      | Unsolvable_at { level = l; stats } ->
+        let acc = add_stats acc stats in
+        go (level + 1) acc (Unsolvable_at { level = l; stats = acc })
+      | Exhausted { level = l; stats } -> Exhausted { level = l; stats = add_stats acc stats }
   in
-  go 0 (Unsolvable_at (-1))
+  go 0 zero_stats (Unsolvable_at { level = -1; stats = zero_stats })
 
 let verify { task; sds; decide; level = _ } =
   let scx = Chromatic.complex (Sds.complex sds) in

@@ -24,24 +24,43 @@ type map = {
   decide : int -> int;  (** SDS vertex -> output vertex *)
 }
 
+type stats = {
+  nodes : int;  (** search nodes visited; >= 1 per level tried (the root
+                    counts even when preprocessing refutes the instance) *)
+  backtracks : int;  (** assignments undone *)
+  prunes : int;  (** domain values removed by forward checking *)
+  elapsed : float;  (** wall-clock seconds, including instance build *)
+}
+(** Search cost, carried by {e every} verdict: a negative answer is a
+    completed exhaustive search and its cost is part of the result, not a
+    side channel. (The old [search_nodes_of_last_call] global is gone.)
+    The same tallies feed the [solvability.*] counters of {!Wfc_obs}. *)
+
 type verdict =
-  | Solvable of map
-  | Unsolvable_at of int  (** search space of this level exhausted *)
-  | Exhausted of { level : int; nodes : int }  (** budget ran out *)
+  | Solvable of { map : map; stats : stats }
+  | Unsolvable_at of { level : int; stats : stats }
+      (** search space of this level exhausted *)
+  | Exhausted of { level : int; stats : stats }  (** budget ran out *)
+
+val stats_of_verdict : verdict -> stats
+
+val verdict_name : verdict -> string
+(** ["solvable"] / ["unsolvable"] / ["exhausted"] — the strings used by the
+    shared [wfc.obs.v1] JSON schema. *)
+
+val pp_stats : Format.formatter -> stats -> unit
 
 val solve_at : ?budget:int -> Wfc_tasks.Task.t -> int -> verdict
 (** Decide level [b] exactly (up to [budget] search nodes,
-    default 5_000_000). *)
+    default 5_000_000). Stats cover this level only. *)
 
 val solve : ?budget:int -> max_level:int -> Wfc_tasks.Task.t -> verdict
 (** Try levels [0 .. max_level] in order; returns the first [Solvable], the
     last [Unsolvable_at] if all levels exhaust their search spaces, or
-    [Exhausted] as soon as a level overruns the budget. *)
+    [Exhausted] as soon as a level overruns the budget. Stats are cumulative
+    over all levels tried. *)
 
 val verify : map -> (unit, string) result
 (** Independent re-check of a claimed decision map: color preservation,
     simpliciality, and the [Δ]-condition on every closure simplex. The
     search already guarantees this; tests use it as an oracle. *)
-
-val search_nodes_of_last_call : unit -> int
-(** Instrumentation: nodes expanded by the most recent [solve_at]. *)

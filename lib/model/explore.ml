@@ -1,5 +1,7 @@
 exception Too_many of int
 
+let c_runs = Wfc_obs.Metrics.counter "explore.runs"
+
 let decisions_at (v : Runtime.view) =
   let steps = List.map (fun p -> Runtime.Step p) v.Runtime.runnable in
   let fires =
@@ -33,6 +35,7 @@ let explore ?(max_runs = 200_000) ?(crashes = 0) make_actions f =
     | outcome, None ->
       (* the run finished during the prefix itself *)
       incr runs;
+      Wfc_obs.Metrics.incr c_runs;
       if !runs > max_runs then raise (Too_many !runs);
       f outcome
     | outcome, Some v ->
@@ -56,6 +59,7 @@ let explore ?(max_runs = 200_000) ?(crashes = 0) make_actions f =
       in
       if not live_work then begin
         incr runs;
+        Wfc_obs.Metrics.incr c_runs;
         if !runs > max_runs then raise (Too_many !runs);
         f outcome
       end

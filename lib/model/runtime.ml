@@ -33,6 +33,14 @@ type 'v memory = {
 
 let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid_decision s)) fmt
 
+let c_steps = Wfc_obs.Metrics.counter "runtime.steps"
+
+let c_fires = Wfc_obs.Metrics.counter "runtime.fires"
+
+let c_crashes = Wfc_obs.Metrics.counter "runtime.crashes"
+
+let c_decides = Wfc_obs.Metrics.counter "runtime.decides"
+
 let run ?(max_steps = 1_000_000) initial strategy =
   let n = Array.length initial in
   let states = Array.map (fun a -> Ready a) initial in
@@ -59,6 +67,7 @@ let run ?(max_steps = 1_000_000) initial strategy =
       emit (Trace.E_note { time = !time; proc = p; note });
       settle p (k ())
     | Action.Decide v ->
+      Wfc_obs.Metrics.incr c_decides;
       emit (Trace.E_decide { time = !time; proc = p; value = v });
       states.(p) <- Decided v
     | Action.Write_read { level; value; k } ->
@@ -173,9 +182,15 @@ let run ?(max_steps = 1_000_000) initial strategy =
       incr steps;
       if !steps > max_steps then invalid "run exceeded %d decisions" max_steps;
       (match strategy v with
-      | Step p -> apply_step p
-      | Fire (level, block) -> apply_fire level block
-      | Crash p -> apply_crash p
+      | Step p ->
+        Wfc_obs.Metrics.incr c_steps;
+        apply_step p
+      | Fire (level, block) ->
+        Wfc_obs.Metrics.incr c_fires;
+        apply_fire level block
+      | Crash p ->
+        Wfc_obs.Metrics.incr c_crashes;
+        apply_crash p
       | Halt -> halted := true);
       incr time;
       loop ()

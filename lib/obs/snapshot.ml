@@ -1,0 +1,122 @@
+type t = {
+  counters : (string * int) list;
+  histograms : (string * Metrics.histo_stats) list;
+  spans : Metrics.span_node list;
+}
+
+let take () =
+  {
+    counters = Metrics.counters_now ();
+    histograms = Metrics.histograms_now ();
+    spans = Metrics.spans_now ();
+  }
+
+let counter_value t name = List.assoc_opt name t.counters
+
+let diff before after =
+  let counters =
+    List.map
+      (fun (name, v) ->
+        let v0 = Option.value ~default:0 (List.assoc_opt name before.counters) in
+        (name, max 0 (v - v0)))
+      after.counters
+  in
+  let histograms =
+    List.filter_map
+      (fun ((name, (h : Metrics.histo_stats)) : string * Metrics.histo_stats) ->
+        match List.assoc_opt name before.histograms with
+        | None -> Some (name, h)
+        | Some (h0 : Metrics.histo_stats) ->
+          let count = max 0 (h.count - h0.count) in
+          if count = 0 then None
+          else
+            (* min/max of the delta window are not recoverable from two
+               aggregates; report the after-side bounds. *)
+            Some (name, { h with Metrics.count; sum = max 0. (h.sum -. h0.sum) }))
+      after.histograms
+  in
+  { counters; histograms; spans = after.spans }
+
+(* ------------------------------------------------------------------ *)
+(* rendering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Which counters exist at all depends on which libraries the binary links
+   (registration happens at module init), so zero-valued counters are
+   dropped from both renderings: reports stay deterministic across
+   binaries and [--stats] stays readable. *)
+let live_counters t = List.filter (fun (_, v) -> v <> 0) t.counters
+
+let to_json t =
+  let counters = List.map (fun (name, v) -> (name, Json.Int v)) (live_counters t) in
+  let histograms =
+    List.map
+      (fun (name, (h : Metrics.histo_stats)) ->
+        ( name,
+          Json.Obj
+            [
+              ("count", Json.Int h.count);
+              ("sum", Json.Float h.sum);
+              ("mean", Json.Float (h.sum /. float_of_int h.count));
+              ("min", Json.Float h.min);
+              ("max", Json.Float h.max);
+            ] ))
+      t.histograms
+  in
+  let rec span_json (s : Metrics.span_node) =
+    Json.Obj
+      [
+        ("name", Json.String s.Metrics.span_name);
+        ("calls", Json.Int s.Metrics.calls);
+        ("seconds", Json.Float s.Metrics.total_s);
+        ("children", Json.Arr (List.map span_json s.Metrics.children));
+      ]
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counters);
+      ("histograms", Json.Obj histograms);
+      ("spans", Json.Arr (List.map span_json t.spans));
+    ]
+
+let to_text t =
+  let counters = live_counters t in
+  let buf = Buffer.create 256 in
+  let name_width =
+    List.fold_left
+      (fun w (name, _) -> max w (String.length name))
+      0
+      (counters @ List.map (fun (n, _) -> (n, 0)) t.histograms)
+  in
+  if counters <> [] then begin
+    Buffer.add_string buf "counters\n";
+    List.iter
+      (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  %-*s %12d\n" name_width name v))
+      counters
+  end;
+  if t.histograms <> [] then begin
+    Buffer.add_string buf "timers\n";
+    List.iter
+      (fun (name, (h : Metrics.histo_stats)) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-*s count=%-6d mean=%.6f min=%.6f max=%.6f\n" name_width name
+             h.count
+             (h.sum /. float_of_int h.count)
+             h.min h.max))
+      t.histograms
+  end;
+  if t.spans <> [] then begin
+    Buffer.add_string buf "spans\n";
+    let rec walk depth (s : Metrics.span_node) =
+      Buffer.add_string buf
+        (Printf.sprintf "  %s%-*s %4d call%s %10.6fs\n"
+           (String.make (2 * depth) ' ')
+           (max 1 (name_width - (2 * depth)))
+           s.Metrics.span_name s.Metrics.calls
+           (if s.Metrics.calls = 1 then " " else "s")
+           s.Metrics.total_s);
+      List.iter (walk (depth + 1)) s.Metrics.children
+    in
+    List.iter (walk 0) t.spans
+  end;
+  if Buffer.length buf = 0 then "(no metrics recorded)\n" else Buffer.contents buf

@@ -1,0 +1,31 @@
+(** Immutable point-in-time captures of the {!Metrics} registry.
+
+    A snapshot is a plain value: taking one never perturbs the registry,
+    and two snapshots can be diffed to isolate the cost of a region of
+    work. Rendering is either aligned human-readable text ([--stats]) or
+    canonical JSON via {!to_json} — the same object that {!Report} embeds,
+    so the CLI and the bench harness emit one schema. *)
+
+type t = {
+  counters : (string * int) list;  (** name-sorted *)
+  histograms : (string * Metrics.histo_stats) list;  (** name-sorted *)
+  spans : Metrics.span_node list;  (** first-opened order *)
+}
+
+val take : unit -> t
+
+val counter_value : t -> string -> int option
+
+val diff : t -> t -> t
+(** [diff before after]: counter and histogram deltas ([after - before],
+    clamped at 0 for instruments that were reset in between); spans are
+    taken from [after]. *)
+
+val to_json : t -> Json.t
+(** [{"counters": {..}, "histograms": {name: {count, sum, mean, min,
+    max}}, "spans": [{name, calls, seconds, children}]}]. *)
+
+val to_text : t -> string
+(** Aligned text: one dotted-name column per counter/histogram, spans as an
+    indented tree. Empty sections are omitted; an empty snapshot renders as
+    ["(no metrics recorded)"]. *)

@@ -45,7 +45,14 @@ end
 
 module Key_tbl = Hashtbl.Make (Key)
 
+let c_memo_hits = Wfc_obs.Metrics.counter "sds.memo.hits"
+
+let c_memo_misses = Wfc_obs.Metrics.counter "sds.memo.misses"
+
+let c_facets = Wfc_obs.Metrics.counter "sds.facets"
+
 let subdivide t =
+  Wfc_obs.Metrics.with_span "sds.subdivide" @@ fun () ->
   let prev_cx = complex t in
   let prev_complex = Chromatic.complex prev_cx in
   (* Collect the vertex universe: all (v, S) with v ∈ S a simplex. The
@@ -88,6 +95,7 @@ let subdivide t =
           (Ordered_partition.enumerate vs))
       (Complex.facets prev_complex)
   in
+  Wfc_obs.Metrics.add c_facets (List.length facets);
   let new_complex =
     Complex.of_facets ~name:(Complex.name prev_complex ^ "'") facets
   in
@@ -150,7 +158,9 @@ let iterate a b =
     if k < 0 then (0, of_chromatic a)
     else
       match Hashtbl.find_opt memo (name, k) with
-      | Some t when matches t -> (k, t)
+      | Some t when matches t ->
+        Wfc_obs.Metrics.incr c_memo_hits;
+        (k, t)
       | _ -> cached (k - 1)
   in
   let k0, t0 = cached b in
@@ -158,6 +168,7 @@ let iterate a b =
   let rec go t k =
     if k = b then t
     else begin
+      Wfc_obs.Metrics.incr c_memo_misses;
       let t' = subdivide t in
       Hashtbl.replace memo (name, k + 1) t';
       go t' (k + 1)

@@ -14,7 +14,7 @@ let qtest ?(count = 100) name gen prop =
 
 let solvable_at task max_level =
   match Solvability.solve ~max_level task with
-  | Solvability.Solvable m -> Some m
+  | Solvability.Solvable { map; _ } -> Some map
   | Solvability.Unsolvable_at _ | Solvability.Exhausted _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -31,8 +31,8 @@ let solvability_unit_tests =
         | None -> Alcotest.fail "identity must be solvable");
     Alcotest.test_case "consensus unsolvable (2 procs, b <= 3)" `Quick (fun () ->
         match Solvability.solve ~max_level:3 (Instances.binary_consensus ~procs:2) with
-        | Solvability.Unsolvable_at 3 -> ()
-        | Solvability.Unsolvable_at b -> checki "last level" 3 b
+        | Solvability.Unsolvable_at { level = 3; _ } -> ()
+        | Solvability.Unsolvable_at { level = b; _ } -> checki "last level" 3 b
         | _ -> Alcotest.fail "consensus must be unsolvable");
     Alcotest.test_case "consensus unsolvable (3 procs, b <= 1)" `Quick (fun () ->
         match Solvability.solve ~max_level:1 (Instances.binary_consensus ~procs:3) with
@@ -180,7 +180,7 @@ let emulation_unit_tests =
     Alcotest.test_case "sequential emulation uses ~2k memories for n=2" `Quick (fun () ->
         let r = Emulation.run (Emulation.full_information_spec ~procs:2 ~k:3) (Runtime.round_robin ()) in
         checkb "memories between 2k and 4k" true
-          (r.Emulation.memories_used >= 6 && r.Emulation.memories_used <= 12));
+          (r.Emulation.cost.Emulation.memories >= 6 && r.Emulation.cost.Emulation.memories <= 12));
     Alcotest.test_case "every process performs its k rounds" `Quick (fun () ->
         let r = Emulation.run (Emulation.full_information_spec ~procs:3 ~k:2) (Runtime.random ~seed:11 ()) in
         let writes =
@@ -235,7 +235,7 @@ let emulation_prop_tests =
       QCheck2.Gen.(int_range 1 8)
       (fun k ->
         let r = Emulation.run (Emulation.full_information_spec ~procs:2 ~k) (Runtime.round_robin ()) in
-        r.Emulation.memories_used = 4 * k);
+        r.Emulation.cost.Emulation.memories = 4 * k);
     qtest ~count:30 "isolating adversary: histories stay atomic"
       QCheck2.Gen.(pair (int_range 2 4) (int_range 0 3))
       (fun (procs, victim) ->
@@ -381,7 +381,7 @@ let sperner_unit_tests =
         (* the (2,2) map exists and is a Sperner labeling with panchromatic
            facets allowed; (3,2) would need zero panchromatic facets *)
         match Solvability.solve_at (Instances.set_consensus ~procs:2 ~k:2) 1 with
-        | Solvability.Solvable m -> (
+        | Solvability.Solvable { map = m; _ } -> (
           match Sperner.decision_map_labeling m with
           | Some label ->
             let sds = m.Solvability.sds in
@@ -490,7 +490,7 @@ let tas_unit_tests =
         checkb "FAI" true (Task.well_formed (Instances.fetch_and_increment_order ~procs:2) = Ok ()));
     Alcotest.test_case "loop agreement: disk solvable, circle not" `Quick (fun () ->
         (match Solvability.solve ~max_level:1 (Instances.loop_agreement_on_disk ()) with
-        | Solvability.Solvable m ->
+        | Solvability.Solvable { map = m; _ } ->
           checki "one round" 1 m.Solvability.level;
           checkb "verifies" true (Solvability.verify m = Ok ())
         | _ -> Alcotest.fail "disk loop agreement must be solvable");
@@ -505,7 +505,7 @@ let tas_unit_tests =
                 (Instances.adaptive_renaming ~procs:2 ~names:3)
                 (Instances.approximate_agreement ~procs:2 ~grid:3))
          with
-        | Solvability.Solvable m ->
+        | Solvability.Solvable { map = m; _ } ->
           checki "level 1" 1 m.Solvability.level;
           checkb "verifies" true (Solvability.verify m = Ok ())
         | _ -> Alcotest.fail "product of solvables must be solvable");

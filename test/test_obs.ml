@@ -1,0 +1,255 @@
+(* Tier-1 tests for the Wfc_obs observability layer: counter monotonicity,
+   reset semantics, span-tree well-formedness, JSON round-tripping, the
+   report schema validator, and the determinism guard tying identical
+   seeded solver runs to identical counter deltas. *)
+
+open Wfc_obs
+
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let test_counter_basics () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.counter.basics" in
+  checki "fresh counter" 0 (Metrics.value c);
+  Metrics.incr c;
+  Metrics.add c 41;
+  checki "incr + add" 42 (Metrics.value c);
+  checks "name" "test.counter.basics" (Metrics.counter_name c);
+  let c' = Metrics.counter "test.counter.basics" in
+  Metrics.incr c';
+  checki "same name, same cell" 43 (Metrics.value c)
+
+let test_counter_monotone () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.counter.monotone" in
+  Metrics.add c 0;
+  checki "add 0 is allowed" 0 (Metrics.value c);
+  Alcotest.check_raises "negative delta rejected"
+    (Invalid_argument "Metrics.add test.counter.monotone: negative delta -3")
+    (fun () -> Metrics.add c (-3))
+
+let test_reset_keeps_handles () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.reset.counter" in
+  let h = Metrics.histogram "test.reset.histo" in
+  Metrics.add c 7;
+  Metrics.observe h 1.5;
+  Metrics.with_span "test.reset.span" (fun () -> ());
+  Metrics.reset ();
+  checki "counter zeroed" 0 (Metrics.value c);
+  checkb "histograms cleared" true (Metrics.histograms_now () = []);
+  checkb "spans cleared" true (Metrics.spans_now () = []);
+  (* the old handle still feeds the registry after reset *)
+  Metrics.incr c;
+  checkb "handle valid after reset" true
+    (List.assoc "test.reset.counter" (Metrics.counters_now ()) = 1)
+
+let test_histogram_stats () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.histo.stats" in
+  List.iter (Metrics.observe h) [ 2.0; 8.0; 5.0 ];
+  match List.assoc_opt "test.histo.stats" (Metrics.histograms_now ()) with
+  | None -> Alcotest.fail "histogram missing from read-out"
+  | Some (s : Metrics.histo_stats) ->
+    checki "count" 3 s.count;
+    checkb "sum" true (abs_float (s.sum -. 15.0) < 1e-9);
+    checkb "min" true (s.min = 2.0);
+    checkb "max" true (s.max = 8.0)
+
+let test_span_nesting () =
+  Metrics.reset ();
+  checki "top level" 0 (Metrics.span_depth ());
+  Metrics.with_span "outer" (fun () ->
+      checki "inside outer" 1 (Metrics.span_depth ());
+      Metrics.with_span "inner" (fun () ->
+          checki "inside inner" 2 (Metrics.span_depth ()));
+      Metrics.with_span "inner" (fun () -> ()));
+  checki "back to top" 0 (Metrics.span_depth ());
+  (match Metrics.spans_now () with
+  | [ outer ] ->
+    checks "outer name" "outer" outer.Metrics.span_name;
+    checki "outer calls" 1 outer.Metrics.calls;
+    (match outer.Metrics.children with
+    | [ inner ] ->
+      checks "inner name" "inner" inner.Metrics.span_name;
+      checki "same-named siblings accumulate" 2 inner.Metrics.calls
+    | l -> Alcotest.failf "expected one child span, got %d" (List.length l))
+  | l -> Alcotest.failf "expected one root span, got %d" (List.length l));
+  (* exception safety: the stack must unwind *)
+  (try Metrics.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  checki "stack unwound after exception" 0 (Metrics.span_depth ())
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot                                                            *)
+
+let test_snapshot_diff () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.snap.diff" in
+  Metrics.add c 10;
+  let before = Snapshot.take () in
+  Metrics.add c 32;
+  let after = Snapshot.take () in
+  let d = Snapshot.diff before after in
+  checkb "delta isolates the region" true
+    (Snapshot.counter_value d "test.snap.diff" = Some 32);
+  checkb "take does not perturb" true
+    (Snapshot.counter_value after "test.snap.diff" = Some 42)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_snapshot_text () =
+  Metrics.reset ();
+  checks "empty snapshot" "(no metrics recorded)\n" (Snapshot.to_text (Snapshot.take ()));
+  let c = Metrics.counter "test.snap.text" in
+  Metrics.incr c;
+  let txt = Snapshot.to_text (Snapshot.take ()) in
+  checkb "mentions the counter" true (contains ~needle:"test.snap.text" txt);
+  checkb "has a counters section" true (contains ~needle:"counters" txt)
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("zeta", Json.Arr [ Json.Int 1; Json.Float 0.5; Json.Null; Json.Bool true ]);
+        ("alpha", Json.String "esc \"quotes\" and \\ back\nslash");
+        ("nested", Json.Obj [ ("k", Json.Int (-7)) ]);
+      ]
+  in
+  let s = Json.to_string j in
+  (match Json.parse s with
+  | Ok j' -> checkb "parse (to_string j) = j" true (Json.equal j j')
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e);
+  (* canonical: emitting twice gives identical bytes, key order irrelevant *)
+  let j_reordered =
+    Json.Obj
+      [
+        ("nested", Json.Obj [ ("k", Json.Int (-7)) ]);
+        ("alpha", Json.String "esc \"quotes\" and \\ back\nslash");
+        ("zeta", Json.Arr [ Json.Int 1; Json.Float 0.5; Json.Null; Json.Bool true ]);
+      ]
+  in
+  checks "canonical bytes, key-order independent" s (Json.to_string j_reordered);
+  checkb "equal is key-order insensitive" true (Json.equal j j_reordered)
+
+let test_json_parse_errors () =
+  checkb "garbage rejected" true (Result.is_error (Json.parse "{nope}"));
+  checkb "trailing junk rejected" true (Result.is_error (Json.parse "{} x"));
+  checkb "unterminated string rejected" true (Result.is_error (Json.parse "\"abc"))
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+
+let test_report_schema () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.report.counter" in
+  Metrics.add c 5;
+  let scenarios =
+    [
+      Report.scenario ~nodes:12 ~verdict:"solvable" "alpha" 0.25;
+      Report.scenario "beta" 0.5;
+    ]
+  in
+  let j = Report.to_json ~snapshot:(Snapshot.take ()) scenarios in
+  checkb "schema tag" true (Json.member "schema" j = Some (Json.String Report.schema_version));
+  checkb "validates" true (Result.is_ok (Report.validate j));
+  checkb "verdict constraint" true
+    (Result.is_ok (Report.validate ~expect_verdict:"solvable" ~min_nodes:1 j));
+  checkb "named scenario" true
+    (Result.is_ok
+       (Report.validate ~scenario_name:"alpha" ~expect_verdict:"solvable" ~min_nodes:12 j));
+  checkb "wrong verdict fails" true
+    (Result.is_error (Report.validate ~expect_verdict:"unsolvable" j));
+  checkb "min_nodes too high fails" true
+    (Result.is_error (Report.validate ~scenario_name:"alpha" ~min_nodes:13 j));
+  checkb "missing scenario fails" true
+    (Result.is_error (Report.validate ~scenario_name:"gamma" j));
+  (* emitted bytes parse back to an equal tree *)
+  match Json.parse (Json.to_string j) with
+  | Ok j' -> checkb "report round-trips" true (Json.equal j j')
+  | Error e -> Alcotest.failf "report did not parse back: %s" e
+
+let test_report_rejects_bad () =
+  checkb "wrong schema tag" true
+    (Result.is_error
+       (Report.validate (Json.Obj [ ("schema", Json.String "nope"); ("scenarios", Json.Arr []) ])));
+  checkb "scenarios not an array" true
+    (Result.is_error
+       (Report.validate
+          (Json.Obj
+             [ ("schema", Json.String Report.schema_version); ("scenarios", Json.Int 3) ])))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism guard: same seeded solve => same stats and counter deltas *)
+
+let solve_renaming_and_deltas () =
+  Metrics.reset ();
+  let before = Snapshot.take () in
+  let v =
+    Wfc_core.Solvability.solve ~max_level:2
+      (Wfc_tasks.Instances.adaptive_renaming ~procs:2 ~names:3)
+  in
+  let d = Snapshot.diff before (Snapshot.take ()) in
+  let stats = Wfc_core.Solvability.stats_of_verdict v in
+  (Wfc_core.Solvability.verdict_name v, stats, d.Snapshot.counters)
+
+let test_determinism_guard () =
+  let name1, s1, deltas1 = solve_renaming_and_deltas () in
+  let name2, s2, deltas2 = solve_renaming_and_deltas () in
+  checks "same verdict" name1 name2;
+  checks "renaming (2,3) is solvable" "solvable" name1;
+  checki "same nodes" s1.Wfc_core.Solvability.nodes s2.Wfc_core.Solvability.nodes;
+  checki "same backtracks" s1.Wfc_core.Solvability.backtracks s2.Wfc_core.Solvability.backtracks;
+  checki "same prunes" s1.Wfc_core.Solvability.prunes s2.Wfc_core.Solvability.prunes;
+  checkb "searched at all" true (s1.Wfc_core.Solvability.nodes > 0);
+  (* identical solver counter deltas, name for name. Cache counters
+     (sds.memo, simplex.intern) are excluded: the second run hits memos the
+     first one populated, which is exactly what those counters exist to
+     show. *)
+  let solver_only =
+    List.filter (fun (name, v) ->
+        v <> 0 && String.length name >= 12 && String.sub name 0 12 = "solvability.")
+  in
+  checkb "identical solver counter deltas" true (solver_only deltas1 = solver_only deltas2);
+  checkb "solver counters flowed to the registry" true
+    (List.assoc_opt "solvability.nodes" deltas1 = Some s1.Wfc_core.Solvability.nodes)
+
+let () =
+  Alcotest.run "wfc_obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "counters are monotone" `Quick test_counter_monotone;
+          Alcotest.test_case "reset keeps handles valid" `Quick test_reset_keeps_handles;
+          Alcotest.test_case "histogram stats" `Quick test_histogram_stats;
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "diff isolates a region" `Quick test_snapshot_diff;
+          Alcotest.test_case "text rendering" `Quick test_snapshot_text;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "canonical round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "schema + validate" `Quick test_report_schema;
+          Alcotest.test_case "validator rejects bad input" `Quick test_report_rejects_bad;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "seeded solve counter deltas" `Quick test_determinism_guard ] );
+    ]
