@@ -592,6 +592,12 @@ let micro () =
 (* timed scenarios (--json FILE): machine-readable perf trajectory      *)
 (* ------------------------------------------------------------------ *)
 
+let emulation_sweep ~sink () =
+  let spec = Emulation.full_information_spec ~procs:3 ~k:4 in
+  for seed = 0 to 29 do
+    ignore (Emulation.run ~sink ~show:Fun.id spec (Runtime.random ~seed ()))
+  done
+
 (* Each scenario is a thunk returning (search nodes, verdict), both optional.
    Timed cold: every per-run cache that survives across calls is cleared
    first so the JSON numbers track the representation, not the memo. *)
@@ -624,6 +630,12 @@ let scenarios : (string * (unit -> int option * string option)) list =
       solve_up (Instances.approximate_agreement ~procs:2 ~grid:27) 5 );
     ( "protocol_complex_iis_3_r2",
       plain (fun () -> ignore (Protocol_complex.iis ~procs:3 ~rounds:2)) );
+    (* trace sink overhead: the same 30 seeded emulation runs with recording
+       off, bounded (the always-on flight recorder), and full (replayable
+       wfc.trace.v1 stream). Ring must stay within a few percent of off. *)
+    ("emulation_trace_off", plain (fun () -> emulation_sweep ~sink:Runtime.Off ()));
+    ("emulation_trace_ring", plain (fun () -> emulation_sweep ~sink:(Runtime.Ring 4096) ()));
+    ("emulation_trace_full", plain (fun () -> emulation_sweep ~sink:Runtime.Full ()));
   ]
 
 let run_scenarios () =

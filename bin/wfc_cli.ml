@@ -33,6 +33,68 @@ let procs_arg =
 
 let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Adversary seed.")
 
+(* ---------- trace plumbing shared by emulate / simulate / trace / replay ---------- *)
+
+let exit_unknown_schema = 4
+
+let emulation_protocol = "emulation.full-info"
+
+(* The runtime runs over the simulators; the simulated-process count rides
+   in the protocol tag so replay can rebuild the spec from the meta alone. *)
+let bg_protocol ~procs = Printf.sprintf "bg.full-info:%d" procs
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record the full run as a wfc.trace.v1 JSON trace to $(docv) (use - for stdout). \
+           Without it, a bounded flight recorder retains the last 4096 events and dumps \
+           them only on failure.")
+
+let perfetto_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "perfetto" ] ~docv:"FILE"
+        ~doc:"Export the run as a Chrome trace_event timeline for Perfetto / chrome://tracing.")
+
+let write_json_to path j =
+  if path = "-" then print_string (Wfc_obs.Json.to_string j)
+  else begin
+    Wfc_obs.Report.write_file path j;
+    Format.eprintf "wrote %s@." path
+  end
+
+let read_json_from path =
+  let contents =
+    if path = "-" then In_channel.input_all stdin
+    else In_channel.with_open_bin path In_channel.input_all
+  in
+  Wfc_obs.Json.parse contents
+
+let trace_json meta tr = Trace_io.to_json Trace_io.string_value meta tr
+
+let dump_flight_recorder ~path ~meta tr =
+  Wfc_obs.Report.write_file path (trace_json meta tr);
+  Format.eprintf "flight recorder: dumped %d retained event(s) to %s@." (List.length tr) path
+
+let export_perfetto path tr =
+  write_json_to path (Wfc_obs.Trace_event.to_json (Trace_io.to_trace_events ~show:Fun.id tr))
+
+(* The §3.5 regression oracle on a recorded or replayed run: every memory
+   level's firing sequence must induce legal immediate-snapshot views. *)
+let check_is_levels tr =
+  let rec go = function
+    | [] -> Ok ()
+    | (level, views) :: rest -> (
+      match Trace.check_immediate_snapshot views with
+      | Ok () -> go rest
+      | Error e -> Error (Printf.sprintf "memory %d: %s" level e))
+  in
+  go (Trace.is_views_by_level tr)
+
 (* ---------- sds ---------- *)
 
 let sds_cmd =
@@ -120,14 +182,24 @@ let homology_cmd =
 (* ---------- simulate (BG simulation) ---------- *)
 
 let simulate_cmd =
-  let run simulators procs rounds seed crash =
+  let run simulators procs rounds seed crash trace_out perfetto =
     let spec = Bg_simulation.full_information_spec ~procs ~k:rounds in
     let strategy =
       match crash with
       | [] -> Runtime.random ~seed ()
       | victims -> Runtime.random_with_crashes ~seed ~crash:victims ()
     in
-    let r = Bg_simulation.run ~simulators spec strategy in
+    let meta =
+      Trace_io.meta ~seed ~crash ~protocol:(bg_protocol ~procs) ~procs:simulators ~rounds ()
+    in
+    let sink =
+      if trace_out <> None || perfetto <> None then Runtime.Full else Runtime.Ring 4096
+    in
+    let dump_path =
+      match trace_out with Some p when p <> "-" -> p | _ -> "wfc-failure.trace.json"
+    in
+    let on_trap tr = dump_flight_recorder ~path:dump_path ~meta tr in
+    let r = Bg_simulation.run ~sink ~on_trap ~simulators spec strategy in
     Format.printf "completed simulated processes: %s@."
       (String.concat ","
          (Array.to_list (Array.mapi (fun j b -> Printf.sprintf "P%d:%b" j b) r.Bg_simulation.completed)));
@@ -136,12 +208,17 @@ let simulate_cmd =
       (String.concat ","
          (Array.to_list
             (Array.map string_of_int r.Bg_simulation.cost.Bg_simulation.simulator_ops)));
+    (match trace_out with
+    | Some path -> write_json_to path (trace_json meta (Lazy.force r.Bg_simulation.trace))
+    | None -> ());
+    (match perfetto with Some path -> export_perfetto path (Lazy.force r.Bg_simulation.trace) | None -> ());
     match Bg_simulation.check spec r with
     | Ok () ->
       Format.printf "simulated history: legal@.";
       0
     | Error e ->
       Format.printf "simulated history: BROKEN (%s)@." e;
+      if trace_out = None then dump_flight_recorder ~path:dump_path ~meta (Lazy.force r.Bg_simulation.trace);
       1
   in
   let simulators =
@@ -153,7 +230,9 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"BG simulation: S crash-prone simulators run a P-process snapshot protocol.")
-    Term.(const run $ simulators $ procs_arg $ levels_arg $ seed_arg $ crash)
+    Term.(
+      const run $ simulators $ procs_arg $ levels_arg $ seed_arg $ crash $ trace_out_arg
+      $ perfetto_arg)
 
 (* ---------- protocol-complex ---------- *)
 
@@ -187,14 +266,24 @@ let pc_cmd =
 (* ---------- emulate ---------- *)
 
 let emulate_cmd =
-  let run procs rounds seed trace crash stats json =
+  let run procs rounds seed trace crash trace_out perfetto stats json =
     let spec = Emulation.full_information_spec ~procs ~k:rounds in
     let strategy =
       match crash with
       | [] -> Runtime.random ~seed ()
       | victims -> Runtime.random_with_crashes ~seed ~crash:victims ()
     in
-    let r, seconds = Output.timed (fun () -> Emulation.run spec strategy) in
+    let meta = Trace_io.meta ~seed ~crash ~protocol:emulation_protocol ~procs ~rounds () in
+    let sink =
+      if trace_out <> None || perfetto <> None then Runtime.Full else Runtime.Ring 4096
+    in
+    let dump_path =
+      match trace_out with Some p when p <> "-" -> p | _ -> "wfc-failure.trace.json"
+    in
+    let on_trap tr = dump_flight_recorder ~path:dump_path ~meta tr in
+    let r, seconds =
+      Output.timed (fun () -> Emulation.run ~sink ~on_trap ~show:Fun.id spec strategy)
+    in
     let cost = r.Emulation.cost in
     Format.printf "IIS memories used: %d@." cost.Emulation.memories;
     Format.printf "WriteReads per process: %s@."
@@ -221,6 +310,10 @@ let emulate_cmd =
               (String.concat "," (Array.to_list (Array.map string_of_int v)))
               o.Trace.t_start o.Trace.t_end)
         r.Emulation.ops;
+    (match trace_out with
+    | Some path -> write_json_to path (trace_json meta (Lazy.force r.Emulation.trace))
+    | None -> if not atomic then dump_flight_recorder ~path:dump_path ~meta (Lazy.force r.Emulation.trace));
+    (match perfetto with Some path -> export_perfetto path (Lazy.force r.Emulation.trace) | None -> ());
     Output.emit ~stats ~json
       [
         Wfc_obs.Report.scenario
@@ -245,8 +338,149 @@ let emulate_cmd =
     (Cmd.info "emulate"
        ~doc:"Emulate the k-shot atomic snapshot protocol over IIS (Figure 2) and certify it.")
     Term.(
-      const run $ procs_arg $ levels_arg $ seed_arg $ trace $ crash $ Output.stats_arg
-      $ Output.json_arg)
+      const run $ procs_arg $ levels_arg $ seed_arg $ trace $ crash $ trace_out_arg
+      $ perfetto_arg $ Output.stats_arg $ Output.json_arg)
+
+(* ---------- trace / replay ---------- *)
+
+let trace_cmd =
+  let run protocol simulators procs rounds seed crash out perfetto =
+    let strategy () =
+      match crash with
+      | [] -> Runtime.random ~seed ()
+      | victims -> Runtime.random_with_crashes ~seed ~crash:victims ()
+    in
+    let meta, tr, check =
+      match protocol with
+      | "emulation" ->
+        let spec = Emulation.full_information_spec ~procs ~k:rounds in
+        let meta = Trace_io.meta ~seed ~crash ~protocol:emulation_protocol ~procs ~rounds () in
+        let r = Emulation.run ~sink:Runtime.Full ~show:Fun.id spec (strategy ()) in
+        (meta, (Lazy.force r.Emulation.trace), Emulation.check r)
+      | _ ->
+        let spec = Bg_simulation.full_information_spec ~procs ~k:rounds in
+        let meta =
+          Trace_io.meta ~seed ~crash ~protocol:(bg_protocol ~procs) ~procs:simulators ~rounds ()
+        in
+        let r = Bg_simulation.run ~sink:Runtime.Full ~simulators spec (strategy ()) in
+        (meta, (Lazy.force r.Bg_simulation.trace), Bg_simulation.check spec r)
+    in
+    write_json_to out (trace_json meta tr);
+    Format.eprintf "recorded %d event(s), %d decision(s)@." (List.length tr)
+      (List.length (Trace_io.decisions_of tr));
+    (match perfetto with Some path -> export_perfetto path tr | None -> ());
+    match check with
+    | Ok () -> 0
+    | Error e ->
+      Format.eprintf "recorded run FAILS its checker: %s@." e;
+      1
+  in
+  let protocol =
+    Arg.(
+      value
+      & opt (enum [ ("emulation", "emulation"); ("bg", "bg") ]) "emulation"
+      & info [ "protocol" ] ~docv:"PROTO" ~doc:"What to record: emulation or bg.")
+  in
+  let simulators =
+    Arg.(value & opt int 2 & info [ "s"; "simulators" ] ~docv:"S" ~doc:"Simulators (bg only).")
+  in
+  let crash =
+    Arg.(value & opt (list int) [] & info [ "crash" ] ~docv:"P,..." ~doc:"Crash these processes.")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Trace destination (default: stdout).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Record a seeded run as a persistent wfc.trace.v1 JSON trace — the input of $(b,wfc \
+          replay) and of Perfetto export.")
+    Term.(
+      const run $ protocol $ simulators $ procs_arg $ levels_arg $ seed_arg $ crash $ out
+      $ perfetto_arg)
+
+let replay_cmd =
+  let run file out perfetto =
+    match read_json_from file with
+    | Error e ->
+      Format.eprintf "%s: not valid JSON (%s)@." file e;
+      1
+    | Ok j -> (
+      match Trace_io.of_json Trace_io.string_of_value j with
+      | Error e ->
+        Format.eprintf "%s: invalid %s trace (%s)@." file Trace_io.schema_version e;
+        1
+      | Ok (meta, recorded) -> (
+        let decisions = Trace_io.decisions_of recorded in
+        let rerun () =
+          if meta.Trace_io.protocol = emulation_protocol then begin
+            let spec =
+              Emulation.full_information_spec ~procs:meta.Trace_io.procs
+                ~k:meta.Trace_io.rounds
+            in
+            let r =
+              Emulation.run ~sink:Runtime.Full ~show:Fun.id spec (Trace_io.replay decisions)
+            in
+            Some ((Lazy.force r.Emulation.trace), Emulation.check r)
+          end
+          else
+            match String.split_on_char ':' meta.Trace_io.protocol with
+            | [ "bg.full-info"; m ] -> (
+              match int_of_string_opt m with
+              | None -> None
+              | Some m ->
+                let spec = Bg_simulation.full_information_spec ~procs:m ~k:meta.Trace_io.rounds in
+                let r =
+                  Bg_simulation.run ~sink:Runtime.Full ~simulators:meta.Trace_io.procs spec
+                    (Trace_io.replay decisions)
+                in
+                Some ((Lazy.force r.Bg_simulation.trace), Bg_simulation.check spec r))
+            | _ -> None
+        in
+        match rerun () with
+        | None ->
+          Format.eprintf "%s: unknown protocol %S@." file meta.Trace_io.protocol;
+          1
+        | Some (replayed, protocol_check) ->
+          let original_bytes = Wfc_obs.Json.to_string (trace_json meta recorded) in
+          let replayed_bytes = Wfc_obs.Json.to_string (trace_json meta replayed) in
+          let identical = String.equal original_bytes replayed_bytes in
+          Format.printf "replayed %d decision(s)@." (List.length decisions);
+          Format.printf "canonical trace byte-identical: %b@." identical;
+          let is_check = check_is_levels replayed in
+          (match is_check with
+          | Ok () -> Format.printf "immediate-snapshot views (§3.5): OK@."
+          | Error e -> Format.printf "immediate-snapshot views (§3.5): VIOLATED (%s)@." e);
+          (match protocol_check with
+          | Ok () -> Format.printf "protocol checker: OK@."
+          | Error e -> Format.printf "protocol checker: VIOLATED (%s)@." e);
+          (match out with
+          | Some path -> write_json_to path (trace_json meta replayed)
+          | None -> ());
+          (match perfetto with Some path -> export_perfetto path replayed | None -> ());
+          if identical && is_check = Ok () && protocol_check = Ok () then 0 else 1))
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"wfc.trace.v1 trace to replay (use - for stdin).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the replayed canonical trace to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Deterministically re-execute a recorded trace, re-run the correctness checkers, and \
+          verify the replayed canonical trace is byte-identical. Exits non-zero on any \
+          divergence.")
+    Term.(const run $ file $ out $ perfetto_arg)
 
 (* ---------- solve ---------- *)
 
@@ -264,9 +498,10 @@ let task_of name procs param =
   | t -> failwith ("unknown task: " ^ t)
 
 let solve_cmd =
-  let run task procs param max_level validate stats json =
+  let run task procs param max_level validate search_trace perfetto stats json =
     let t = task_of task procs param in
     Format.printf "%a@." Task.pp_stats t;
+    Solvability.set_search_trace search_trace;
     let verdict = Solvability.solve ~max_level t in
     let vstats = Solvability.stats_of_verdict verdict in
     let level =
@@ -286,28 +521,43 @@ let solve_cmd =
           | Error e -> Format.printf "distributed validation: FAILED (%s)@." e
         end;
         0
-      | Solvability.Unsolvable_at { level = b; _ } ->
+      | Solvability.Unsolvable_at { level = b; trail; _ } ->
         (* a completed exhaustive search IS the answer: exit 0 *)
         Format.printf "UNSOLVABLE for every b <= %d (search space exhausted)@." b;
+        if search_trace then
+          Format.printf "refutation trail: %d recorded search event(s)@." (List.length trail);
         0
       | Solvability.Exhausted { level; stats = s } ->
         Format.printf "UNDECIDED at b = %d (budget: %d nodes)@." level s.Solvability.nodes;
         exit_exhausted
     in
     if stats then Format.printf "search: %a@." Solvability.pp_stats vstats;
+    let trail_extra =
+      match verdict with
+      | Solvability.Unsolvable_at { trail; _ } when search_trace ->
+        [ ("search_trail", Wfc_obs.Json.Arr (List.map Solvability.search_event_to_json trail)) ]
+      | _ -> []
+    in
     Output.emit ~stats ~json
       [
         Wfc_obs.Report.scenario ~nodes:vstats.Solvability.nodes
           ~verdict:(Solvability.verdict_name verdict)
           ~extra:
-            [
-              ("level", Wfc_obs.Json.Int level);
-              ("backtracks", Wfc_obs.Json.Int vstats.Solvability.backtracks);
-              ("prunes", Wfc_obs.Json.Int vstats.Solvability.prunes);
-            ]
+            ([
+               ("level", Wfc_obs.Json.Int level);
+               ("backtracks", Wfc_obs.Json.Int vstats.Solvability.backtracks);
+               ("prunes", Wfc_obs.Json.Int vstats.Solvability.prunes);
+             ]
+            @ trail_extra)
           (Printf.sprintf "solve(%s,procs=%d,param=%d)" task procs param)
           vstats.Solvability.elapsed;
       ];
+    (match perfetto with
+    | Some path ->
+      let events = Wfc_obs.Trace_event.of_spans (Wfc_obs.Metrics.spans_now ()) in
+      Wfc_obs.Report.write_file path (Wfc_obs.Trace_event.to_json events);
+      Printf.eprintf "wrote %s\n%!" path
+    | None -> ());
     code
   in
   let task =
@@ -329,14 +579,31 @@ let solve_cmd =
   let validate =
     Arg.(value & flag & info [ "validate" ] ~doc:"Run the found map as a distributed protocol.")
   in
+  let search_trace =
+    Arg.(
+      value & flag
+      & info [ "search-trace" ]
+          ~doc:
+            "Record the backtracking search into a bounded ring; an unsolvable verdict then \
+             carries a machine-readable refutation trail (embedded in the --json report).")
+  in
+  let solve_perfetto =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:
+            "Export the search's span tree (per-level solve spans, subdivision work) as a \
+             Chrome trace_event timeline for Perfetto / chrome://tracing.")
+  in
   Cmd.v
     (Cmd.info "solve"
        ~doc:
          "Decide wait-free solvability of a task (Proposition 3.1). Exits 0 on a verdict \
           (solvable or unsolvable), 3 if the node budget ran out.")
     Term.(
-      const run $ task $ procs_arg $ param $ max_level $ validate $ Output.stats_arg
-      $ Output.json_arg)
+      const run $ task $ procs_arg $ param $ max_level $ validate $ search_trace
+      $ solve_perfetto $ Output.stats_arg $ Output.json_arg)
 
 (* ---------- converge ---------- *)
 
@@ -416,29 +683,47 @@ let bound_cmd =
 
 let check_json_cmd =
   let run file expect_verdict min_nodes scenario =
-    let contents =
-      let ic = open_in_bin file in
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
-    match Wfc_obs.Json.parse contents with
+    match read_json_from file with
     | Error e ->
       Format.eprintf "%s: not valid JSON (%s)@." file e;
       1
     | Ok j -> (
-      match
-        Wfc_obs.Report.validate ?expect_verdict ?min_nodes ?scenario_name:scenario j
-      with
-      | Ok () ->
-        Format.printf "%s: valid %s report@." file Wfc_obs.Report.schema_version;
-        0
-      | Error e ->
-        Format.eprintf "%s: invalid report (%s)@." file e;
-        1)
+      (* dispatch on the schema tag: one checker for every artifact we emit *)
+      match Wfc_obs.Json.member "schema" j with
+      | Some (Wfc_obs.Json.String s) when s = Wfc_obs.Report.schema_version -> (
+        match
+          Wfc_obs.Report.validate ?expect_verdict ?min_nodes ?scenario_name:scenario j
+        with
+        | Ok () ->
+          Format.printf "%s: valid %s report@." file Wfc_obs.Report.schema_version;
+          0
+        | Error e ->
+          Format.eprintf "%s: invalid report (%s)@." file e;
+          1)
+      | Some (Wfc_obs.Json.String s) when s = Trace_io.schema_version ->
+        if expect_verdict <> None || min_nodes <> None || scenario <> None then begin
+          Format.eprintf
+            "%s: --expect-verdict/--min-nodes/--scenario only apply to %s reports@." file
+            Wfc_obs.Report.schema_version;
+          1
+        end
+        else (
+          match Trace_io.validate j with
+          | Ok () ->
+            Format.printf "%s: valid %s trace@." file Trace_io.schema_version;
+            0
+          | Error e ->
+            Format.eprintf "%s: invalid trace (%s)@." file e;
+            1)
+      | Some (Wfc_obs.Json.String s) ->
+        Format.eprintf "%s: unknown schema %S@." file s;
+        exit_unknown_schema
+      | Some _ | None ->
+        Format.eprintf "%s: missing \"schema\" tag@." file;
+        exit_unknown_schema)
   in
   let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Report to check.")
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"File to check.")
   in
   let expect_verdict =
     Arg.(
@@ -460,7 +745,9 @@ let check_json_cmd =
   in
   Cmd.v
     (Cmd.info "check-json"
-       ~doc:"Validate a wfc.obs.v1 JSON report (used by CI on both wfc and bench output).")
+       ~doc:
+         "Validate a JSON artifact by its schema tag: wfc.obs.v1 reports and wfc.trace.v1 \
+          traces. Exits 4 on an unknown schema.")
     Term.(const run $ file $ expect_verdict $ min_nodes $ scenario)
 
 let main_cmd =
@@ -472,6 +759,8 @@ let main_cmd =
       homology_cmd;
       pc_cmd;
       emulate_cmd;
+      trace_cmd;
+      replay_cmd;
       solve_cmd;
       converge_cmd;
       approx_cmd;

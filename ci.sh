@@ -5,7 +5,10 @@
 # wfc.obs.v1 report that the repo's own validator accepts, with the known
 # verdict for 2-process consensus and a nonzero node count. The bench
 # report goes through the same validator, so the two JSON producers cannot
-# drift apart.
+# drift apart. Finally the trace pipeline: record a seeded emulation as a
+# wfc.trace.v1 trace, replay it, validate both through check-json, and
+# require the replayed canonical trace to be byte-identical to the
+# recording.
 set -eux
 
 dune build
@@ -18,3 +21,10 @@ dune exec bin/wfc_cli.exe -- solve --task consensus --procs 2 --max-level 2 \
 dune exec bin/wfc_cli.exe -- check-json SOLVE_ci.json \
   --expect-verdict unsolvable --min-nodes 1
 rm -f SOLVE_ci.json
+
+dune exec bin/wfc_cli.exe -- trace --seed 3 -p 3 -b 2 --crash 1 -o TRACE_ci.json
+dune exec bin/wfc_cli.exe -- replay TRACE_ci.json -o REPLAY_ci.json
+dune exec bin/wfc_cli.exe -- check-json TRACE_ci.json
+dune exec bin/wfc_cli.exe -- check-json REPLAY_ci.json
+cmp TRACE_ci.json REPLAY_ci.json
+rm -f TRACE_ci.json REPLAY_ci.json

@@ -34,8 +34,18 @@ type result = {
   completed : bool array;
   snapshots : (int * int * int array) list;
   values : (int * int * string) list;
+  trace : string Trace.t Lazy.t;
   cost : cost;
 }
+
+(* Render a simulator cell for the serialized trace: performed writes as
+   "j.r", live safe-agreement slots as "j.r@level", decided snapshots as
+   "j.r!". Values are omitted — they are recomputable from the agreements. *)
+let render_cell c =
+  let perf = List.map (fun (j, r, _) -> Printf.sprintf "%d.%d" j r) c.performed in
+  let sa = List.map (fun ((j, r), st) -> Printf.sprintf "%d.%d@%d" j r st.level) c.sa in
+  let agr = List.map (fun ((j, r), _) -> Printf.sprintf "%d.%d!" j r) c.agreed in
+  "{" ^ String.concat " " (perf @ sa @ agr) ^ "}"
 
 let c_agreements = Wfc_obs.Metrics.counter "bg.agreements"
 
@@ -63,7 +73,7 @@ let latest_vector ~procs performed =
 let value_of performed j r =
   List.find_map (fun (j', r', w) -> if j' = j && r' = r then Some w else None) performed
 
-let run ?(max_steps = 2_000_000) ~simulators spec strategy =
+let run ?(max_steps = 2_000_000) ?(sink = Runtime.Off) ?on_trap ~simulators spec strategy =
   let m = spec.procs in
   let empty_cell = { performed = []; sa = []; agreed = [] } in
   (* side channels filled by the simulator closures *)
@@ -250,7 +260,9 @@ let run ?(max_steps = 2_000_000) ~simulators spec strategy =
     count (publish (fun () -> loop 0))
   in
   let actions = Array.init simulators simulator in
-  let outcome = Runtime.run ~max_steps actions strategy in
+  let render = Trace.map render_cell in
+  let on_trap = Option.map (fun f tr -> f (render tr)) on_trap in
+  let outcome = Runtime.run ~max_steps ~sink ?on_trap actions strategy in
   let knowledge = !final_knowledge in
   let completed =
     Array.init m (fun j -> List.mem_assoc (j, spec.k) knowledge.agreed)
@@ -262,6 +274,7 @@ let run ?(max_steps = 2_000_000) ~simulators spec strategy =
     completed;
     snapshots;
     values = knowledge.performed;
+    trace = lazy (render outcome.Runtime.trace);
     cost =
       { simulator_ops = ops_count; agreements = List.length snapshots; steps = outcome.Runtime.time };
   }

@@ -63,12 +63,26 @@ type result = {
   snapshots : (int * int * int array) list;
       (** agreed (process, round, seq vector) snapshots, in agreement order *)
   values : (int * int * string) list;  (** performed simulated writes *)
+  trace : string Trace.t Lazy.t;
+      (** the runtime event log over the {e simulators}, cells rendered
+          compactly on force (empty with the default [Off] sink) *)
   cost : cost;
 }
 
 val run :
-  ?max_steps:int -> simulators:int -> spec -> Runtime.strategy -> result
-(** Runs the simulation under an adversary over the {e simulators}. *)
+  ?max_steps:int ->
+  ?sink:Runtime.trace_sink ->
+  ?on_trap:(string Trace.t -> unit) ->
+  simulators:int ->
+  spec ->
+  Runtime.strategy ->
+  result
+(** Runs the simulation under an adversary over the {e simulators}.
+
+    [sink] selects event retention (default [Off]); with [Full],
+    [result.trace] is a complete, replayable [wfc.trace.v1] event stream.
+    [on_trap] receives the retained trace if the run aborts with
+    {!Wfc_model.Runtime.Invalid_decision}. *)
 
 val check : spec -> result -> (unit, string) Stdlib.result
 (** Certifies the simulated history (see above) and that completed

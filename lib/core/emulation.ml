@@ -12,6 +12,7 @@ type cost = { memories : int; write_reads : int array; steps : int }
 type 'v result = {
   final_snapshots : 'v option array array;
   ops : Trace.op_record list;
+  trace : string Trace.t Lazy.t;
   cost : cost;
 }
 
@@ -51,7 +52,18 @@ let add_tuple t set = union2 [ t ] set
 
 let mem_tuple t set = List.exists (fun x -> Stdlib.compare x t = 0) set
 
-let run ?(max_steps = 2_000_000) spec strategy =
+(* Render a submission (tuple set) for the serialized trace: "id.sq=v" for
+   real tuples, "id.sq?" for snapshot placeholders. *)
+let render_submission show set =
+  let tuple t =
+    match t.payload with
+    | Some v -> Printf.sprintf "%d.%d=%s" t.id t.sq (show v)
+    | None -> Printf.sprintf "%d.%d?" t.id t.sq
+  in
+  "{" ^ String.concat " " (List.map tuple set) ^ "}"
+
+let run ?(max_steps = 2_000_000) ?(sink = Runtime.Off) ?on_trap ?(show = fun _ -> "?") spec
+    strategy =
   let n = spec.procs in
   let ops = ref [] in
   let final_snapshots = Array.make n [||] in
@@ -120,12 +132,18 @@ let run ?(max_steps = 2_000_000) spec strategy =
     round ~sq:1 ~level:0 ~known:[] ~value:(spec.init i)
   in
   let actions = Array.init n emulator in
-  let outcome = Runtime.run ~max_steps actions strategy in
+  let render = Trace.map (render_submission show) in
+  let on_trap = Option.map (fun f tr -> f (render tr)) on_trap in
+  let outcome = Runtime.run ~max_steps ~sink ?on_trap actions strategy in
   Wfc_obs.Metrics.add c_memories outcome.Runtime.memories_used;
   Wfc_obs.Metrics.add c_write_reads (Array.fold_left ( + ) 0 write_reads);
   {
     final_snapshots;
     ops = List.rev !ops;
+    (* deferred: rendering every submission to strings costs more than the
+       run itself, and the flight-recorder mode must stay near-free when
+       nothing fails and nobody reads the trace *)
+    trace = lazy (render outcome.Runtime.trace);
     cost =
       {
         memories = outcome.Runtime.memories_used;

@@ -48,12 +48,30 @@ type cost = {
 type 'v result = {
   final_snapshots : 'v option array array;  (** per process: last snapshot *)
   ops : Trace.op_record list;  (** all completed operations, with intervals *)
+  trace : string Trace.t Lazy.t;
+      (** the runtime event log, values rendered to strings on force (empty
+          with the default [Off] sink); lazy so the always-on flight
+          recorder costs nothing when the run succeeds and nobody looks *)
   cost : cost;
 }
 
-val run : ?max_steps:int -> 'v spec -> Runtime.strategy -> 'v result
+val run :
+  ?max_steps:int ->
+  ?sink:Runtime.trace_sink ->
+  ?on_trap:(string Trace.t -> unit) ->
+  ?show:('v -> string) ->
+  'v spec ->
+  Runtime.strategy ->
+  'v result
 (** Runs all emulators under the given adversary until every process
-    finishes its [k] rounds. *)
+    finishes its [k] rounds.
+
+    [sink] selects event retention (default [Off]: no trace, no overhead);
+    with [Full], [result.trace] is a complete, replayable [wfc.trace.v1]
+    event stream. [show] renders protocol values inside submissions for the
+    trace (default [fun _ -> "?"] — pass [Fun.id] for string specs).
+    [on_trap] receives the retained trace if the run aborts with
+    {!Wfc_model.Runtime.Invalid_decision} — the flight-recorder dump. *)
 
 val check : 'v result -> (unit, string) Stdlib.result
 (** Certifies the run: the operation history must be an atomic snapshot

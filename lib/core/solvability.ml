@@ -10,10 +10,37 @@ type map = {
 
 type stats = { nodes : int; backtracks : int; prunes : int; elapsed : float }
 
+type search_event =
+  | S_node of { vertex : int; domain : int }
+  | S_prune of { vertex : int; removed : int }
+  | S_backtrack of { vertex : int; tried : int }
+  | S_root_unsat of string
+
 type verdict =
   | Solvable of { map : map; stats : stats }
-  | Unsolvable_at of { level : int; stats : stats }
+  | Unsolvable_at of { level : int; stats : stats; trail : search_event list }
   | Exhausted of { level : int; stats : stats }
+
+(* Structured search tracing is off by default: the recorder closure sits on
+   the hot path of every node/prune/backtrack. When on, each [solve_at]
+   records into a bounded flight ring, so even huge refutations ship a
+   fixed-size trail (the last — deepest — portion of the search). *)
+let search_trace_enabled = ref false
+
+let set_search_trace b = search_trace_enabled := b
+
+let search_trace_capacity = 10_000
+
+let search_event_to_json e =
+  let open Wfc_obs.Json in
+  match e with
+  | S_node { vertex; domain } ->
+    Obj [ ("ev", String "node"); ("vertex", Int vertex); ("domain", Int domain) ]
+  | S_prune { vertex; removed } ->
+    Obj [ ("ev", String "prune"); ("vertex", Int vertex); ("removed", Int removed) ]
+  | S_backtrack { vertex; tried } ->
+    Obj [ ("ev", String "backtrack"); ("vertex", Int vertex); ("tried", Int tried) ]
+  | S_root_unsat reason -> Obj [ ("ev", String "root-unsat"); ("reason", String reason) ]
 
 let zero_stats = { nodes = 0; backtracks = 0; prunes = 0; elapsed = 0. }
 
@@ -190,7 +217,10 @@ let bfs_positions inst =
   done;
   pos
 
-let solve_instance ~budget ~counts inst =
+(* [record] receives search events with {e variable indices} in the vertex
+   fields; [solve_at] translates them to SDS vertex ids when building the
+   trail. *)
+let solve_instance ~budget ~counts ~record inst =
   let assignment = Array.make inst.nvars (-1) in
   (* live domains as mutable arrays of candidate lists *)
   let live = Array.map Array.to_list inst.domains in
@@ -269,6 +299,7 @@ let solve_instance ~budget ~counts inst =
       if v < 0 then raise (Found (Array.copy assignment))
       else begin
         counts.n_nodes <- counts.n_nodes + 1;
+        record (S_node { vertex = v; domain = domlen.(v) });
         let candidates = live.(v) in
         let rec try_candidates budget = function
           | [] -> `Fail budget
@@ -302,6 +333,7 @@ let solve_instance ~budget ~counts inst =
                       let len_after = List.length after in
                       if len_after < len_before then begin
                         counts.n_prunes <- counts.n_prunes + (len_before - len_after);
+                        record (S_prune { vertex = !u; removed = len_before - len_after });
                         pruned := (!u, before, len_before) :: !pruned;
                         live.(!u) <- after;
                         domlen.(!u) <- len_after;
@@ -318,6 +350,7 @@ let solve_instance ~budget ~counts inst =
               | `Fail budget' ->
                 (* undo *)
                 counts.n_backtracks <- counts.n_backtracks + 1;
+                record (S_backtrack { vertex = v; tried = w });
                 List.iter
                   (fun (u, dom, len) ->
                     live.(u) <- dom;
@@ -339,8 +372,14 @@ let solve_instance ~budget ~counts inst =
      the instance dies in preprocessing — "nodes = 0" would otherwise be
      ambiguous between "refuted instantly" and "never ran". *)
   counts.n_nodes <- counts.n_nodes + 1;
-  if Array.exists (fun d -> Array.length d = 0) inst.domains then `Unsat
-  else if not (arc_consistency inst live) then `Unsat
+  if Array.exists (fun d -> Array.length d = 0) inst.domains then begin
+    record (S_root_unsat "empty initial domain");
+    `Unsat
+  end
+  else if not (arc_consistency inst live) then begin
+    record (S_root_unsat "arc consistency wiped a domain");
+    `Unsat
+  end
   else begin
     init_search_state ();
     match search budget with
@@ -354,7 +393,14 @@ let solve_at ?(budget = 5_000_000) task level =
   let t0 = Wfc_obs.Metrics.now_s () in
   let counts = { n_nodes = 0; n_backtracks = 0; n_prunes = 0 } in
   let sds, verts, inst = build_instance task level in
-  let outcome = solve_instance ~budget ~counts inst in
+  let ring =
+    if !search_trace_enabled then Some (Wfc_obs.Flight.create ~capacity:search_trace_capacity)
+    else None
+  in
+  let record =
+    match ring with None -> fun _ -> () | Some r -> fun e -> Wfc_obs.Flight.push r e
+  in
+  let outcome = solve_instance ~budget ~counts ~record inst in
   let elapsed = Wfc_obs.Metrics.now_s () -. t0 in
   Wfc_obs.Metrics.incr c_calls;
   Wfc_obs.Metrics.add c_nodes counts.n_nodes;
@@ -369,13 +415,26 @@ let solve_at ?(budget = 5_000_000) task level =
       elapsed;
     }
   in
+  let trail () =
+    match ring with
+    | None -> []
+    | Some r ->
+      (* variable indices -> SDS vertex ids *)
+      List.map
+        (function
+          | S_node { vertex; domain } -> S_node { vertex = verts.(vertex); domain }
+          | S_prune { vertex; removed } -> S_prune { vertex = verts.(vertex); removed }
+          | S_backtrack { vertex; tried } -> S_backtrack { vertex = verts.(vertex); tried }
+          | S_root_unsat _ as e -> e)
+        (Wfc_obs.Flight.contents r)
+  in
   match outcome with
   | `Sat assignment ->
     let table = Hashtbl.create inst.nvars in
     Array.iteri (fun i v -> Hashtbl.replace table v assignment.(i)) verts;
     Solvable
       { map = { task; level; sds; decide = (fun v -> Hashtbl.find table v) }; stats }
-  | `Unsat -> Unsolvable_at { level; stats }
+  | `Unsat -> Unsolvable_at { level; stats; trail = trail () }
   | `Budget -> Exhausted { level; stats }
 
 (* [solve] reports {e cumulative} stats over every level it tried, so the
@@ -387,12 +446,12 @@ let solve ?budget ~max_level task =
     else
       match solve_at ?budget task level with
       | Solvable { map; stats } -> Solvable { map; stats = add_stats acc stats }
-      | Unsolvable_at { level = l; stats } ->
+      | Unsolvable_at { level = l; stats; trail } ->
         let acc = add_stats acc stats in
-        go (level + 1) acc (Unsolvable_at { level = l; stats = acc })
+        go (level + 1) acc (Unsolvable_at { level = l; stats = acc; trail })
       | Exhausted { level = l; stats } -> Exhausted { level = l; stats = add_stats acc stats }
   in
-  go 0 zero_stats (Unsolvable_at { level = -1; stats = zero_stats })
+  go 0 zero_stats (Unsolvable_at { level = -1; stats = zero_stats; trail = [] })
 
 let verify { task; sds; decide; level = _ } =
   let scx = Chromatic.complex (Sds.complex sds) in

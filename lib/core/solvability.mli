@@ -36,11 +36,30 @@ type stats = {
     side channel. (The old [search_nodes_of_last_call] global is gone.)
     The same tallies feed the [solvability.*] counters of {!Wfc_obs}. *)
 
+(** One step of the backtracking search, for the machine-readable refutation
+    trail. [vertex] is an SDS vertex id; [tried] the output vertex whose
+    assignment was undone. *)
+type search_event =
+  | S_node of { vertex : int; domain : int }  (** branching, [domain] candidates live *)
+  | S_prune of { vertex : int; removed : int }  (** forward checking removed values *)
+  | S_backtrack of { vertex : int; tried : int }
+  | S_root_unsat of string  (** refuted in preprocessing, before any branching *)
+
 type verdict =
   | Solvable of { map : map; stats : stats }
-  | Unsolvable_at of { level : int; stats : stats }
-      (** search space of this level exhausted *)
+  | Unsolvable_at of { level : int; stats : stats; trail : search_event list }
+      (** search space of this level exhausted; [trail] is the recorded
+          refutation trail — empty unless {!set_search_trace} is on *)
   | Exhausted of { level : int; stats : stats }  (** budget ran out *)
+
+val set_search_trace : bool -> unit
+(** Globally enable structured search tracing. Each [solve_at] then records
+    node/prune/backtrack events into a bounded ring (capacity 10_000), and
+    an unsolvable verdict carries the retained tail as its [trail] — a
+    machine-checkable account of how the level was refuted. Off by default;
+    the recorder sits on the search's hot path. *)
+
+val search_event_to_json : search_event -> Wfc_obs.Json.t
 
 val stats_of_verdict : verdict -> stats
 

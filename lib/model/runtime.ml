@@ -17,6 +17,8 @@ type 'v outcome = {
   memories_used : int;
 }
 
+type trace_sink = Full | Ring of int | Off
+
 exception Invalid_decision of string
 
 type 'v proc_state =
@@ -41,7 +43,9 @@ let c_crashes = Wfc_obs.Metrics.counter "runtime.crashes"
 
 let c_decides = Wfc_obs.Metrics.counter "runtime.decides"
 
-let run ?(max_steps = 1_000_000) initial strategy =
+let c_ring_dropped = Wfc_obs.Metrics.counter "runtime.trace.ring_dropped"
+
+let run ?(max_steps = 1_000_000) ?(sink = Full) ?on_trap initial strategy =
   let n = Array.length initial in
   let states = Array.map (fun a -> Ready a) initial in
   let cells : 'v option array = Array.make n None in
@@ -55,8 +59,24 @@ let run ?(max_steps = 1_000_000) initial strategy =
       m
   in
   let trace = ref [] in
+  let ring =
+    match sink with Ring cap -> Some (Wfc_obs.Flight.create ~capacity:cap) | Full | Off -> None
+  in
+  let emit =
+    match (sink, ring) with
+    | Full, _ -> fun e -> trace := e :: !trace
+    | Ring _, Some r -> Wfc_obs.Flight.push r
+    | Off, _ -> ignore
+    | Ring _, None -> assert false
+  in
+  let current_trace () =
+    match (sink, ring) with
+    | Full, _ -> List.rev !trace
+    | Ring _, Some r -> Wfc_obs.Flight.contents r
+    | Off, _ -> []
+    | Ring _, None -> assert false
+  in
   let time = ref 0 in
-  let emit e = trace := e :: !trace in
   (* Settle a process: consume non-blocking pseudo-operations (notes) are
      still individual decisions? No — notes are free: they carry no shared
      effect, so we process them eagerly to keep strategies focused on real
@@ -79,7 +99,16 @@ let run ?(max_steps = 1_000_000) initial strategy =
       states.(p) <- Waiting { level; value; k }
     | (Action.Write _ | Action.Read _ | Action.Snapshot _) as a -> states.(p) <- Ready a
   in
-  Array.iteri (fun p a -> settle p a) initial;
+  let guarded f =
+    match on_trap with
+    | None -> f ()
+    | Some trap -> (
+      try f ()
+      with Invalid_decision _ as e ->
+        trap (current_trace ());
+        raise e)
+  in
+  guarded (fun () -> Array.iteri (fun p a -> settle p a) initial);
   let current_view () =
     let runnable = ref [] and decided = ref [] and crashed = ref [] in
     Array.iteri
@@ -196,14 +225,17 @@ let run ?(max_steps = 1_000_000) initial strategy =
       loop ()
     end
   in
-  loop ();
+  guarded loop;
+  (match ring with
+  | Some r -> Wfc_obs.Metrics.add c_ring_dropped (Wfc_obs.Flight.dropped r)
+  | None -> ());
   let results =
     Array.map (function Decided v -> Some v | Ready _ | Waiting _ | Crashed -> None) states
   in
   let memories_used =
     Hashtbl.fold (fun _ m acc -> if m.fired <> [] then acc + 1 else acc) memories 0
   in
-  { results; trace = List.rev !trace; time = !time; memories_used }
+  { results; trace = current_trace (); time = !time; memories_used }
 
 (* --- Stock adversaries --- *)
 

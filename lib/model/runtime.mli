@@ -46,13 +46,30 @@ type 'v outcome = {
   memories_used : int;  (** number of IIS memories that saw at least one firing *)
 }
 
+(** What happens to the event log as the run executes. [Full] keeps every
+    event (the default, and the only mode from which a run can be
+    serialized and replayed); [Ring n] is the flight recorder — a bounded
+    {!Wfc_obs.Flight} buffer retaining the last [n] events, so tracing can
+    stay on in benchmarks and long runs at O(n) space ([outcome.trace] is
+    the retained suffix; evictions feed the [runtime.trace.ring_dropped]
+    counter); [Off] records nothing. *)
+type trace_sink = Full | Ring of int | Off
+
 exception Invalid_decision of string
 
-val run : ?max_steps:int -> 'v Action.t array -> strategy -> 'v outcome
+val run :
+  ?max_steps:int ->
+  ?sink:trace_sink ->
+  ?on_trap:('v Trace.t -> unit) ->
+  'v Action.t array -> strategy -> 'v outcome
 (** Executes until every non-crashed process has decided, the strategy
     halts, or [max_steps] decisions have been taken (default 1_000_000 —
     exceeding it raises [Invalid_decision], since a correct adversary must
     let wait-free protocols finish).
+
+    [on_trap] is the flight-recorder dump hook: if the run aborts with
+    [Invalid_decision], it receives whatever the sink retained (the full
+    trace, the ring suffix, or []) before the exception propagates.
     @raise Invalid_decision on an inapplicable decision (stepping a blocked
     process, firing a non-arrived block, re-using a one-shot memory slot,
     etc.). *)

@@ -27,6 +27,23 @@ let pp pp_value ppf trace =
   in
   Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_event ppf trace
 
+let map f trace =
+  List.map
+    (fun e ->
+      match e with
+      | E_write { time; proc; value } -> E_write { time; proc; value = f value }
+      | E_read { time; proc; cell; value } ->
+        E_read { time; proc; cell; value = Option.map f value }
+      | E_snapshot { time; proc; view } ->
+        E_snapshot { time; proc; view = Array.map (Option.map f) view }
+      | E_arrive { time; proc; level; value } ->
+        E_arrive { time; proc; level; value = f value }
+      | E_fire { time; level; block } -> E_fire { time; level; block }
+      | E_note { time; proc; note } -> E_note { time; proc; note }
+      | E_decide { time; proc; value } -> E_decide { time; proc; value = f value }
+      | E_crash { time; proc } -> E_crash { time; proc })
+    trace
+
 let proc_of_event = function
   | E_write { proc; _ }
   | E_read { proc; _ }
@@ -49,6 +66,26 @@ let steps_of trace p =
 
 let fires trace =
   List.filter_map (function E_fire { level; block; _ } -> Some (level, block) | _ -> None) trace
+
+let partitions_of_fires trace =
+  (* per level, blocks in firing order; levels sorted *)
+  let order = ref [] in
+  let by_level = Hashtbl.create 8 in
+  List.iter
+    (fun (level, block) ->
+      (match Hashtbl.find_opt by_level level with
+      | None ->
+        order := level :: !order;
+        Hashtbl.replace by_level level [ block ]
+      | Some blocks -> Hashtbl.replace by_level level (block :: blocks)))
+    (fires trace);
+  List.sort Stdlib.compare !order
+  |> List.map (fun level -> (level, List.rev (Hashtbl.find by_level level)))
+
+let is_views_by_level trace =
+  List.map
+    (fun (level, blocks) -> (level, Wfc_topology.Ordered_partition.views blocks))
+    (partitions_of_fires trace)
 
 (* --- Immediate snapshot specification --- *)
 

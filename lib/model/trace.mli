@@ -25,12 +25,31 @@ type 'v t = 'v event list
 
 val pp : (Format.formatter -> 'v -> unit) -> Format.formatter -> 'v t -> unit
 
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** Maps every stored value (write/arrive/decide payloads, read results,
+    snapshot views), preserving structure and times — e.g. to render an
+    internal value type to strings before serializing. *)
+
+val proc_of_event : 'v event -> int option
+(** The acting process, if the event has one ([E_fire] is the adversary's). *)
+
 val steps_of : 'v t -> int -> int
 (** Number of shared-memory operations performed by a process (measures
     per-process work, e.g. emulation overhead). *)
 
 val fires : 'v t -> (int * int list) list
 (** The [(level, block)] firing sequence. *)
+
+val partitions_of_fires : 'v t -> (int * Wfc_topology.Ordered_partition.t) list
+(** Per memory level (sorted), the blocks fired at it in temporal order —
+    the ordered partition the adversary chose for that level. *)
+
+val is_views_by_level : 'v t -> (int * (int * int list) list) list
+(** Per memory level, the immediate-snapshot views its firing sequence
+    induces: each fired process's view is the union of all blocks up to and
+    including its own. Feeding each level's views to
+    {!check_immediate_snapshot} is the §3.5 regression oracle for a
+    recorded or replayed run. *)
 
 (** {1 Immediate snapshot specification (§3.5)}
 

@@ -1,0 +1,44 @@
+(* Represented as a newest-first list truncated back to [capacity] elements
+   whenever it doubles, rather than a circular array: an array of boxed
+   elements is major-heap-allocated at realistic capacities, so every push
+   would pay the GC write barrier — measurably slower than the runtime's
+   unbounded cons-based sink it is meant to undercut.  With the list, a push
+   is one cons (amortized O(1) including truncations) and space stays
+   O(capacity). *)
+type 'a t = {
+  capacity : int;
+  mutable recent : 'a list; (* newest first; length < 2 * capacity *)
+  mutable n : int; (* List.length recent *)
+  mutable total : int; (* pushes since creation / clear *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then
+    invalid_arg (Printf.sprintf "Flight.create: capacity %d must be positive" capacity);
+  { capacity; recent = []; n = 0; total = 0 }
+
+let capacity t = t.capacity
+
+let length t = min t.n t.capacity
+
+let dropped t = t.total - length t
+
+let rec take k l =
+  if k = 0 then []
+  else match l with [] -> [] | x :: tl -> x :: take (k - 1) tl
+
+let push t x =
+  t.recent <- x :: t.recent;
+  t.n <- t.n + 1;
+  t.total <- t.total + 1;
+  if t.n = 2 * t.capacity then begin
+    t.recent <- take t.capacity t.recent;
+    t.n <- t.capacity
+  end
+
+let contents t = List.rev (take (length t) t.recent)
+
+let clear t =
+  t.recent <- [];
+  t.n <- 0;
+  t.total <- 0

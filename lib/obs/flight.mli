@@ -1,0 +1,33 @@
+(** Bounded flight recorder: a fixed-capacity ring buffer keeping the most
+    recent observations.
+
+    This is the memory-bounded counterpart of an unbounded event log: when
+    full, each push evicts the oldest element and bumps {!dropped}. It lets
+    tracing stay enabled in benchmarks and long runs at O(capacity) space,
+    and the retained suffix is exactly what a post-mortem wants — the last
+    events before a failure. Consumers: the runtime's [Ring] trace sink and
+    the solvability search-trace recorder.
+
+    Not thread-safe; one writer per recorder (matching the runtime's
+    single-threaded scheduler). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Elements currently retained ([<= capacity]). *)
+
+val dropped : 'a t -> int
+(** Pushes that evicted an older element since creation (or {!clear}). *)
+
+val push : 'a t -> 'a -> unit
+(** Amortized O(1); evicts the oldest element when full. *)
+
+val contents : 'a t -> 'a list
+(** Retained elements, oldest first. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,117 @@
+(* Chrome trace-event format (the JSON flavor Perfetto and chrome://tracing
+   ingest). Events are kept as plain Json objects internally; the smart
+   constructors pin down the fields each phase requires. *)
+
+type event = Json.t
+
+let base ~ph ?cat ~name ~pid ~tid fields =
+  let fields =
+    ("ph", Json.String ph)
+    :: ("name", Json.String name)
+    :: ("pid", Json.Int pid)
+    :: ("tid", Json.Int tid)
+    :: fields
+  in
+  let fields =
+    match cat with None -> fields | Some c -> ("cat", Json.String c) :: fields
+  in
+  Json.Obj fields
+
+let with_args args fields =
+  match args with [] -> fields | args -> ("args", Json.Obj args) :: fields
+
+let complete ?cat ?(args = []) ~name ~pid ~tid ~ts ~dur () =
+  base ~ph:"X" ?cat ~name ~pid ~tid
+    (with_args args [ ("ts", Json.Int ts); ("dur", Json.Int dur) ])
+
+let instant ?cat ?(args = []) ~name ~pid ~tid ~ts () =
+  (* "s":"t" scopes the instant to its thread track *)
+  base ~ph:"i" ?cat ~name ~pid ~tid
+    (with_args args [ ("ts", Json.Int ts); ("s", Json.String "t") ])
+
+let process_name ~pid name =
+  base ~ph:"M" ~name:"process_name" ~pid ~tid:0
+    [ ("args", Json.Obj [ ("name", Json.String name) ]) ]
+
+let thread_name ~pid ~tid name =
+  base ~ph:"M" ~name:"thread_name" ~pid ~tid
+    [ ("args", Json.Obj [ ("name", Json.String name) ]) ]
+
+let to_json events =
+  Json.Obj
+    [ ("displayTimeUnit", Json.String "ms"); ("traceEvents", Json.Arr events) ]
+
+(* ------------------------------------------------------------------ *)
+(* span trees                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Spans aggregate (calls, total seconds) without start timestamps, so the
+   export lays them out synthetically: siblings run back to back, children
+   start at their parent's start. Durations are faithful; offsets are not
+   wall-clock, which is fine for the flame-graph reading Perfetto gives. *)
+let of_spans ?(pid = 0) roots =
+  let us_of_s s = max 1 (int_of_float (s *. 1e6)) in
+  let events = ref [] in
+  let rec walk t0 (s : Metrics.span_node) =
+    let dur = us_of_s s.Metrics.total_s in
+    events :=
+      complete ~cat:"span" ~name:s.Metrics.span_name ~pid ~tid:0 ~ts:t0 ~dur
+        ~args:[ ("calls", Json.Int s.Metrics.calls) ]
+        ()
+      :: !events;
+    let t = ref t0 in
+    List.iter (fun child -> t := !t + walk !t child) s.Metrics.children;
+    dur
+  in
+  let t = ref 0 in
+  List.iter (fun r -> t := !t + walk !t r) roots;
+  thread_name ~pid ~tid:0 "spans" :: List.rev !events
+
+(* ------------------------------------------------------------------ *)
+(* validation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let validate j =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let* events =
+    match Json.member "traceEvents" j with
+    | Some (Json.Arr items) -> Ok items
+    | _ -> Error "missing \"traceEvents\" array"
+  in
+  let check_event i e =
+    let* ph =
+      match Json.member "ph" e with
+      | Some (Json.String p) -> Ok p
+      | _ -> err "event %d: missing string \"ph\"" i
+    in
+    let* () =
+      match Json.member "name" e with
+      | Some (Json.String _) -> Ok ()
+      | _ -> err "event %d: missing string \"name\"" i
+    in
+    let* () =
+      match (Json.member "pid" e, Json.member "tid" e) with
+      | Some (Json.Int _), Some (Json.Int _) -> Ok ()
+      | _ -> err "event %d: missing int \"pid\"/\"tid\"" i
+    in
+    let* () =
+      if ph = "M" then Ok ()
+      else
+        match Json.member "ts" e with
+        | Some (Json.Int _ | Json.Float _) -> Ok ()
+        | _ -> err "event %d (ph=%s): missing numeric \"ts\"" i ph
+    in
+    if ph = "X" then
+      match Json.member "dur" e with
+      | Some (Json.Int _ | Json.Float _) -> Ok ()
+      | _ -> err "event %d: complete event missing numeric \"dur\"" i
+    else Ok ()
+  in
+  let rec go i = function
+    | [] -> Ok ()
+    | e :: rest ->
+      let* () = check_event i e in
+      go (i + 1) rest
+  in
+  go 0 events

@@ -1,0 +1,47 @@
+(** Chrome/Perfetto trace-event export.
+
+    Emits the JSON Trace Event Format that [chrome://tracing] and
+    {{:https://ui.perfetto.dev}Perfetto} open directly: an object with a
+    ["traceEvents"] array of phase-tagged events. Supported phases are the
+    ones the repo needs — complete events (["X"]: a named interval on a
+    (pid, tid) track), instants (["i"]), and the metadata events (["M"])
+    that name processes and threads in the viewer.
+
+    Timestamps ([ts]) and durations ([dur]) are integers in microseconds,
+    per the format. Producers with a logical clock (the runtime's firing
+    counter) scale ticks up so the viewer has room to render. *)
+
+type event
+
+val complete :
+  ?cat:string ->
+  ?args:(string * Json.t) list ->
+  name:string -> pid:int -> tid:int -> ts:int -> dur:int -> unit -> event
+(** A named interval [\[ts, ts + dur\]] (microseconds) on track (pid, tid). *)
+
+val instant :
+  ?cat:string ->
+  ?args:(string * Json.t) list ->
+  name:string -> pid:int -> tid:int -> ts:int -> unit -> event
+(** A thread-scoped instant marker. *)
+
+val process_name : pid:int -> string -> event
+(** Metadata: names the pid's row in the viewer. *)
+
+val thread_name : pid:int -> tid:int -> string -> event
+(** Metadata: names the (pid, tid) track. *)
+
+val of_spans : ?pid:int -> Metrics.span_node list -> event list
+(** Renders a {!Metrics} span tree as nested complete events. Spans carry
+    only (calls, total seconds), so the layout is synthetic: siblings are
+    placed back to back and children start at their parent's start —
+    durations are faithful, absolute offsets are not. *)
+
+val to_json : event list -> Json.t
+(** The final artifact: [{"displayTimeUnit": "ms", "traceEvents": [...]}].
+    Write it with {!Report.write_file} and open it in Perfetto. *)
+
+val validate : Json.t -> (unit, string) result
+(** Structural check used by tests and CI: a ["traceEvents"] array whose
+    events carry a string ["ph"]/["name"] and int ["pid"]/["tid"], with
+    numeric ["ts"] on non-metadata events and ["dur"] on complete events. *)

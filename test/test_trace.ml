@@ -1,0 +1,312 @@
+(* Tier-1 tests for persistent execution traces: the flight-recorder ring,
+   the wfc.trace.v1 codec, deterministic replay (record -> replay must
+   reproduce a byte-identical canonical trace and re-pass the correctness
+   checkers), runtime trace sinks, Perfetto export, and the solvability
+   search trail. *)
+
+open Wfc_model
+open Wfc_core
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_flight_basics () =
+  let r = Wfc_obs.Flight.create ~capacity:3 in
+  checki "empty" 0 (Wfc_obs.Flight.length r);
+  Wfc_obs.Flight.push r 1;
+  Wfc_obs.Flight.push r 2;
+  checkb "partial contents" true (Wfc_obs.Flight.contents r = [ 1; 2 ]);
+  Wfc_obs.Flight.push r 3;
+  Wfc_obs.Flight.push r 4;
+  Wfc_obs.Flight.push r 5;
+  checki "bounded" 3 (Wfc_obs.Flight.length r);
+  checki "dropped counts evictions" 2 (Wfc_obs.Flight.dropped r);
+  checkb "retains newest, oldest first" true (Wfc_obs.Flight.contents r = [ 3; 4; 5 ]);
+  Wfc_obs.Flight.clear r;
+  checki "clear empties" 0 (Wfc_obs.Flight.length r);
+  checki "clear resets dropped" 0 (Wfc_obs.Flight.dropped r);
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Flight.create: capacity 0 must be positive") (fun () ->
+      ignore (Wfc_obs.Flight.create ~capacity:0))
+
+(* ------------------------------------------------------------------ *)
+(* §3.5 round-trip: views of a legal ordered partition reconstruct it  *)
+(* ------------------------------------------------------------------ *)
+
+let partition_roundtrip =
+  qtest "partition_of_views inverts Ordered_partition.views"
+    QCheck2.Gen.(pair (int_bound 10_000) (int_range 1 5))
+    (fun (seed, n) ->
+      let st = Random.State.make [| seed |] in
+      let procs = List.init n (fun i -> i) in
+      let p = Wfc_topology.Ordered_partition.random st procs in
+      let views = Wfc_topology.Ordered_partition.views p in
+      let normalized = List.map (List.sort Stdlib.compare) p in
+      Trace.partition_of_views views = Some normalized)
+
+(* ------------------------------------------------------------------ *)
+(* wfc.trace.v1 codec                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let sample_meta =
+  Trace_io.meta ~seed:42 ~crash:[ 1 ] ~protocol:"emulation.full-info" ~procs:2 ~rounds:1 ()
+
+let sample_trace : string Trace.t =
+  [
+    Trace.E_write { time = 0; proc = 0; value = "a" };
+    Trace.E_read { time = 1; proc = 1; cell = 0; value = Some "a" };
+    Trace.E_read { time = 2; proc = 1; cell = 1; value = None };
+    Trace.E_snapshot { time = 3; proc = 0; view = [| Some "a"; None |] };
+    Trace.E_arrive { time = 4; proc = 0; level = 0; value = "x" };
+    Trace.E_fire { time = 5; level = 0; block = [ 0 ] };
+    Trace.E_note { time = 6; proc = 1; note = "hello" };
+    Trace.E_decide { time = 7; proc = 0; value = "d" };
+    Trace.E_crash { time = 8; proc = 1 };
+  ]
+
+let test_trace_json_roundtrip () =
+  let j = Trace_io.to_json Trace_io.string_value sample_meta sample_trace in
+  (match Trace_io.of_json Trace_io.string_of_value j with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok (m, tr) ->
+    checkb "meta survives" true (m = sample_meta);
+    checkb "events survive" true (tr = sample_trace));
+  (* canonical emitter: serialize twice, same bytes *)
+  checks "canonical bytes" (Wfc_obs.Json.to_string j) (Wfc_obs.Json.to_string j);
+  (* parse back through text too *)
+  match Wfc_obs.Json.parse (Wfc_obs.Json.to_string j) with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok j' -> checkb "text round-trip" true (Wfc_obs.Json.equal j j')
+
+let test_trace_validate_rejects () =
+  let open Wfc_obs.Json in
+  let ok j = Trace_io.validate j = Ok () in
+  let good = Trace_io.to_json Trace_io.string_value sample_meta sample_trace in
+  checkb "good trace validates" true (ok good);
+  checkb "missing schema" false (ok (Obj [ ("meta", Null); ("events", Arr []) ]));
+  checkb "wrong schema" false
+    (ok (Obj [ ("schema", String "wfc.obs.v1"); ("meta", Null); ("events", Arr []) ]));
+  let meta_json =
+    Obj
+      [
+        ("protocol", String "p");
+        ("procs", Int 2);
+        ("rounds", Int 1);
+        ("seed", Null);
+        ("crash", Arr []);
+      ]
+  in
+  let with_events evs =
+    Obj [ ("schema", String Trace_io.schema_version); ("meta", meta_json); ("events", Arr evs) ]
+  in
+  checkb "minimal empty trace validates" true (ok (with_events []));
+  checkb "unknown event kind" false
+    (ok (with_events [ Obj [ ("ev", String "warp"); ("t", Int 0) ] ]));
+  checkb "missing time" false
+    (ok (with_events [ Obj [ ("ev", String "crash"); ("proc", Int 0) ] ]));
+  checkb "fire without block" false
+    (ok (with_events [ Obj [ ("ev", String "fire"); ("t", Int 0); ("level", Int 0) ] ]));
+  checkb "events must be an array" false
+    (ok (Obj [ ("schema", String Trace_io.schema_version); ("meta", meta_json); ("events", Int 3) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Runtime sinks                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let emulate ~sink ~seed ~crash =
+  let spec = Emulation.full_information_spec ~procs:3 ~k:2 in
+  let strategy =
+    match crash with
+    | [] -> Runtime.random ~seed ()
+    | victims -> Runtime.random_with_crashes ~seed ~crash:victims ()
+  in
+  Emulation.run ~sink ~show:Fun.id spec strategy
+
+let test_sink_semantics () =
+  let full = Lazy.force (emulate ~sink:Runtime.Full ~seed:11 ~crash:[]).Emulation.trace in
+  let ring = Lazy.force (emulate ~sink:(Runtime.Ring 8) ~seed:11 ~crash:[]).Emulation.trace in
+  let off = Lazy.force (emulate ~sink:Runtime.Off ~seed:11 ~crash:[]).Emulation.trace in
+  checkb "full sink records" true (List.length full > 8);
+  checkb "off records nothing" true (off = []);
+  checki "ring is bounded" 8 (List.length ring);
+  let suffix =
+    let n = List.length full in
+    List.filteri (fun i _ -> i >= n - 8) full
+  in
+  checkb "ring retains the newest suffix of full" true (ring = suffix)
+
+let test_on_trap_fires () =
+  let dumped = ref None in
+  let spec = Emulation.full_information_spec ~procs:2 ~k:1 in
+  (* stepping a process that is waiting inside a memory is an invalid
+     decision: the flight recorder must dump what it retained *)
+  let bad _ = Runtime.Step 0 in
+  (try
+     ignore
+       (Emulation.run ~sink:(Runtime.Ring 16) ~on_trap:(fun tr -> dumped := Some tr)
+          ~show:Fun.id spec bad);
+     Alcotest.fail "expected Invalid_decision"
+   with Runtime.Invalid_decision _ -> ());
+  match !dumped with
+  | None -> Alcotest.fail "on_trap did not fire"
+  | Some tr -> checkb "dump holds the retained prefix" true (tr <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic replay                                                *)
+(* ------------------------------------------------------------------ *)
+
+let canonical meta tr = Wfc_obs.Json.to_string (Trace_io.to_json Trace_io.string_value meta tr)
+
+let check_is_levels tr =
+  List.for_all
+    (fun (_, views) -> Trace.check_immediate_snapshot views = Ok ())
+    (Trace.is_views_by_level tr)
+
+let test_emulation_replay_identical () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun crash ->
+          let meta =
+            Trace_io.meta ~seed ~crash ~protocol:"emulation.full-info" ~procs:3 ~rounds:2 ()
+          in
+          let recorded = emulate ~sink:Runtime.Full ~seed ~crash in
+          let decisions = Trace_io.decisions_of (Lazy.force recorded.Emulation.trace) in
+          let spec = Emulation.full_information_spec ~procs:3 ~k:2 in
+          let replayed =
+            Emulation.run ~sink:Runtime.Full ~show:Fun.id spec (Trace_io.replay decisions)
+          in
+          let ctx = Printf.sprintf "seed=%d crash=[%s]" seed
+              (String.concat ";" (List.map string_of_int crash))
+          in
+          checks (ctx ^ ": byte-identical")
+            (canonical meta (Lazy.force recorded.Emulation.trace))
+            (canonical meta (Lazy.force replayed.Emulation.trace));
+          checkb (ctx ^ ": §3.5 views legal on replay") true
+            (check_is_levels (Lazy.force replayed.Emulation.trace));
+          checkb (ctx ^ ": atomicity holds on replay") true
+            (Emulation.check replayed = Ok ()))
+        [ []; [ 0 ]; [ 1 ] ])
+    [ 0; 1; 2; 3; 4 ]
+
+let test_bg_replay_identical () =
+  List.iter
+    (fun seed ->
+      let spec = Bg_simulation.full_information_spec ~procs:3 ~k:1 in
+      let strategy () = Runtime.random ~seed () in
+      let recorded = Bg_simulation.run ~sink:Runtime.Full ~simulators:2 spec (strategy ()) in
+      let decisions = Trace_io.decisions_of (Lazy.force recorded.Bg_simulation.trace) in
+      let replayed =
+        Bg_simulation.run ~sink:Runtime.Full ~simulators:2 spec (Trace_io.replay decisions)
+      in
+      let meta = Trace_io.meta ~seed ~protocol:"bg.full-info:3" ~procs:2 ~rounds:1 () in
+      checks
+        (Printf.sprintf "bg seed=%d: byte-identical" seed)
+        (canonical meta (Lazy.force recorded.Bg_simulation.trace))
+        (canonical meta (Lazy.force replayed.Bg_simulation.trace));
+      checkb "bg history legal on replay" true (Bg_simulation.check spec replayed = Ok ()))
+    [ 0; 1; 2 ]
+
+let test_replay_halts_when_exhausted () =
+  (* a truncated decision list must halt cleanly, not invent scheduling *)
+  let recorded = emulate ~sink:Runtime.Full ~seed:5 ~crash:[] in
+  let decisions = Trace_io.decisions_of (Lazy.force recorded.Emulation.trace) in
+  let truncated = List.filteri (fun i _ -> i < 4) decisions in
+  let spec = Emulation.full_information_spec ~procs:3 ~k:2 in
+  let r = Emulation.run ~sink:Runtime.Full ~show:Fun.id spec (Trace_io.replay truncated) in
+  checkb "partial replay stops early" true
+    (List.length (Lazy.force r.Emulation.trace) < List.length (Lazy.force recorded.Emulation.trace))
+
+(* ------------------------------------------------------------------ *)
+(* Perfetto export                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_perfetto_valid () =
+  let r = emulate ~sink:Runtime.Full ~seed:9 ~crash:[ 2 ] in
+  let events = Trace_io.to_trace_events ~show:Fun.id (Lazy.force r.Emulation.trace) in
+  let j = Wfc_obs.Trace_event.to_json events in
+  (match Wfc_obs.Trace_event.validate j with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "perfetto export invalid: %s" e);
+  (* the timeline names every process track plus the adversary *)
+  let thread_names =
+    match Wfc_obs.Json.member "traceEvents" j with
+    | Some (Wfc_obs.Json.Arr evs) ->
+      List.length
+        (List.filter
+           (fun e -> Wfc_obs.Json.member "name" e = Some (Wfc_obs.Json.String "thread_name"))
+           evs)
+    | _ -> 0
+  in
+  checki "3 procs + adversary named" 4 thread_names
+
+let test_trace_event_validate_rejects () =
+  let open Wfc_obs.Json in
+  checkb "missing traceEvents" true
+    (Wfc_obs.Trace_event.validate (Obj [ ("displayTimeUnit", String "ms") ]) <> Ok ());
+  checkb "event without ph" true
+    (Wfc_obs.Trace_event.validate (Obj [ ("traceEvents", Arr [ Obj [ ("name", String "x") ] ]) ])
+    <> Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Solvability search trail                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_solvability_trail () =
+  let task = Wfc_tasks.Instances.binary_consensus ~procs:2 in
+  Solvability.set_search_trace false;
+  (match Solvability.solve_at task 1 with
+  | Solvability.Unsolvable_at { trail; _ } -> checkb "trail empty when off" true (trail = [])
+  | _ -> Alcotest.fail "consensus-2 should be unsolvable at level 1");
+  Solvability.set_search_trace true;
+  let r = Solvability.solve_at task 1 in
+  Solvability.set_search_trace false;
+  match r with
+  | Solvability.Unsolvable_at { trail; _ } ->
+    checkb "trail recorded when on" true (trail <> []);
+    List.iter
+      (fun e ->
+        match Solvability.search_event_to_json e with
+        | Wfc_obs.Json.Obj fields -> checkb "event tagged" true (List.mem_assoc "ev" fields)
+        | _ -> Alcotest.fail "search event must serialize to an object")
+      trail
+  | _ -> Alcotest.fail "consensus-2 should be unsolvable at level 1 (traced)"
+
+let () =
+  Alcotest.run "wfc-trace"
+    [
+      ("flight", [ Alcotest.test_case "ring semantics" `Quick test_flight_basics ]);
+      ("partition", [ partition_roundtrip ]);
+      ( "codec",
+        [
+          Alcotest.test_case "json round-trip" `Quick test_trace_json_roundtrip;
+          Alcotest.test_case "validate rejects bad input" `Quick test_trace_validate_rejects;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "full / ring / off" `Quick test_sink_semantics;
+          Alcotest.test_case "on_trap dump" `Quick test_on_trap_fires;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "emulation byte-identity + checkers" `Quick
+            test_emulation_replay_identical;
+          Alcotest.test_case "bg byte-identity + checker" `Quick test_bg_replay_identical;
+          Alcotest.test_case "exhausted decisions halt" `Quick test_replay_halts_when_exhausted;
+        ] );
+      ( "perfetto",
+        [
+          Alcotest.test_case "export validates" `Quick test_perfetto_valid;
+          Alcotest.test_case "validator rejects bad input" `Quick
+            test_trace_event_validate_rejects;
+        ] );
+      ("solvability", [ Alcotest.test_case "refutation trail" `Quick test_solvability_trail ]);
+    ]
