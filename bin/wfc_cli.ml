@@ -33,6 +33,20 @@ let procs_arg =
 
 let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Adversary seed.")
 
+(* --domains N > 1 turns on the Wfc_par worker pool for the solvability
+   search and SDS subdivision; results are identical to the sequential
+   engine. Default comes from WFC_DOMAINS (1 when unset). *)
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Run the search / subdivision on $(docv) domains (default: the WFC_DOMAINS \
+           environment variable, else 1 = sequential). Results are independent of $(docv).")
+
+let apply_domains = function Some d -> Wfc_par.set_domains d | None -> ()
+
 (* ---------- trace plumbing shared by emulate / simulate / trace / replay ---------- *)
 
 let exit_unknown_schema = 4
@@ -98,7 +112,8 @@ let check_is_levels tr =
 (* ---------- sds ---------- *)
 
 let sds_cmd =
-  let run dim levels svg tikz stats json =
+  let run dim levels domains svg tikz stats json =
+    apply_domains domains;
     let s, seconds = Output.timed (fun () -> Sds.standard ~dim ~levels) in
     let cx = Chromatic.complex (Sds.complex s) in
     Format.printf "%a@." Complex.pp_stats cx;
@@ -139,7 +154,9 @@ let sds_cmd =
   let tikz = Arg.(value & flag & info [ "tikz" ] ~doc:"Print a TikZ picture.") in
   Cmd.v
     (Cmd.info "sds" ~doc:"Iterated standard chromatic subdivision: stats, geometry, drawings.")
-    Term.(const run $ dim_arg $ levels_arg $ svg $ tikz $ Output.stats_arg $ Output.json_arg)
+    Term.(
+      const run $ dim_arg $ levels_arg $ domains_arg $ svg $ tikz $ Output.stats_arg
+      $ Output.json_arg)
 
 (* ---------- homology ---------- *)
 
@@ -498,7 +515,8 @@ let task_of name procs param =
   | t -> failwith ("unknown task: " ^ t)
 
 let solve_cmd =
-  let run task procs param max_level validate search_trace perfetto stats json =
+  let run task procs param max_level domains validate search_trace perfetto stats json =
+    apply_domains domains;
     let t = task_of task procs param in
     Format.printf "%a@." Task.pp_stats t;
     Solvability.set_search_trace search_trace;
@@ -602,7 +620,7 @@ let solve_cmd =
          "Decide wait-free solvability of a task (Proposition 3.1). Exits 0 on a verdict \
           (solvable or unsolvable), 3 if the node budget ran out.")
     Term.(
-      const run $ task $ procs_arg $ param $ max_level $ validate $ search_trace
+      const run $ task $ procs_arg $ param $ max_level $ domains_arg $ validate $ search_trace
       $ solve_perfetto $ Output.stats_arg $ Output.json_arg)
 
 (* ---------- converge ---------- *)

@@ -8,11 +8,14 @@
 # drift apart. Finally the trace pipeline: record a seeded emulation as a
 # wfc.trace.v1 trace, replay it, validate both through check-json, and
 # require the replayed canonical trace to be byte-identical to the
-# recording.
+# recording. The whole suite runs twice — sequential and on 4 domains —
+# and a parallel solve is diffed against the sequential run: the domain
+# pool must never change a result, only the wall-clock.
 set -eux
 
 dune build
-dune runtest
+WFC_DOMAINS=1 dune runtest
+WFC_DOMAINS=4 dune runtest --force
 dune exec bench/main.exe -- --quick --json BENCH_ci.json
 dune exec bin/wfc_cli.exe -- check-json BENCH_ci.json
 
@@ -21,6 +24,16 @@ dune exec bin/wfc_cli.exe -- solve --task consensus --procs 2 --max-level 2 \
 dune exec bin/wfc_cli.exe -- check-json SOLVE_ci.json \
   --expect-verdict unsolvable --min-nodes 1
 rm -f SOLVE_ci.json
+
+# determinism smoke: parallel and sequential engines must print the same
+# verdict, stats line and counters (timings and the pool's own par.*
+# book-keeping counters are stripped)
+dune exec bin/wfc_cli.exe -- solve --task set-consensus --procs 3 --param 2 \
+  --max-level 1 --domains 1 --stats | grep -v 'elapsed\|seconds\|call\|par\.' > SOLVE_seq.txt
+dune exec bin/wfc_cli.exe -- solve --task set-consensus --procs 3 --param 2 \
+  --max-level 1 --domains 4 --stats | grep -v 'elapsed\|seconds\|call\|par\.' > SOLVE_par.txt
+diff SOLVE_seq.txt SOLVE_par.txt
+rm -f SOLVE_seq.txt SOLVE_par.txt
 
 dune exec bin/wfc_cli.exe -- trace --seed 3 -p 3 -b 2 --crash 1 -o TRACE_ci.json
 dune exec bin/wfc_cli.exe -- replay TRACE_ci.json -o REPLAY_ci.json

@@ -217,10 +217,33 @@ let bfs_positions inst =
   done;
   pos
 
+(* The first node at which the search actually branches. The
+   most-constrained-first heuristic assigns every singleton-domain variable
+   first — a deterministic, choice-free "spine" — so the parallel driver
+   splits the tree at the first selected variable with >= 2 candidates. *)
+exception Branch_probe of int * int list
+
 (* [record] receives search events with {e variable indices} in the vertex
    fields; [solve_at] translates them to SDS vertex ids when building the
-   trail. *)
-let solve_instance ~budget ~counts ~record inst =
+   trail.
+
+   [cancel] is polled once per search node: the parallel driver uses it to
+   abort subtrees that can no longer influence the verdict.
+
+   [mode] is the parallel driver's interface to the search tree:
+   - [`Full] (default): the plain sequential search.
+   - [`Probe]: run the search but stop at the first branching node,
+     raising {!Branch_probe} with the variable and its live candidates
+     before counting that node. If the search never branches (the spine
+     runs to a solution, a refutation, or the budget), the probe {e is}
+     the sequential search and its result/tallies are exact.
+   - [`Job w]: replay the spine (deterministic, so it is the probe's
+     spine) and at the first branching node try only candidate [w] — one
+     candidate iteration of the sequential [try_candidates], after which
+     the search continues normally. Jobs skip the root pre-count; the
+     driver owns it, and subtracts the replayed spine from the tallies
+     when merging. *)
+let solve_instance ?(cancel = fun () -> false) ?(mode = `Full) ~budget ~counts ~record inst =
   let assignment = Array.make inst.nvars (-1) in
   (* live domains as mutable arrays of candidate lists *)
   let live = Array.map Array.to_list inst.domains in
@@ -292,15 +315,66 @@ let solve_instance ~budget ~counts ~record inst =
     done;
     !best
   in
+  (* forward checking after [v] was just assigned: constraints now missing
+     exactly one var filter that var's domain. Returns the restore trail and
+     whether every touched domain stayed non-empty. *)
+  let forward_check v =
+    let pruned = ref [] in
+    let consistent = ref true in
+    List.iter
+      (fun ci ->
+        unassigned_count.(ci) <- unassigned_count.(ci) - 1;
+        if !consistent && unassigned_count.(ci) = 1 then begin
+          let u = ref (-1) in
+          Array.iter (fun m -> if assignment.(m) < 0 then u := m) inst.simplices.(ci);
+          if !u >= 0 then begin
+            let before = live.(!u) in
+            let len_before = domlen.(!u) in
+            let after = List.filter (fun w' -> image_ok ci !u w') before in
+            let len_after = List.length after in
+            if len_after < len_before then begin
+              counts.n_prunes <- counts.n_prunes + (len_before - len_after);
+              record (S_prune { vertex = !u; removed = len_before - len_after });
+              pruned := (!u, before, len_before) :: !pruned;
+              live.(!u) <- after;
+              domlen.(!u) <- len_after;
+              if len_after = 0 then consistent := false
+            end
+          end
+        end)
+      inst.containing.(v);
+    (!pruned, !consistent)
+  in
+  let undo v pruned =
+    List.iter
+      (fun (u, dom, len) ->
+        live.(u) <- dom;
+        domlen.(u) <- len)
+      pruned;
+    List.iter (fun ci -> unassigned_count.(ci) <- unassigned_count.(ci) + 1) inst.containing.(v);
+    attach v;
+    assignment.(v) <- -1
+  in
+  let branched = ref false in
   let rec search nodes_left =
     if nodes_left <= 0 then `Budget
+    else if cancel () then `Cancelled
     else begin
       let v = select_var () in
       if v < 0 then raise (Found (Array.copy assignment))
       else begin
+        (match mode with
+        | `Probe when domlen.(v) >= 2 -> raise (Branch_probe (v, live.(v)))
+        | _ -> ());
         counts.n_nodes <- counts.n_nodes + 1;
         record (S_node { vertex = v; domain = domlen.(v) });
-        let candidates = live.(v) in
+        let candidates =
+          match mode with
+          | `Job w when domlen.(v) >= 2 && not !branched ->
+            branched := true;
+            [ w ]
+          | _ -> live.(v)
+        in
         let rec try_candidates budget = function
           | [] -> `Fail budget
           | w :: rest -> (
@@ -315,52 +389,16 @@ let solve_instance ~budget ~counts ~record inst =
             else begin
               assignment.(v) <- w;
               detach v;
-              (* forward checking: constraints now missing exactly one var *)
-              let pruned = ref [] in
-              let consistent = ref true in
-              List.iter
-                (fun ci ->
-                  unassigned_count.(ci) <- unassigned_count.(ci) - 1;
-                  if !consistent && unassigned_count.(ci) = 1 then begin
-                    let u = ref (-1) in
-                    Array.iter
-                      (fun m -> if assignment.(m) < 0 then u := m)
-                      inst.simplices.(ci);
-                    if !u >= 0 then begin
-                      let before = live.(!u) in
-                      let len_before = domlen.(!u) in
-                      let after = List.filter (fun w' -> image_ok ci !u w') before in
-                      let len_after = List.length after in
-                      if len_after < len_before then begin
-                        counts.n_prunes <- counts.n_prunes + (len_before - len_after);
-                        record (S_prune { vertex = !u; removed = len_before - len_after });
-                        pruned := (!u, before, len_before) :: !pruned;
-                        live.(!u) <- after;
-                        domlen.(!u) <- len_after;
-                        if len_after = 0 then consistent := false
-                      end
-                    end
-                  end)
-                inst.containing.(v);
+              let pruned, consistent = forward_check v in
               let result =
-                if !consistent then search (budget - 1) else `Fail (budget - 1)
+                if consistent then search (budget - 1) else `Fail (budget - 1)
               in
               match result with
-              | `Budget -> `Budget
+              | (`Budget | `Cancelled) as stop -> stop
               | `Fail budget' ->
-                (* undo *)
                 counts.n_backtracks <- counts.n_backtracks + 1;
                 record (S_backtrack { vertex = v; tried = w });
-                List.iter
-                  (fun (u, dom, len) ->
-                    live.(u) <- dom;
-                    domlen.(u) <- len)
-                  !pruned;
-                List.iter
-                  (fun ci -> unassigned_count.(ci) <- unassigned_count.(ci) + 1)
-                  inst.containing.(v);
-                attach v;
-                assignment.(v) <- -1;
+                undo v pruned;
                 try_candidates budget' rest
             end)
         in
@@ -370,8 +408,9 @@ let solve_instance ~budget ~counts ~record inst =
   in
   (* The root (empty assignment) always counts as a visited node, even when
      the instance dies in preprocessing — "nodes = 0" would otherwise be
-     ambiguous between "refuted instantly" and "never ran". *)
-  counts.n_nodes <- counts.n_nodes + 1;
+     ambiguous between "refuted instantly" and "never ran". In job mode the
+     driver owns the root pre-count, so the job does not repeat it. *)
+  (match mode with `Job _ -> () | `Full | `Probe -> counts.n_nodes <- counts.n_nodes + 1);
   if Array.exists (fun d -> Array.length d = 0) inst.domains then begin
     record (S_root_unsat "empty initial domain");
     `Unsat
@@ -385,10 +424,20 @@ let solve_instance ~budget ~counts ~record inst =
     match search budget with
     | `Fail _ -> `Unsat
     | `Budget -> `Budget
+    | `Cancelled -> `Cancelled
     | exception Found a -> `Sat a
+    | exception Branch_probe (v, cands) -> `Branch (v, cands)
   end
 
-let solve_at ?(budget = 5_000_000) task level =
+let atomic_min cell i =
+  let rec go () =
+    let cur = Atomic.get cell in
+    if i < cur && not (Atomic.compare_and_set cell cur i) then go ()
+  in
+  go ()
+
+let solve_at ?(budget = 5_000_000) ?domains task level =
+  let domains = match domains with Some d -> max 1 d | None -> Wfc_par.domains () in
   Wfc_obs.Metrics.with_span (Printf.sprintf "solvability.level.%d" level) @@ fun () ->
   let t0 = Wfc_obs.Metrics.now_s () in
   let counts = { n_nodes = 0; n_backtracks = 0; n_prunes = 0 } in
@@ -400,7 +449,99 @@ let solve_at ?(budget = 5_000_000) task level =
   let record =
     match ring with None -> fun _ -> () | Some r -> fun e -> Wfc_obs.Flight.push r e
   in
-  let outcome = solve_instance ~budget ~counts ~record inst in
+  (* Trail recording degrades to the sequential engine: the flight ring is a
+     single chronological log of one search, and interleaved subtree events
+     would destroy its meaning (DESIGN §9). *)
+  let use_parallel = domains > 1 && not !search_trace_enabled in
+  let outcome =
+    if not use_parallel then
+      match solve_instance ~budget ~counts ~record inst with
+      | (`Sat _ | `Unsat | `Budget) as o -> o
+      | `Cancelled | `Branch _ -> assert false (* `Full mode *)
+    else begin
+      (* Probe: run the sequential search up to its first branching node.
+         The spine before it is choice-free, so every job replays it
+         identically; if the probe never branches it already IS the whole
+         sequential search. *)
+      let probe_counts = { n_nodes = 0; n_backtracks = 0; n_prunes = 0 } in
+      match
+        solve_instance ~mode:`Probe ~budget ~counts:probe_counts ~record:(fun _ -> ()) inst
+      with
+      | (`Sat _ | `Unsat | `Budget) as o ->
+        counts.n_nodes <- probe_counts.n_nodes;
+        counts.n_backtracks <- probe_counts.n_backtracks;
+        counts.n_prunes <- probe_counts.n_prunes;
+        o
+      | `Cancelled -> assert false (* probe has no cancel *)
+      | `Branch (_v, candidates) ->
+        let cands = Array.of_list candidates in
+        let n = Array.length cands in
+        (* Lowest-index-wins: a subtree's [`Sat]/[`Budget] only cancels
+           {e higher}-indexed siblings, so the verdict is decided by the
+           first candidate in domain order exactly as in the sequential
+           scan, independent of which domain finishes first. *)
+        let winner = Atomic.make max_int in
+        let job_counts =
+          Array.init n (fun _ -> { n_nodes = 0; n_backtracks = 0; n_prunes = 0 })
+        in
+        let job i () =
+          let cancel () = Atomic.get winner < i in
+          let r =
+            solve_instance ~cancel ~mode:(`Job cands.(i)) ~budget
+              ~counts:job_counts.(i)
+              ~record:(fun _ -> ())
+              inst
+          in
+          (match r with
+          | `Sat _ | `Budget -> atomic_min winner i
+          | `Unsat | `Cancelled | `Branch _ -> ());
+          r
+        in
+        let outcomes = Wfc_par.run_jobs ~domains (Array.init n job) in
+        (* The verdict is the first non-refuted subtree in candidate order
+           — jobs below it are never cancelled, so they are complete
+           refutations exactly as in the sequential scan. *)
+        let rec scan i =
+          if i = n then (n - 1, `Unsat)
+          else
+            match outcomes.(i) with
+            | `Unsat -> scan (i + 1)
+            | (`Sat _ | `Budget) as r -> (i, r)
+            | `Cancelled | `Branch _ ->
+              (* only jobs strictly above a decided winner are cancelled,
+                 and the scan stops at the winner; jobs never probe *)
+              assert false
+        in
+        let last, verdict = scan 0 in
+        (* Merge the probe with jobs [0 .. last]: the spine
+           ([probe nodes - root pre-count], all probe prunes) is replayed
+           inside every job, so it is subtracted per job and counted once;
+           the branching node itself is counted once on top. Cancelled
+           jobs above [last] contributed no part of the sequential search
+           and are excluded, which keeps the tallies deterministic. *)
+        let spine_nodes = probe_counts.n_nodes - 1 in
+        counts.n_nodes <- probe_counts.n_nodes + 1;
+        counts.n_prunes <- probe_counts.n_prunes;
+        counts.n_backtracks <- 0;
+        for i = 0 to last do
+          let jc = job_counts.(i) in
+          counts.n_nodes <- counts.n_nodes + jc.n_nodes - spine_nodes - 1;
+          counts.n_prunes <- counts.n_prunes + jc.n_prunes - probe_counts.n_prunes;
+          counts.n_backtracks <- counts.n_backtracks + jc.n_backtracks;
+          (* a refuted job's failure cascades back up the replayed spine,
+             undoing (and counting) each spine assignment; the sequential
+             engine unwinds that spine only once, after the last candidate
+             fails — so drop the per-job cascade and restore it below *)
+          match outcomes.(i) with
+          | `Unsat -> counts.n_backtracks <- counts.n_backtracks - spine_nodes
+          | _ -> ()
+        done;
+        (match verdict with
+        | `Unsat -> counts.n_backtracks <- counts.n_backtracks + spine_nodes
+        | _ -> ());
+        verdict
+    end
+  in
   let elapsed = Wfc_obs.Metrics.now_s () -. t0 in
   Wfc_obs.Metrics.incr c_calls;
   Wfc_obs.Metrics.add c_nodes counts.n_nodes;
@@ -436,20 +577,31 @@ let solve_at ?(budget = 5_000_000) task level =
       { map = { task; level; sds; decide = (fun v -> Hashtbl.find table v) }; stats }
   | `Unsat -> Unsolvable_at { level; stats; trail = trail () }
   | `Budget -> Exhausted { level; stats }
+  | `Cancelled ->
+    (* cancellation only exists inside parallel jobs; the merged outcome
+       never surfaces it *)
+    assert false
 
-(* [solve] reports {e cumulative} stats over every level it tried, so the
-   caller sees the full cost of the level sweep, not just the last level. *)
-let solve ?budget ~max_level task =
+(* [solve] reports {e cumulative} stats over every level it tried, and its
+   [budget] is likewise cumulative: each level's [solve_at] gets only what
+   the previous levels left over ([budget - nodes so far]), so the sweep as
+   a whole visits at most [budget] nodes plus one root pre-count per level.
+   When a level exhausts the remainder — or nothing is left to hand out —
+   the sweep stops with [Exhausted]. *)
+let solve ?(budget = 5_000_000) ?domains ~max_level task =
   Wfc_obs.Metrics.with_span "solvability.solve" @@ fun () ->
   let rec go level acc last =
     if level > max_level then last
     else
-      match solve_at ?budget task level with
-      | Solvable { map; stats } -> Solvable { map; stats = add_stats acc stats }
-      | Unsolvable_at { level = l; stats; trail } ->
-        let acc = add_stats acc stats in
-        go (level + 1) acc (Unsolvable_at { level = l; stats = acc; trail })
-      | Exhausted { level = l; stats } -> Exhausted { level = l; stats = add_stats acc stats }
+      let remaining = budget - acc.nodes in
+      if remaining <= 0 then Exhausted { level; stats = acc }
+      else
+        match solve_at ~budget:remaining ?domains task level with
+        | Solvable { map; stats } -> Solvable { map; stats = add_stats acc stats }
+        | Unsolvable_at { level = l; stats; trail } ->
+          let acc = add_stats acc stats in
+          go (level + 1) acc (Unsolvable_at { level = l; stats = acc; trail })
+        | Exhausted { level = l; stats } -> Exhausted { level = l; stats = add_stats acc stats }
   in
   go 0 zero_stats (Unsolvable_at { level = -1; stats = zero_stats; trail = [] })
 

@@ -69,15 +69,28 @@ val verdict_name : verdict -> string
 
 val pp_stats : Format.formatter -> stats -> unit
 
-val solve_at : ?budget:int -> Wfc_tasks.Task.t -> int -> verdict
+val solve_at : ?budget:int -> ?domains:int -> Wfc_tasks.Task.t -> int -> verdict
 (** Decide level [b] exactly (up to [budget] search nodes,
-    default 5_000_000). Stats cover this level only. *)
+    default 5_000_000). Stats cover this level only.
 
-val solve : ?budget:int -> max_level:int -> Wfc_tasks.Task.t -> verdict
+    [domains] (default [Wfc_par.domains ()]) > 1 fans the root node's
+    candidate subtrees out across a domain pool: a winning ([Solvable] /
+    [Exhausted]) subtree cancels only higher-indexed siblings, so the
+    verdict — including [map.decide] on every SDS vertex — is the one the
+    sequential engine returns, and an [Unsolvable_at] merges every
+    subtree's exhaustive search into [stats] exactly. Refutation-trail
+    recording ({!set_search_trace}) forces the sequential engine; [trail]
+    stays a single chronological log either way. *)
+
+val solve : ?budget:int -> ?domains:int -> max_level:int -> Wfc_tasks.Task.t -> verdict
 (** Try levels [0 .. max_level] in order; returns the first [Solvable], the
     last [Unsolvable_at] if all levels exhaust their search spaces, or
     [Exhausted] as soon as a level overruns the budget. Stats are cumulative
-    over all levels tried. *)
+    over all levels tried, and [budget] (default 5_000_000) is a cumulative
+    node budget for the whole sweep: each level is granted only what the
+    previous levels left ([budget - stats.nodes] so far), so the sweep never
+    costs more than one [solve_at] at the same budget. [domains] is passed
+    through to each {!solve_at}. *)
 
 val verify : map -> (unit, string) result
 (** Independent re-check of a claimed decision map: color preservation,

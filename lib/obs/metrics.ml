@@ -28,13 +28,17 @@ let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 
 let histograms : (string, histo) Hashtbl.t = Hashtbl.create 16
 
-(* The span forest hangs off a root sentinel; [stack] is the path of open
-   spans, root last. *)
+(* The span forest hangs off a root sentinel shared by every domain; the
+   path of open spans is domain-local (DLS), so concurrent domains can
+   each nest spans without corrupting one another's LIFO discipline. Spans
+   opened at a domain's top level become children of the shared root. *)
 let span_root () = { sname = ""; calls = 0; total = 0.; kids = [] }
 
 let root = ref (span_root ())
 
-let stack = ref []
+let stack_key : span list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
 
 let locked f =
   Mutex.lock lock;
@@ -94,6 +98,7 @@ let time h f =
 (* ------------------------------------------------------------------ *)
 
 let with_span name f =
+  let stack = stack () in
   let node =
     locked (fun () ->
         let parent = match !stack with n :: _ -> n | [] -> !root in
@@ -116,10 +121,10 @@ let with_span name f =
           node.total <- node.total +. dt;
           match !stack with
           | top :: rest when top == node -> stack := rest
-          | _ -> assert false (* exits are LIFO by construction *)))
+          | _ -> assert false (* exits are LIFO per domain by construction *)))
     f
 
-let span_depth () = locked (fun () -> List.length !stack)
+let span_depth () = List.length !(stack ())
 
 (* ------------------------------------------------------------------ *)
 (* reset and read-out                                                   *)
@@ -136,7 +141,9 @@ let reset () =
           h.max_v <- neg_infinity)
         histograms;
       root := span_root ();
-      stack := [])
+      (* only this domain's open-span path can be cleared; reset is
+         specified to run with no spans open on other domains *)
+      stack () := [])
 
 type histo_stats = { count : int; sum : float; min : float; max : float }
 

@@ -19,10 +19,14 @@
     [simplex.intern.hits], [runtime.steps]. Counters count events;
     histograms aggregate float observations (timers record seconds).
 
-    Thread-safety: counters are domain-safe (atomics); the registry,
-    histograms and span accounting are mutex-guarded. The span {e stack}
-    (which span is "current") is a single process-wide cursor — concurrent
-    domains should not nest spans simultaneously.
+    Thread-safety: every entry point is domain-safe. Counters are atomics;
+    registration (get-or-create), histograms, span accounting and the
+    read-out functions share one mutex. The span {e stack} (which span is
+    "current") is domain-local: concurrent domains nest spans
+    independently, and a span opened at a domain's top level becomes a
+    root span in the shared forest. {!reset} clears measurements globally
+    but can only unwind the calling domain's open-span path — call it
+    while no other domain has a span open.
 
     Relation to [Simplex.reset]: {!reset} clears {e measurements} only and
     is always safe; [Simplex.reset] clears the interned arena (live data)
@@ -64,7 +68,8 @@ val with_span : string -> (unit -> 'a) -> 'a
     Exits are exception-safe, so the span tree is always well-formed. *)
 
 val span_depth : unit -> int
-(** Number of currently open spans (0 at top level). *)
+(** Number of spans currently open {e on the calling domain} (0 at top
+    level). *)
 
 val reset : unit -> unit
 (** Zeroes all counters and histograms and clears the span tree. Handles

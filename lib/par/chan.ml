@@ -1,0 +1,42 @@
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  q : 'a Queue.t;
+  mutable closed : bool;
+}
+
+let create () =
+  { lock = Mutex.create (); nonempty = Condition.create (); q = Queue.create (); closed = false }
+
+let send t v =
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Chan.send: closed channel"
+  end
+  else begin
+    Queue.add v t.q;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.lock
+  end
+
+let recv t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.q && not t.closed do
+    Condition.wait t.nonempty t.lock
+  done;
+  let r = if Queue.is_empty t.q then None else Some (Queue.take t.q) in
+  Mutex.unlock t.lock;
+  r
+
+let close t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock
+
+let is_closed t =
+  Mutex.lock t.lock;
+  let c = t.closed in
+  Mutex.unlock t.lock;
+  c

@@ -1,0 +1,25 @@
+(** A blocking multi-producer multi-consumer channel.
+
+    The pool's work-stealing mailbox: batches of jobs are announced to the
+    worker domains through a channel, and each idle worker blocks in
+    {!recv} until a batch (or shutdown) arrives. Built on a stdlib
+    [Mutex]/[Condition] pair — no external dependencies. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val send : 'a t -> 'a -> unit
+(** Enqueue a value and wake one waiting receiver.
+    @raise Invalid_argument if the channel is closed. *)
+
+val recv : 'a t -> 'a option
+(** Block until a value is available ([Some v]) or the channel is closed
+    {e and} drained ([None]). FIFO among values; which of several blocked
+    receivers wins is unspecified. *)
+
+val close : 'a t -> unit
+(** Close the channel: every blocked and future {!recv} returns [None]
+    once the queue is drained. Idempotent. *)
+
+val is_closed : 'a t -> bool

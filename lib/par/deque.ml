@@ -1,0 +1,64 @@
+(* Monotone [top]/[bottom] cursors over a ring buffer: [top] is the next
+   steal slot, [bottom] the next push slot, [bottom - top] the population.
+   Slots are cleared on removal so the GC does not retain finished jobs. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  buf : 'a option array;
+  mutable top : int;
+  mutable bottom : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Deque.create: capacity < 1";
+  { lock = Mutex.create (); buf = Array.make capacity None; top = 0; bottom = 0 }
+
+let capacity t = Array.length t.buf
+
+let length t =
+  Mutex.lock t.lock;
+  let n = t.bottom - t.top in
+  Mutex.unlock t.lock;
+  n
+
+let slot t i = i mod Array.length t.buf
+
+let push_bottom t v =
+  Mutex.lock t.lock;
+  let ok = t.bottom - t.top < Array.length t.buf in
+  if ok then begin
+    t.buf.(slot t t.bottom) <- Some v;
+    t.bottom <- t.bottom + 1
+  end;
+  Mutex.unlock t.lock;
+  ok
+
+let pop_bottom t =
+  Mutex.lock t.lock;
+  let r =
+    if t.bottom = t.top then None
+    else begin
+      t.bottom <- t.bottom - 1;
+      let i = slot t t.bottom in
+      let v = t.buf.(i) in
+      t.buf.(i) <- None;
+      v
+    end
+  in
+  Mutex.unlock t.lock;
+  r
+
+let steal t =
+  Mutex.lock t.lock;
+  let r =
+    if t.bottom = t.top then None
+    else begin
+      let i = slot t t.top in
+      let v = t.buf.(i) in
+      t.buf.(i) <- None;
+      t.top <- t.top + 1;
+      v
+    end
+  in
+  Mutex.unlock t.lock;
+  r

@@ -1,0 +1,32 @@
+(** A bounded work-stealing double-ended queue.
+
+    One owner pushes and pops at the {e bottom} (LIFO, good locality for
+    recursively spawned work); any number of thieves {!steal} from the
+    {e top} (FIFO), so the oldest — typically largest — jobs migrate to
+    other domains first. The capacity is fixed at creation: a full deque
+    rejects the push and the caller runs the job inline instead, which
+    bounds memory under runaway fan-out.
+
+    All operations are domain-safe. The implementation is a mutex-guarded
+    ring buffer: with the pool's job granularity (a whole solver subtree or
+    a whole facet subdivision per job) the lock is nowhere near the hot
+    path, and a mutex keeps the memory-model reasoning trivial. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Elements currently queued (racy snapshot under concurrency). *)
+
+val push_bottom : 'a t -> 'a -> bool
+(** Owner push; [false] if the deque is full. *)
+
+val pop_bottom : 'a t -> 'a option
+(** Owner pop (most recently pushed element). *)
+
+val steal : 'a t -> 'a option
+(** Thief pop (least recently pushed element). *)

@@ -1,0 +1,132 @@
+type batch = {
+  jobs : (unit -> unit) Deque.t;
+  pending : int Atomic.t; (* jobs not yet finished executing *)
+  lock : Mutex.t;
+  drained : Condition.t;
+}
+
+type t = {
+  psize : int;
+  inbox : batch Chan.t;
+  workers : unit Domain.t array;
+  mutable live : bool;
+}
+
+let c_batches = Wfc_obs.Metrics.counter "par.batches"
+
+let c_jobs = Wfc_obs.Metrics.counter "par.jobs"
+
+let c_steals = Wfc_obs.Metrics.counter "par.steals"
+
+(* Set while a domain is executing a pool job: nested [run]s go sequential
+   instead of waiting on workers the outer batch already occupies. *)
+let in_job = Domain.DLS.new_key (fun () -> ref false)
+
+let complete b =
+  if Atomic.fetch_and_add b.pending (-1) = 1 then begin
+    (* last job: wake the caller. The lock round-trip orders the results
+       array writes of every participant before the caller's read. *)
+    Mutex.lock b.lock;
+    Condition.broadcast b.drained;
+    Mutex.unlock b.lock
+  end
+
+let drain ~stolen b =
+  let flag = Domain.DLS.get in_job in
+  let rec go () =
+    match Deque.steal b.jobs with
+    | None -> ()
+    | Some job ->
+      if stolen then Wfc_obs.Metrics.incr c_steals;
+      flag := true;
+      (* jobs are exception-wrapped by [run]; Fun.protect is belt and
+         braces so a worker never dies with the batch open *)
+      Fun.protect ~finally:(fun () ->
+          flag := false;
+          complete b)
+        job;
+      go ()
+  in
+  go ()
+
+let worker inbox =
+  let rec serve () =
+    match Chan.recv inbox with
+    | None -> ()
+    | Some b ->
+      drain ~stolen:true b;
+      serve ()
+  in
+  serve ()
+
+let create ~size =
+  if size < 1 then invalid_arg "Pool.create: size < 1";
+  let inbox = Chan.create () in
+  let workers = Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker inbox)) in
+  { psize = size; inbox; workers; live = true }
+
+let size t = t.psize
+
+let shutdown t =
+  if t.live then begin
+    t.live <- false;
+    Chan.close t.inbox;
+    Array.iter Domain.join t.workers
+  end
+
+let run_sequential thunks =
+  Array.map
+    (fun thunk -> match thunk () with v -> Ok v | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+    thunks
+
+let reraise_first results =
+  Array.map
+    (function
+      | Ok v -> v
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+    results
+
+let run ?participants t thunks =
+  let n = Array.length thunks in
+  let participants =
+    match participants with None -> t.psize | Some p -> max 1 (min p t.psize)
+  in
+  if n = 0 then [||]
+  else if participants = 1 || n = 1 || (not t.live) || !(Domain.DLS.get in_job) then
+    reraise_first (run_sequential thunks)
+  else begin
+    Wfc_obs.Metrics.incr c_batches;
+    Wfc_obs.Metrics.add c_jobs n;
+    let results = Array.make n None in
+    let b =
+      {
+        jobs = Deque.create ~capacity:n;
+        pending = Atomic.make n;
+        lock = Mutex.create ();
+        drained = Condition.create ();
+      }
+    in
+    Array.iteri
+      (fun i thunk ->
+        let wrapped () =
+          results.(i) <-
+            Some (match thunk () with v -> Ok v | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+        in
+        (* capacity = n, so the push cannot fail *)
+        ignore (Deque.push_bottom b.jobs wrapped))
+      thunks;
+    (* Wake enough workers; each message engages at most one. A worker may
+       grab two announcements of the same batch — the second drain finds
+       the deque empty and is harmless. *)
+    for _ = 1 to participants - 1 do
+      Chan.send t.inbox b
+    done;
+    drain ~stolen:false b;
+    Mutex.lock b.lock;
+    while Atomic.get b.pending > 0 do
+      Condition.wait b.drained b.lock
+    done;
+    Mutex.unlock b.lock;
+    reraise_first
+      (Array.map (function Some r -> r | None -> assert false (* pending hit 0 *)) results)
+  end

@@ -1,0 +1,36 @@
+(** A pool of OCaml 5 [Domain]s executing batches of independent jobs.
+
+    The pool owns [size - 1] worker domains parked on a shared {!Chan}
+    mailbox; the caller's domain is the [size]-th participant. {!run}
+    publishes a batch as a bounded work-stealing {!Deque}, wakes workers,
+    and drains the deque from the calling domain too, so a pool of size 1
+    degenerates to plain sequential execution with no synchronization.
+
+    Jobs must be independent: they run in unspecified order on unspecified
+    domains. {!run} preserves {e result} order regardless — slot [i] of the
+    returned array is the result of thunk [i] — and re-raises the
+    lowest-indexed exception after the whole batch has completed, so a
+    failing batch never leaves stray jobs running.
+
+    Nested {!run} from inside a job executes the inner batch sequentially
+    on the current domain (the outer batch already owns the workers);
+    this keeps the pool deadlock-free by construction. *)
+
+type t
+
+val create : size:int -> t
+(** A pool of [size] participating domains ([size - 1] spawned workers).
+    @raise Invalid_argument if [size < 1]. *)
+
+val size : t -> int
+
+val run : ?participants:int -> t -> (unit -> 'a) array -> 'a array
+(** Execute every thunk, using at most [participants] domains (defaults
+    to {!size}; the caller always participates). Returns results in input
+    order. Exceptions raised by thunks are collected; after the batch
+    drains, the exception of the lowest-indexed failing thunk is re-raised
+    with its backtrace. *)
+
+val shutdown : t -> unit
+(** Close the mailbox and join the workers. Idempotent. Calling {!run}
+    afterwards executes batches sequentially on the caller. *)

@@ -82,9 +82,14 @@ let subdivide t =
   let ids = Key_tbl.create nverts in
   List.iteri (fun i (v, s) -> Key_tbl.replace ids (v, Simplex.id s) i) ordered;
   let id_of v s = Key_tbl.find ids (v, Simplex.id s) in
-  (* Facets: ordered partitions of each facet of the previous complex. *)
+  (* Facets: ordered partitions of each facet of the previous complex. Top
+     facets are independent, so they subdivide in parallel when the domain
+     pool is enabled; the per-facet map preserves facet order, [ids] is only
+     read, and every prefix simplex is already interned (it is a face of a
+     closure simplex) or interns through the domain-safe sharded arena — so
+     the concatenation is bit-for-bit the sequential facet list. *)
   let facets =
-    List.concat_map
+    Wfc_par.map_array
       (fun facet ->
         let vs = Simplex.to_list facet in
         List.map
@@ -93,7 +98,8 @@ let subdivide t =
               (fun (v, prefix) -> id_of v (Simplex.of_sorted prefix))
               (Ordered_partition.views partition))
           (Ordered_partition.enumerate vs))
-      (Complex.facets prev_complex)
+      (Array.of_list (Complex.facets prev_complex))
+    |> Array.to_list |> List.concat
   in
   Wfc_obs.Metrics.add c_facets (List.length facets);
   let new_complex =

@@ -12,9 +12,12 @@
      result equals one of the operands, avoiding both allocation and an
      arena probe.
 
-   The arena is guarded by a [Mutex] so interning is domain-safe. [reset]
-   empties it (keeping the canonical empty simplex alive); it is only safe
-   when no interned simplex from before the reset is still in use. *)
+   The arena is sharded by key hash, each shard behind its own [Mutex], so
+   domains interning concurrently (the parallel subdivision and solver
+   paths) contend only when they hash to the same shard; ids come from one
+   atomic counter and stay dense and stable. [reset] empties every shard
+   (keeping the canonical empty simplex alive); it is only safe when no
+   interned simplex from before the reset is still in use. *)
 
 type t = { id : int; verts : int array }
 
@@ -43,50 +46,77 @@ end
 
 module Arena = Hashtbl.Make (Key)
 
-let lock = Mutex.create ()
+(* Power of two so shard selection is a mask of the key hash. A vertex set
+   always maps to the same shard, which is what makes per-shard mutual
+   exclusion sufficient for uniqueness of representatives. *)
+let shard_bits = 4
 
-let arena : t Arena.t = Arena.create 4096
+let shard_count = 1 lsl shard_bits
 
-let next_id = ref 0
+let shard_mask = shard_count - 1
 
-(* Faces are enumerated often (complex closures) and are immutable per
-   simplex: cache them by id, in the arena's critical section. *)
-let faces_tbl : (int, t list) Hashtbl.t = Hashtbl.create 1024
+type shard = {
+  s_lock : Mutex.t;
+  s_arena : t Arena.t;
+  s_faces : (int, t list) Hashtbl.t;
+      (* faces cached by interned id; a simplex's faces live in its own
+         shard, found via [verts] hash, so lookups reuse the same lock *)
+}
+
+let shards =
+  Array.init shard_count (fun _ ->
+      { s_lock = Mutex.create (); s_arena = Arena.create 512; s_faces = Hashtbl.create 128 })
+
+let shard_of_key verts = shards.(Key.hash verts land shard_mask)
+
+let next_id = Atomic.make 0
 
 let max_cached_faces_card = 16
 
 (* [intern verts] takes ownership of [verts] (never copied, never mutated
-   afterwards). *)
+   afterwards). Ids are allocated by one fetch-and-add, so they stay dense
+   across shards; which simplex gets which id can depend on domain
+   interleaving, but ids never leak into results (orders are lexicographic
+   on vertices), so outputs stay deterministic. *)
 let intern verts =
-  Mutex.lock lock;
+  let sh = shard_of_key verts in
+  Mutex.lock sh.s_lock;
   let s =
-    match Arena.find_opt arena verts with
+    match Arena.find_opt sh.s_arena verts with
     | Some s -> s
     | None ->
-      let s = { id = !next_id; verts } in
-      incr next_id;
-      Arena.add arena verts s;
+      let s = { id = Atomic.fetch_and_add next_id 1; verts } in
+      Arena.add sh.s_arena verts s;
       s
   in
-  Mutex.unlock lock;
+  Mutex.unlock sh.s_lock;
   s
 
 let empty = intern [||]
 
 let arena_size () =
-  Mutex.lock lock;
-  let n = Arena.length arena in
-  Mutex.unlock lock;
-  n
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.s_lock;
+      let n = Arena.length sh.s_arena in
+      Mutex.unlock sh.s_lock;
+      acc + n)
+    0 shards
 
 let reset () =
-  Mutex.lock lock;
-  Arena.reset arena;
-  Hashtbl.reset faces_tbl;
+  (* lock all shards in index order (the only multi-shard critical section,
+     so the ordering discipline is trivially deadlock-free) *)
+  Array.iter (fun sh -> Mutex.lock sh.s_lock) shards;
+  Array.iter
+    (fun sh ->
+      Arena.reset sh.s_arena;
+      Hashtbl.reset sh.s_faces)
+    shards;
   (* keep the canonical empty simplex (and its id 0) alive across resets *)
-  Arena.add arena empty.verts empty;
-  next_id := 1;
-  Mutex.unlock lock
+  let sh = shard_of_key empty.verts in
+  Arena.add sh.s_arena empty.verts empty;
+  Atomic.set next_id 1;
+  Array.iter (fun sh -> Mutex.unlock sh.s_lock) shards
 
 (* ------------------------------------------------------------------ *)
 (* construction                                                         *)
@@ -345,16 +375,19 @@ let faces s =
   if n = 0 then []
   else if n > max_cached_faces_card then enumerate_faces s
   else begin
-    Mutex.lock lock;
-    let cached = Hashtbl.find_opt faces_tbl s.id in
-    Mutex.unlock lock;
+    let sh = shard_of_key s.verts in
+    Mutex.lock sh.s_lock;
+    let cached = Hashtbl.find_opt sh.s_faces s.id in
+    Mutex.unlock sh.s_lock;
     match cached with
     | Some fs -> fs
     | None ->
+      (* two domains may enumerate concurrently; both compute the same
+         interned list, so the duplicated work is benign and rare *)
       let fs = enumerate_faces s in
-      Mutex.lock lock;
-      Hashtbl.replace faces_tbl s.id fs;
-      Mutex.unlock lock;
+      Mutex.lock sh.s_lock;
+      Hashtbl.replace sh.s_faces s.id fs;
+      Mutex.unlock sh.s_lock;
       fs
   end
 

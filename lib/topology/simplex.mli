@@ -9,8 +9,11 @@
     work by sorted-array merge and return an existing representative whenever
     the result coincides with an operand.
 
-    The arena is protected by a mutex (safe under multiple domains) and can
-    be emptied with {!reset} for long-running processes. *)
+    The arena is sharded by key hash with one mutex per shard, so
+    concurrent domains (the parallel subdivision and solvability engines)
+    intern without a global bottleneck; ids are allocated from a single
+    atomic counter and remain dense and stable. It can be emptied with
+    {!reset} for long-running processes. *)
 
 type t
 
@@ -41,7 +44,10 @@ val card : t -> int
 val id : t -> int
 (** The interned identifier: [equal s t] iff [id s = id t]. Stable for the
     lifetime of the arena (until {!reset}); dense from 0, so it can index
-    arrays sized by {!arena_size}. *)
+    arrays sized by {!arena_size}. Which id a given vertex set receives may
+    depend on domain interleaving when interning runs in parallel — ids are
+    identity tokens, never an ordering ({!compare} is lexicographic on the
+    vertices). *)
 
 val mem : int -> t -> bool
 (** Binary search, O(log card). *)

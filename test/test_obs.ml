@@ -190,6 +190,64 @@ let test_report_rejects_bad () =
              [ ("schema", Json.String Report.schema_version); ("scenarios", Json.Int 3) ])))
 
 (* ------------------------------------------------------------------ *)
+(* Domain-safety: hammer the registry from two domains at once          *)
+
+let test_two_domain_hammer () =
+  Metrics.reset ();
+  let iters = 5_000 in
+  let work tag () =
+    (* registration races on purpose: both domains get-or-create the
+       shared instruments while incrementing them *)
+    let shared = Metrics.counter "test.hammer.shared" in
+    let mine = Metrics.counter ("test.hammer." ^ tag) in
+    let h = Metrics.histogram "test.hammer.histo" in
+    for i = 1 to iters do
+      Metrics.incr shared;
+      Metrics.incr mine;
+      Metrics.observe h (float_of_int (i land 7));
+      Metrics.with_span ("hammer." ^ tag) (fun () ->
+          Metrics.with_span "inner" (fun () -> ()))
+    done
+  in
+  let d = Domain.spawn (work "a") in
+  work "b" ();
+  Domain.join d;
+  checki "no lost shared increments" (2 * iters)
+    (match List.assoc_opt "test.hammer.shared" (Metrics.counters_now ()) with
+    | Some v -> v
+    | None -> -1);
+  checki "domain a private counter" iters
+    (match List.assoc_opt "test.hammer.a" (Metrics.counters_now ()) with
+    | Some v -> v
+    | None -> -1);
+  checki "domain b private counter" iters
+    (match List.assoc_opt "test.hammer.b" (Metrics.counters_now ()) with
+    | Some v -> v
+    | None -> -1);
+  (match List.assoc_opt "test.hammer.histo" (Metrics.histograms_now ()) with
+  | None -> Alcotest.fail "histogram missing after hammer"
+  | Some (s : Metrics.histo_stats) ->
+    checki "no lost observations" (2 * iters) s.count;
+    checkb "min in range" true (s.min >= 0.);
+    checkb "max in range" true (s.max <= 7.));
+  checki "main stack unwound" 0 (Metrics.span_depth ());
+  (* each domain's top-level span is a root of the shared forest, with its
+     own well-formed subtree *)
+  let roots = Metrics.spans_now () in
+  List.iter
+    (fun tag ->
+      match List.find_opt (fun r -> r.Metrics.span_name = "hammer." ^ tag) roots with
+      | None -> Alcotest.failf "missing root span hammer.%s" tag
+      | Some r ->
+        checki ("hammer." ^ tag ^ " calls") iters r.Metrics.calls;
+        (match r.Metrics.children with
+        | [ inner ] ->
+          checks "child name" "inner" inner.Metrics.span_name;
+          checki "child calls" iters inner.Metrics.calls
+        | l -> Alcotest.failf "expected one child span, got %d" (List.length l)))
+    [ "a"; "b" ]
+
+(* ------------------------------------------------------------------ *)
 (* Determinism guard: same seeded solve => same stats and counter deltas *)
 
 let solve_renaming_and_deltas () =
@@ -234,6 +292,7 @@ let () =
           Alcotest.test_case "reset keeps handles valid" `Quick test_reset_keeps_handles;
           Alcotest.test_case "histogram stats" `Quick test_histogram_stats;
           Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "two-domain hammer" `Quick test_two_domain_hammer;
         ] );
       ( "snapshot",
         [
