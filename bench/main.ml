@@ -626,6 +626,64 @@ let scenarios : (string * (unit -> int option * string option)) list =
     Fun.protect ~finally:(fun () -> Wfc_par.set_domains 1)
       (fun () -> ignore (Sds.standard ~dim:2 ~levels:4)))
   in
+  (* Daemon round-trips, lifecycle included: cold is one store-miss query
+     (solve + persist + wire), warm is 200 store-hit round-trips after a
+     priming query, coalesced is 8 concurrent identical queries of which
+     exactly one may compute. *)
+  let serve mode = fun () ->
+    let socket = Filename.temp_file "wfc-bench" ".sock" in
+    Sys.remove socket;
+    let store_dir = Filename.temp_file "wfc-bench-store" "" in
+    Sys.remove store_dir;
+    Unix.mkdir store_dir 0o755;
+    let ready = Atomic.make false in
+    let cfg =
+      {
+        (Wfc_serve.Daemon.config ~socket ~store_dir ()) with
+        Wfc_serve.Daemon.on_ready = Some (fun () -> Atomic.set ready true);
+      }
+    in
+    let daemon = Thread.create Wfc_serve.Daemon.run cfg in
+    while not (Atomic.get ready) do
+      Thread.yield ()
+    done;
+    let spec = { Wfc_serve.Wire.task = "set-consensus"; procs = 3; param = 2; max_level = 1 } in
+    let ask () =
+      match Wfc_serve.Client.connect ~socket with
+      | Error e -> failwith e
+      | Ok c ->
+        let r = Wfc_serve.Client.query c spec in
+        Wfc_serve.Client.close c;
+        (match r with
+        | Ok (Wfc_serve.Wire.Verdict { record; _ }) -> record
+        | _ -> failwith "bench query did not return a verdict")
+    in
+    let record =
+      match mode with
+      | `Cold -> ask ()
+      | `Warm ->
+        let r = ref (ask ()) in
+        for _ = 1 to 200 do
+          r := ask ()
+        done;
+        !r
+      | `Coalesced ->
+        let results = Array.make 8 None in
+        let ts =
+          Array.init 8 (fun i -> Thread.create (fun i -> results.(i) <- Some (ask ())) i)
+        in
+        Array.iter Thread.join ts;
+        Option.get results.(0)
+    in
+    (match Wfc_serve.Client.connect ~socket with
+    | Ok c ->
+      ignore (Wfc_serve.Client.shutdown c);
+      Wfc_serve.Client.close c
+    | Error _ -> ());
+    Thread.join daemon;
+    let o = record.Wfc_serve.Store.outcome in
+    (Some o.Solvability.o_nodes, Some o.Solvability.o_verdict)
+  in
   [
     ("sds_iterate_s2_l3", plain (fun () -> ignore (Sds.standard ~dim:2 ~levels:3)));
     ("sds_iterate_s2_l4", plain (fun () -> ignore (Sds.standard ~dim:2 ~levels:4)));
@@ -660,6 +718,10 @@ let scenarios : (string * (unit -> int option * string option)) list =
     ("sds_iterate_domains_1", sds_par 1);
     ("sds_iterate_domains_2", sds_par 2);
     ("sds_iterate_domains_4", sds_par 4);
+    (* verdict daemon: cold miss vs warm store hits vs coalesced burst *)
+    ("serve_cold", serve `Cold);
+    ("serve_warm", serve `Warm);
+    ("serve_coalesced", serve `Coalesced);
   ]
 
 let run_scenarios () =

@@ -502,23 +502,75 @@ let replay_cmd =
 (* ---------- solve ---------- *)
 
 let task_of name procs param =
-  match name with
-  | "consensus" -> Instances.binary_consensus ~procs
-  | "set-consensus" -> Instances.set_consensus ~procs ~k:param
-  | "renaming" -> Instances.adaptive_renaming ~procs ~names:param
-  | "approx" -> Instances.approximate_agreement ~procs ~grid:param
-  | "identity" -> Instances.id_task ~procs
-  | "tas" -> Instances.k_test_and_set ~procs ~k:param
-  | "fai" -> Instances.fetch_and_increment_order ~procs
-  | "loop-disk" -> Instances.loop_agreement_on_disk ()
-  | "loop-circle" -> Instances.loop_agreement_on_circle ()
-  | t -> failwith ("unknown task: " ^ t)
+  try Instances.by_name ~name ~procs ~param with Invalid_argument m -> failwith m
+
+(* shared by solve / query / serve / store *)
+
+let default_socket = Filename.concat (Filename.get_temp_dir_name ()) "wfc.sock"
+
+let socket_arg =
+  Arg.(
+    value & opt string default_socket
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket of the verdict daemon.")
+
+let store_opt_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:"Persistent wfc.store.v1 verdict store: reused on hits, updated on misses.")
+
+let store_req_arg =
+  Arg.(
+    value & opt string ".wfc-store"
+    & info [ "store" ] ~docv:"DIR" ~doc:"The wfc.store.v1 verdict store directory.")
+
+let verdict_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "verdict-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the canonical verdict object (the wfc.store.v1 record minus its timing \
+           fields — every byte a deterministic function of the question, identical across \
+           solve / query / store hits) to $(docv); - for stdout.")
+
+let spec_string ~task ~procs ~param ~max_level =
+  Wfc_serve.Wire.spec_to_string { Wfc_serve.Wire.task; procs; param; max_level }
+
+let fresh_record ~t ~task ~procs ~param ~max_level outcome =
+  Wfc_serve.Store.record ~task:t
+    ~spec:(spec_string ~task ~procs ~param ~max_level)
+    ~max_level ~budget:Solvability.default_budget outcome
 
 let solve_cmd =
-  let run task procs param max_level domains validate search_trace perfetto stats json =
+  let run task procs param max_level domains validate search_trace store_dir verdict_out
+      perfetto stats json =
     apply_domains domains;
     let t = task_of task procs param in
     Format.printf "%a@." Task.pp_stats t;
+    let store = Option.map Wfc_serve.Store.open_store store_dir in
+    let emit_verdict record =
+      match verdict_out with
+      | Some path -> write_json_to path (Wfc_serve.Store.verdict_json record)
+      | None -> ()
+    in
+    (* a store hit answers without building a single subdivision *)
+    let cached =
+      match store with
+      | Some st ->
+        Wfc_serve.Store.find st ~digest:(Task.digest t) ~max_level
+          ~budget:Solvability.default_budget
+      | None -> None
+    in
+    match cached with
+    | Some r ->
+      let o = r.Wfc_serve.Store.outcome in
+      Format.printf "verdict from store: %s at level %d (nodes=%d)@." o.Solvability.o_verdict
+        o.Solvability.o_level o.Solvability.o_nodes;
+      emit_verdict r;
+      if o.Solvability.o_verdict = "exhausted" then exit_exhausted else 0
+    | None ->
     Solvability.set_search_trace search_trace;
     let verdict = Solvability.solve ~max_level t in
     let vstats = Solvability.stats_of_verdict verdict in
@@ -576,6 +628,16 @@ let solve_cmd =
       Wfc_obs.Report.write_file path (Wfc_obs.Trace_event.to_json events);
       Printf.eprintf "wrote %s\n%!" path
     | None -> ());
+    if verdict_out <> None || store <> None then begin
+      let record =
+        fresh_record ~t ~task ~procs ~param ~max_level (Solvability.outcome_of_verdict verdict)
+      in
+      (match (store, verdict) with
+      | Some st, (Solvability.Solvable _ | Solvability.Unsolvable_at _) ->
+        Wfc_serve.Store.put st record
+      | _ -> () (* exhausted: not a reusable fact about the task *));
+      emit_verdict record
+    end;
     code
   in
   let task =
@@ -618,10 +680,286 @@ let solve_cmd =
     (Cmd.info "solve"
        ~doc:
          "Decide wait-free solvability of a task (Proposition 3.1). Exits 0 on a verdict \
-          (solvable or unsolvable), 3 if the node budget ran out.")
+          (solvable or unsolvable), 3 if the node budget ran out. With $(b,--store), \
+          verdicts persist across invocations and known questions are answered from disk.")
     Term.(
       const run $ task $ procs_arg $ param $ max_level $ domains_arg $ validate $ search_trace
-      $ solve_perfetto $ Output.stats_arg $ Output.json_arg)
+      $ store_opt_arg $ verdict_out_arg $ solve_perfetto $ Output.stats_arg $ Output.json_arg)
+
+(* ---------- serve / query / store ---------- *)
+
+let task_arg =
+  Arg.(
+    value
+    & opt string "consensus"
+    & info [ "task" ] ~docv:"TASK"
+        ~doc:
+          "One of consensus, set-consensus, renaming, approx, identity, tas, fai, loop-disk, \
+           loop-circle.")
+
+let param_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "param" ] ~docv:"K"
+        ~doc:"Task parameter: k for set-consensus, names for renaming, grid for approx.")
+
+let max_level_arg =
+  Arg.(value & opt int 2 & info [ "max-level" ] ~docv:"B" ~doc:"Largest round count to try.")
+
+let serve_cmd =
+  let run socket store_dir queue domains json stop =
+    if stop then (
+      match Wfc_serve.Client.connect ~socket with
+      | Error e ->
+        Format.eprintf "%s@." e;
+        1
+      | Ok c ->
+        let r = Wfc_serve.Client.shutdown c in
+        Wfc_serve.Client.close c;
+        (match r with
+        | Ok () ->
+          Format.printf "daemon on %s stopped@." socket;
+          0
+        | Error e ->
+          Format.eprintf "%s@." e;
+          1))
+    else begin
+      apply_domains domains;
+      Format.printf "wfc serve: socket=%s store=%s queue=%d domains=%d@." socket store_dir
+        queue (Wfc_par.domains ());
+      let cfg =
+        {
+          (Wfc_serve.Daemon.config ~queue_capacity:queue ~socket ~store_dir ()) with
+          Wfc_serve.Daemon.report = json;
+        }
+      in
+      match Wfc_serve.Daemon.run cfg with
+      | () -> 0
+      | exception Failure m ->
+        Format.eprintf "%s@." m;
+        1
+    end
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bounded request queue: queries beyond $(docv) pending questions are shed \
+             (explicit backpressure) instead of buffered.")
+  in
+  let stop =
+    Arg.(value & flag & info [ "stop" ] ~doc:"Ask the daemon on --socket to shut down cleanly.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the solvability daemon: a persistent verdict store plus in-flight dedup behind \
+          a Unix-domain socket. Answers $(b,wfc query) traffic; search work runs on the \
+          --domains pool. Shut down with $(b,--stop), SIGINT or SIGTERM; survives SIGKILL \
+          with a loadable store.")
+    Term.(
+      const run $ socket_arg $ store_req_arg $ queue $ domains_arg $ Output.json_arg $ stop)
+
+let query_cmd =
+  let run task procs param max_level socket store_dir domains no_daemon ping verdict_out stats
+      json =
+    apply_domains domains;
+    if ping then (
+      match Wfc_serve.Client.connect ~socket with
+      | Ok c ->
+        let ok = Wfc_serve.Client.ping c in
+        Wfc_serve.Client.close c;
+        if ok then begin
+          Format.printf "pong@.";
+          0
+        end
+        else begin
+          Format.eprintf "daemon on %s did not answer@." socket;
+          1
+        end
+      | Error e ->
+        Format.eprintf "%s@." e;
+        1)
+    else begin
+      let spec = { Wfc_serve.Wire.task; procs; param; max_level } in
+      let budget = Solvability.default_budget in
+      let finish ~source record =
+        let o = record.Wfc_serve.Store.outcome in
+        Format.printf "verdict: %s at level %d (source=%s, nodes=%d)@."
+          o.Solvability.o_verdict o.Solvability.o_level source o.Solvability.o_nodes;
+        Format.printf "digest: %s@." record.Wfc_serve.Store.digest;
+        (match verdict_out with
+        | Some path -> write_json_to path (Wfc_serve.Store.verdict_json record)
+        | None -> ());
+        Output.emit ~stats ~json
+          [
+            Wfc_obs.Report.scenario ~nodes:o.Solvability.o_nodes
+              ~verdict:o.Solvability.o_verdict
+              ~extra:
+                [
+                  ("source", Wfc_obs.Json.String source);
+                  ("level", Wfc_obs.Json.Int o.Solvability.o_level);
+                  ("digest", Wfc_obs.Json.String record.Wfc_serve.Store.digest);
+                ]
+              (Printf.sprintf "query(%s)" (Wfc_serve.Wire.spec_to_string spec))
+              o.Solvability.o_elapsed;
+          ];
+        if o.Solvability.o_verdict = "exhausted" then exit_exhausted else 0
+      in
+      (* No daemon (or a shed response) degrades to an inline solve through
+         the same store-hook entry point the daemon uses, so the printed
+         verdict and --verdict-out bytes cannot depend on who computed. *)
+      let inline reason =
+        Format.eprintf "query: %s; solving inline@." reason;
+        match Instances.by_name ~name:task ~procs ~param with
+        | exception Invalid_argument m ->
+          Format.eprintf "%s@." m;
+          1
+        | t -> (
+          let store = Option.map Wfc_serve.Store.open_store store_dir in
+          let digest = Task.digest t in
+          let committed = ref None in
+          let hook =
+            Option.map
+              (fun st ->
+                {
+                  Solvability.lookup =
+                    (fun () ->
+                      Option.map
+                        (fun r -> r.Wfc_serve.Store.outcome)
+                        (Wfc_serve.Store.find st ~digest ~max_level ~budget));
+                  commit =
+                    (fun o ->
+                      let r = fresh_record ~t ~task ~procs ~param ~max_level o in
+                      Wfc_serve.Store.put st r;
+                      committed := Some r);
+                })
+              store
+          in
+          match Solvability.solve_cached ~budget ?store:hook ~max_level t with
+          | o, `Computed ->
+            let record =
+              match !committed with
+              | Some r -> r
+              | None -> fresh_record ~t ~task ~procs ~param ~max_level o
+            in
+            finish ~source:"inline" record
+          | o, `Hit ->
+            let record =
+              match
+                Option.map (fun st -> Wfc_serve.Store.find st ~digest ~max_level ~budget) store
+              with
+              | Some (Some r) -> r
+              | _ -> fresh_record ~t ~task ~procs ~param ~max_level o
+            in
+            finish ~source:"store" record)
+      in
+      if no_daemon then inline "daemon disabled (--no-daemon)"
+      else
+        match Wfc_serve.Client.connect ~socket with
+        | Error e -> inline e
+        | Ok c -> (
+          let r = Wfc_serve.Client.query c spec in
+          Wfc_serve.Client.close c;
+          match r with
+          | Ok (Wfc_serve.Wire.Verdict { source; record }) ->
+            finish ~source:(Wfc_serve.Wire.source_name source) record
+          | Ok Wfc_serve.Wire.Shed -> inline "daemon shed the request (queue full)"
+          | Ok (Wfc_serve.Wire.Failed m) ->
+            Format.eprintf "daemon error: %s@." m;
+            1
+          | Ok _ ->
+            Format.eprintf "unexpected daemon response@.";
+            1
+          | Error e ->
+            Format.eprintf "%s@." e;
+            1)
+    end
+  in
+  let no_daemon =
+    Arg.(
+      value & flag
+      & info [ "no-daemon" ] ~doc:"Skip the daemon and solve inline (still uses --store).")
+  in
+  let ping =
+    Arg.(
+      value & flag
+      & info [ "ping" ] ~doc:"Only probe the daemon: exit 0 iff it answers a ping.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Ask the solvability daemon for a task verdict; falls back to an inline solve when \
+          no daemon answers or the daemon sheds. Identical questions return byte-identical \
+          canonical verdicts whatever the path (daemon store hit, daemon computation, \
+          coalesced wait, inline).")
+    Term.(
+      const run $ task_arg $ procs_arg $ param_arg $ max_level_arg $ socket_arg
+      $ store_opt_arg $ domains_arg $ no_daemon $ ping $ verdict_out_arg $ Output.stats_arg
+      $ Output.json_arg)
+
+let store_cmd =
+  let ls =
+    let run store_dir =
+      let st = Wfc_serve.Store.open_store store_dir in
+      let entries = Wfc_serve.Store.entries st in
+      List.iter
+        (fun (name, r) ->
+          match r with
+          | Ok r ->
+            let o = r.Wfc_serve.Store.outcome in
+            Format.printf "%-44s %-11s level=%d nodes=%-9d %s@." name
+              o.Solvability.o_verdict o.Solvability.o_level o.Solvability.o_nodes
+              r.Wfc_serve.Store.task
+          | Error e -> Format.printf "%-44s CORRUPT (%s)@." name e)
+        entries;
+      Format.printf "%d record(s) in %s@." (List.length entries) store_dir;
+      0
+    in
+    Cmd.v
+      (Cmd.info "ls" ~doc:"List the records of a verdict store.")
+      Term.(const run $ store_req_arg)
+  in
+  let verify =
+    let run store_dir =
+      let st = Wfc_serve.Store.open_store store_dir in
+      let r = Wfc_serve.Store.verify st in
+      Format.printf "valid: %d@." r.Wfc_serve.Store.valid;
+      List.iter
+        (fun (name, e) -> Format.printf "corrupt: %s (%s)@." name e)
+        r.Wfc_serve.Store.corrupt;
+      List.iter
+        (fun name -> Format.printf "digest mismatch: %s@." name)
+        r.Wfc_serve.Store.mismatched;
+      Format.printf "quarantined: %d@." r.Wfc_serve.Store.quarantined;
+      Format.printf "stray tmp files: %d@." r.Wfc_serve.Store.stray_tmp;
+      if r.Wfc_serve.Store.corrupt = [] && r.Wfc_serve.Store.mismatched = [] then 0 else 1
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Validate every record of a verdict store. Exits non-zero if any in-place record \
+            is corrupt or misfiled; already-quarantined and stray .tmp files are reported \
+            but do not fail (contained damage — clean with $(b,wfc store gc)).")
+      Term.(const run $ store_req_arg)
+  in
+  let gc =
+    let run store_dir =
+      let st = Wfc_serve.Store.open_store store_dir in
+      let removed = ref 0 in
+      Wfc_serve.Store.gc st ~removed;
+      Format.printf "removed %d quarantined/stray file(s)@." !removed;
+      0
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:"Delete quarantined records and interrupted-write .tmp files from a store.")
+      Term.(const run $ store_req_arg)
+  in
+  Cmd.group
+    (Cmd.info "store" ~doc:"Inspect and maintain wfc.store.v1 verdict stores.")
+    [ ls; verify; gc ]
 
 (* ---------- converge ---------- *)
 
@@ -733,6 +1071,43 @@ let check_json_cmd =
           | Error e ->
             Format.eprintf "%s: invalid trace (%s)@." file e;
             1)
+      | Some (Wfc_obs.Json.String s) when s = Wfc_serve.Store.schema_version ->
+        if scenario <> None then begin
+          Format.eprintf "%s: --scenario only applies to %s reports@." file
+            Wfc_obs.Report.schema_version;
+          1
+        end
+        else (
+          match Wfc_serve.Store.record_of_json j with
+          | Error e ->
+            Format.eprintf "%s: invalid store record (%s)@." file e;
+            1
+          | Ok r ->
+            let o = r.Wfc_serve.Store.outcome in
+            let verdict_ok =
+              match expect_verdict with
+              | None -> true
+              | Some v -> v = o.Solvability.o_verdict
+            in
+            let nodes_ok =
+              match min_nodes with None -> true | Some n -> o.Solvability.o_nodes >= n
+            in
+            if not verdict_ok then begin
+              Format.eprintf "%s: verdict is %S, expected %S@." file
+                o.Solvability.o_verdict
+                (Option.value ~default:"" expect_verdict);
+              1
+            end
+            else if not nodes_ok then begin
+              Format.eprintf "%s: %d nodes, expected at least %d@." file
+                o.Solvability.o_nodes
+                (Option.value ~default:0 min_nodes);
+              1
+            end
+            else begin
+              Format.printf "%s: valid %s record@." file Wfc_serve.Store.schema_version;
+              0
+            end)
       | Some (Wfc_obs.Json.String s) ->
         Format.eprintf "%s: unknown schema %S@." file s;
         exit_unknown_schema
@@ -764,8 +1139,8 @@ let check_json_cmd =
   Cmd.v
     (Cmd.info "check-json"
        ~doc:
-         "Validate a JSON artifact by its schema tag: wfc.obs.v1 reports and wfc.trace.v1 \
-          traces. Exits 4 on an unknown schema.")
+         "Validate a JSON artifact by its schema tag: wfc.obs.v1 reports, wfc.trace.v1 \
+          traces, and wfc.store.v1 verdict records. Exits 4 on an unknown schema.")
     Term.(const run $ file $ expect_verdict $ min_nodes $ scenario)
 
 let main_cmd =
@@ -780,6 +1155,9 @@ let main_cmd =
       trace_cmd;
       replay_cmd;
       solve_cmd;
+      serve_cmd;
+      query_cmd;
+      store_cmd;
       converge_cmd;
       approx_cmd;
       bound_cmd;

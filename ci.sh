@@ -10,7 +10,10 @@
 # require the replayed canonical trace to be byte-identical to the
 # recording. The whole suite runs twice — sequential and on 4 domains —
 # and a parallel solve is diffed against the sequential run: the domain
-# pool must never change a result, only the wall-clock.
+# pool must never change a result, only the wall-clock. Last, the serving
+# smoke: a daemon's cold and warm answers must be byte-identical to an
+# inline solve's canonical verdict, and a SIGKILLed daemon must leave a
+# store that verifies clean and a stale socket the next daemon replaces.
 set -eux
 
 dune build
@@ -41,3 +44,66 @@ dune exec bin/wfc_cli.exe -- check-json TRACE_ci.json
 dune exec bin/wfc_cli.exe -- check-json REPLAY_ci.json
 cmp TRACE_ci.json REPLAY_ci.json
 rm -f TRACE_ci.json REPLAY_ci.json
+
+# serving smoke: the daemon's answers must be byte-identical to an inline
+# solve. Baseline the canonical verdict with `solve --verdict-out`, start a
+# daemon on a private socket/store, ask the same question cold (computed)
+# and warm (store hit), diff all three, validate the store record through
+# check-json, and shut down cleanly. Then the crash-safety leg: SIGKILL the
+# daemon, check the store still loads and verifies, and confirm a new
+# daemon replaces the stale socket.
+WFC=./_build/default/bin/wfc_cli.exe
+SERVE_SOCK=ci_serve.sock
+SERVE_STORE=ci_serve_store
+rm -rf "$SERVE_SOCK" "$SERVE_STORE"
+"$WFC" solve --task set-consensus --procs 3 --param 2 \
+  --max-level 1 --verdict-out VERDICT_solve.json > /dev/null
+"$WFC" serve --socket "$SERVE_SOCK" --store "$SERVE_STORE" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  if "$WFC" query --ping --socket "$SERVE_SOCK" >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+"$WFC" query --task set-consensus --procs 3 --param 2 \
+  --max-level 1 --socket "$SERVE_SOCK" --verdict-out VERDICT_cold.json | grep 'source=computed'
+"$WFC" query --task set-consensus --procs 3 --param 2 \
+  --max-level 1 --socket "$SERVE_SOCK" --verdict-out VERDICT_warm.json | grep 'source=store'
+cmp VERDICT_solve.json VERDICT_cold.json
+cmp VERDICT_solve.json VERDICT_warm.json
+"$WFC" check-json "$(ls "$SERVE_STORE"/*.json)" \
+  --expect-verdict unsolvable --min-nodes 1
+"$WFC" store verify --store "$SERVE_STORE"
+"$WFC" serve --stop --socket "$SERVE_SOCK"
+wait $SERVE_PID
+
+# crash safety: a SIGKILLed daemon must leave a loadable store and a stale
+# socket that the next daemon replaces
+"$WFC" serve --socket "$SERVE_SOCK" --store "$SERVE_STORE" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  if "$WFC" query --ping --socket "$SERVE_SOCK" >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+kill -9 $SERVE_PID
+wait $SERVE_PID || true
+test -S "$SERVE_SOCK"
+"$WFC" store verify --store "$SERVE_STORE"
+"$WFC" serve --socket "$SERVE_SOCK" --store "$SERVE_STORE" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  if "$WFC" query --ping --socket "$SERVE_SOCK" >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+"$WFC" query --task set-consensus --procs 3 --param 2 \
+  --max-level 1 --socket "$SERVE_SOCK" --verdict-out VERDICT_after.json | grep 'source=store'
+cmp VERDICT_solve.json VERDICT_after.json
+"$WFC" serve --stop --socket "$SERVE_SOCK"
+wait $SERVE_PID
+rm -rf "$SERVE_SOCK" "$SERVE_STORE" VERDICT_solve.json VERDICT_cold.json \
+  VERDICT_warm.json VERDICT_after.json

@@ -42,6 +42,8 @@ let search_event_to_json e =
     Obj [ ("ev", String "backtrack"); ("vertex", Int vertex); ("tried", Int tried) ]
   | S_root_unsat reason -> Obj [ ("ev", String "root-unsat"); ("reason", String reason) ]
 
+let default_budget = 5_000_000
+
 let zero_stats = { nodes = 0; backtracks = 0; prunes = 0; elapsed = 0. }
 
 let add_stats a b =
@@ -436,7 +438,7 @@ let atomic_min cell i =
   in
   go ()
 
-let solve_at ?(budget = 5_000_000) ?domains task level =
+let solve_at ?(budget = default_budget) ?domains task level =
   let domains = match domains with Some d -> max 1 d | None -> Wfc_par.domains () in
   Wfc_obs.Metrics.with_span (Printf.sprintf "solvability.level.%d" level) @@ fun () ->
   let t0 = Wfc_obs.Metrics.now_s () in
@@ -588,7 +590,7 @@ let solve_at ?(budget = 5_000_000) ?domains task level =
    a whole visits at most [budget] nodes plus one root pre-count per level.
    When a level exhausts the remainder — or nothing is left to hand out —
    the sweep stops with [Exhausted]. *)
-let solve ?(budget = 5_000_000) ?domains ~max_level task =
+let solve ?(budget = default_budget) ?domains ~max_level task =
   Wfc_obs.Metrics.with_span "solvability.solve" @@ fun () ->
   let rec go level acc last =
     if level > max_level then last
@@ -604,6 +606,56 @@ let solve ?(budget = 5_000_000) ?domains ~max_level task =
         | Exhausted { level = l; stats } -> Exhausted { level = l; stats = add_stats acc stats }
   in
   go 0 zero_stats (Unsolvable_at { level = -1; stats = zero_stats; trail = [] })
+
+type outcome = {
+  o_verdict : string;
+  o_level : int;
+  o_nodes : int;
+  o_backtracks : int;
+  o_prunes : int;
+  o_elapsed : float;
+  o_decide : (int * int) list;
+}
+
+type store = { lookup : unit -> outcome option; commit : outcome -> unit }
+
+let c_store_hits = Wfc_obs.Metrics.counter "solvability.store.hits"
+
+let c_store_misses = Wfc_obs.Metrics.counter "solvability.store.misses"
+
+let outcome_of_verdict v =
+  let stats = stats_of_verdict v in
+  let level, decide =
+    match v with
+    | Solvable { map; _ } ->
+      let scx = Chromatic.complex (Sds.complex map.sds) in
+      (map.level, List.map (fun vtx -> (vtx, map.decide vtx)) (Complex.vertices scx))
+    | Unsolvable_at { level; _ } | Exhausted { level; _ } -> (level, [])
+  in
+  {
+    o_verdict = verdict_name v;
+    o_level = level;
+    o_nodes = stats.nodes;
+    o_backtracks = stats.backtracks;
+    o_prunes = stats.prunes;
+    o_elapsed = stats.elapsed;
+    o_decide = decide;
+  }
+
+let solve_cached ?budget ?domains ?store ~max_level task =
+  match store with
+  | None -> (outcome_of_verdict (solve ?budget ?domains ~max_level task), `Computed)
+  | Some s -> (
+    match s.lookup () with
+    | Some o ->
+      Wfc_obs.Metrics.incr c_store_hits;
+      (o, `Hit)
+    | None ->
+      Wfc_obs.Metrics.incr c_store_misses;
+      let v = solve ?budget ?domains ~max_level task in
+      let o = outcome_of_verdict v in
+      (match v with Exhausted _ -> () | Solvable _ | Unsolvable_at _ -> s.commit o);
+      (o, `Computed))
 
 let verify { task; sds; decide; level = _ } =
   let scx = Chromatic.complex (Sds.complex sds) in

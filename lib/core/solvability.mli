@@ -69,6 +69,11 @@ val verdict_name : verdict -> string
 
 val pp_stats : Format.formatter -> stats -> unit
 
+val default_budget : int
+(** [5_000_000] — the node budget {!solve_at} and {!solve} use when none is
+    given. Exposed because cached verdicts are only reusable under the
+    budget they were computed with, so stores key on it. *)
+
 val solve_at : ?budget:int -> ?domains:int -> Wfc_tasks.Task.t -> int -> verdict
 (** Decide level [b] exactly (up to [budget] search nodes,
     default 5_000_000). Stats cover this level only.
@@ -91,6 +96,50 @@ val solve : ?budget:int -> ?domains:int -> max_level:int -> Wfc_tasks.Task.t -> 
     previous levels left ([budget - stats.nodes] so far), so the sweep never
     costs more than one [solve_at] at the same budget. [domains] is passed
     through to each {!solve_at}. *)
+
+(** {1 Cached solving} — the entry point of the serving layer (DESIGN §10). *)
+
+type outcome = {
+  o_verdict : string;  (** {!verdict_name} of the underlying verdict *)
+  o_level : int;  (** solvable: the map's level; otherwise the last level tried *)
+  o_nodes : int;
+  o_backtracks : int;
+  o_prunes : int;
+  o_elapsed : float;
+  o_decide : (int * int) list;
+      (** solvable only: the full decision table, [SDS^o_level] vertex ->
+          output vertex, sorted by vertex — a serializable witness of the
+          map. Empty otherwise. *)
+}
+(** A verdict flattened to plain data: what the persistent verdict store
+    ([wfc.store.v1]) files and the daemon's wire protocol ships. Everything
+    except [o_elapsed] is a deterministic function of [(task, max_level,
+    budget)] — the search visits the same nodes in the same order whatever
+    the domain count (see {!solve_at}) — so stored and freshly computed
+    outcomes agree byte-for-byte once timing is stripped. *)
+
+type store = {
+  lookup : unit -> outcome option;
+  commit : outcome -> unit;
+}
+(** A verdict store as the solver sees it. The caller fixes the key — task
+    digest, level bound, budget — inside the closures; the solver neither
+    knows nor cares where outcomes persist. *)
+
+val outcome_of_verdict : verdict -> outcome
+
+val solve_cached :
+  ?budget:int ->
+  ?domains:int ->
+  ?store:store ->
+  max_level:int ->
+  Wfc_tasks.Task.t ->
+  outcome * [ `Hit | `Computed ]
+(** {!solve} through a store: a [lookup] hit is returned as-is — counted in
+    [solvability.store.hits] — without building a single subdivision; a miss
+    ([solvability.store.misses]) runs {!solve} and [commit]s the flattened
+    verdict before returning it. [Exhausted] outcomes are {e not} committed:
+    a budget overrun is a fact about the budget, not the task. *)
 
 val verify : map -> (unit, string) result
 (** Independent re-check of a claimed decision map: color preservation,

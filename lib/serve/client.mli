@@ -1,0 +1,24 @@
+(** Client side of the daemon's wire protocol.
+
+    Thin and synchronous: connect, exchange one request/response frame at a
+    time, close. [wfc query] composes this with an inline-solve fallback —
+    see {!Wfc_serve} users in [bin/wfc_cli.ml]. *)
+
+type t
+
+val connect : socket:string -> (t, string) result
+(** [Error] when nothing listens on the path — the caller's signal to fall
+    back to an inline solve. *)
+
+val close : t -> unit
+
+val request : t -> Wire.request -> (Wire.response, string) result
+(** One round-trip. [Error] on a dead daemon or a malformed response. *)
+
+val query : t -> Wire.spec -> (Wire.response, string) result
+
+val ping : t -> bool
+(** One [ping] round-trip; [false] on any failure. *)
+
+val shutdown : t -> (unit, string) result
+(** Sends [shutdown]; [Ok] once the daemon acknowledges with [bye]. *)

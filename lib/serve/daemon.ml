@@ -1,0 +1,303 @@
+open Wfc_core
+
+type config = {
+  socket : string;
+  store_dir : string;
+  queue_capacity : int;
+  report : string option;
+  on_ready : (unit -> unit) option;
+  gate : (string -> unit) option;
+}
+
+let config ?(queue_capacity = 64) ~socket ~store_dir () =
+  { socket; store_dir; queue_capacity; report = None; on_ready = None; gate = None }
+
+let c_requests = Wfc_obs.Metrics.counter "serve.requests"
+
+let c_hits = Wfc_obs.Metrics.counter "serve.hits"
+
+let c_misses = Wfc_obs.Metrics.counter "serve.misses"
+
+let c_coalesced = Wfc_obs.Metrics.counter "serve.coalesced"
+
+let c_shed = Wfc_obs.Metrics.counter "serve.shed"
+
+let c_errors = Wfc_obs.Metrics.counter "serve.errors"
+
+let h_latency = Wfc_obs.Metrics.histogram "serve.latency.seconds"
+
+let h_depth = Wfc_obs.Metrics.histogram "serve.queue.depth"
+
+(* One admitted question. A job is in [inflight] from admission until its
+   result is published, and in [queue] only until the solver pops it —
+   coalescing keys on [inflight], so a query arriving while its twin is
+   {e being solved} still attaches instead of recomputing. *)
+type job = {
+  j_spec : Wire.spec;
+  j_task : Wfc_tasks.Task.t;
+  j_digest : string;
+  mutable j_result : (Store.record, string) result option;
+}
+
+type state = {
+  cfg : config;
+  store : Store.t;
+  m : Mutex.t;
+  solver_cv : Condition.t;  (** signalled: queue grew or shutdown began *)
+  done_cv : Condition.t;  (** broadcast: some job published its result *)
+  queue : job Queue.t;
+  inflight : (string, job) Hashtbl.t;
+  stopping : bool Atomic.t;
+}
+
+let key_of ~digest ~max_level = Printf.sprintf "%s:L%d" digest max_level
+
+let locked st f =
+  Mutex.lock st.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock st.m) f
+
+(* ---- solver thread ---- *)
+
+(* The solve goes through the store hook even though admission already
+   missed: an inline [wfc query --store] process sharing the directory may
+   have filed the verdict while this job sat in the queue, and the hook's
+   lookup catches that for free. Exhausted outcomes are answered but never
+   persisted (see Solvability.solve_cached). *)
+let compute st (job : job) =
+  (match st.cfg.gate with Some g -> g job.j_digest | None -> ());
+  let max_level = job.j_spec.Wire.max_level in
+  let budget = Solvability.default_budget in
+  let find () = Store.find st.store ~digest:job.j_digest ~max_level ~budget in
+  let fresh outcome =
+    Store.record ~task:job.j_task ~spec:(Wire.spec_to_string job.j_spec) ~max_level ~budget
+      outcome
+  in
+  let committed = ref None in
+  let hook =
+    {
+      Solvability.lookup =
+        (fun () -> Option.map (fun r -> r.Store.outcome) (find ()));
+      commit =
+        (fun outcome ->
+          let r = fresh outcome in
+          Store.put st.store r;
+          committed := Some r);
+    }
+  in
+  match Solvability.solve_cached ~budget ~max_level ~store:hook job.j_task with
+  | _, `Hit -> (
+    match find () with Some r -> Ok r | None -> Error "store record vanished mid-solve")
+  | outcome, `Computed -> (
+    match !committed with Some r -> Ok r | None -> Ok (fresh outcome))
+
+let solver_loop st =
+  let rec next () =
+    let job =
+      locked st (fun () ->
+          while Queue.is_empty st.queue && not (Atomic.get st.stopping) do
+            Condition.wait st.solver_cv st.m
+          done;
+          if Queue.is_empty st.queue then None else Some (Queue.pop st.queue))
+    in
+    match job with
+    | None -> () (* stopping and drained *)
+    | Some job ->
+      let result =
+        try compute st job
+        with e -> Error (Printf.sprintf "solver failed: %s" (Printexc.to_string e))
+      in
+      (match result with Error _ -> Wfc_obs.Metrics.incr c_errors | Ok _ -> ());
+      locked st (fun () ->
+          job.j_result <- Some result;
+          Hashtbl.remove st.inflight
+            (key_of ~digest:job.j_digest ~max_level:job.j_spec.Wire.max_level);
+          Condition.broadcast st.done_cv);
+      next ()
+  in
+  next ()
+
+(* ---- per-connection handler ---- *)
+
+(* Store lookups happen under the state mutex: the miss -> enqueue decision
+   must be atomic against a twin handler or the store would be raced into
+   double computation. Record files are a few KiB, so the hold is short. *)
+let handle_query st (spec : Wire.spec) =
+  Wfc_obs.Metrics.incr c_requests;
+  let t0 = Wfc_obs.Metrics.now_s () in
+  let answer resp =
+    Wfc_obs.Metrics.observe h_latency (Wfc_obs.Metrics.now_s () -. t0);
+    resp
+  in
+  match Wfc_tasks.Instances.by_name ~name:spec.Wire.task ~procs:spec.Wire.procs ~param:spec.Wire.param with
+  | exception Invalid_argument msg ->
+    Wfc_obs.Metrics.incr c_errors;
+    answer (Wire.Failed msg)
+  | task -> (
+    let digest = Wfc_tasks.Task.digest task in
+    let key = key_of ~digest ~max_level:spec.Wire.max_level in
+    let wait_for job =
+      let rec poll () =
+        match job.j_result with
+        | Some r -> r
+        | None ->
+          Condition.wait st.done_cv st.m;
+          poll ()
+      in
+      locked st poll
+    in
+    let decision =
+      locked st (fun () ->
+          if Atomic.get st.stopping then `Refuse
+          else
+            match Hashtbl.find_opt st.inflight key with
+            | Some job ->
+              Wfc_obs.Metrics.incr c_coalesced;
+              `Join job
+            | None -> (
+              match
+                Store.find st.store ~digest ~max_level:spec.Wire.max_level
+                  ~budget:Solvability.default_budget
+              with
+              | Some r ->
+                Wfc_obs.Metrics.incr c_hits;
+                `Hit r
+              | None ->
+                if Queue.length st.queue >= st.cfg.queue_capacity then begin
+                  Wfc_obs.Metrics.incr c_shed;
+                  `Shed
+                end
+                else begin
+                  Wfc_obs.Metrics.incr c_misses;
+                  let job = { j_spec = spec; j_task = task; j_digest = digest; j_result = None } in
+                  Hashtbl.replace st.inflight key job;
+                  Queue.push job st.queue;
+                  Wfc_obs.Metrics.observe h_depth (float_of_int (Queue.length st.queue));
+                  Condition.signal st.solver_cv;
+                  `Own job
+                end))
+    in
+    match decision with
+    | `Refuse -> answer (Wire.Failed "daemon is shutting down")
+    | `Hit r -> answer (Wire.Verdict { source = Wire.From_store; record = r })
+    | `Shed -> answer Wire.Shed
+    | `Join job -> (
+      match wait_for job with
+      | Ok r -> answer (Wire.Verdict { source = Wire.Coalesced; record = r })
+      | Error e -> answer (Wire.Failed e))
+    | `Own job -> (
+      match wait_for job with
+      | Ok r -> answer (Wire.Verdict { source = Wire.Computed; record = r })
+      | Error e -> answer (Wire.Failed e)))
+
+let handle_connection st fd =
+  let stop_requested = ref false in
+  (try
+     let rec loop () =
+       match Wire.read_frame fd with
+       | Error _ -> ()
+       | Ok j ->
+         let resp =
+           match Wire.request_of_json j with
+           | Error e ->
+             Wfc_obs.Metrics.incr c_errors;
+             Wire.Failed e
+           | Ok Wire.Ping -> Wire.Pong
+           | Ok Wire.Stats ->
+             Wire.Metrics (Wfc_obs.Snapshot.to_json (Wfc_obs.Snapshot.take ()))
+           | Ok Wire.Shutdown ->
+             stop_requested := true;
+             Wire.Bye
+           | Ok (Wire.Query spec) -> handle_query st spec
+         in
+         Wire.write_frame fd (Wire.response_to_json resp);
+         if not !stop_requested then loop ()
+     in
+     loop ()
+   with Unix.Unix_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  if !stop_requested then begin
+    Atomic.set st.stopping true;
+    locked st (fun () -> Condition.broadcast st.solver_cv)
+  end
+
+(* ---- socket lifecycle ---- *)
+
+(* A stale socket file (previous daemon SIGKILLed) is replaced; a live one
+   is refused — two daemons would race the same store paths' tmp files. *)
+let bind_socket path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then failwith (Printf.sprintf "a daemon is already serving on %s" path);
+    (try Sys.remove path with Sys_error _ -> ())
+  end;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen fd 64;
+  fd
+
+let run cfg =
+  (* a client vanishing mid-response must surface as EPIPE, not kill us *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let st =
+    {
+      cfg;
+      store = Store.open_store cfg.store_dir;
+      m = Mutex.create ();
+      solver_cv = Condition.create ();
+      done_cv = Condition.create ();
+      queue = Queue.create ();
+      inflight = Hashtbl.create 64;
+      stopping = Atomic.make false;
+    }
+  in
+  let listen_fd = bind_socket cfg.socket in
+  let initiate_stop _ = Atomic.set st.stopping true in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle initiate_stop) in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle initiate_stop) in
+  let solver = Thread.create solver_loop st in
+  (match cfg.on_ready with Some f -> f () | None -> ());
+  (* Accept with a select timeout so a signal- or request-initiated stop is
+     noticed within a tick even when no connection ever arrives. *)
+  let rec accept_loop () =
+    if Atomic.get st.stopping then ()
+    else begin
+      (match Unix.select [ listen_fd ] [] [] 0.2 with
+      | [ _ ], _, _ -> (
+        match Unix.accept listen_fd with
+        | client, _ -> ignore (Thread.create (fun () -> handle_connection st client) ())
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ())
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* stopping: wake the solver (it drains admitted work, then exits) *)
+  locked st (fun () -> Condition.broadcast st.solver_cv);
+  Thread.join solver;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (try Sys.remove cfg.socket with Sys_error _ -> ());
+  Sys.set_signal Sys.sigint old_int;
+  Sys.set_signal Sys.sigterm old_term;
+  let v name = Wfc_obs.Metrics.value (Wfc_obs.Metrics.counter name) in
+  Printf.eprintf
+    "wfc serve: %d request(s) — %d hit(s), %d computed, %d coalesced, %d shed, %d error(s)\n%!"
+    (v "serve.requests") (v "serve.hits") (v "serve.misses") (v "serve.coalesced")
+    (v "serve.shed") (v "serve.errors");
+  match cfg.report with
+  | None -> ()
+  | Some path ->
+    Wfc_obs.Report.write_file path
+      (Wfc_obs.Report.to_json
+         ~snapshot:(Wfc_obs.Snapshot.take ())
+         [ Wfc_obs.Report.scenario "serve" 0.0 ]);
+    Printf.eprintf "wfc serve: wrote %s\n%!" path

@@ -1,0 +1,101 @@
+(** Content-addressed persistent verdict store ([wfc.store.v1]).
+
+    A verdict is a pure function of [(task, max_level, budget)]: the search
+    is deterministic, so once computed it can be reused by every later
+    process. This module files one canonical-JSON record per decided
+    question under
+
+    {v <dir>/<task digest>.L<max_level>.json v}
+
+    where the digest is {!Wfc_tasks.Task.digest} — content addressing, so
+    two differently-named constructions of the same [(I, O, Δ)] share a
+    record. The budget rides inside the record and is checked on read: a
+    record computed under a different budget is a miss, never a wrong
+    answer.
+
+    Durability: {!put} writes to a [.tmp] file in the same directory,
+    fsyncs, then renames — a process killed at any instant leaves either
+    the old record, the new record, or a stray [.tmp], never a torn
+    [.json]. Reads quarantine: a record that fails to parse or validate is
+    moved to [<dir>/quarantine/] (counted in [serve.store.quarantined]) and
+    reported as a miss, so one corrupt file can never wedge the store.
+    [wfc store verify] surfaces quarantined and stray files; [wfc store gc]
+    deletes them. *)
+
+val schema_version : string
+(** ["wfc.store.v1"]. *)
+
+type record = {
+  digest : string;  (** {!Wfc_tasks.Task.digest} of the task *)
+  task : string;  (** informational: the instance spec, e.g. ["consensus(procs=2,param=2)"] *)
+  procs : int;
+  max_level : int;
+  budget : int;
+  outcome : Wfc_core.Solvability.outcome;
+  created_at : float;  (** unix seconds at commit; not part of the verdict *)
+}
+
+val record :
+  task:Wfc_tasks.Task.t ->
+  spec:string ->
+  max_level:int ->
+  budget:int ->
+  Wfc_core.Solvability.outcome ->
+  record
+(** Builds a record for [outcome], computing the digest and stamping
+    [created_at] with the current time. *)
+
+val record_to_json : record -> Wfc_obs.Json.t
+(** The full [wfc.store.v1] object, including the non-deterministic fields
+    ([elapsed], [created_at]). *)
+
+val verdict_json : record -> Wfc_obs.Json.t
+(** {!record_to_json} minus [elapsed] and [created_at]: every byte is a
+    deterministic function of the question, so a stored record, a fresh
+    daemon computation and an inline [wfc solve] render identically — the
+    invariant the CI smoke diffs. *)
+
+val record_of_json : Wfc_obs.Json.t -> (record, string) result
+
+val validate_json : Wfc_obs.Json.t -> (unit, string) result
+(** Structural check used by [wfc check-json] on [wfc.store.v1] artifacts:
+    schema tag, hex digest, verdict vocabulary, decide-table shape, and
+    solvable records must carry a non-empty decide table. *)
+
+type t
+
+val open_store : string -> t
+(** Opens (creating directories as needed) the store rooted at the path. *)
+
+val dir : t -> string
+
+val path_of : t -> digest:string -> max_level:int -> string
+(** The record file a question maps to. *)
+
+val find : t -> digest:string -> max_level:int -> budget:int -> record option
+(** The stored verdict for a question, or [None] on: no record, a record
+    computed under a different budget, or a corrupt record (which is
+    quarantined on the way out). Never raises on store corruption. *)
+
+val put : t -> record -> unit
+(** Atomically files the record under its question's path (tmp + fsync +
+    rename), replacing any previous record. *)
+
+val entries : t -> (string * (record, string) result) list
+(** Every [*.json] record file (basename, parse result), sorted by name —
+    read-only: unlike {!find} this never quarantines, so [wfc store ls] and
+    {!verify} can report corruption without mutating the store. *)
+
+type verify_report = {
+  valid : int;
+  corrupt : (string * string) list;  (** record files failing validation *)
+  mismatched : string list;  (** records whose digest disagrees with their filename *)
+  quarantined : int;  (** files already sitting in quarantine/ *)
+  stray_tmp : int;  (** interrupted writes ([*.tmp]) *)
+}
+
+val verify : t -> verify_report
+
+val gc : t -> removed:int ref -> unit
+(** Deletes quarantined records and stray [.tmp] files, counting deletions
+    into [removed]. Valid records are never touched. *)

@@ -1,0 +1,158 @@
+let max_frame = 16 * 1024 * 1024
+
+type spec = { task : string; procs : int; param : int; max_level : int }
+
+let spec_to_string s = Printf.sprintf "%s(procs=%d,param=%d)" s.task s.procs s.param
+
+type request = Query of spec | Ping | Stats | Shutdown
+
+type source = From_store | Computed | Coalesced
+
+let source_name = function
+  | From_store -> "store"
+  | Computed -> "computed"
+  | Coalesced -> "coalesced"
+
+type response =
+  | Verdict of { source : source; record : Store.record }
+  | Shed
+  | Pong
+  | Metrics of Wfc_obs.Json.t
+  | Bye
+  | Failed of string
+
+let request_to_json r =
+  let open Wfc_obs.Json in
+  match r with
+  | Query s ->
+    Obj
+      [
+        ("op", String "query");
+        ("task", String s.task);
+        ("procs", Int s.procs);
+        ("param", Int s.param);
+        ("max_level", Int s.max_level);
+      ]
+  | Ping -> Obj [ ("op", String "ping") ]
+  | Stats -> Obj [ ("op", String "stats") ]
+  | Shutdown -> Obj [ ("op", String "shutdown") ]
+
+let ( let* ) = Result.bind
+
+let string_member key j =
+  match Wfc_obs.Json.member key j with
+  | Some (Wfc_obs.Json.String s) -> Ok s
+  | _ -> Error (Printf.sprintf "missing or non-string %S" key)
+
+let int_member key j =
+  match Wfc_obs.Json.member key j with
+  | Some (Wfc_obs.Json.Int i) -> Ok i
+  | _ -> Error (Printf.sprintf "missing or non-int %S" key)
+
+let request_of_json j =
+  let* op = string_member "op" j in
+  match op with
+  | "ping" -> Ok Ping
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | "query" ->
+    let* task = string_member "task" j in
+    let* procs = int_member "procs" j in
+    let* param = int_member "param" j in
+    let* max_level = int_member "max_level" j in
+    if procs < 1 then Error "procs must be >= 1"
+    else if max_level < 0 then Error "max_level must be >= 0"
+    else Ok (Query { task; procs; param; max_level })
+  | op -> Error (Printf.sprintf "unknown op %S" op)
+
+let response_to_json r =
+  let open Wfc_obs.Json in
+  match r with
+  | Verdict { source; record } ->
+    Obj
+      [
+        ("status", String "ok");
+        ("source", String (source_name source));
+        ("record", Store.record_to_json record);
+      ]
+  | Shed -> Obj [ ("status", String "shed") ]
+  | Pong -> Obj [ ("status", String "pong") ]
+  | Metrics m -> Obj [ ("status", String "stats"); ("metrics", m) ]
+  | Bye -> Obj [ ("status", String "bye") ]
+  | Failed msg -> Obj [ ("status", String "error"); ("message", String msg) ]
+
+let response_of_json j =
+  let* status = string_member "status" j in
+  match status with
+  | "shed" -> Ok Shed
+  | "pong" -> Ok Pong
+  | "bye" -> Ok Bye
+  | "error" ->
+    let* msg = string_member "message" j in
+    Ok (Failed msg)
+  | "stats" -> (
+    match Wfc_obs.Json.member "metrics" j with
+    | Some m -> Ok (Metrics m)
+    | None -> Error "stats response without \"metrics\"")
+  | "ok" -> (
+    let* source = string_member "source" j in
+    let* source =
+      match source with
+      | "store" -> Ok From_store
+      | "computed" -> Ok Computed
+      | "coalesced" -> Ok Coalesced
+      | s -> Error (Printf.sprintf "unknown source %S" s)
+    in
+    match Wfc_obs.Json.member "record" j with
+    | None -> Error "ok response without \"record\""
+    | Some rj ->
+      let* record = Store.record_of_json rj in
+      Ok (Verdict { source; record }))
+  | s -> Error (Printf.sprintf "unknown status %S" s)
+
+(* ---- framing ---- *)
+
+let really_write fd bytes off len =
+  let off = ref off and len = ref len in
+  while !len > 0 do
+    let n = Unix.write fd bytes !off !len in
+    off := !off + n;
+    len := !len - n
+  done
+
+let write_frame fd j =
+  let payload = Bytes.unsafe_of_string (Wfc_obs.Json.to_string j) in
+  let n = Bytes.length payload in
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int n);
+  really_write fd header 0 4;
+  really_write fd payload 0 n
+
+(* [Ok buf] or [Error `Eof] (clean close at a frame boundary) / [Error `Short]
+   (peer died mid-frame). *)
+let really_read fd len =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off = len then Ok buf
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> if off = 0 then Error `Eof else Error `Short
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let read_frame fd =
+  match really_read fd 4 with
+  | Error `Eof -> Error "connection closed"
+  | Error `Short -> Error "truncated frame header"
+  | Ok header -> (
+    let n = Int32.to_int (Bytes.get_int32_be header 0) in
+    if n < 0 || n > max_frame then Error (Printf.sprintf "frame length %d out of bounds" n)
+    else
+      match really_read fd n with
+      | Error (`Eof | `Short) -> Error "truncated frame payload"
+      | Ok payload -> (
+        match Wfc_obs.Json.parse (Bytes.unsafe_to_string payload) with
+        | Ok j -> Ok j
+        | Error e -> Error (Printf.sprintf "bad frame payload: %s" e)))

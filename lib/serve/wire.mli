@@ -1,0 +1,70 @@
+(** The daemon's wire protocol: length-prefixed canonical JSON frames over a
+    Unix-domain stream socket.
+
+    Framing: each message is a 4-byte big-endian payload length followed by
+    that many bytes of JSON. Frames above {!max_frame} are rejected before
+    allocation, so a garbled peer cannot make the other side allocate
+    gigabytes. The protocol is strict request/response: the client writes
+    one request frame and reads exactly one response frame, any number of
+    times per connection.
+
+    Requests ([op] tag): {v
+      {"op": "query", "task": NAME, "procs": P, "param": K, "max_level": B}
+      {"op": "ping"}   {"op": "stats"}   {"op": "shutdown"}
+    v}
+
+    Responses ([status] tag): {v
+      {"status": "ok", "source": "store"|"computed"|"coalesced", "record": <wfc.store.v1>}
+      {"status": "shed"}                      queue full — retry or solve inline
+      {"status": "pong"}  {"status": "bye"}
+      {"status": "stats", "metrics": {...}}   a Wfc_obs snapshot
+      {"status": "error", "message": "..."}
+    v}
+
+    Tasks travel by {e name}: the daemon rebuilds the complex through
+    {!Wfc_tasks.Instances.by_name} — the same registry an inline solve uses
+    — and content-addresses the result by {!Wfc_tasks.Task.digest}, so a
+    wire query and a local solve can never disagree about which question is
+    being asked. *)
+
+val max_frame : int
+(** 16 MiB. *)
+
+type spec = { task : string; procs : int; param : int; max_level : int }
+(** A named task question, as [wfc solve] would pose it. *)
+
+val spec_to_string : spec -> string
+(** ["name(procs=P,param=K)"] — the informational [task] field of store
+    records, shared by every producer so records diff cleanly. *)
+
+type request = Query of spec | Ping | Stats | Shutdown
+
+type source = From_store | Computed | Coalesced
+
+val source_name : source -> string
+(** ["store"] / ["computed"] / ["coalesced"]. *)
+
+type response =
+  | Verdict of { source : source; record : Store.record }
+  | Shed
+  | Pong
+  | Metrics of Wfc_obs.Json.t
+  | Bye
+  | Failed of string
+
+val request_to_json : request -> Wfc_obs.Json.t
+
+val request_of_json : Wfc_obs.Json.t -> (request, string) result
+
+val response_to_json : response -> Wfc_obs.Json.t
+
+val response_of_json : Wfc_obs.Json.t -> (response, string) result
+
+val write_frame : Unix.file_descr -> Wfc_obs.Json.t -> unit
+(** Writes one frame, handling short writes. @raise Unix.Unix_error on a
+    dead peer (the daemon ignores [SIGPIPE], so a closed socket surfaces
+    here as [EPIPE], not a process kill). *)
+
+val read_frame : Unix.file_descr -> (Wfc_obs.Json.t, string) result
+(** Reads one frame. [Error] on EOF, a truncated frame, an oversized
+    length prefix, or unparsable JSON. *)

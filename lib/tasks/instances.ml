@@ -157,3 +157,22 @@ let loop_agreement_on_circle () =
   loop_agreement
     (Wfc_topology.Complex.with_name "sds-boundary" circle)
     ~corners ~paths
+
+let known =
+  [
+    "consensus"; "set-consensus"; "renaming"; "approx"; "identity"; "tas"; "fai";
+    "loop-disk"; "loop-circle";
+  ]
+
+let by_name ~name ~procs ~param =
+  match name with
+  | "consensus" -> binary_consensus ~procs
+  | "set-consensus" -> set_consensus ~procs ~k:param
+  | "renaming" -> adaptive_renaming ~procs ~names:param
+  | "approx" -> approximate_agreement ~procs ~grid:param
+  | "identity" -> id_task ~procs
+  | "tas" -> k_test_and_set ~procs ~k:param
+  | "fai" -> fetch_and_increment_order ~procs
+  | "loop-disk" -> loop_agreement_on_disk ()
+  | "loop-circle" -> loop_agreement_on_circle ()
+  | t -> invalid_arg ("unknown task: " ^ t)

@@ -74,3 +74,15 @@ val loop_agreement_on_disk : unit -> Task.t
 val loop_agreement_on_circle : unit -> Task.t
 (** The same corners and paths, but over the boundary circle only: the loop
     cannot be filled, and the task is wait-free unsolvable. *)
+
+val known : string list
+(** The instance names {!by_name} accepts — the task vocabulary shared by
+    [wfc solve], [wfc query] and the daemon's wire protocol. *)
+
+val by_name : name:string -> procs:int -> param:int -> Task.t
+(** Instance lookup by name: the single registry behind the CLI and the
+    serving layer, so a task named over the wire is built by exactly the
+    code an inline solve would run. [param] is the task's free parameter
+    ([k] for set-consensus/tas, [names] for renaming, [grid] for approx);
+    instances without one ignore it.
+    @raise Invalid_argument on an unknown name. *)

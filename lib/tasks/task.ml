@@ -129,6 +129,48 @@ let well_formed t =
     (Complex.simplices icx);
   match !errors with [] -> Ok () | errs -> Error (String.concat "; " (List.rev errs))
 
+(* The canonical representation names every vertex by its content — the
+   (color, label) pair — so the digest is independent of arena vertex ids
+   and of every enumeration order that fed [of_relation]. Sorting happens at
+   three layers: vertices inside a simplex by color (proper coloring makes
+   colors distinct), simplices inside a complex / Δ-image by their rendered
+   canonical bytes, and Δ entries by their rendered input simplex. *)
+let canonical_json t =
+  let open Wfc_obs.Json in
+  let simplex_repr chroma label s =
+    let vs =
+      List.map (fun v -> (Chromatic.color chroma v, label v)) (Simplex.to_list s)
+    in
+    Arr (List.map (fun (c, l) -> Arr [ Int c; String l ]) (List.sort compare vs))
+  in
+  let sort_by_render = List.sort (fun a b -> compare (to_string a) (to_string b)) in
+  let complex_repr chroma label =
+    Complex.facets (Chromatic.complex chroma)
+    |> List.map (simplex_repr chroma label)
+    |> sort_by_render
+  in
+  let delta_repr =
+    Complex.simplices (Chromatic.complex t.input)
+    |> List.map (fun si ->
+           Arr
+             [
+               simplex_repr t.input t.input_label si;
+               Arr
+                 (sort_by_render
+                    (List.map (simplex_repr t.output t.output_label) (t.delta si)));
+             ])
+    |> sort_by_render
+  in
+  Obj
+    [
+      ("delta", Arr delta_repr);
+      ("input", Arr (complex_repr t.input t.input_label));
+      ("output", Arr (complex_repr t.output t.output_label));
+      ("procs", Int t.procs);
+    ]
+
+let digest t = Digest.to_hex (Digest.string (Wfc_obs.Json.to_string (canonical_json t)))
+
 let pp_stats ppf t =
   Format.fprintf ppf "task %s: procs=%d@ input: %a@ output: %a" t.name t.procs
     Chromatic.pp_stats t.input Chromatic.pp_stats t.output

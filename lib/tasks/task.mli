@@ -65,4 +65,19 @@ val product : t -> t -> t
     is unsolvable (project). Values are encoded ["a|b"]; both factors must
     have the same [procs]. Sizes multiply — keep the factors small. *)
 
+val canonical_json : t -> Wfc_obs.Json.t
+(** A canonical, order-insensitive JSON rendering of [(I, O, Δ)]. Vertices
+    are represented by their content — [(color, label)] pairs — never by
+    their arena ids, simplices as color-sorted vertex lists, complexes as
+    render-sorted facet lists, and [Δ] as a render-sorted list of
+    [(input simplex, sorted allowed outputs)] entries. Two tasks built from
+    the same combinatorial data produce identical bytes regardless of
+    enumeration order, vertex numbering, or simplex ordering. The task
+    [name] is deliberately excluded: the digest addresses content. *)
+
+val digest : t -> string
+(** Hex digest of {!canonical_json}'s canonical bytes — the
+    content-addressed key under which verdict stores ([wfc.store.v1]) file
+    this task. Stable across processes and task re-construction. *)
+
 val pp_stats : Format.formatter -> t -> unit

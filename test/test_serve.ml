@@ -1,0 +1,410 @@
+(* Tests for the serving layer: wire codecs and framing, the persistent
+   verdict store (durability, quarantine), cached solving, and the daemon
+   end to end — including deterministic coalescing and backpressure. *)
+
+open Wfc_tasks
+open Wfc_core
+open Wfc_serve
+
+let checkb = Alcotest.check Alcotest.bool
+
+let checki = Alcotest.check Alcotest.int
+
+let checks = Alcotest.check Alcotest.string
+
+let json_str j = Wfc_obs.Json.to_string j
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let counter_value name = Wfc_obs.Metrics.value (Wfc_obs.Metrics.counter name)
+
+let default_spec = { Wire.task = "consensus"; procs = 2; param = 2; max_level = 1 }
+
+(* The record an inline solve of [spec] would produce: the reference every
+   daemon answer must match byte-for-byte (modulo timing fields, which
+   verdict_json strips). *)
+let inline_record (spec : Wire.spec) =
+  let t = Instances.by_name ~name:spec.Wire.task ~procs:spec.Wire.procs ~param:spec.Wire.param in
+  let outcome, _ = Solvability.solve_cached ~max_level:spec.Wire.max_level t in
+  Store.record ~task:t ~spec:(Wire.spec_to_string spec) ~max_level:spec.Wire.max_level
+    ~budget:Solvability.default_budget outcome
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_request r =
+  match Wire.request_of_json (Wire.request_to_json r) with
+  | Ok r' -> checks "request" (json_str (Wire.request_to_json r)) (json_str (Wire.request_to_json r'))
+  | Error e -> Alcotest.fail e
+
+let roundtrip_response r =
+  match Wire.response_of_json (Wire.response_to_json r) with
+  | Ok r' ->
+    checks "response" (json_str (Wire.response_to_json r)) (json_str (Wire.response_to_json r'))
+  | Error e -> Alcotest.fail e
+
+let wire_tests =
+  [
+    Alcotest.test_case "request codec round-trips" `Quick (fun () ->
+        roundtrip_request (Wire.Query default_spec);
+        roundtrip_request Wire.Ping;
+        roundtrip_request Wire.Stats;
+        roundtrip_request Wire.Shutdown);
+    Alcotest.test_case "response codec round-trips" `Quick (fun () ->
+        roundtrip_response Wire.Shed;
+        roundtrip_response Wire.Pong;
+        roundtrip_response Wire.Bye;
+        roundtrip_response (Wire.Failed "boom");
+        roundtrip_response (Wire.Metrics (Wfc_obs.Json.Obj [ ("x", Wfc_obs.Json.Int 1) ]));
+        roundtrip_response
+          (Wire.Verdict { source = Wire.Coalesced; record = inline_record default_spec }));
+    Alcotest.test_case "malformed messages are rejected" `Quick (fun () ->
+        checkb "bad op" true
+          (Result.is_error (Wire.request_of_json (Wfc_obs.Json.Obj [ ("op", Wfc_obs.Json.String "no") ])));
+        checkb "not an object" true (Result.is_error (Wire.request_of_json (Wfc_obs.Json.Int 3)));
+        checkb "bad status" true
+          (Result.is_error
+             (Wire.response_of_json (Wfc_obs.Json.Obj [ ("status", Wfc_obs.Json.String "?") ]))));
+    Alcotest.test_case "framing round-trips over a socketpair" `Quick (fun () ->
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let j = Wire.request_to_json (Wire.Query default_spec) in
+        Wire.write_frame a j;
+        Wire.write_frame a (Wire.request_to_json Wire.Ping);
+        (match Wire.read_frame b with
+        | Ok j' -> checks "first frame" (json_str j) (json_str j')
+        | Error e -> Alcotest.fail e);
+        (match Wire.read_frame b with
+        | Ok j' -> checks "second frame" (json_str (Wire.request_to_json Wire.Ping)) (json_str j')
+        | Error e -> Alcotest.fail e);
+        Unix.close a;
+        (* EOF is a clean error, not an exception *)
+        checkb "eof" true (Result.is_error (Wire.read_frame b));
+        Unix.close b);
+    Alcotest.test_case "oversized and truncated frames are rejected" `Quick (fun () ->
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let prefix = Bytes.create 4 in
+        Bytes.set_int32_be prefix 0 (Int32.of_int (Wire.max_frame + 1));
+        ignore (Unix.write a prefix 0 4);
+        checkb "oversized" true (Result.is_error (Wire.read_frame b));
+        Unix.close a;
+        Unix.close b;
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Bytes.set_int32_be prefix 0 64l;
+        ignore (Unix.write a prefix 0 4);
+        ignore (Unix.write a (Bytes.of_string "{\"op\"") 0 5);
+        Unix.close a;
+        (* length said 64 bytes, the peer died after 5: a short read *)
+        checkb "truncated" true (Result.is_error (Wire.read_frame b));
+        Unix.close b);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let store_tests =
+  [
+    Alcotest.test_case "put then find round-trips" `Quick (fun () ->
+        let st = Store.open_store (temp_dir "wfc-store") in
+        let r = inline_record default_spec in
+        Store.put st r;
+        (match Store.find st ~digest:r.Store.digest ~max_level:1 ~budget:r.Store.budget with
+        | None -> Alcotest.fail "record not found after put"
+        | Some r' ->
+          checks "verdict bytes survive the disk" (json_str (Store.verdict_json r))
+            (json_str (Store.verdict_json r')));
+        checkb "record validates" true
+          (Store.validate_json (Store.record_to_json r) = Ok ()));
+    Alcotest.test_case "budget mismatch is a miss, not a wrong answer" `Quick (fun () ->
+        let st = Store.open_store (temp_dir "wfc-store") in
+        let r = inline_record default_spec in
+        Store.put st r;
+        checkb "other budget misses" true
+          (Store.find st ~digest:r.Store.digest ~max_level:1 ~budget:(r.Store.budget + 1) = None);
+        (* the record is kept: the original budget still hits *)
+        checkb "original budget still hits" true
+          (Store.find st ~digest:r.Store.digest ~max_level:1 ~budget:r.Store.budget <> None));
+    Alcotest.test_case "levels are separate questions" `Quick (fun () ->
+        let st = Store.open_store (temp_dir "wfc-store") in
+        let r = inline_record default_spec in
+        Store.put st r;
+        checkb "level 2 misses" true
+          (Store.find st ~digest:r.Store.digest ~max_level:2 ~budget:r.Store.budget = None));
+    Alcotest.test_case "torn record is quarantined on read" `Quick (fun () ->
+        let dir = temp_dir "wfc-store" in
+        let st = Store.open_store dir in
+        let r = inline_record default_spec in
+        Store.put st r;
+        let path = Store.path_of st ~digest:r.Store.digest ~max_level:1 in
+        (* truncate mid-object, as a crash during a non-atomic write would *)
+        let oc = open_out path in
+        output_string oc "{\"schema\": \"wfc.store.v1\", \"dig";
+        close_out oc;
+        checkb "torn record misses" true
+          (Store.find st ~digest:r.Store.digest ~max_level:1 ~budget:r.Store.budget = None);
+        checkb "file moved out of the way" false (Sys.file_exists path);
+        let report = Store.verify st in
+        checki "quarantined" 1 report.Store.quarantined;
+        checki "no in-place corruption left" 0 (List.length report.Store.corrupt));
+    Alcotest.test_case "verify reports in-place damage without mutating" `Quick (fun () ->
+        let dir = temp_dir "wfc-store" in
+        let st = Store.open_store dir in
+        let r = inline_record default_spec in
+        Store.put st r;
+        let bad = Filename.concat dir "not-a-record.json" in
+        let oc = open_out bad in
+        output_string oc "][";
+        close_out oc;
+        let report = Store.verify st in
+        checki "valid" 1 report.Store.valid;
+        checki "corrupt" 1 (List.length report.Store.corrupt);
+        checkb "verify left the file in place" true (Sys.file_exists bad));
+    Alcotest.test_case "misfiled record is caught by verify" `Quick (fun () ->
+        let dir = temp_dir "wfc-store" in
+        let st = Store.open_store dir in
+        let r = inline_record default_spec in
+        let misfiled = Filename.concat dir (String.make 32 'f' ^ ".L1.json") in
+        let oc = open_out misfiled in
+        output_string oc (json_str (Store.record_to_json r));
+        close_out oc;
+        let report = Store.verify st in
+        checki "mismatched" 1 (List.length report.Store.mismatched));
+    Alcotest.test_case "gc removes quarantine and stray tmp files only" `Quick (fun () ->
+        let dir = temp_dir "wfc-store" in
+        let st = Store.open_store dir in
+        let r = inline_record default_spec in
+        Store.put st r;
+        (* a crash between open and rename leaves a .tmp *)
+        let oc = open_out (Filename.concat dir "interrupted.tmp") in
+        output_string oc "{";
+        close_out oc;
+        let oc = open_out (Filename.concat (Filename.concat dir "quarantine") "old.json") in
+        output_string oc "][";
+        close_out oc;
+        let report = Store.verify st in
+        checki "stray tmp seen" 1 report.Store.stray_tmp;
+        checki "quarantine seen" 1 report.Store.quarantined;
+        let removed = ref 0 in
+        Store.gc st ~removed;
+        checki "two files removed" 2 !removed;
+        let report = Store.verify st in
+        checki "clean" 0 (report.Store.stray_tmp + report.Store.quarantined);
+        checkb "the valid record survived gc" true
+          (Store.find st ~digest:r.Store.digest ~max_level:1 ~budget:r.Store.budget <> None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Cached solving                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let cached_tests =
+  [
+    Alcotest.test_case "solve_cached commits on miss and hits after" `Quick (fun () ->
+        let st = Store.open_store (temp_dir "wfc-store") in
+        let t = Instances.binary_consensus ~procs:2 in
+        let digest = Task.digest t in
+        let budget = Solvability.default_budget in
+        let hook =
+          {
+            Solvability.lookup =
+              (fun () ->
+                Option.map (fun r -> r.Store.outcome) (Store.find st ~digest ~max_level:1 ~budget));
+            commit =
+              (fun o ->
+                Store.put st
+                  (Store.record ~task:t ~spec:"consensus(procs=2,param=2)" ~max_level:1 ~budget o));
+          }
+        in
+        let o1, how1 = Solvability.solve_cached ~store:hook ~max_level:1 t in
+        checkb "first call computes" true (how1 = `Computed);
+        let o2, how2 = Solvability.solve_cached ~store:hook ~max_level:1 t in
+        checkb "second call hits" true (how2 = `Hit);
+        checks "same verdict" o1.Solvability.o_verdict o2.Solvability.o_verdict;
+        checki "same nodes" o1.Solvability.o_nodes o2.Solvability.o_nodes);
+    Alcotest.test_case "exhausted outcomes are never persisted" `Quick (fun () ->
+        let st = Store.open_store (temp_dir "wfc-store") in
+        let t = Instances.binary_consensus ~procs:2 in
+        let digest = Task.digest t in
+        let committed = ref 0 in
+        let hook =
+          {
+            Solvability.lookup =
+              (fun () ->
+                Option.map (fun r -> r.Store.outcome)
+                  (Store.find st ~digest ~max_level:1 ~budget:1));
+            commit = (fun _ -> incr committed);
+          }
+        in
+        let o, how = Solvability.solve_cached ~budget:1 ~store:hook ~max_level:1 t in
+        checkb "computed" true (how = `Computed);
+        checks "exhausted" "exhausted" o.Solvability.o_verdict;
+        checki "nothing committed" 0 !committed);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Daemon end to end                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let temp_socket () =
+  let path = Filename.temp_file "wfc" ".sock" in
+  Sys.remove path;
+  path
+
+(* Start a daemon on fresh paths, run [f] against it, then shut it down
+   through the protocol and join the daemon thread. *)
+let with_daemon ?queue_capacity ?gate f =
+  let socket = temp_socket () in
+  let store_dir = temp_dir "wfc-daemon-store" in
+  let ready = Atomic.make false in
+  let cfg =
+    {
+      (Daemon.config ?queue_capacity ~socket ~store_dir ()) with
+      Daemon.on_ready = Some (fun () -> Atomic.set ready true);
+      gate;
+    }
+  in
+  let daemon = Thread.create Daemon.run cfg in
+  while not (Atomic.get ready) do
+    Thread.yield ()
+  done;
+  let finally () =
+    (match Client.connect ~socket with
+    | Ok c ->
+      ignore (Client.shutdown c);
+      Client.close c
+    | Error _ -> ());
+    Thread.join daemon
+  in
+  Fun.protect ~finally (fun () -> f ~socket ~store_dir)
+
+let connect_exn socket =
+  match Client.connect ~socket with Ok c -> c | Error e -> Alcotest.fail e
+
+let query_exn c spec =
+  match Client.query c spec with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let daemon_tests =
+  [
+    Alcotest.test_case "cold query computes, warm query hits the store" `Quick (fun () ->
+        with_daemon (fun ~socket ~store_dir:_ ->
+            let c = connect_exn socket in
+            checkb "ping" true (Client.ping c);
+            let reference = json_str (Store.verdict_json (inline_record default_spec)) in
+            (match query_exn c default_spec with
+            | Wire.Verdict { source = Wire.Computed; record } ->
+              checks "cold equals inline solve" reference (json_str (Store.verdict_json record))
+            | _ -> Alcotest.fail "expected a computed verdict");
+            (match query_exn c default_spec with
+            | Wire.Verdict { source = Wire.From_store; record } ->
+              checks "warm equals inline solve" reference (json_str (Store.verdict_json record))
+            | _ -> Alcotest.fail "expected a store hit");
+            Client.close c));
+    Alcotest.test_case "unknown task names come back as errors" `Quick (fun () ->
+        with_daemon (fun ~socket ~store_dir:_ ->
+            let c = connect_exn socket in
+            (match query_exn c { default_spec with Wire.task = "no-such-task" } with
+            | Wire.Failed _ -> ()
+            | _ -> Alcotest.fail "expected an error response");
+            Client.close c));
+    Alcotest.test_case "concurrent identical queries coalesce" `Quick (fun () ->
+        (* The gate holds the solver inside the first job until we have seen
+           the twin query coalesce, making the race deterministic. *)
+        let gate_m = Mutex.create () in
+        let gate_cv = Condition.create () in
+        let gate_open = ref false in
+        let gate _digest =
+          Mutex.lock gate_m;
+          while not !gate_open do
+            Condition.wait gate_cv gate_m
+          done;
+          Mutex.unlock gate_m
+        in
+        let coalesced0 = counter_value "serve.coalesced" in
+        let misses0 = counter_value "serve.misses" in
+        with_daemon ~gate (fun ~socket ~store_dir:_ ->
+            let reference = json_str (Store.verdict_json (inline_record default_spec)) in
+            let ask () =
+              let c = connect_exn socket in
+              let r = query_exn c default_spec in
+              Client.close c;
+              r
+            in
+            let ra = ref None and rb = ref None in
+            let a = Thread.create (fun () -> ra := Some (ask ())) () in
+            let b = Thread.create (fun () -> rb := Some (ask ())) () in
+            (* both questions are in: one admitted as the miss, one attached *)
+            while counter_value "serve.coalesced" - coalesced0 < 1 do
+              Thread.yield ()
+            done;
+            Mutex.lock gate_m;
+            gate_open := true;
+            Condition.broadcast gate_cv;
+            Mutex.unlock gate_m;
+            Thread.join a;
+            Thread.join b;
+            let results = [ Option.get !ra; Option.get !rb ] in
+            let sources =
+              List.map
+                (function
+                  | Wire.Verdict { source; record } ->
+                    checks "coalesced equals inline solve" reference
+                      (json_str (Store.verdict_json record));
+                    Wire.source_name source
+                  | _ -> Alcotest.fail "expected verdicts")
+                results
+            in
+            checkb "one computed, one coalesced" true
+              (List.sort compare sources = [ "coalesced"; "computed" ]);
+            checki "exactly one solve" 1 (counter_value "serve.misses" - misses0);
+            checki "exactly one coalesce" 1 (counter_value "serve.coalesced" - coalesced0)));
+    Alcotest.test_case "a full queue sheds instead of buffering" `Quick (fun () ->
+        let shed0 = counter_value "serve.shed" in
+        with_daemon ~queue_capacity:0 (fun ~socket ~store_dir ->
+            let c = connect_exn socket in
+            (match query_exn c default_spec with
+            | Wire.Shed -> ()
+            | _ -> Alcotest.fail "expected shed with a zero-capacity queue");
+            checki "shed counted" 1 (counter_value "serve.shed" - shed0);
+            (* shedding is about work, not answers: a store hit still serves *)
+            let st = Store.open_store store_dir in
+            Store.put st (inline_record default_spec);
+            (match query_exn c default_spec with
+            | Wire.Verdict { source = Wire.From_store; _ } -> ()
+            | _ -> Alcotest.fail "expected a store hit despite the full queue");
+            Client.close c));
+    Alcotest.test_case "daemon answers persist for later inline queries" `Quick (fun () ->
+        let captured = ref None in
+        let dir =
+          with_daemon (fun ~socket ~store_dir ->
+              let c = connect_exn socket in
+              (match query_exn c default_spec with
+              | Wire.Verdict { record; _ } -> captured := Some record
+              | _ -> Alcotest.fail "expected a verdict");
+              Client.close c;
+              store_dir)
+        in
+        (* daemon is gone; the record it filed outlives it *)
+        let st = Store.open_store dir in
+        let r = Option.get !captured in
+        match Store.find st ~digest:r.Store.digest ~max_level:1 ~budget:r.Store.budget with
+        | Some r' ->
+          checks "same bytes after daemon death" (json_str (Store.verdict_json r))
+            (json_str (Store.verdict_json r'))
+        | None -> Alcotest.fail "record did not survive the daemon");
+  ]
+
+let () =
+  Alcotest.run "wfc_serve"
+    [
+      ("wire", wire_tests);
+      ("store", store_tests);
+      ("cached", cached_tests);
+      ("daemon", daemon_tests);
+    ]

@@ -95,6 +95,86 @@ let product_unit_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Content-addressed digests                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Binary consensus rebuilt from scratch with every enumeration order
+   scrambled by [seed]: same combinatorial task, different construction
+   order, different name. Its digest must not move. *)
+let scrambled_consensus seed =
+  let rng = Random.State.make [| seed |] in
+  let shuffle l =
+    let a = Array.of_list l in
+    for i = Array.length a - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done;
+    Array.to_list a
+  in
+  Task.of_relation
+    ~name:(Printf.sprintf "shuffled-consensus-%d" seed)
+    ~procs:2
+    ~inputs:(fun _ -> shuffle [ "0"; "1" ])
+    ~outputs:(fun _ -> shuffle [ "0"; "1" ])
+    ~legal:(fun ~participants ~input ~output ->
+      match List.map output participants with
+      | [] -> false
+      | d :: rest ->
+        List.for_all (( = ) d) rest
+        && List.exists (fun p -> input p = d) participants)
+
+let digest_unit_tests =
+  [
+    Alcotest.test_case "digest is stable across reconstruction" `Quick (fun () ->
+        Alcotest.check Alcotest.string "same digest"
+          (Task.digest (Instances.binary_consensus ~procs:2))
+          (Task.digest (Instances.binary_consensus ~procs:2)));
+    Alcotest.test_case "digest ignores the task name" `Quick (fun () ->
+        Alcotest.check Alcotest.string "renamed"
+          (Task.digest (scrambled_consensus 0))
+          (Task.digest (scrambled_consensus 0)));
+    Alcotest.test_case "different tasks get different digests" `Quick (fun () ->
+        let digests =
+          List.map Task.digest
+            [
+              Instances.binary_consensus ~procs:2;
+              Instances.binary_consensus ~procs:3;
+              Instances.set_consensus ~procs:3 ~k:2;
+              Instances.set_consensus ~procs:3 ~k:3;
+              Instances.adaptive_renaming ~procs:2 ~names:3;
+              Instances.approximate_agreement ~procs:2 ~grid:3;
+              Instances.id_task ~procs:3;
+            ]
+        in
+        checki "all distinct" (List.length digests)
+          (List.length (List.sort_uniq compare digests)));
+    Alcotest.test_case "by_name round-trips to the constructors" `Quick (fun () ->
+        Alcotest.check Alcotest.string "set-consensus"
+          (Task.digest (Instances.set_consensus ~procs:3 ~k:2))
+          (Task.digest (Instances.by_name ~name:"set-consensus" ~procs:3 ~param:2));
+        (try
+           ignore (Instances.by_name ~name:"no-such-task" ~procs:2 ~param:0);
+           Alcotest.fail "expected Invalid_argument"
+         with Invalid_argument _ -> ()));
+  ]
+
+let digest_prop_tests =
+  [
+    qtest ~count:50
+      "digest is invariant under enumeration order and naming"
+      QCheck2.Gen.(int_range 1 10_000)
+      (fun seed ->
+        Task.digest (scrambled_consensus seed) = Task.digest (scrambled_consensus 0));
+    qtest ~count:30 "canonical JSON bytes are order-insensitive too"
+      QCheck2.Gen.(int_range 1 5_000)
+      (fun seed ->
+        Wfc_obs.Json.to_string (Task.canonical_json (scrambled_consensus seed))
+        = Wfc_obs.Json.to_string (Task.canonical_json (scrambled_consensus 0)));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Simplex agreement tasks                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -219,6 +299,7 @@ let () =
   Alcotest.run "wfc_tasks"
     [
       ("task", task_unit_tests @ product_unit_tests);
+      ("digest", digest_unit_tests @ digest_prop_tests);
       ("simplex-agreement", sa_unit_tests);
       ("protocols", protocol_unit_tests @ protocol_prop_tests);
     ]
