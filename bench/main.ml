@@ -614,9 +614,9 @@ let scenarios : (string * (unit -> int option * string option)) list =
      reps time the search engine alone. Every domain setting performs the
      exact same node count (stats are equal by construction, see test_par),
      so the wall-clock ratio across solve_domains_* is a clean speedup. *)
-  let solve_rep ~domains ~reps task level = fun () ->
-    let v = ref (Solvability.solve_at ~domains task level) in
-    for _ = 2 to reps do v := Solvability.solve_at ~domains task level done;
+  let solve_rep ?mode ~domains ~reps task level = fun () ->
+    let v = ref (Solvability.solve_at ?mode ~domains task level) in
+    for _ = 2 to reps do v := Solvability.solve_at ?mode ~domains task level done;
     solved !v
   in
   (* SDS^4(s^2) rebuilt cold: subdivision fans the facets of each level
@@ -715,6 +715,14 @@ let scenarios : (string * (unit -> int option * string option)) list =
     ("solve_domains_1", solve_rep ~domains:1 ~reps:200 (Instances.set_consensus ~procs:3 ~k:2) 1);
     ("solve_domains_2", solve_rep ~domains:2 ~reps:200 (Instances.set_consensus ~procs:3 ~k:2) 1);
     ("solve_domains_4", solve_rep ~domains:4 ~reps:200 (Instances.set_consensus ~procs:3 ~k:2) 1);
+    (* portfolio race on the same workload: whole-search racers instead of
+       one split search; same verdict, cost = the winning racer's *)
+    ( "solve_portfolio_1",
+      solve_rep ~mode:`Portfolio ~domains:1 ~reps:200 (Instances.set_consensus ~procs:3 ~k:2) 1 );
+    ( "solve_portfolio_2",
+      solve_rep ~mode:`Portfolio ~domains:2 ~reps:200 (Instances.set_consensus ~procs:3 ~k:2) 1 );
+    ( "solve_portfolio_4",
+      solve_rep ~mode:`Portfolio ~domains:4 ~reps:200 (Instances.set_consensus ~procs:3 ~k:2) 1 );
     ("sds_iterate_domains_1", sds_par 1);
     ("sds_iterate_domains_2", sds_par 2);
     ("sds_iterate_domains_4", sds_par 4);
@@ -744,9 +752,31 @@ let run_scenarios () =
       Wfc_obs.Report.scenario ?nodes ?verdict sname seconds)
     scenarios
 
+(* Machine provenance for the timing numbers: wall-clock ratios between
+   solve_domains_* / solve_portfolio_* entries are meaningless without
+   knowing how many cores backed the run. *)
+let machine_facts () =
+  let recommended = Domain.recommended_domain_count () in
+  let git_sha =
+    try
+      let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+      let line = try String.trim (input_line ic) with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ -> "unknown"
+    with _ -> "unknown"
+  in
+  [
+    ("recommended_domain_count", Wfc_obs.Json.Int recommended);
+    ("git_sha", Wfc_obs.Json.String git_sha);
+    ("single_core_container", Wfc_obs.Json.Bool (recommended = 1));
+  ]
+
 let write_json file results =
   Wfc_obs.Report.write_file file
-    (Wfc_obs.Report.to_json ~snapshot:(Wfc_obs.Snapshot.take ()) results);
+    (Wfc_obs.Report.to_json ~machine:(machine_facts ())
+       ~snapshot:(Wfc_obs.Snapshot.take ())
+       results);
   Printf.printf "\nwrote %s\n" file
 
 let () =

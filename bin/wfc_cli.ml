@@ -544,9 +544,10 @@ let fresh_record ~t ~task ~procs ~param ~max_level outcome =
     ~max_level ~budget:Solvability.default_budget outcome
 
 let solve_cmd =
-  let run task procs param max_level domains validate search_trace store_dir verdict_out
-      perfetto stats json =
+  let run task procs param max_level domains portfolio validate search_trace store_dir
+      verdict_out perfetto stats json =
     apply_domains domains;
+    if portfolio then Solvability.set_portfolio true;
     let t = task_of task procs param in
     Format.printf "%a@." Task.pp_stats t;
     let store = Option.map Wfc_serve.Store.open_store store_dir in
@@ -656,6 +657,17 @@ let solve_cmd =
   let max_level =
     Arg.(value & opt int 2 & info [ "max-level" ] ~docv:"B" ~doc:"Largest round count to try.")
   in
+  let portfolio =
+    Arg.(
+      value & flag
+      & info [ "portfolio" ]
+          ~doc:
+            "With --domains D > 1, race D deterministic variable orders per level and take \
+             the first verdict instead of splitting one search (default comes from the \
+             WFC_PORTFOLIO environment variable). Verdicts and decision maps are unchanged; \
+             node tallies describe the winning racer. Watch it under --stats via the \
+             par.portfolio_* counters.")
+  in
   let validate =
     Arg.(value & flag & info [ "validate" ] ~doc:"Run the found map as a distributed protocol.")
   in
@@ -683,8 +695,9 @@ let solve_cmd =
           (solvable or unsolvable), 3 if the node budget ran out. With $(b,--store), \
           verdicts persist across invocations and known questions are answered from disk.")
     Term.(
-      const run $ task $ procs_arg $ param $ max_level $ domains_arg $ validate $ search_trace
-      $ store_opt_arg $ verdict_out_arg $ solve_perfetto $ Output.stats_arg $ Output.json_arg)
+      const run $ task $ procs_arg $ param $ max_level $ domains_arg $ portfolio $ validate
+      $ search_trace $ store_opt_arg $ verdict_out_arg $ solve_perfetto $ Output.stats_arg
+      $ Output.json_arg)
 
 (* ---------- serve / query / store ---------- *)
 
@@ -707,7 +720,7 @@ let max_level_arg =
   Arg.(value & opt int 2 & info [ "max-level" ] ~docv:"B" ~doc:"Largest round count to try.")
 
 let serve_cmd =
-  let run socket store_dir queue domains json stop =
+  let run socket store_dir queue solvers domains json stop =
     if stop then (
       match Wfc_serve.Client.connect ~socket with
       | Error e ->
@@ -725,11 +738,11 @@ let serve_cmd =
           1))
     else begin
       apply_domains domains;
-      Format.printf "wfc serve: socket=%s store=%s queue=%d domains=%d@." socket store_dir
-        queue (Wfc_par.domains ());
+      Format.printf "wfc serve: socket=%s store=%s queue=%d solvers=%d domains=%d@." socket
+        store_dir queue (max 1 solvers) (Wfc_par.domains ());
       let cfg =
         {
-          (Wfc_serve.Daemon.config ~queue_capacity:queue ~socket ~store_dir ()) with
+          (Wfc_serve.Daemon.config ~queue_capacity:queue ~solvers ~socket ~store_dir ()) with
           Wfc_serve.Daemon.report = json;
         }
       in
@@ -748,6 +761,14 @@ let serve_cmd =
             "Bounded request queue: queries beyond $(docv) pending questions are shed \
              (explicit backpressure) instead of buffered.")
   in
+  let solvers =
+    Arg.(
+      value & opt int 2
+      & info [ "solvers" ] ~docv:"N"
+          ~doc:
+            "Scheduler worker threads: up to $(docv) distinct cold questions are solved \
+             concurrently, round-robin across task digests (no head-of-line blocking).")
+  in
   let stop =
     Arg.(value & flag & info [ "stop" ] ~doc:"Ask the daemon on --socket to shut down cleanly.")
   in
@@ -759,7 +780,8 @@ let serve_cmd =
           --domains pool. Shut down with $(b,--stop), SIGINT or SIGTERM; survives SIGKILL \
           with a loadable store.")
     Term.(
-      const run $ socket_arg $ store_req_arg $ queue $ domains_arg $ Output.json_arg $ stop)
+      const run $ socket_arg $ store_req_arg $ queue $ solvers $ domains_arg $ Output.json_arg
+      $ stop)
 
 let query_cmd =
   let run task procs param max_level socket store_dir domains no_daemon ping verdict_out stats

@@ -10,10 +10,13 @@
 # require the replayed canonical trace to be byte-identical to the
 # recording. The whole suite runs twice — sequential and on 4 domains —
 # and a parallel solve is diffed against the sequential run: the domain
-# pool must never change a result, only the wall-clock. Last, the serving
-# smoke: a daemon's cold and warm answers must be byte-identical to an
-# inline solve's canonical verdict, and a SIGKILLed daemon must leave a
-# store that verifies clean and a stale socket the next daemon replaces.
+# pool must never change a result, only the wall-clock; portfolio mode
+# (whole-search racing) must agree on every verdict line. Last, the
+# serving smoke: a daemon's cold and warm answers must be byte-identical
+# to an inline solve's canonical verdict, a SIGKILLed daemon must leave a
+# store that verifies clean and a stale socket the next daemon replaces,
+# and two distinct concurrent cold queries must both be computed by the
+# worker scheduler.
 set -eux
 
 dune build
@@ -37,6 +40,23 @@ dune exec bin/wfc_cli.exe -- solve --task set-consensus --procs 3 --param 2 \
   --max-level 1 --domains 4 --stats | grep -v 'elapsed\|seconds\|call\|par\.' > SOLVE_par.txt
 diff SOLVE_seq.txt SOLVE_par.txt
 rm -f SOLVE_seq.txt SOLVE_par.txt
+
+# portfolio smoke: racing whole searches under distinct variable orders
+# must not change any verdict. Only the verdict lines are compared — node
+# tallies describe whichever racer won, so unlike the batch engine they
+# are not deterministic.
+for TASK_ARGS in "--task set-consensus --procs 3 --param 2 --max-level 1" \
+                 "--task renaming --procs 2 --param 3 --max-level 1" \
+                 "--task consensus --procs 2 --max-level 2"; do
+  # shellcheck disable=SC2086
+  dune exec bin/wfc_cli.exe -- solve $TASK_ARGS --domains 1 \
+    | grep -E 'SOLVABLE|UNSOLVABLE|UNDECIDED' > VERDICT_seq.txt
+  # shellcheck disable=SC2086
+  dune exec bin/wfc_cli.exe -- solve $TASK_ARGS --domains 4 --portfolio \
+    | grep -E 'SOLVABLE|UNSOLVABLE|UNDECIDED' > VERDICT_port.txt
+  diff VERDICT_seq.txt VERDICT_port.txt
+done
+rm -f VERDICT_seq.txt VERDICT_port.txt
 
 dune exec bin/wfc_cli.exe -- trace --seed 3 -p 3 -b 2 --crash 1 -o TRACE_ci.json
 dune exec bin/wfc_cli.exe -- replay TRACE_ci.json -o REPLAY_ci.json
@@ -107,3 +127,33 @@ cmp VERDICT_solve.json VERDICT_after.json
 wait $SERVE_PID
 rm -rf "$SERVE_SOCK" "$SERVE_STORE" VERDICT_solve.json VERDICT_cold.json \
   VERDICT_warm.json VERDICT_after.json
+
+# scheduler smoke: two DISTINCT cold questions issued concurrently against
+# a fresh store must both come back as computed verdicts — the daemon's
+# worker scheduler, not one serializing solver thread, is on the path (the
+# gated unit test asserts the two computations actually overlap; this leg
+# asserts the end-to-end behaviour over the real socket)
+SERVE_STORE2=ci_serve_store2
+rm -rf "$SERVE_SOCK" "$SERVE_STORE2"
+"$WFC" serve --socket "$SERVE_SOCK" --store "$SERVE_STORE2" --solvers 2 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  if "$WFC" query --ping --socket "$SERVE_SOCK" >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+"$WFC" query --task consensus --procs 2 --max-level 1 \
+  --socket "$SERVE_SOCK" > QUERY_a.txt &
+QA_PID=$!
+"$WFC" query --task renaming --procs 2 --param 3 --max-level 1 \
+  --socket "$SERVE_SOCK" > QUERY_b.txt &
+QB_PID=$!
+wait $QA_PID
+wait $QB_PID
+grep 'source=computed' QUERY_a.txt
+grep 'source=computed' QUERY_b.txt
+test "$(ls "$SERVE_STORE2"/*.json | wc -l)" -eq 2
+"$WFC" serve --stop --socket "$SERVE_SOCK"
+wait $SERVE_PID
+rm -rf "$SERVE_SOCK" "$SERVE_STORE2" QUERY_a.txt QUERY_b.txt

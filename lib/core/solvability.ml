@@ -219,62 +219,100 @@ let bfs_positions inst =
   done;
   pos
 
-(* The first node at which the search actually branches. The
-   most-constrained-first heuristic assigns every singleton-domain variable
-   first — a deterministic, choice-free "spine" — so the parallel driver
-   splits the tree at the first selected variable with >= 2 candidates. *)
-exception Branch_probe of int * int list
+(* ------------------------------------------------------------------ *)
+(* search state and the spine snapshot                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The mutable search state, split out of the engine so the parallel driver
+   can freeze it: [assignment]/[live]/[domlen] describe the partial map,
+   [unassigned_count] the per-constraint countdown driving forward
+   checking, and [nxt]/[prv] the doubly-linked unassigned list (index
+   [nvars] is the sentinel) that variable selection scans in tie-break
+   order. *)
+type search_state = {
+  assignment : int array;
+  live : int list array;
+  domlen : int array;
+  unassigned_count : int array;
+  nxt : int array;
+  prv : int array;
+}
+
+let copy_state s =
+  {
+    assignment = Array.copy s.assignment;
+    live = Array.copy s.live;
+    domlen = Array.copy s.domlen;
+    unassigned_count = Array.copy s.unassigned_count;
+    nxt = Array.copy s.nxt;
+    prv = Array.copy s.prv;
+  }
+
+(* Where the search first branches. The most-constrained-first heuristic
+   assigns every singleton-domain variable first — a deterministic,
+   choice-free "spine" — so the probe freezes the search state at the first
+   selected variable with >= 2 candidates, and each parallel job {e resumes}
+   from a private copy of that snapshot instead of re-deriving the spine
+   per candidate. *)
+type spine = {
+  sp_state : search_state; (* shared read-only: every job copies it *)
+  sp_var : int;
+  sp_cands : int list;
+  sp_budget : int; (* nodes_left on arrival at the branching node *)
+}
+
+(* [order_pos.(v)] is the static tie-break position of variable [v]:
+   selection breaks most-constrained ties toward lower positions. BFS
+   positions (the sequential engine) keep the search local; portfolio
+   racers get deterministic permutations of them. *)
+let init_state inst live order_pos =
+  let nvars = inst.nvars in
+  let domlen = Array.make nvars 0 in
+  Array.iteri (fun i dom -> domlen.(i) <- List.length dom) live;
+  let sentinel = nvars in
+  let nxt = Array.make (nvars + 1) sentinel in
+  let prv = Array.make (nvars + 1) sentinel in
+  let order = Array.init nvars (fun i -> i) in
+  Array.sort (fun a b -> compare order_pos.(a) order_pos.(b)) order;
+  Array.iter
+    (fun v ->
+      let last = prv.(sentinel) in
+      nxt.(last) <- v;
+      prv.(v) <- last;
+      nxt.(v) <- sentinel;
+      prv.(sentinel) <- v)
+    order;
+  {
+    assignment = Array.make nvars (-1);
+    live;
+    domlen;
+    unassigned_count = Array.map Array.length inst.simplices;
+    nxt;
+    prv;
+  }
 
 (* [record] receives search events with {e variable indices} in the vertex
    fields; [solve_at] translates them to SDS vertex ids when building the
-   trail.
+   trail. [cancel] is polled once per search node: the parallel driver and
+   the portfolio race use it to abort work that can no longer influence the
+   verdict.
 
-   [cancel] is polled once per search node: the parallel driver uses it to
-   abort subtrees that can no longer influence the verdict.
-
-   [mode] is the parallel driver's interface to the search tree:
-   - [`Full] (default): the plain sequential search.
-   - [`Probe]: run the search but stop at the first branching node,
-     raising {!Branch_probe} with the variable and its live candidates
-     before counting that node. If the search never branches (the spine
-     runs to a solution, a refutation, or the budget), the probe {e is}
-     the sequential search and its result/tallies are exact.
-   - [`Job w]: replay the spine (deterministic, so it is the probe's
-     spine) and at the first branching node try only candidate [w] — one
+   Entries into the tree:
+   - [`Fresh budget]: select from the top — with [probe] false this is the
+     plain sequential search over [st].
+   - [`Resume (v, w, budget)]: [st] is a private copy of a spine snapshot
+     positioned at branching variable [v]; try exactly candidate [w] — one
      candidate iteration of the sequential [try_candidates], after which
-     the search continues normally. Jobs skip the root pre-count; the
-     driver owns it, and subtracts the replayed spine from the tallies
-     when merging. *)
-let solve_instance ?(cancel = fun () -> false) ?(mode = `Full) ~budget ~counts ~record inst =
-  let assignment = Array.make inst.nvars (-1) in
-  (* live domains as mutable arrays of candidate lists *)
-  let live = Array.map Array.to_list inst.domains in
-  let bfs_pos = bfs_positions inst in
-  let unassigned_count = Array.map Array.length inst.simplices in
-  (* Variable selection state: live-domain sizes are maintained incrementally,
-     and the unassigned variables sit in a doubly-linked list ordered by BFS
-     position (index [nvars] is the sentinel). Selection then scans only
-     unassigned variables and can stop at the first singleton domain, instead
-     of recomputing [List.length] over every variable at every node. *)
-  let domlen = Array.make inst.nvars 0 in
+     the search continues normally. The driver owns the branch node's
+     pre-count, so resuming does not repeat it.
+
+   With [probe] set the search stops at the first branching node, returning
+   its [`Branch] snapshot instead of counting the node. If it never
+   branches (the spine runs to a solution, a refutation, or the budget),
+   the probe {e is} the sequential search and its tallies are exact. *)
+let run_search ?(cancel = fun () -> false) ?(probe = false) ~counts ~record inst st entry =
+  let { assignment; live; domlen; unassigned_count; nxt; prv } = st in
   let sentinel = inst.nvars in
-  let nxt = Array.make (inst.nvars + 1) sentinel in
-  let prv = Array.make (inst.nvars + 1) sentinel in
-  let init_search_state () =
-    Array.iteri (fun i dom -> domlen.(i) <- List.length dom) live;
-    let order = Array.init inst.nvars (fun i -> i) in
-    Array.sort (fun a b -> compare bfs_pos.(a) bfs_pos.(b)) order;
-    nxt.(sentinel) <- sentinel;
-    prv.(sentinel) <- sentinel;
-    Array.iter
-      (fun v ->
-        let last = prv.(sentinel) in
-        nxt.(last) <- v;
-        prv.(v) <- last;
-        nxt.(v) <- sentinel;
-        prv.(sentinel) <- v)
-      order
-  in
   let detach v =
     nxt.(prv.(v)) <- nxt.(v);
     prv.(nxt.(v)) <- prv.(v)
@@ -357,79 +395,99 @@ let solve_instance ?(cancel = fun () -> false) ?(mode = `Full) ~budget ~counts ~
     attach v;
     assignment.(v) <- -1
   in
-  let branched = ref false in
   let rec search nodes_left =
     if nodes_left <= 0 then `Budget
     else if cancel () then `Cancelled
     else begin
       let v = select_var () in
       if v < 0 then raise (Found (Array.copy assignment))
-      else begin
-        (match mode with
-        | `Probe when domlen.(v) >= 2 -> raise (Branch_probe (v, live.(v)))
-        | _ -> ());
-        counts.n_nodes <- counts.n_nodes + 1;
-        record (S_node { vertex = v; domain = domlen.(v) });
-        let candidates =
-          match mode with
-          | `Job w when domlen.(v) >= 2 && not !branched ->
-            branched := true;
-            [ w ]
-          | _ -> live.(v)
-        in
-        let rec try_candidates budget = function
-          | [] -> `Fail budget
-          | w :: rest -> (
-            (* check completed constraints *)
-            let ok =
-              List.for_all
-                (fun ci ->
-                  unassigned_count.(ci) > 1 || image_ok ci v w)
-                inst.containing.(v)
-            in
-            if not ok then try_candidates budget rest
-            else begin
-              assignment.(v) <- w;
-              detach v;
-              let pruned, consistent = forward_check v in
-              let result =
-                if consistent then search (budget - 1) else `Fail (budget - 1)
-              in
-              match result with
-              | (`Budget | `Cancelled) as stop -> stop
-              | `Fail budget' ->
-                counts.n_backtracks <- counts.n_backtracks + 1;
-                record (S_backtrack { vertex = v; tried = w });
-                undo v pruned;
-                try_candidates budget' rest
-            end)
-        in
-        try_candidates (nodes_left - 1) candidates
-      end
+      else if probe && domlen.(v) >= 2 then
+        `Branch
+          { sp_state = copy_state st; sp_var = v; sp_cands = live.(v); sp_budget = nodes_left }
+      else visit v nodes_left
     end
+  and visit v nodes_left =
+    counts.n_nodes <- counts.n_nodes + 1;
+    record (S_node { vertex = v; domain = domlen.(v) });
+    try_candidates (nodes_left - 1) live.(v) v
+  and try_candidates budget cands v =
+    match cands with
+    | [] -> `Fail budget
+    | w :: rest -> (
+      (* check completed constraints *)
+      let ok =
+        List.for_all
+          (fun ci ->
+            unassigned_count.(ci) > 1 || image_ok ci v w)
+          inst.containing.(v)
+      in
+      if not ok then try_candidates budget rest v
+      else begin
+        assignment.(v) <- w;
+        detach v;
+        let pruned, consistent = forward_check v in
+        let result =
+          if consistent then search (budget - 1) else `Fail (budget - 1)
+        in
+        match result with
+        | (`Budget | `Cancelled) as stop -> stop
+        (* a probe's snapshot was copied at the branch: no undo on the way
+           out, the probe state is abandoned as-is *)
+        | `Branch _ as b -> b
+        | `Fail budget' ->
+          counts.n_backtracks <- counts.n_backtracks + 1;
+          record (S_backtrack { vertex = v; tried = w });
+          undo v pruned;
+          try_candidates budget' rest v
+      end)
   in
+  match
+    (match entry with
+    | `Fresh budget -> search budget
+    | `Resume (v, w, budget) -> try_candidates budget [ w ] v)
+  with
+  | `Fail _ -> `Unsat
+  | `Budget -> `Budget
+  | `Cancelled -> `Cancelled
+  | `Branch sp -> `Branch sp
+  | exception Found a -> `Sat a
+
+(* Preprocessing plus a [`Fresh] search: the sequential engine ([probe]
+   false), the spine probe ([probe] true), and every portfolio racer
+   ([order]) all enter here. *)
+let solve_root ?cancel ?(probe = false) ?order ~budget ~counts ~record inst =
   (* The root (empty assignment) always counts as a visited node, even when
      the instance dies in preprocessing — "nodes = 0" would otherwise be
-     ambiguous between "refuted instantly" and "never ran". In job mode the
-     driver owns the root pre-count, so the job does not repeat it. *)
-  (match mode with `Job _ -> () | `Full | `Probe -> counts.n_nodes <- counts.n_nodes + 1);
+     ambiguous between "refuted instantly" and "never ran". *)
+  counts.n_nodes <- counts.n_nodes + 1;
   if Array.exists (fun d -> Array.length d = 0) inst.domains then begin
     record (S_root_unsat "empty initial domain");
     `Unsat
   end
-  else if not (arc_consistency inst live) then begin
-    record (S_root_unsat "arc consistency wiped a domain");
-    `Unsat
-  end
   else begin
-    init_search_state ();
-    match search budget with
-    | `Fail _ -> `Unsat
-    | `Budget -> `Budget
-    | `Cancelled -> `Cancelled
-    | exception Found a -> `Sat a
-    | exception Branch_probe (v, cands) -> `Branch (v, cands)
+    (* live domains as mutable arrays of candidate lists *)
+    let live = Array.map Array.to_list inst.domains in
+    if not (arc_consistency inst live) then begin
+      record (S_root_unsat "arc consistency wiped a domain");
+      `Unsat
+    end
+    else begin
+      let order_pos = match order with Some p -> p | None -> bfs_positions inst in
+      run_search ?cancel ~probe ~counts ~record inst (init_state inst live order_pos)
+        (`Fresh budget)
+    end
   end
+
+(* Resume a spine snapshot on one candidate: the incremental-replay job.
+   The budget is exactly what the sequential [try_candidates] at the branch
+   node would grant the candidate ([sp_budget] minus the branch node's own
+   tick), so budget-bound verdicts match the candidate-replay driver of
+   earlier revisions. *)
+let run_job ~cancel ~counts inst sp w =
+  run_search ~cancel ~counts
+    ~record:(fun _ -> ())
+    inst (copy_state sp.sp_state)
+    (`Resume (sp.sp_var, w, sp.sp_budget - 1))
 
 let atomic_min cell i =
   let rec go () =
@@ -438,8 +496,61 @@ let atomic_min cell i =
   in
   go ()
 
-let solve_at ?(budget = default_budget) ?domains task level =
+(* ---- portfolio mode ---- *)
+
+let env_truthy name =
+  match Sys.getenv_opt name with
+  | None -> false
+  | Some s -> (
+    match String.lowercase_ascii (String.trim s) with
+    | "1" | "true" | "yes" | "on" -> true
+    | _ -> false)
+
+let portfolio_enabled = ref (env_truthy "WFC_PORTFOLIO")
+
+let portfolio () = !portfolio_enabled
+
+let set_portfolio b = portfolio_enabled := b
+
+let c_pf_races = Wfc_obs.Metrics.counter "par.portfolio_races"
+
+let c_pf_racers = Wfc_obs.Metrics.counter "par.portfolio_racers"
+
+let c_pf_wins_canonical = Wfc_obs.Metrics.counter "par.portfolio_wins_canonical"
+
+let c_pf_wins_diverse = Wfc_obs.Metrics.counter "par.portfolio_wins_diverse"
+
+(* Racer [0] searches in the canonical BFS tie-break order — it IS the
+   sequential engine. Racer [1] reverses it; higher racers shuffle the
+   identity with a splitmix-style LCG seeded by the racer index, so every
+   racer's order is a deterministic permutation. *)
+let variant_positions inst i =
+  if i = 0 then bfs_positions inst
+  else if i = 1 then
+    let pos = bfs_positions inst in
+    Array.map (fun p -> inst.nvars - 1 - p) pos
+  else begin
+    let n = inst.nvars in
+    let perm = Array.init n (fun v -> v) in
+    let state = ref (((i * 0x9E3779B9) + 0x2545F491) land max_int) in
+    let rand k =
+      state := ((!state * 2862933555777941757) + 3037000493) land max_int;
+      !state mod k
+    in
+    for j = n - 1 downto 1 do
+      let k = rand (j + 1) in
+      let tmp = perm.(j) in
+      perm.(j) <- perm.(k);
+      perm.(k) <- tmp
+    done;
+    perm
+  end
+
+let solve_at ?(budget = default_budget) ?domains ?mode task level =
   let domains = match domains with Some d -> max 1 d | None -> Wfc_par.domains () in
+  let mode =
+    match mode with Some m -> m | None -> if portfolio () then `Portfolio else `Batch
+  in
   Wfc_obs.Metrics.with_span (Printf.sprintf "solvability.level.%d" level) @@ fun () ->
   let t0 = Wfc_obs.Metrics.now_s () in
   let counts = { n_nodes = 0; n_backtracks = 0; n_prunes = 0 } in
@@ -457,92 +568,122 @@ let solve_at ?(budget = default_budget) ?domains task level =
   let use_parallel = domains > 1 && not !search_trace_enabled in
   let outcome =
     if not use_parallel then
-      match solve_instance ~budget ~counts ~record inst with
+      match solve_root ~budget ~counts ~record inst with
       | (`Sat _ | `Unsat | `Budget) as o -> o
-      | `Cancelled | `Branch _ -> assert false (* `Full mode *)
-    else begin
-      (* Probe: run the sequential search up to its first branching node.
-         The spine before it is choice-free, so every job replays it
-         identically; if the probe never branches it already IS the whole
-         sequential search. *)
-      let probe_counts = { n_nodes = 0; n_backtracks = 0; n_prunes = 0 } in
-      match
-        solve_instance ~mode:`Probe ~budget ~counts:probe_counts ~record:(fun _ -> ()) inst
-      with
-      | (`Sat _ | `Unsat | `Budget) as o ->
-        counts.n_nodes <- probe_counts.n_nodes;
-        counts.n_backtracks <- probe_counts.n_backtracks;
-        counts.n_prunes <- probe_counts.n_prunes;
-        o
-      | `Cancelled -> assert false (* probe has no cancel *)
-      | `Branch (_v, candidates) ->
-        let cands = Array.of_list candidates in
-        let n = Array.length cands in
-        (* Lowest-index-wins: a subtree's [`Sat]/[`Budget] only cancels
-           {e higher}-indexed siblings, so the verdict is decided by the
-           first candidate in domain order exactly as in the sequential
-           scan, independent of which domain finishes first. *)
-        let winner = Atomic.make max_int in
-        let job_counts =
-          Array.init n (fun _ -> { n_nodes = 0; n_backtracks = 0; n_prunes = 0 })
-        in
-        let job i () =
-          let cancel () = Atomic.get winner < i in
-          let r =
-            solve_instance ~cancel ~mode:(`Job cands.(i)) ~budget
-              ~counts:job_counts.(i)
+      | `Cancelled | `Branch _ -> assert false (* no cancel, no probe *)
+    else
+      match mode with
+      | `Portfolio ->
+        (* Race one racer per domain over the same instance under distinct
+           variable orders; first verdict wins and cancels the rest. Racer
+           0 is the canonical engine and may publish any outcome; diverse
+           racers may publish only [`Unsat] — a satisfying assignment (and
+           thus the decide table) depends on the search order, but a
+           completed refutation does not — so the verdict and any decision
+           map equal the sequential engine's whichever racer wins. Stats
+           are the winning racer's own search cost (a diverse win can even
+           beat the sequential budget to a refutation). *)
+        Wfc_obs.Metrics.incr c_pf_races;
+        let racers = domains in
+        Wfc_obs.Metrics.add c_pf_racers racers;
+        let thunk i tok =
+          let c = { n_nodes = 0; n_backtracks = 0; n_prunes = 0 } in
+          let cancel () = Wfc_par.Token.cancelled tok in
+          match
+            solve_root ~cancel ~order:(variant_positions inst i) ~budget ~counts:c
               ~record:(fun _ -> ())
               inst
+          with
+          | `Unsat -> Some (`Unsat, c)
+          | (`Sat _ | `Budget) as o when i = 0 -> Some (o, c)
+          | `Sat _ | `Budget | `Cancelled -> None
+          | `Branch _ -> assert false (* racers never probe *)
+        in
+        (match Wfc_par.race ~domains (Array.init racers thunk) with
+        | None ->
+          (* racer 0 withdraws only when cancelled, and cancellation
+             implies a claimed winner *)
+          assert false
+        | Some (i, (o, c)) ->
+          Wfc_obs.Metrics.incr (if i = 0 then c_pf_wins_canonical else c_pf_wins_diverse);
+          counts.n_nodes <- c.n_nodes;
+          counts.n_backtracks <- c.n_backtracks;
+          counts.n_prunes <- c.n_prunes;
+          o)
+      | `Batch -> (
+        (* Probe: run the sequential search up to its first branching node.
+           The spine before it is choice-free; the probe freezes it as an
+           immutable snapshot every job resumes from, so the spine is
+           derived once instead of once per candidate. If the probe never
+           branches it already IS the whole sequential search. *)
+        let probe_counts = { n_nodes = 0; n_backtracks = 0; n_prunes = 0 } in
+        match
+          solve_root ~probe:true ~budget ~counts:probe_counts ~record:(fun _ -> ()) inst
+        with
+        | (`Sat _ | `Unsat | `Budget) as o ->
+          counts.n_nodes <- probe_counts.n_nodes;
+          counts.n_backtracks <- probe_counts.n_backtracks;
+          counts.n_prunes <- probe_counts.n_prunes;
+          o
+        | `Cancelled -> assert false (* probe has no cancel *)
+        | `Branch sp ->
+          let cands = Array.of_list sp.sp_cands in
+          let n = Array.length cands in
+          (* Lowest-index-wins: a subtree's [`Sat]/[`Budget] only cancels
+             {e higher}-indexed siblings, so the verdict is decided by the
+             first candidate in domain order exactly as in the sequential
+             scan, independent of which domain finishes first. *)
+          let winner = Atomic.make max_int in
+          let job_counts =
+            Array.init n (fun _ -> { n_nodes = 0; n_backtracks = 0; n_prunes = 0 })
           in
-          (match r with
-          | `Sat _ | `Budget -> atomic_min winner i
-          | `Unsat | `Cancelled | `Branch _ -> ());
-          r
-        in
-        let outcomes = Wfc_par.run_jobs ~domains (Array.init n job) in
-        (* The verdict is the first non-refuted subtree in candidate order
-           — jobs below it are never cancelled, so they are complete
-           refutations exactly as in the sequential scan. *)
-        let rec scan i =
-          if i = n then (n - 1, `Unsat)
-          else
-            match outcomes.(i) with
-            | `Unsat -> scan (i + 1)
-            | (`Sat _ | `Budget) as r -> (i, r)
-            | `Cancelled | `Branch _ ->
-              (* only jobs strictly above a decided winner are cancelled,
-                 and the scan stops at the winner; jobs never probe *)
-              assert false
-        in
-        let last, verdict = scan 0 in
-        (* Merge the probe with jobs [0 .. last]: the spine
-           ([probe nodes - root pre-count], all probe prunes) is replayed
-           inside every job, so it is subtracted per job and counted once;
-           the branching node itself is counted once on top. Cancelled
-           jobs above [last] contributed no part of the sequential search
-           and are excluded, which keeps the tallies deterministic. *)
-        let spine_nodes = probe_counts.n_nodes - 1 in
-        counts.n_nodes <- probe_counts.n_nodes + 1;
-        counts.n_prunes <- probe_counts.n_prunes;
-        counts.n_backtracks <- 0;
-        for i = 0 to last do
-          let jc = job_counts.(i) in
-          counts.n_nodes <- counts.n_nodes + jc.n_nodes - spine_nodes - 1;
-          counts.n_prunes <- counts.n_prunes + jc.n_prunes - probe_counts.n_prunes;
-          counts.n_backtracks <- counts.n_backtracks + jc.n_backtracks;
-          (* a refuted job's failure cascades back up the replayed spine,
-             undoing (and counting) each spine assignment; the sequential
-             engine unwinds that spine only once, after the last candidate
-             fails — so drop the per-job cascade and restore it below *)
-          match outcomes.(i) with
-          | `Unsat -> counts.n_backtracks <- counts.n_backtracks - spine_nodes
-          | _ -> ()
-        done;
-        (match verdict with
-        | `Unsat -> counts.n_backtracks <- counts.n_backtracks + spine_nodes
-        | _ -> ());
-        verdict
-    end
+          let job i () =
+            let cancel () = Atomic.get winner < i in
+            let r = run_job ~cancel ~counts:job_counts.(i) inst sp cands.(i) in
+            (match r with
+            | `Sat _ | `Budget -> atomic_min winner i
+            | `Unsat | `Cancelled | `Branch _ -> ());
+            r
+          in
+          let outcomes = Wfc_par.run_jobs ~domains (Array.init n job) in
+          (* The verdict is the first non-refuted subtree in candidate order
+             — jobs below it are never cancelled, so they are complete
+             refutations exactly as in the sequential scan. *)
+          let rec scan i =
+            if i = n then (n - 1, `Unsat)
+            else
+              match outcomes.(i) with
+              | `Unsat -> scan (i + 1)
+              | (`Sat _ | `Budget) as r -> (i, r)
+              | `Cancelled | `Branch _ ->
+                (* only jobs strictly above a decided winner are cancelled,
+                   and the scan stops at the winner; jobs never probe *)
+                assert false
+          in
+          let last, verdict = scan 0 in
+          (* Merge the probe with jobs [0 .. last]: each job's tallies now
+             cover exactly its candidate's subtree (the spine is resumed,
+             not replayed), so they add up directly — the spine and root
+             come from the probe, the branching node counts once on top.
+             Cancelled jobs above [last] contributed no part of the
+             sequential search and are excluded, which keeps the tallies
+             deterministic. *)
+          let spine_nodes = probe_counts.n_nodes - 1 in
+          counts.n_nodes <- probe_counts.n_nodes + 1;
+          counts.n_prunes <- probe_counts.n_prunes;
+          counts.n_backtracks <- 0;
+          for i = 0 to last do
+            let jc = job_counts.(i) in
+            counts.n_nodes <- counts.n_nodes + jc.n_nodes;
+            counts.n_prunes <- counts.n_prunes + jc.n_prunes;
+            counts.n_backtracks <- counts.n_backtracks + jc.n_backtracks
+          done;
+          (* when every candidate is refuted, the sequential engine unwinds
+             (and counts) each spine assignment once on the way out *)
+          (match verdict with
+          | `Unsat -> counts.n_backtracks <- counts.n_backtracks + spine_nodes
+          | _ -> ());
+          verdict)
   in
   let elapsed = Wfc_obs.Metrics.now_s () -. t0 in
   Wfc_obs.Metrics.incr c_calls;
@@ -590,7 +731,7 @@ let solve_at ?(budget = default_budget) ?domains task level =
    a whole visits at most [budget] nodes plus one root pre-count per level.
    When a level exhausts the remainder — or nothing is left to hand out —
    the sweep stops with [Exhausted]. *)
-let solve ?(budget = default_budget) ?domains ~max_level task =
+let solve ?(budget = default_budget) ?domains ?mode ~max_level task =
   Wfc_obs.Metrics.with_span "solvability.solve" @@ fun () ->
   let rec go level acc last =
     if level > max_level then last
@@ -598,7 +739,7 @@ let solve ?(budget = default_budget) ?domains ~max_level task =
       let remaining = budget - acc.nodes in
       if remaining <= 0 then Exhausted { level; stats = acc }
       else
-        match solve_at ~budget:remaining ?domains task level with
+        match solve_at ~budget:remaining ?domains ?mode task level with
         | Solvable { map; stats } -> Solvable { map; stats = add_stats acc stats }
         | Unsolvable_at { level = l; stats; trail } ->
           let acc = add_stats acc stats in
@@ -642,9 +783,9 @@ let outcome_of_verdict v =
     o_decide = decide;
   }
 
-let solve_cached ?budget ?domains ?store ~max_level task =
+let solve_cached ?budget ?domains ?mode ?store ~max_level task =
   match store with
-  | None -> (outcome_of_verdict (solve ?budget ?domains ~max_level task), `Computed)
+  | None -> (outcome_of_verdict (solve ?budget ?domains ?mode ~max_level task), `Computed)
   | Some s -> (
     match s.lookup () with
     | Some o ->
@@ -652,7 +793,7 @@ let solve_cached ?budget ?domains ?store ~max_level task =
       (o, `Hit)
     | None ->
       Wfc_obs.Metrics.incr c_store_misses;
-      let v = solve ?budget ?domains ~max_level task in
+      let v = solve ?budget ?domains ?mode ~max_level task in
       let o = outcome_of_verdict v in
       (match v with Exhausted _ -> () | Solvable _ | Unsolvable_at _ -> s.commit o);
       (o, `Computed))

@@ -74,28 +74,65 @@ val default_budget : int
     given. Exposed because cached verdicts are only reusable under the
     budget they were computed with, so stores key on it. *)
 
-val solve_at : ?budget:int -> ?domains:int -> Wfc_tasks.Task.t -> int -> verdict
+val portfolio : unit -> bool
+(** The process default for {!solve_at}'s [mode]: [true] means
+    [`Portfolio]. Initialised from the [WFC_PORTFOLIO] environment
+    variable ([1]/[true]/[yes]/[on], case-insensitive). *)
+
+val set_portfolio : bool -> unit
+(** Override the default mode at run time ([wfc solve --portfolio]). *)
+
+val solve_at :
+  ?budget:int ->
+  ?domains:int ->
+  ?mode:[ `Batch | `Portfolio ] ->
+  Wfc_tasks.Task.t ->
+  int ->
+  verdict
 (** Decide level [b] exactly (up to [budget] search nodes,
     default 5_000_000). Stats cover this level only.
 
-    [domains] (default [Wfc_par.domains ()]) > 1 fans the root node's
-    candidate subtrees out across a domain pool: a winning ([Solvable] /
-    [Exhausted]) subtree cancels only higher-indexed siblings, so the
-    verdict — including [map.decide] on every SDS vertex — is the one the
-    sequential engine returns, and an [Unsolvable_at] merges every
-    subtree's exhaustive search into [stats] exactly. Refutation-trail
-    recording ({!set_search_trace}) forces the sequential engine; [trail]
-    stays a single chronological log either way. *)
+    With [domains] (default [Wfc_par.domains ()]) > 1 the search runs one
+    of two parallel engines, picked by [mode] (default {!portfolio}):
 
-val solve : ?budget:int -> ?domains:int -> max_level:int -> Wfc_tasks.Task.t -> verdict
+    - [`Batch] (the default default): a probe runs the search to its first
+      branching node and freezes the state there as an immutable spine
+      snapshot; each candidate subtree then resumes from a private copy of
+      the snapshot as a pool job. A winning ([Solvable] / [Exhausted])
+      subtree cancels only higher-indexed siblings, so the verdict —
+      including [map.decide] on every SDS vertex — is the one the
+      sequential engine returns, and an [Unsolvable_at] merges every
+      subtree's exhaustive search into [stats] exactly.
+    - [`Portfolio]: one racer per domain runs the {e whole} search under a
+      distinct deterministic variable order; the first published verdict
+      wins and cancels the rest ({!Wfc_par.race}). Racer 0 is the
+      canonical order and may publish anything; diverse racers may publish
+      only refutations (order-independent), so verdicts and decide tables
+      still equal the sequential engine's. [stats] are the winning racer's
+      own cost — not the sequential tallies — and a diverse racer may
+      refute within a budget the canonical order would exhaust, in which
+      case portfolio strictly improves on [Exhausted]. Tolerates
+      single-core machines: any one racer equals the sequential engine.
+      Counted in the [par.portfolio_*] metrics.
+
+    Refutation-trail recording ({!set_search_trace}) forces the sequential
+    engine; [trail] stays a single chronological log either way. *)
+
+val solve :
+  ?budget:int ->
+  ?domains:int ->
+  ?mode:[ `Batch | `Portfolio ] ->
+  max_level:int ->
+  Wfc_tasks.Task.t ->
+  verdict
 (** Try levels [0 .. max_level] in order; returns the first [Solvable], the
     last [Unsolvable_at] if all levels exhaust their search spaces, or
     [Exhausted] as soon as a level overruns the budget. Stats are cumulative
     over all levels tried, and [budget] (default 5_000_000) is a cumulative
     node budget for the whole sweep: each level is granted only what the
     previous levels left ([budget - stats.nodes] so far), so the sweep never
-    costs more than one [solve_at] at the same budget. [domains] is passed
-    through to each {!solve_at}. *)
+    costs more than one [solve_at] at the same budget. [domains] and [mode]
+    are passed through to each {!solve_at}. *)
 
 (** {1 Cached solving} — the entry point of the serving layer (DESIGN §10). *)
 
@@ -112,11 +149,13 @@ type outcome = {
           map. Empty otherwise. *)
 }
 (** A verdict flattened to plain data: what the persistent verdict store
-    ([wfc.store.v1]) files and the daemon's wire protocol ships. Everything
-    except [o_elapsed] is a deterministic function of [(task, max_level,
-    budget)] — the search visits the same nodes in the same order whatever
-    the domain count (see {!solve_at}) — so stored and freshly computed
-    outcomes agree byte-for-byte once timing is stripped. *)
+    ([wfc.store.v1]) files and the daemon's wire protocol ships. Under the
+    default [`Batch] mode everything except [o_elapsed] is a deterministic
+    function of [(task, max_level, budget)] — the search visits the same
+    nodes in the same order whatever the domain count (see {!solve_at}) —
+    so stored and freshly computed outcomes agree byte-for-byte once
+    timing is stripped. [`Portfolio] keeps [o_verdict]/[o_level]/[o_decide]
+    deterministic but the node tallies describe whichever racer won. *)
 
 type store = {
   lookup : unit -> outcome option;
@@ -131,6 +170,7 @@ val outcome_of_verdict : verdict -> outcome
 val solve_cached :
   ?budget:int ->
   ?domains:int ->
+  ?mode:[ `Batch | `Portfolio ] ->
   ?store:store ->
   max_level:int ->
   Wfc_tasks.Task.t ->

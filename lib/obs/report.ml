@@ -21,12 +21,15 @@ let scenario_json s =
   in
   Json.Obj (fields @ s.extra)
 
-let to_json ?snapshot scenarios =
+let to_json ?machine ?snapshot scenarios =
   let base =
     [
       ("schema", Json.String schema_version);
       ("scenarios", Json.Arr (List.map scenario_json scenarios));
     ]
+  in
+  let base =
+    match machine with None -> base | Some m -> base @ [ ("machine", Json.Obj m) ]
   in
   let metrics =
     match snapshot with

@@ -36,7 +36,12 @@ val scenario :
   string -> float -> scenario
 (** [scenario name seconds]. *)
 
-val to_json : ?snapshot:Snapshot.t -> scenario list -> Json.t
+val to_json :
+  ?machine:(string * Json.t) list -> ?snapshot:Snapshot.t -> scenario list -> Json.t
+(** [machine], when given, is emitted as a top-level ["machine"] object —
+    provenance for timing numbers (domain count, git revision, whether the
+    container is single-core). {!validate} ignores unknown top-level
+    fields, so reports with and without it validate alike. *)
 
 val write_file : string -> Json.t -> unit
 (** Writes {!Json.to_string} (canonical form) to the path, truncating. *)

@@ -1,7 +1,14 @@
+(* Each queue cell carries a claim count: [send] enqueues a single-claim
+   cell, [send_shared] a cell that [claims] receivers in a row will take
+   before it leaves the queue. The pool's batch announcement uses the
+   latter, so waking [n] workers costs one lock acquisition and one
+   broadcast instead of [n] signalled sends. *)
+type 'a cell = { value : 'a; mutable claims : int }
+
 type 'a t = {
   lock : Mutex.t;
   nonempty : Condition.t;
-  q : 'a Queue.t;
+  q : 'a cell Queue.t;
   mutable closed : bool;
 }
 
@@ -15,8 +22,21 @@ let send t v =
     invalid_arg "Chan.send: closed channel"
   end
   else begin
-    Queue.add v t.q;
+    Queue.add { value = v; claims = 1 } t.q;
     Condition.signal t.nonempty;
+    Mutex.unlock t.lock
+  end
+
+let send_shared t v n =
+  if n < 1 then invalid_arg "Chan.send_shared: n < 1";
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Chan.send_shared: closed channel"
+  end
+  else begin
+    Queue.add { value = v; claims = n } t.q;
+    Condition.broadcast t.nonempty;
     Mutex.unlock t.lock
   end
 
@@ -25,7 +45,15 @@ let recv t =
   while Queue.is_empty t.q && not t.closed do
     Condition.wait t.nonempty t.lock
   done;
-  let r = if Queue.is_empty t.q then None else Some (Queue.take t.q) in
+  let r =
+    if Queue.is_empty t.q then None
+    else begin
+      let cell = Queue.peek t.q in
+      cell.claims <- cell.claims - 1;
+      if cell.claims = 0 then ignore (Queue.pop t.q);
+      Some cell.value
+    end
+  in
   Mutex.unlock t.lock;
   r
 

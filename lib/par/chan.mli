@@ -13,8 +13,17 @@ val send : 'a t -> 'a -> unit
 (** Enqueue a value and wake one waiting receiver.
     @raise Invalid_argument if the channel is closed. *)
 
+val send_shared : 'a t -> 'a -> int -> unit
+(** [send_shared t v n] enqueues [v] once with a claim count of [n]: the
+    next [n] receivers each get [v], and the value leaves the queue with
+    the last claim. One lock acquisition and one [Condition.broadcast]
+    total — the batched announcement path of {!Pool.run}, which would
+    otherwise pay a lock/signal round-trip per woken worker.
+    @raise Invalid_argument if the channel is closed or [n < 1]. *)
+
 val recv : 'a t -> 'a option
-(** Block until a value is available ([Some v]) or the channel is closed
+(** Block until a value (or an unclaimed share of one, see
+    {!send_shared}) is available ([Some v]) or the channel is closed
     {e and} drained ([None]). FIFO among values; which of several blocked
     receivers wins is unspecified. *)
 

@@ -115,12 +115,11 @@ let run ?participants t thunks =
         (* capacity = n, so the push cannot fail *)
         ignore (Deque.push_bottom b.jobs wrapped))
       thunks;
-    (* Wake enough workers; each message engages at most one. A worker may
-       grab two announcements of the same batch — the second drain finds
-       the deque empty and is harmless. *)
-    for _ = 1 to participants - 1 do
-      Chan.send t.inbox b
-    done;
+    (* One shared announcement claims [participants - 1] workers: a single
+       mailbox push and one condvar broadcast per batch, instead of a
+       lock/signal round-trip per worker. A worker that raced ahead may
+       still find the deque empty — the idle drain is harmless. *)
+    Chan.send_shared t.inbox b (participants - 1);
     drain ~stolen:false b;
     Mutex.lock b.lock;
     while Atomic.get b.pending > 0 do

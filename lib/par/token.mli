@@ -1,0 +1,20 @@
+(** A reusable cooperative cancellation token.
+
+    One atomic flag shared between a controller and any number of
+    workers: the controller {!cancel}s, workers poll {!cancelled} at
+    their own safe points and wind down. Nothing is interrupted
+    preemptively — a worker that never polls never notices, which is
+    exactly the contract the solver's search loop wants (one poll per
+    search node). Tokens are single-trip: once cancelled, forever
+    cancelled; create a fresh one per race/batch. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, uncancelled token. *)
+
+val cancel : t -> unit
+(** Set the flag. Idempotent, domain-safe, wait-free. *)
+
+val cancelled : t -> bool
+(** Poll the flag. Wait-free; safe from any domain. *)

@@ -4,13 +4,22 @@ type config = {
   socket : string;
   store_dir : string;
   queue_capacity : int;
+  solvers : int;
   report : string option;
   on_ready : (unit -> unit) option;
   gate : (string -> unit) option;
 }
 
-let config ?(queue_capacity = 64) ~socket ~store_dir () =
-  { socket; store_dir; queue_capacity; report = None; on_ready = None; gate = None }
+let config ?(queue_capacity = 64) ?(solvers = 2) ~socket ~store_dir () =
+  {
+    socket;
+    store_dir;
+    queue_capacity;
+    solvers = max 1 solvers;
+    report = None;
+    on_ready = None;
+    gate = None;
+  }
 
 let c_requests = Wfc_obs.Metrics.counter "serve.requests"
 
@@ -39,13 +48,21 @@ type job = {
   mutable j_result : (Store.record, string) result option;
 }
 
+(* The scheduler's pending work, grouped by task digest for fairness: the
+   [rotation] round-robins over digests that have pending jobs, so a burst
+   of levels on one digest cannot starve a cold query on another. A digest
+   appears in [rotation] exactly once while its [by_digest] queue is
+   non-empty. [npending] counts admitted-not-yet-solving jobs (the shed
+   bound); jobs being solved are tracked only through [inflight]. *)
 type state = {
   cfg : config;
   store : Store.t;
   m : Mutex.t;
-  solver_cv : Condition.t;  (** signalled: queue grew or shutdown began *)
+  work_cv : Condition.t;  (** signalled: work arrived or shutdown began *)
   done_cv : Condition.t;  (** broadcast: some job published its result *)
-  queue : job Queue.t;
+  by_digest : (string, job Queue.t) Hashtbl.t;
+  rotation : string Queue.t;
+  mutable npending : int;
   inflight : (string, job) Hashtbl.t;
   stopping : bool Atomic.t;
 }
@@ -56,7 +73,29 @@ let locked st f =
   Mutex.lock st.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock st.m) f
 
-(* ---- solver thread ---- *)
+(* ---- the solve scheduler ---- *)
+
+let enqueue_job st job =
+  (match Hashtbl.find_opt st.by_digest job.j_digest with
+  | Some q -> Queue.push job q
+  | None ->
+    let q = Queue.create () in
+    Queue.push job q;
+    Hashtbl.replace st.by_digest job.j_digest q;
+    Queue.push job.j_digest st.rotation);
+  st.npending <- st.npending + 1
+
+(* Pop the next job round-robin over digests; caller holds [st.m] and has
+   checked [npending > 0]. The digest goes to the back of the rotation if
+   it still has pending jobs, and leaves the table otherwise. *)
+let dequeue_job st =
+  let digest = Queue.pop st.rotation in
+  let q = Hashtbl.find st.by_digest digest in
+  let job = Queue.pop q in
+  if Queue.is_empty q then Hashtbl.remove st.by_digest digest
+  else Queue.push digest st.rotation;
+  st.npending <- st.npending - 1;
+  job
 
 (* The solve goes through the store hook even though admission already
    missed: an inline [wfc query --store] process sharing the directory may
@@ -90,14 +129,19 @@ let compute st (job : job) =
   | outcome, `Computed -> (
     match !committed with Some r -> Ok r | None -> Ok (fresh outcome))
 
-let solver_loop st =
+(* Each of the [cfg.solvers] worker threads loops here, so distinct cold
+   questions are solved concurrently (within one computation the search
+   still fans out across the Wfc_par domain pool). On shutdown a worker
+   keeps draining until no pending job is left — every admitted question
+   gets its answer — and only then exits. *)
+let worker_loop st =
   let rec next () =
     let job =
       locked st (fun () ->
-          while Queue.is_empty st.queue && not (Atomic.get st.stopping) do
-            Condition.wait st.solver_cv st.m
+          while st.npending = 0 && not (Atomic.get st.stopping) do
+            Condition.wait st.work_cv st.m
           done;
-          if Queue.is_empty st.queue then None else Some (Queue.pop st.queue))
+          if st.npending = 0 then None else Some (dequeue_job st))
     in
     match job with
     | None -> () (* stopping and drained *)
@@ -162,7 +206,7 @@ let handle_query st (spec : Wire.spec) =
                 Wfc_obs.Metrics.incr c_hits;
                 `Hit r
               | None ->
-                if Queue.length st.queue >= st.cfg.queue_capacity then begin
+                if st.npending >= st.cfg.queue_capacity then begin
                   Wfc_obs.Metrics.incr c_shed;
                   `Shed
                 end
@@ -170,9 +214,9 @@ let handle_query st (spec : Wire.spec) =
                   Wfc_obs.Metrics.incr c_misses;
                   let job = { j_spec = spec; j_task = task; j_digest = digest; j_result = None } in
                   Hashtbl.replace st.inflight key job;
-                  Queue.push job st.queue;
-                  Wfc_obs.Metrics.observe h_depth (float_of_int (Queue.length st.queue));
-                  Condition.signal st.solver_cv;
+                  enqueue_job st job;
+                  Wfc_obs.Metrics.observe h_depth (float_of_int st.npending);
+                  Condition.signal st.work_cv;
                   `Own job
                 end))
     in
@@ -217,7 +261,7 @@ let handle_connection st fd =
   (try Unix.close fd with Unix.Unix_error _ -> ());
   if !stop_requested then begin
     Atomic.set st.stopping true;
-    locked st (fun () -> Condition.broadcast st.solver_cv)
+    locked st (fun () -> Condition.broadcast st.work_cv)
   end
 
 (* ---- socket lifecycle ---- *)
@@ -252,9 +296,11 @@ let run cfg =
       cfg;
       store = Store.open_store cfg.store_dir;
       m = Mutex.create ();
-      solver_cv = Condition.create ();
+      work_cv = Condition.create ();
       done_cv = Condition.create ();
-      queue = Queue.create ();
+      by_digest = Hashtbl.create 64;
+      rotation = Queue.create ();
+      npending = 0;
       inflight = Hashtbl.create 64;
       stopping = Atomic.make false;
     }
@@ -263,7 +309,7 @@ let run cfg =
   let initiate_stop _ = Atomic.set st.stopping true in
   let old_int = Sys.signal Sys.sigint (Sys.Signal_handle initiate_stop) in
   let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle initiate_stop) in
-  let solver = Thread.create solver_loop st in
+  let workers = Array.init cfg.solvers (fun _ -> Thread.create worker_loop st) in
   (match cfg.on_ready with Some f -> f () | None -> ());
   (* Accept with a select timeout so a signal- or request-initiated stop is
      noticed within a tick even when no connection ever arrives. *)
@@ -281,9 +327,11 @@ let run cfg =
     end
   in
   accept_loop ();
-  (* stopping: wake the solver (it drains admitted work, then exits) *)
-  locked st (fun () -> Condition.broadcast st.solver_cv);
-  Thread.join solver;
+  (* stopping: wake and join EVERY worker — each drains admitted work,
+     finishes the job it is computing, and only then exits, so no admitted
+     question is ever abandoned mid-shutdown *)
+  locked st (fun () -> Condition.broadcast st.work_cv);
+  Array.iter Thread.join workers;
   (try Unix.close listen_fd with Unix.Unix_error _ -> ());
   (try Sys.remove cfg.socket with Sys_error _ -> ());
   Sys.set_signal Sys.sigint old_int;

@@ -9,47 +9,59 @@
       already queued or being solved attaches to that computation instead
       of re-entering the queue — N concurrent identical queries cost one
       search;
-    - {b miss} ([serve.misses]): the question joins a bounded FIFO queue
-      and is solved by the single solver thread, which dispatches search
-      work onto the {!Wfc_par} domain pool and files the verdict in the
-      store before anyone is answered;
-    - {b shed} ([serve.shed]): if the queue is full the daemon answers
-      [shed] immediately — explicit backpressure; clients fall back to an
-      inline solve or retry, the daemon never buffers unboundedly.
+    - {b miss} ([serve.misses]): the question joins a bounded queue and is
+      picked up by one of the [solvers] scheduler workers, which solves it
+      (dispatching search work onto the {!Wfc_par} domain pool) and files
+      the verdict in the store before anyone is answered;
+    - {b shed} ([serve.shed]): if the pending queue is full the daemon
+      answers [shed] immediately — explicit backpressure; clients fall
+      back to an inline solve or retry, the daemon never buffers
+      unboundedly.
 
     Concurrency model: one accepting thread, one handler thread per
-    connection, one solver thread. The solver being single keeps verdict
-    computation deterministic and the store free of write races; within a
-    computation the search still fans out across domains. Handler threads
-    only parse, consult the store, and block on condition variables — all
-    heavy lifting happens on the solver.
+    connection, and a small scheduler of [solvers] worker threads (default
+    2), so distinct cold questions are solved {e concurrently} — no
+    head-of-line blocking behind one long search. Pending work is grouped
+    by task digest and dispatched round-robin across digests, so a burst
+    of questions on one task cannot starve another task's cold query.
+    Verdicts stay deterministic because each question is solved by exactly
+    one worker with the deterministic engine, and the store's atomic
+    [put] makes concurrent commits of {e different} questions safe (two
+    workers never hold the same question: coalescing keys on the in-flight
+    table). The store-hit fast path never touches the solve queue: handler
+    threads answer hits directly under the state mutex, so hit latency is
+    unaffected by running solves.
 
     Every request is measured ([serve.requests], [serve.latency.seconds],
     [serve.queue.depth]); on shutdown the daemon prints a traffic summary
     and, with [report], writes the final metrics snapshot as a [wfc.obs.v1]
     report. SIGINT/SIGTERM trigger the same clean shutdown as a [shutdown]
-    request; SIGKILL at any instant leaves a loadable store ({!Store.put}
-    is atomic). *)
+    request — every scheduler worker drains the pending queue and finishes
+    its in-flight job before the daemon exits; SIGKILL at any instant
+    leaves a loadable store ({!Store.put} is atomic). *)
 
 type config = {
   socket : string;  (** Unix-domain socket path *)
   store_dir : string;
   queue_capacity : int;  (** pending (not yet solving) questions admitted *)
+  solvers : int;  (** scheduler worker threads solving concurrently *)
   report : string option;  (** write a wfc.obs.v1 report here on shutdown *)
   on_ready : (unit -> unit) option;  (** called once the socket accepts *)
   gate : (string -> unit) option;
-      (** test/bench instrumentation: the solver thread calls this with the
-          question's digest immediately before each computation — a hook to
-          hold the solver while clients pile onto the in-flight entry *)
+      (** test/bench instrumentation: a scheduler worker calls this with
+          the question's digest immediately before each computation — a
+          hook to hold workers while clients pile onto in-flight entries *)
 }
 
-val config : ?queue_capacity:int -> socket:string -> store_dir:string -> unit -> config
-(** Defaults: queue capacity 64, no report, no hooks. *)
+val config :
+  ?queue_capacity:int -> ?solvers:int -> socket:string -> store_dir:string -> unit -> config
+(** Defaults: queue capacity 64, 2 solver workers (clamped to [>= 1]), no
+    report, no hooks. *)
 
 val run : config -> unit
 (** Binds the socket (refusing if a live daemon already answers on it,
     replacing it if stale) and serves until a [shutdown] request, SIGINT,
-    or SIGTERM. Returns after the solver thread has drained every admitted
-    question and the socket file is unlinked.
+    or SIGTERM. Returns after {e all} scheduler workers have drained every
+    admitted question and the socket file is unlinked.
     @raise Failure if the socket is in use by a live daemon or cannot be
     bound. *)

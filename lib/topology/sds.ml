@@ -86,8 +86,8 @@ let subdivide t =
      facets are independent, so they subdivide in parallel when the domain
      pool is enabled; the per-facet map preserves facet order, [ids] is only
      read, and every prefix simplex is already interned (it is a face of a
-     closure simplex) or interns through the domain-safe sharded arena — so
-     the concatenation is bit-for-bit the sequential facet list. *)
+     closure simplex) or interns through the domain-safe publication arena
+     — so the concatenation is bit-for-bit the sequential facet list. *)
   let facets =
     Wfc_par.map_array
       (fun facet ->

@@ -12,12 +12,27 @@
      result equals one of the operands, avoiding both allocation and an
      arena probe.
 
-   The arena is sharded by key hash, each shard behind its own [Mutex], so
-   domains interning concurrently (the parallel subdivision and solver
-   paths) contend only when they hash to the same shard; ids come from one
-   atomic counter and stay dense and stable. [reset] empties every shard
-   (keeping the canonical empty simplex alive); it is only safe when no
-   interned simplex from before the reset is still in use. *)
+   The arena is a publication scheme with domain-local caches, replacing
+   the earlier 16-shard mutexed table. Three tiers:
+
+   - a {e domain-local} table (DLS) caching every representative this
+     domain has resolved: the steady-state path, no locks, no atomics
+     beyond one epoch load;
+   - a {e frozen} table published through an [Atomic.t]: built under the
+     publish lock, never mutated after the swap, so readers probe it
+     lock-free (local miss -> frozen probe);
+   - a {e delta} table guarded by the single publish [Mutex]: only a key's
+     first-ever intern (a frozen miss) takes the lock, allocates the next
+     dense id, and files the new representative. When the delta rivals the
+     frozen table it is merged into a fresh frozen table and swapped in —
+     geometric growth, so total copy work stays linear.
+
+   Ids are allocated under the publish lock, so they are dense and
+   contiguous with no gaps even under domain races. [reset] (only safe
+   when no pre-reset simplex is still in use) swaps in an empty frozen
+   table, clears the delta, and bumps a global epoch that invalidates
+   every domain-local cache on its next access; the canonical empty
+   simplex keeps id 0 across resets. *)
 
 type t = { id : int; verts : int array }
 
@@ -46,77 +61,116 @@ end
 
 module Arena = Hashtbl.Make (Key)
 
-(* Power of two so shard selection is a mask of the key hash. A vertex set
-   always maps to the same shard, which is what makes per-shard mutual
-   exclusion sufficient for uniqueness of representatives. *)
-let shard_bits = 4
-
-let shard_count = 1 lsl shard_bits
-
-let shard_mask = shard_count - 1
-
-type shard = {
-  s_lock : Mutex.t;
-  s_arena : t Arena.t;
-  s_faces : (int, t list) Hashtbl.t;
-      (* faces cached by interned id; a simplex's faces live in its own
-         shard, found via [verts] hash, so lookups reuse the same lock *)
-}
-
-let shards =
-  Array.init shard_count (fun _ ->
-      { s_lock = Mutex.create (); s_arena = Arena.create 512; s_faces = Hashtbl.create 128 })
-
-let shard_of_key verts = shards.(Key.hash verts land shard_mask)
-
 let next_id = Atomic.make 0
 
 let max_cached_faces_card = 16
 
+(* Publish lock: guards [delta], id allocation, and the frozen swap. The
+   frozen table itself is written only while it is private (during the
+   merge, before the [Atomic.set]), so reading it without the lock is
+   sound — a reader sees either the old or the new fully-built table. *)
+let publish_lock = Mutex.create ()
+
+let frozen : t Arena.t Atomic.t = Atomic.make (Arena.create 1)
+
+let delta : t Arena.t = Arena.create 512
+
+(* Bumped by [reset]; domain-local caches compare it on every access and
+   drop their contents when it moved. *)
+let epoch = Atomic.make 0
+
+type local = {
+  mutable l_epoch : int;
+  l_arena : t Arena.t; (* representatives this domain has resolved *)
+  l_faces : (int, t list) Hashtbl.t; (* faces cached by interned id *)
+}
+
+let local_key =
+  Domain.DLS.new_key (fun () ->
+      { l_epoch = Atomic.get epoch; l_arena = Arena.create 512; l_faces = Hashtbl.create 128 })
+
+let local () =
+  let l = Domain.DLS.get local_key in
+  let e = Atomic.get epoch in
+  if l.l_epoch <> e then begin
+    Arena.reset l.l_arena;
+    Hashtbl.reset l.l_faces;
+    l.l_epoch <- e
+  end;
+  l
+
+(* Move everything published so far into one fresh table and swap it in.
+   Called under [publish_lock] when the delta has grown to the size of the
+   frozen table, so each representative is copied O(1) amortized times. *)
+let merge_and_swap fz =
+  let merged = Arena.create (2 * (Arena.length fz + Arena.length delta) + 16) in
+  Arena.iter (fun k v -> Arena.add merged k v) fz;
+  Arena.iter (fun k v -> Arena.add merged k v) delta;
+  Atomic.set frozen merged;
+  Arena.reset delta
+
 (* [intern verts] takes ownership of [verts] (never copied, never mutated
-   afterwards). Ids are allocated by one fetch-and-add, so they stay dense
-   across shards; which simplex gets which id can depend on domain
-   interleaving, but ids never leak into results (orders are lexicographic
-   on vertices), so outputs stay deterministic. *)
+   afterwards). Fast paths in order: domain-local hit (no locks), frozen
+   hit (one atomic load, lock-free probe), then the publish lock for the
+   delta probe / first-ever intern. Ids are allocated under the lock, so
+   they are dense and contiguous; which simplex gets which id can depend
+   on domain interleaving, but ids never leak into results (orders are
+   lexicographic on vertices), so outputs stay deterministic. *)
 let intern verts =
-  let sh = shard_of_key verts in
-  Mutex.lock sh.s_lock;
-  let s =
-    match Arena.find_opt sh.s_arena verts with
-    | Some s -> s
-    | None ->
-      let s = { id = Atomic.fetch_and_add next_id 1; verts } in
-      Arena.add sh.s_arena verts s;
-      s
-  in
-  Mutex.unlock sh.s_lock;
-  s
+  let l = local () in
+  match Arena.find_opt l.l_arena verts with
+  | Some s -> s
+  | None ->
+    let s =
+      match Arena.find_opt (Atomic.get frozen) verts with
+      | Some s -> s
+      | None ->
+        Mutex.lock publish_lock;
+        let s =
+          (* re-probe the frozen table: it may have been swapped between
+             the lock-free miss and acquiring the lock *)
+          match Arena.find_opt (Atomic.get frozen) verts with
+          | Some s -> s
+          | None -> (
+            match Arena.find_opt delta verts with
+            | Some s -> s
+            | None ->
+              let s = { id = Atomic.fetch_and_add next_id 1; verts } in
+              Arena.add delta verts s;
+              let fz = Atomic.get frozen in
+              if Arena.length delta >= max 64 (Arena.length fz) then merge_and_swap fz;
+              s)
+        in
+        Mutex.unlock publish_lock;
+        s
+    in
+    (* cache under the canonical verts so a duplicate argument array can be
+       collected *)
+    Arena.add l.l_arena s.verts s;
+    s
 
 let empty = intern [||]
 
 let arena_size () =
-  Array.fold_left
-    (fun acc sh ->
-      Mutex.lock sh.s_lock;
-      let n = Arena.length sh.s_arena in
-      Mutex.unlock sh.s_lock;
-      acc + n)
-    0 shards
+  Mutex.lock publish_lock;
+  (* frozen and delta are disjoint: a key is published to delta only after
+     missing frozen under the lock, and merging clears the delta *)
+  let n = Arena.length (Atomic.get frozen) + Arena.length delta in
+  Mutex.unlock publish_lock;
+  n
 
 let reset () =
-  (* lock all shards in index order (the only multi-shard critical section,
-     so the ordering discipline is trivially deadlock-free) *)
-  Array.iter (fun sh -> Mutex.lock sh.s_lock) shards;
-  Array.iter
-    (fun sh ->
-      Arena.reset sh.s_arena;
-      Hashtbl.reset sh.s_faces)
-    shards;
-  (* keep the canonical empty simplex (and its id 0) alive across resets *)
-  let sh = shard_of_key empty.verts in
-  Arena.add sh.s_arena empty.verts empty;
+  Mutex.lock publish_lock;
+  (* keep the canonical empty simplex (and its id 0) alive across resets;
+     build the replacement frozen table privately, then swap *)
+  let fz = Arena.create 16 in
+  Arena.add fz empty.verts empty;
+  Atomic.set frozen fz;
+  Arena.reset delta;
   Atomic.set next_id 1;
-  Array.iter (fun sh -> Mutex.unlock sh.s_lock) shards
+  (* invalidate every domain-local cache *)
+  Atomic.incr epoch;
+  Mutex.unlock publish_lock
 
 (* ------------------------------------------------------------------ *)
 (* construction                                                         *)
@@ -375,19 +429,14 @@ let faces s =
   if n = 0 then []
   else if n > max_cached_faces_card then enumerate_faces s
   else begin
-    let sh = shard_of_key s.verts in
-    Mutex.lock sh.s_lock;
-    let cached = Hashtbl.find_opt sh.s_faces s.id in
-    Mutex.unlock sh.s_lock;
-    match cached with
+    let l = local () in
+    match Hashtbl.find_opt l.l_faces s.id with
     | Some fs -> fs
     | None ->
-      (* two domains may enumerate concurrently; both compute the same
-         interned list, so the duplicated work is benign and rare *)
+      (* per-domain cache: two domains may enumerate the same simplex, but
+         both produce the same interned list and never contend a lock *)
       let fs = enumerate_faces s in
-      Mutex.lock sh.s_lock;
-      Hashtbl.replace sh.s_faces s.id fs;
-      Mutex.unlock sh.s_lock;
+      Hashtbl.replace l.l_faces s.id fs;
       fs
   end
 

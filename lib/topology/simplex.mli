@@ -9,11 +9,14 @@
     work by sorted-array merge and return an existing representative whenever
     the result coincides with an operand.
 
-    The arena is sharded by key hash with one mutex per shard, so
-    concurrent domains (the parallel subdivision and solvability engines)
-    intern without a global bottleneck; ids are allocated from a single
-    atomic counter and remain dense and stable. It can be emptied with
-    {!reset} for long-running processes. *)
+    The arena is a three-tier publication scheme: each domain keeps a
+    local cache of the representatives it has resolved (no locks), misses
+    probe a frozen read-only table published through an atomic (lock-free),
+    and only a vertex set's first-ever intern takes the single publish
+    lock to allocate the next dense id and file the newcomer — so the
+    concurrent subdivision and solvability engines intern without a global
+    bottleneck. Ids remain dense, contiguous and stable. The arena can be
+    emptied with {!reset} for long-running processes. *)
 
 type t
 

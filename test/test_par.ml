@@ -31,6 +31,32 @@ let test_chan () =
   Wfc_par.Chan.send c2 42;
   checkb "blocked receiver woken" true (Domain.join d = Some 42)
 
+let test_chan_send_shared () =
+  (* one send_shared, n receivers: each recv claims the value once *)
+  let c = Wfc_par.Chan.create () in
+  Wfc_par.Chan.send_shared c 7 3;
+  checkb "claim 1" true (Wfc_par.Chan.recv c = Some 7);
+  checkb "claim 2" true (Wfc_par.Chan.recv c = Some 7);
+  checkb "claim 3" true (Wfc_par.Chan.recv c = Some 7);
+  (* the cell is consumed after its last claim: the next value is visible *)
+  Wfc_par.Chan.send c 9;
+  checkb "cell popped after last claim" true (Wfc_par.Chan.recv c = Some 9);
+  (* shared and plain sends interleave in fifo order *)
+  Wfc_par.Chan.send c 1;
+  Wfc_par.Chan.send_shared c 2 2;
+  Wfc_par.Chan.send c 3;
+  checkb "fifo: plain before shared" true (Wfc_par.Chan.recv c = Some 1);
+  checkb "fifo: shared claim 1" true (Wfc_par.Chan.recv c = Some 2);
+  checkb "fifo: shared claim 2" true (Wfc_par.Chan.recv c = Some 2);
+  checkb "fifo: plain after shared" true (Wfc_par.Chan.recv c = Some 3);
+  Alcotest.check_raises "claims must be positive"
+    (Invalid_argument "Chan.send_shared: n < 1") (fun () ->
+      Wfc_par.Chan.send_shared c 0 0);
+  Wfc_par.Chan.close c;
+  Alcotest.check_raises "send_shared after close"
+    (Invalid_argument "Chan.send_shared: closed channel") (fun () ->
+      Wfc_par.Chan.send_shared c 5 2)
+
 (* ------------------------------------------------------------------ *)
 (* Deque                                                                *)
 
@@ -104,6 +130,52 @@ let test_run_jobs_inline () =
   checkb "inline on caller" true (r = Array.init 4 (fun i -> (i, true)))
 
 (* ------------------------------------------------------------------ *)
+(* Token / race                                                         *)
+
+let test_token () =
+  let t = Wfc_par.Token.create () in
+  checkb "fresh token not cancelled" false (Wfc_par.Token.cancelled t);
+  Wfc_par.Token.cancel t;
+  checkb "cancelled after cancel" true (Wfc_par.Token.cancelled t);
+  Wfc_par.Token.cancel t;
+  checkb "cancel is idempotent" true (Wfc_par.Token.cancelled t)
+
+let test_race () =
+  checkb "empty race" true (Wfc_par.race ~domains:2 [||] = None);
+  (* domains = 1 runs thunks in order on the caller: thunk 0 wins and its
+     cancellation makes every later thunk withdraw *)
+  let later_saw_cancel = ref false in
+  let r =
+    Wfc_par.race ~domains:1
+      [|
+        (fun _ -> Some "first");
+        (fun tok ->
+          later_saw_cancel := Wfc_par.Token.cancelled tok;
+          None);
+      |]
+  in
+  checkb "first thunk wins inline" true (r = Some (0, "first"));
+  checkb "loser observed the winner's cancel" true !later_saw_cancel;
+  (* a thunk that withdraws (None) does not win; the survivor does *)
+  let r2 = Wfc_par.race ~domains:1 [| (fun _ -> None); (fun _ -> Some 7) |] in
+  checkb "withdrawal passes the win along" true (r2 = Some (1, 7));
+  checkb "all withdraw" true (Wfc_par.race ~domains:1 [| (fun _ -> None); (fun _ -> None) |] = None);
+  (* across domains: a spinner only exits when the winner cancels the
+     shared token, so termination IS the cancellation test *)
+  let r3 =
+    Wfc_par.race ~domains:2
+      [|
+        (fun tok ->
+          while not (Wfc_par.Token.cancelled tok) do
+            Domain.cpu_relax ()
+          done;
+          None);
+        (fun _ -> Some 42);
+      |]
+  in
+  checkb "cross-domain cancel terminates the spinner" true (r3 = Some (1, 42))
+
+(* ------------------------------------------------------------------ *)
 (* Sharded arena under concurrent interning                             *)
 
 let test_arena_stress () =
@@ -134,7 +206,26 @@ let test_arena_stress () =
     (Simplex.arena_size () - before);
   (* ids are stable: re-interning afterwards changes nothing *)
   checkb "re-intern is a lookup" true (work () = mine);
-  checki "no further growth" (List.length distinct) (Simplex.arena_size () - before)
+  checki "no further growth" (List.length distinct) (Simplex.arena_size () - before);
+  (* id density: the publication arena allocates ids under one lock, so the
+     fresh simplices occupy exactly the contiguous block the arena grew by —
+     no id is ever skipped or minted twice, whatever the interleaving *)
+  let fresh_ids =
+    List.sort_uniq compare (List.map (fun vs -> Simplex.id (Simplex.of_list vs)) distinct)
+  in
+  checki "no duplicate ids across keys" (List.length distinct) (List.length fresh_ids);
+  let lo = List.hd fresh_ids and hi = List.nth fresh_ids (List.length fresh_ids - 1) in
+  checki "ids form a contiguous block" (hi - lo) (List.length fresh_ids - 1);
+  checkb "ids stay below the arena size" true (hi < Simplex.arena_size ());
+  (* every key maps to one id and every id to one key: interning the verts
+     behind each fresh id returns that id *)
+  checkb "key -> id -> key closes" true
+    (List.for_all
+       (fun vs ->
+         let s = Simplex.of_list vs in
+         Simplex.to_list s = List.sort_uniq compare vs
+         && Simplex.id (Simplex.of_list (Simplex.to_list s)) = Simplex.id s)
+       distinct)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel solver == sequential solver                                 *)
@@ -192,6 +283,54 @@ let qcheck_parallel_equiv =
       Solvability.verdict_name seq = Solvability.verdict_name par
       && decide_table seq = decide_table par)
 
+(* Portfolio mode races whole searches under distinct variable orders, yet
+   the published verdict and decision map must still be the sequential
+   engine's: racer 0 is the canonical order, and diverse racers may only
+   publish refutations, which are order-independent facts. Node tallies are
+   deliberately NOT compared — they describe whichever racer won. *)
+let qcheck_portfolio_equiv =
+  QCheck.Test.make ~count:30 ~name:"portfolio = sequential (verdict + decide)"
+    QCheck.(
+      triple
+        (int_bound (List.length tasks_under_test - 1))
+        (int_bound 1) (int_range 1 4))
+    (fun (ti, level, domains) ->
+      let _, mk = List.nth tasks_under_test ti in
+      let seq = Solvability.solve_at ~domains:1 (mk ()) level in
+      let port = Solvability.solve_at ~domains ~mode:`Portfolio (mk ()) level in
+      Solvability.verdict_name seq = Solvability.verdict_name port
+      && decide_table seq = decide_table port)
+
+let test_portfolio_matches_sequential () =
+  List.iter
+    (fun (name, mk) ->
+      List.iter
+        (fun level ->
+          let seq = Solvability.solve_at ~domains:1 (mk ()) level in
+          let port = Solvability.solve_at ~domains:4 ~mode:`Portfolio (mk ()) level in
+          Alcotest.(check string)
+            (Printf.sprintf "%s level %d: same verdict" name level)
+            (Solvability.verdict_name seq) (Solvability.verdict_name port);
+          checkb
+            (Printf.sprintf "%s level %d: same decision map" name level)
+            true
+            (decide_table seq = decide_table port))
+        [ 0; 1 ])
+    tasks_under_test
+
+let test_portfolio_single_domain_is_sequential () =
+  (* one racer = the canonical order alone: byte-for-byte the sequential
+     engine, stats included — the single-core container guarantee *)
+  let task = Wfc_tasks.Instances.binary_consensus ~procs:2 in
+  let seq = Solvability.solve_at ~domains:1 task 1 in
+  let port = Solvability.solve_at ~domains:1 ~mode:`Portfolio task 1 in
+  Alcotest.(check string) "same verdict" (Solvability.verdict_name seq)
+    (Solvability.verdict_name port);
+  let s = Solvability.stats_of_verdict seq and p = Solvability.stats_of_verdict port in
+  checki "same nodes" s.Solvability.nodes p.Solvability.nodes;
+  checki "same backtracks" s.Solvability.backtracks p.Solvability.backtracks;
+  checki "same prunes" s.Solvability.prunes p.Solvability.prunes
+
 (* ------------------------------------------------------------------ *)
 (* Cumulative budget across levels                                      *)
 
@@ -247,16 +386,23 @@ let () =
       ( "primitives",
         [
           Alcotest.test_case "chan" `Quick test_chan;
+          Alcotest.test_case "chan send_shared" `Quick test_chan_send_shared;
           Alcotest.test_case "deque" `Quick test_deque;
           Alcotest.test_case "pool run" `Quick test_pool_run;
           Alcotest.test_case "pool exceptions" `Quick test_pool_exceptions;
           Alcotest.test_case "run_jobs inline" `Quick test_run_jobs_inline;
+          Alcotest.test_case "token" `Quick test_token;
+          Alcotest.test_case "race" `Quick test_race;
         ] );
       ("arena", [ Alcotest.test_case "4-domain intern stress" `Quick test_arena_stress ]);
       ( "solver",
         [
           Alcotest.test_case "parallel = sequential" `Quick test_parallel_matches_sequential;
           QCheck_alcotest.to_alcotest qcheck_parallel_equiv;
+          Alcotest.test_case "portfolio = sequential" `Quick test_portfolio_matches_sequential;
+          QCheck_alcotest.to_alcotest qcheck_portfolio_equiv;
+          Alcotest.test_case "portfolio, 1 domain = sequential engine" `Quick
+            test_portfolio_single_domain_is_sequential;
           Alcotest.test_case "cumulative budget" `Quick test_cumulative_budget;
           Alcotest.test_case "budget 0 exhausts immediately" `Quick test_budget_zero_exhausts;
         ] );

@@ -257,13 +257,13 @@ let temp_socket () =
 
 (* Start a daemon on fresh paths, run [f] against it, then shut it down
    through the protocol and join the daemon thread. *)
-let with_daemon ?queue_capacity ?gate f =
+let with_daemon ?queue_capacity ?solvers ?gate f =
   let socket = temp_socket () in
   let store_dir = temp_dir "wfc-daemon-store" in
   let ready = Atomic.make false in
   let cfg =
     {
-      (Daemon.config ?queue_capacity ~socket ~store_dir ()) with
+      (Daemon.config ?queue_capacity ?solvers ~socket ~store_dir ()) with
       Daemon.on_ready = Some (fun () -> Atomic.set ready true);
       gate;
     }
@@ -379,6 +379,101 @@ let daemon_tests =
             | Wire.Verdict { source = Wire.From_store; _ } -> ()
             | _ -> Alcotest.fail "expected a store hit despite the full queue");
             Client.close c));
+    Alcotest.test_case "two distinct cold queries are solved concurrently" `Quick (fun () ->
+        (* Both workers must sit inside their computations at the same
+           instant: the gate admits nobody until it has seen two distinct
+           digests enter, so if the scheduler serialized distinct questions
+           behind one worker the test would time out here. *)
+        let spec_b = { Wire.task = "set-consensus"; procs = 3; param = 2; max_level = 1 } in
+        let seen = Hashtbl.create 4 in
+        let seen_m = Mutex.create () in
+        let both_in = Atomic.make false in
+        let gate digest =
+          Mutex.lock seen_m;
+          Hashtbl.replace seen digest ();
+          if Hashtbl.length seen >= 2 then Atomic.set both_in true;
+          Mutex.unlock seen_m;
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          while (not (Atomic.get both_in)) && Unix.gettimeofday () < deadline do
+            Thread.yield ()
+          done
+        in
+        with_daemon ~solvers:2 ~gate (fun ~socket ~store_dir:_ ->
+            let ask spec out =
+              let c = connect_exn socket in
+              out := Some (query_exn c spec);
+              Client.close c
+            in
+            let ra = ref None and rb = ref None in
+            let a = Thread.create (fun () -> ask default_spec ra) () in
+            let b = Thread.create (fun () -> ask spec_b rb) () in
+            Thread.join a;
+            Thread.join b;
+            checkb "both questions were in compute simultaneously" true
+              (Atomic.get both_in);
+            let check_computed name spec r =
+              match r with
+              | Some (Wire.Verdict { source = Wire.Computed; record }) ->
+                checks (name ^ " equals inline solve")
+                  (json_str (Store.verdict_json (inline_record spec)))
+                  (json_str (Store.verdict_json record))
+              | _ -> Alcotest.fail ("expected a computed verdict for " ^ name)
+            in
+            check_computed "consensus" default_spec !ra;
+            check_computed "set-consensus" spec_b !rb));
+    Alcotest.test_case "shutdown drains every in-flight solve job" `Quick (fun () ->
+        (* Regression: the old daemon joined only one solver thread on
+           shutdown, so a second in-flight job could be abandoned and its
+           client hung. Hold BOTH workers mid-computation, request
+           shutdown, then release: both clients must still get verdicts. *)
+        let spec_b = { Wire.task = "set-consensus"; procs = 3; param = 2; max_level = 1 } in
+        let seen = Hashtbl.create 4 in
+        let seen_m = Mutex.create () in
+        let both_in = Atomic.make false in
+        let released = Atomic.make false in
+        let gate digest =
+          Mutex.lock seen_m;
+          Hashtbl.replace seen digest ();
+          if Hashtbl.length seen >= 2 then Atomic.set both_in true;
+          Mutex.unlock seen_m;
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          while (not (Atomic.get released)) && Unix.gettimeofday () < deadline do
+            Thread.yield ()
+          done
+        in
+        with_daemon ~solvers:2 ~gate (fun ~socket ~store_dir:_ ->
+            let ask spec out =
+              let c = connect_exn socket in
+              out := Some (query_exn c spec);
+              Client.close c
+            in
+            let ra = ref None and rb = ref None in
+            let a = Thread.create (fun () -> ask default_spec ra) () in
+            let b = Thread.create (fun () -> ask spec_b rb) () in
+            (* wait until both workers hold a job, then stop the daemon *)
+            let deadline = Unix.gettimeofday () +. 10.0 in
+            while (not (Atomic.get both_in)) && Unix.gettimeofday () < deadline do
+              Thread.yield ()
+            done;
+            checkb "both jobs in flight before shutdown" true (Atomic.get both_in);
+            (match Client.connect ~socket with
+            | Ok c ->
+              ignore (Client.shutdown c);
+              Client.close c
+            | Error e -> Alcotest.fail e);
+            Atomic.set released true;
+            Thread.join a;
+            Thread.join b;
+            let got name spec r =
+              match r with
+              | Some (Wire.Verdict { record; _ }) ->
+                checks (name ^ " verdict survives shutdown")
+                  (json_str (Store.verdict_json (inline_record spec)))
+                  (json_str (Store.verdict_json record))
+              | _ -> Alcotest.fail ("client " ^ name ^ " was abandoned by shutdown")
+            in
+            got "consensus" default_spec !ra;
+            got "set-consensus" spec_b !rb));
     Alcotest.test_case "daemon answers persist for later inline queries" `Quick (fun () ->
         let captured = ref None in
         let dir =
