@@ -614,9 +614,10 @@ let scenarios : (string * (unit -> int option * string option)) list =
      reps time the search engine alone. Every domain setting performs the
      exact same node count (stats are equal by construction, see test_par),
      so the wall-clock ratio across solve_domains_* is a clean speedup. *)
-  let solve_rep ?mode ~domains ~reps task level = fun () ->
-    let v = ref (Solvability.solve_at ?mode ~domains task level) in
-    for _ = 2 to reps do v := Solvability.solve_at ?mode ~domains task level done;
+  let solve_rep ?mode ?model ~domains ~reps task level = fun () ->
+    let opts = Solvability.options ?mode ?model () in
+    let v = ref (Solvability.solve_at ~opts ~domains task level) in
+    for _ = 2 to reps do v := Solvability.solve_at ~opts ~domains task level done;
     solved !v
   in
   (* SDS^4(s^2) rebuilt cold: subdivision fans the facets of each level
@@ -647,7 +648,15 @@ let scenarios : (string * (unit -> int option * string option)) list =
     while not (Atomic.get ready) do
       Thread.yield ()
     done;
-    let spec = { Wfc_serve.Wire.task = "set-consensus"; procs = 3; param = 2; max_level = 1 } in
+    let spec =
+      {
+        Wfc_serve.Wire.task = "set-consensus";
+        procs = 3;
+        param = 2;
+        max_level = 1;
+        model = "wait-free";
+      }
+    in
     let ask () =
       match Wfc_serve.Client.connect ~socket with
       | Error e -> failwith e
@@ -723,6 +732,15 @@ let scenarios : (string * (unit -> int option * string option)) list =
       solve_rep ~mode:`Portfolio ~domains:2 ~reps:200 (Instances.set_consensus ~procs:3 ~k:2) 1 );
     ( "solve_portfolio_4",
       solve_rep ~mode:`Portfolio ~domains:4 ~reps:200 (Instances.set_consensus ~procs:3 ~k:2) 1 );
+    (* model-restricted solving: the k-set affine task of the same workload.
+       The restriction filters facets before the instance is built, so this
+       tracks both the predicate cost and the smaller search space. *)
+    ( "solve_kset_affine",
+      solve_rep
+        ~model:(Wfc_tasks.Model.k_set_affine ~k:2)
+        ~domains:1 ~reps:200
+        (Instances.set_consensus ~procs:3 ~k:2)
+        1 );
     ("sds_iterate_domains_1", sds_par 1);
     ("sds_iterate_domains_2", sds_par 2);
     ("sds_iterate_domains_4", sds_par 4);

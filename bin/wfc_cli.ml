@@ -518,12 +518,12 @@ let store_opt_arg =
     value
     & opt (some string) None
     & info [ "store" ] ~docv:"DIR"
-        ~doc:"Persistent wfc.store.v1 verdict store: reused on hits, updated on misses.")
+        ~doc:"Persistent wfc.store.v2 verdict store: reused on hits, updated on misses.")
 
 let store_req_arg =
   Arg.(
     value & opt string ".wfc-store"
-    & info [ "store" ] ~docv:"DIR" ~doc:"The wfc.store.v1 verdict store directory.")
+    & info [ "store" ] ~docv:"DIR" ~doc:"The wfc.store.v2 verdict store directory.")
 
 let verdict_out_arg =
   Arg.(
@@ -531,25 +531,48 @@ let verdict_out_arg =
     & opt (some string) None
     & info [ "verdict-out" ] ~docv:"FILE"
         ~doc:
-          "Write the canonical verdict object (the wfc.store.v1 record minus its timing \
+          "Write the canonical verdict object (the wfc.store.v2 record minus its timing \
            fields — every byte a deterministic function of the question, identical across \
            solve / query / store hits) to $(docv); - for stdout.")
 
-let spec_string ~task ~procs ~param ~max_level =
-  Wfc_serve.Wire.spec_to_string { Wfc_serve.Wire.task; procs; param; max_level }
+(* --model parses eagerly: an unknown model name dies in argument parsing,
+   before any complex is built *)
+let model_conv : Model.t Arg.conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Model.of_string s) in
+  Arg.conv ~docv:"MODEL" (parse, fun ppf m -> Format.pp_print_string ppf (Model.to_string m))
 
-let fresh_record ~t ~task ~procs ~param ~max_level outcome =
+let model_arg =
+  Arg.(
+    value
+    & opt model_conv Model.wait_free
+    & info [ "model" ] ~docv:"MODEL"
+        ~doc:
+          "Computation model to decide solvability under: wait-free (default), \
+           t-resilient:T, or k-set:K — an affine restriction of the IIS runs. See $(b,wfc \
+           models).")
+
+let spec_string ~task ~procs ~param ~max_level ~model =
+  Wfc_serve.Wire.spec_to_string { Wfc_serve.Wire.task; procs; param; max_level; model }
+
+let fresh_record ~t ~task ~procs ~param ~max_level ~model outcome =
   Wfc_serve.Store.record ~task:t
-    ~spec:(spec_string ~task ~procs ~param ~max_level)
-    ~max_level ~budget:Solvability.default_budget outcome
+    ~spec:(spec_string ~task ~procs ~param ~max_level ~model)
+    ~model ~max_level ~budget:Solvability.default_budget outcome
 
 let solve_cmd =
-  let run task procs param max_level domains portfolio validate search_trace store_dir
+  let run task procs param max_level domains portfolio model validate search_trace store_dir
       verdict_out perfetto stats json =
     apply_domains domains;
-    if portfolio then Solvability.set_portfolio true;
+    let opts =
+      Solvability.options ~trace:search_trace
+        ?mode:(if portfolio then Some `Portfolio else None)
+        ~model ()
+    in
+    let model_name = Model.to_string model in
     let t = task_of task procs param in
     Format.printf "%a@." Task.pp_stats t;
+    if not (Model.equal model Model.wait_free) then
+      Format.printf "model: %s@." model_name;
     let store = Option.map Wfc_serve.Store.open_store store_dir in
     let emit_verdict record =
       match verdict_out with
@@ -560,7 +583,7 @@ let solve_cmd =
     let cached =
       match store with
       | Some st ->
-        Wfc_serve.Store.find st ~digest:(Task.digest t) ~max_level
+        Wfc_serve.Store.find st ~digest:(Task.digest t) ~model:model_name ~max_level
           ~budget:Solvability.default_budget
       | None -> None
     in
@@ -572,8 +595,7 @@ let solve_cmd =
       emit_verdict r;
       if o.Solvability.o_verdict = "exhausted" then exit_exhausted else 0
     | None ->
-    Solvability.set_search_trace search_trace;
-    let verdict = Solvability.solve ~max_level t in
+    let verdict = Solvability.solve ~opts ~max_level t in
     let vstats = Solvability.stats_of_verdict verdict in
     let level =
       match verdict with
@@ -587,9 +609,14 @@ let solve_cmd =
           map.Solvability.level
           (Solvability.verify map = Ok ());
         if validate then begin
-          match Characterization.validate map with
-          | Ok () -> Format.printf "distributed validation: OK@."
-          | Error e -> Format.printf "distributed validation: FAILED (%s)@." e
+          (* the distributed validator drives arbitrary adversary runs, which
+             can leave a restricting model's admitted sub-complex *)
+          if not (Model.equal model Model.wait_free) then
+            Format.printf "distributed validation: skipped (only defined for wait-free)@."
+          else
+            match Characterization.validate map with
+            | Ok () -> Format.printf "distributed validation: OK@."
+            | Error e -> Format.printf "distributed validation: FAILED (%s)@." e
         end;
         0
       | Solvability.Unsolvable_at { level = b; trail; _ } ->
@@ -631,7 +658,8 @@ let solve_cmd =
     | None -> ());
     if verdict_out <> None || store <> None then begin
       let record =
-        fresh_record ~t ~task ~procs ~param ~max_level (Solvability.outcome_of_verdict verdict)
+        fresh_record ~t ~task ~procs ~param ~max_level ~model:model_name
+          (Solvability.outcome_of_verdict verdict)
       in
       (match (store, verdict) with
       | Some st, (Solvability.Solvable _ | Solvability.Unsolvable_at _) ->
@@ -691,13 +719,14 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve"
        ~doc:
-         "Decide wait-free solvability of a task (Proposition 3.1). Exits 0 on a verdict \
-          (solvable or unsolvable), 3 if the node budget ran out. With $(b,--store), \
-          verdicts persist across invocations and known questions are answered from disk.")
+         "Decide solvability of a task (Proposition 3.1) under a computation model \
+          ($(b,--model), wait-free by default). Exits 0 on a verdict (solvable or \
+          unsolvable), 3 if the node budget ran out. With $(b,--store), verdicts persist \
+          across invocations and known questions are answered from disk.")
     Term.(
-      const run $ task $ procs_arg $ param $ max_level $ domains_arg $ portfolio $ validate
-      $ search_trace $ store_opt_arg $ verdict_out_arg $ solve_perfetto $ Output.stats_arg
-      $ Output.json_arg)
+      const run $ task $ procs_arg $ param $ max_level $ domains_arg $ portfolio $ model_arg
+      $ validate $ search_trace $ store_opt_arg $ verdict_out_arg $ solve_perfetto
+      $ Output.stats_arg $ Output.json_arg)
 
 (* ---------- serve / query / store ---------- *)
 
@@ -784,9 +813,10 @@ let serve_cmd =
       $ stop)
 
 let query_cmd =
-  let run task procs param max_level socket store_dir domains no_daemon ping verdict_out stats
-      json =
+  let run task procs param max_level model socket store_dir domains no_daemon ping verdict_out
+      stats json =
     apply_domains domains;
+    let model_name = Model.to_string model in
     if ping then (
       match Wfc_serve.Client.connect ~socket with
       | Ok c ->
@@ -804,7 +834,7 @@ let query_cmd =
         Format.eprintf "%s@." e;
         1)
     else begin
-      let spec = { Wfc_serve.Wire.task; procs; param; max_level } in
+      let spec = { Wfc_serve.Wire.task; procs; param; max_level; model = model_name } in
       let budget = Solvability.default_budget in
       let finish ~source record =
         let o = record.Wfc_serve.Store.outcome in
@@ -850,30 +880,40 @@ let query_cmd =
                     (fun () ->
                       Option.map
                         (fun r -> r.Wfc_serve.Store.outcome)
-                        (Wfc_serve.Store.find st ~digest ~max_level ~budget));
+                        (Wfc_serve.Store.find st ~digest ~model:model_name ~max_level
+                           ~budget));
                   commit =
                     (fun o ->
-                      let r = fresh_record ~t ~task ~procs ~param ~max_level o in
+                      let r =
+                        fresh_record ~t ~task ~procs ~param ~max_level ~model:model_name o
+                      in
                       Wfc_serve.Store.put st r;
                       committed := Some r);
                 })
               store
           in
-          match Solvability.solve_cached ~budget ?store:hook ~max_level t with
+          match
+            Solvability.solve_cached
+              ~opts:(Solvability.options ~budget ~model ())
+              ?store:hook ~max_level t
+          with
           | o, `Computed ->
             let record =
               match !committed with
               | Some r -> r
-              | None -> fresh_record ~t ~task ~procs ~param ~max_level o
+              | None -> fresh_record ~t ~task ~procs ~param ~max_level ~model:model_name o
             in
             finish ~source:"inline" record
           | o, `Hit ->
             let record =
               match
-                Option.map (fun st -> Wfc_serve.Store.find st ~digest ~max_level ~budget) store
+                Option.map
+                  (fun st ->
+                    Wfc_serve.Store.find st ~digest ~model:model_name ~max_level ~budget)
+                  store
               with
               | Some (Some r) -> r
-              | _ -> fresh_record ~t ~task ~procs ~param ~max_level o
+              | _ -> fresh_record ~t ~task ~procs ~param ~max_level ~model:model_name o
             in
             finish ~source:"store" record)
       in
@@ -917,7 +957,7 @@ let query_cmd =
           canonical verdicts whatever the path (daemon store hit, daemon computation, \
           coalesced wait, inline).")
     Term.(
-      const run $ task_arg $ procs_arg $ param_arg $ max_level_arg $ socket_arg
+      const run $ task_arg $ procs_arg $ param_arg $ max_level_arg $ model_arg $ socket_arg
       $ store_opt_arg $ domains_arg $ no_daemon $ ping $ verdict_out_arg $ Output.stats_arg
       $ Output.json_arg)
 
@@ -931,10 +971,10 @@ let store_cmd =
           match r with
           | Ok r ->
             let o = r.Wfc_serve.Store.outcome in
-            Format.printf "%-44s %-11s level=%d nodes=%-9d %s@." name
+            Format.printf "%-54s %-11s level=%d nodes=%-9d %-14s %s@." name
               o.Solvability.o_verdict o.Solvability.o_level o.Solvability.o_nodes
-              r.Wfc_serve.Store.task
-          | Error e -> Format.printf "%-44s CORRUPT (%s)@." name e)
+              r.Wfc_serve.Store.model r.Wfc_serve.Store.task
+          | Error e -> Format.printf "%-54s CORRUPT (%s)@." name e)
         entries;
       Format.printf "%d record(s) in %s@." (List.length entries) store_dir;
       0
@@ -979,9 +1019,44 @@ let store_cmd =
          ~doc:"Delete quarantined records and interrupted-write .tmp files from a store.")
       Term.(const run $ store_req_arg)
   in
+  let migrate =
+    let run store_dir =
+      let st = Wfc_serve.Store.open_store store_dir in
+      let r = Wfc_serve.Store.migrate st in
+      Format.printf "migrated: %d@." r.Wfc_serve.Store.migrated;
+      Format.printf "already v2: %d@." r.Wfc_serve.Store.untouched;
+      List.iter
+        (fun (name, e) -> Format.printf "skipped: %s (%s)@." name e)
+        r.Wfc_serve.Store.skipped;
+      if r.Wfc_serve.Store.skipped = [] then 0 else 1
+    in
+    Cmd.v
+      (Cmd.info "migrate"
+         ~doc:
+           "Rewrite v1 records (pre-model, implicitly wait-free) as wfc.store.v2 records \
+            under the (digest, model, level) filename scheme. Idempotent; corrupt or \
+            misfiled records are reported and left for $(b,wfc store verify) / $(b,gc).")
+      Term.(const run $ store_req_arg)
+  in
   Cmd.group
-    (Cmd.info "store" ~doc:"Inspect and maintain wfc.store.v1 verdict stores.")
-    [ ls; verify; gc ]
+    (Cmd.info "store" ~doc:"Inspect and maintain wfc.store.v2 verdict stores.")
+    [ ls; verify; gc; migrate ]
+
+(* ---------- models ---------- *)
+
+let models_cmd =
+  let run () =
+    List.iter
+      (fun (pattern, descr) -> Format.printf "%-16s %s@." pattern descr)
+      Model.builtins;
+    0
+  in
+  Cmd.v
+    (Cmd.info "models"
+       ~doc:
+         "List the computation models $(b,--model) accepts: each is an affine restriction \
+          of the IIS runs, decided over the same subdivided complexes.")
+    Term.(const run $ const ())
 
 (* ---------- converge ---------- *)
 
@@ -1093,7 +1168,8 @@ let check_json_cmd =
           | Error e ->
             Format.eprintf "%s: invalid trace (%s)@." file e;
             1)
-      | Some (Wfc_obs.Json.String s) when s = Wfc_serve.Store.schema_version ->
+      | Some (Wfc_obs.Json.String s)
+        when s = Wfc_serve.Store.schema_version || s = Wfc_serve.Store.schema_version_v1 ->
         if scenario <> None then begin
           Format.eprintf "%s: --scenario only applies to %s reports@." file
             Wfc_obs.Report.schema_version;
@@ -1127,7 +1203,7 @@ let check_json_cmd =
               1
             end
             else begin
-              Format.printf "%s: valid %s record@." file Wfc_serve.Store.schema_version;
+              Format.printf "%s: valid %s record@." file s;
               0
             end)
       | Some (Wfc_obs.Json.String s) ->
@@ -1162,7 +1238,8 @@ let check_json_cmd =
     (Cmd.info "check-json"
        ~doc:
          "Validate a JSON artifact by its schema tag: wfc.obs.v1 reports, wfc.trace.v1 \
-          traces, and wfc.store.v1 verdict records. Exits 4 on an unknown schema.")
+          traces, and wfc.store.v2 (or legacy v1) verdict records. Exits 4 on an unknown \
+          schema.")
     Term.(const run $ file $ expect_verdict $ min_nodes $ scenario)
 
 let main_cmd =
@@ -1180,6 +1257,7 @@ let main_cmd =
       serve_cmd;
       query_cmd;
       store_cmd;
+      models_cmd;
       converge_cmd;
       approx_cmd;
       bound_cmd;

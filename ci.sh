@@ -16,7 +16,10 @@
 # to an inline solve's canonical verdict, a SIGKILLed daemon must leave a
 # store that verifies clean and a stale socket the next daemon replaces,
 # and two distinct concurrent cold queries must both be computed by the
-# worker scheduler.
+# worker scheduler. The models leg closes the loop on computation models:
+# one task solved under two models (wait-free / k-set:2) must yield two
+# distinct verdicts, each cacheable and re-served warm by the daemon
+# byte-identically to its inline baseline.
 set -eux
 
 dune build
@@ -157,3 +160,48 @@ test "$(ls "$SERVE_STORE2"/*.json | wc -l)" -eq 2
 "$WFC" serve --stop --socket "$SERVE_SOCK"
 wait $SERVE_PID
 rm -rf "$SERVE_SOCK" "$SERVE_STORE2" QUERY_a.txt QUERY_b.txt
+
+# models smoke: one task under two models must be two independent questions
+# all the way down. consensus(2) at level 1 is the acceptance pair — UNSOLVABLE
+# wait-free, SOLVABLE under k-set:2 (only lock-step runs survive the
+# restriction). Baseline both verdicts inline, then have one daemon compute
+# both cold, re-serve both warm from its (task, model)-keyed store, and
+# require every daemon answer byte-identical to the inline verdict for the
+# same model. The store ends up holding both records side by side; `store
+# migrate` on an all-v2 store is a no-op and `store verify` stays clean.
+SERVE_STORE3=ci_serve_store3
+rm -rf "$SERVE_SOCK" "$SERVE_STORE3"
+"$WFC" models
+"$WFC" solve --task consensus --procs 2 --max-level 1 \
+  --verdict-out VERDICT_wf.json | grep '^UNSOLVABLE'
+"$WFC" solve --task consensus --procs 2 --max-level 1 --model k-set:2 \
+  --verdict-out VERDICT_kset.json | grep '^SOLVABLE'
+"$WFC" serve --socket "$SERVE_SOCK" --store "$SERVE_STORE3" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  if "$WFC" query --ping --socket "$SERVE_SOCK" >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+"$WFC" query --task consensus --procs 2 --max-level 1 \
+  --socket "$SERVE_SOCK" --verdict-out VERDICT_wf_cold.json | grep 'source=computed'
+"$WFC" query --task consensus --procs 2 --max-level 1 --model k-set:2 \
+  --socket "$SERVE_SOCK" --verdict-out VERDICT_kset_cold.json | grep 'source=computed'
+"$WFC" query --task consensus --procs 2 --max-level 1 \
+  --socket "$SERVE_SOCK" --verdict-out VERDICT_wf_warm.json | grep 'source=store'
+"$WFC" query --task consensus --procs 2 --max-level 1 --model k-set:2 \
+  --socket "$SERVE_SOCK" --verdict-out VERDICT_kset_warm.json | grep 'source=store'
+cmp VERDICT_wf.json VERDICT_wf_cold.json
+cmp VERDICT_wf.json VERDICT_wf_warm.json
+cmp VERDICT_kset.json VERDICT_kset_cold.json
+cmp VERDICT_kset.json VERDICT_kset_warm.json
+test "$(ls "$SERVE_STORE3"/*.json | wc -l)" -eq 2
+"$WFC" store ls --store "$SERVE_STORE3" | grep 'k-set:2'
+"$WFC" store migrate --store "$SERVE_STORE3"
+"$WFC" store verify --store "$SERVE_STORE3"
+"$WFC" serve --stop --socket "$SERVE_SOCK"
+wait $SERVE_PID
+rm -rf "$SERVE_SOCK" "$SERVE_STORE3" VERDICT_wf.json VERDICT_kset.json \
+  VERDICT_wf_cold.json VERDICT_kset_cold.json VERDICT_wf_warm.json \
+  VERDICT_kset_warm.json

@@ -100,7 +100,7 @@ let chromatic ?budget ?(max_k = 4) ~target () =
   let rec go k =
     if k > max_k then None
     else
-      match Solvability.solve_at ?budget task k with
+      match Solvability.solve_at ~opts:(Solvability.options ?budget ()) task k with
       | Solvability.Solvable { map; _ } -> Some (k, map)
       | Solvability.Unsolvable_at _ | Solvability.Exhausted _ -> go (k + 1)
   in

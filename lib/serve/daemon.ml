@@ -45,6 +45,7 @@ type job = {
   j_spec : Wire.spec;
   j_task : Wfc_tasks.Task.t;
   j_digest : string;
+  j_model : Wfc_tasks.Model.t;  (** parsed at admission; unknown names never enqueue *)
   mutable j_result : (Store.record, string) result option;
 }
 
@@ -67,7 +68,7 @@ type state = {
   stopping : bool Atomic.t;
 }
 
-let key_of ~digest ~max_level = Printf.sprintf "%s:L%d" digest max_level
+let key_of ~digest ~model ~max_level = Printf.sprintf "%s:%s:L%d" digest model max_level
 
 let locked st f =
   Mutex.lock st.m;
@@ -105,11 +106,12 @@ let dequeue_job st =
 let compute st (job : job) =
   (match st.cfg.gate with Some g -> g job.j_digest | None -> ());
   let max_level = job.j_spec.Wire.max_level in
+  let model = job.j_spec.Wire.model in
   let budget = Solvability.default_budget in
-  let find () = Store.find st.store ~digest:job.j_digest ~max_level ~budget in
+  let find () = Store.find st.store ~digest:job.j_digest ~model ~max_level ~budget in
   let fresh outcome =
-    Store.record ~task:job.j_task ~spec:(Wire.spec_to_string job.j_spec) ~max_level ~budget
-      outcome
+    Store.record ~task:job.j_task ~spec:(Wire.spec_to_string job.j_spec) ~model ~max_level
+      ~budget outcome
   in
   let committed = ref None in
   let hook =
@@ -123,7 +125,11 @@ let compute st (job : job) =
           committed := Some r);
     }
   in
-  match Solvability.solve_cached ~budget ~max_level ~store:hook job.j_task with
+  match
+    Solvability.solve_cached
+      ~opts:(Solvability.options ~budget ~model:job.j_model ())
+      ~max_level ~store:hook job.j_task
+  with
   | _, `Hit -> (
     match find () with Some r -> Ok r | None -> Error "store record vanished mid-solve")
   | outcome, `Computed -> (
@@ -154,7 +160,8 @@ let worker_loop st =
       locked st (fun () ->
           job.j_result <- Some result;
           Hashtbl.remove st.inflight
-            (key_of ~digest:job.j_digest ~max_level:job.j_spec.Wire.max_level);
+            (key_of ~digest:job.j_digest ~model:job.j_spec.Wire.model
+               ~max_level:job.j_spec.Wire.max_level);
           Condition.broadcast st.done_cv);
       next ()
   in
@@ -172,13 +179,18 @@ let handle_query st (spec : Wire.spec) =
     Wfc_obs.Metrics.observe h_latency (Wfc_obs.Metrics.now_s () -. t0);
     resp
   in
+  match Wfc_tasks.Model.of_string spec.Wire.model with
+  | Error msg ->
+    Wfc_obs.Metrics.incr c_errors;
+    answer (Wire.Failed msg)
+  | Ok model -> (
   match Wfc_tasks.Instances.by_name ~name:spec.Wire.task ~procs:spec.Wire.procs ~param:spec.Wire.param with
   | exception Invalid_argument msg ->
     Wfc_obs.Metrics.incr c_errors;
     answer (Wire.Failed msg)
   | task -> (
     let digest = Wfc_tasks.Task.digest task in
-    let key = key_of ~digest ~max_level:spec.Wire.max_level in
+    let key = key_of ~digest ~model:spec.Wire.model ~max_level:spec.Wire.max_level in
     let wait_for job =
       let rec poll () =
         match job.j_result with
@@ -199,8 +211,8 @@ let handle_query st (spec : Wire.spec) =
               `Join job
             | None -> (
               match
-                Store.find st.store ~digest ~max_level:spec.Wire.max_level
-                  ~budget:Solvability.default_budget
+                Store.find st.store ~digest ~model:spec.Wire.model
+                  ~max_level:spec.Wire.max_level ~budget:Solvability.default_budget
               with
               | Some r ->
                 Wfc_obs.Metrics.incr c_hits;
@@ -212,7 +224,15 @@ let handle_query st (spec : Wire.spec) =
                 end
                 else begin
                   Wfc_obs.Metrics.incr c_misses;
-                  let job = { j_spec = spec; j_task = task; j_digest = digest; j_result = None } in
+                  let job =
+                    {
+                      j_spec = spec;
+                      j_task = task;
+                      j_digest = digest;
+                      j_model = model;
+                      j_result = None;
+                    }
+                  in
                   Hashtbl.replace st.inflight key job;
                   enqueue_job st job;
                   Wfc_obs.Metrics.observe h_depth (float_of_int st.npending);
@@ -231,7 +251,7 @@ let handle_query st (spec : Wire.spec) =
     | `Own job -> (
       match wait_for job with
       | Ok r -> answer (Wire.Verdict { source = Wire.Computed; record = r })
-      | Error e -> answer (Wire.Failed e)))
+      | Error e -> answer (Wire.Failed e))))
 
 let handle_connection st fd =
   let stop_requested = ref false in

@@ -1,10 +1,13 @@
 open Wfc_core
 
-let schema_version = "wfc.store.v1"
+let schema_version = "wfc.store.v2"
+
+let schema_version_v1 = "wfc.store.v1"
 
 type record = {
   digest : string;
   task : string;
+  model : string;
   procs : int;
   max_level : int;
   budget : int;
@@ -18,10 +21,11 @@ let c_puts = Wfc_obs.Metrics.counter "serve.store.puts"
 
 let c_quarantined = Wfc_obs.Metrics.counter "serve.store.quarantined"
 
-let record ~task ~spec ~max_level ~budget outcome =
+let record ~task ~spec ?(model = "wait-free") ~max_level ~budget outcome =
   {
     digest = Wfc_tasks.Task.digest task;
     task = spec;
+    model;
     procs = task.Wfc_tasks.Task.procs;
     max_level;
     budget;
@@ -40,6 +44,7 @@ let json_fields r =
     ("schema", String schema_version);
     ("digest", String r.digest);
     ("task", String r.task);
+    ("model", String r.model);
     ("procs", Int r.procs);
     ("max_level", Int r.max_level);
     ("budget", Int r.budget);
@@ -88,12 +93,22 @@ let ( let* ) = Result.bind
 let record_of_json j =
   let* schema = string_member "schema" j in
   let* () =
-    if schema = schema_version then Ok ()
-    else Error (Printf.sprintf "schema %S, expected %S" schema schema_version)
+    if schema = schema_version || schema = schema_version_v1 then Ok ()
+    else
+      Error
+        (Printf.sprintf "schema %S, expected %S or %S" schema schema_version
+           schema_version_v1)
   in
   let* digest = string_member "digest" j in
   let* () = if is_hex_digest digest then Ok () else Error "digest is not 32 hex chars" in
   let* task = string_member "task" j in
+  let* model =
+    (* v1 records predate models and are implicitly wait-free; v2 must say *)
+    if schema = schema_version_v1 then Ok "wait-free"
+    else
+      let* m = string_member "model" j in
+      if m = "" then Error "empty \"model\"" else Ok m
+  in
   let* procs = int_member "procs" j in
   let* max_level = int_member "max_level" j in
   let* budget = int_member "budget" j in
@@ -135,6 +150,7 @@ let record_of_json j =
     {
       digest;
       task;
+      model;
       procs;
       max_level;
       budget;
@@ -174,9 +190,14 @@ let open_store root =
 
 let dir t = t.root
 
-let basename_of ~digest ~max_level = Printf.sprintf "%s.L%d.json" digest max_level
+let basename_of ~digest ~model ~max_level =
+  Printf.sprintf "%s.%s.L%d.json" digest (Wfc_tasks.Model.slug_of_name model) max_level
 
-let path_of t ~digest ~max_level = Filename.concat t.root (basename_of ~digest ~max_level)
+(* the pre-model filename scheme; only wait-free records ever used it *)
+let basename_v1 ~digest ~max_level = Printf.sprintf "%s.L%d.json" digest max_level
+
+let path_of t ~digest ~model ~max_level =
+  Filename.concat t.root (basename_of ~digest ~model ~max_level)
 
 let quarantine t path =
   Wfc_obs.Metrics.incr c_quarantined;
@@ -192,14 +213,24 @@ let read_record path =
     | Ok j -> (
       match record_of_json j with Error e -> Error (`Corrupt e) | Ok r -> Ok r))
 
-let find t ~digest ~max_level ~budget =
-  let path = path_of t ~digest ~max_level in
-  if not (Sys.file_exists path) then None
-  else begin
+let find t ~digest ~model ~max_level ~budget =
+  let path =
+    let v2 = path_of t ~digest ~model ~max_level in
+    if Sys.file_exists v2 then Some v2
+    else if model = "wait-free" then begin
+      (* read-compat: a pre-model store files wait-free records flat *)
+      let v1 = Filename.concat t.root (basename_v1 ~digest ~max_level) in
+      if Sys.file_exists v1 then Some v1 else None
+    end
+    else None
+  in
+  match path with
+  | None -> None
+  | Some path -> (
     Wfc_obs.Metrics.incr c_reads;
     match read_record path with
-    | Ok r when r.digest = digest && r.budget = budget -> Some r
-    | Ok r when r.digest <> digest ->
+    | Ok r when r.digest = digest && r.model = model && r.budget = budget -> Some r
+    | Ok r when r.digest <> digest || r.model <> model ->
       (* filed under the wrong name: never serve it *)
       quarantine t path;
       None
@@ -207,11 +238,10 @@ let find t ~digest ~max_level ~budget =
     | Error (`Unreadable _) -> None
     | Error (`Corrupt _) ->
       quarantine t path;
-      None
-  end
+      None)
 
 let put t r =
-  let path = path_of t ~digest:r.digest ~max_level:r.max_level in
+  let path = path_of t ~digest:r.digest ~model:r.model ~max_level:r.max_level in
   let tmp = path ^ ".tmp" in
   let bytes = Wfc_obs.Json.to_string (record_to_json r) in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
@@ -250,16 +280,17 @@ type verify_report = {
   stray_tmp : int;
 }
 
+let well_named name r =
+  name = basename_of ~digest:r.digest ~model:r.model ~max_level:r.max_level
+  || (r.model = "wait-free" && name = basename_v1 ~digest:r.digest ~max_level:r.max_level)
+
 let verify t =
   let valid = ref 0 and corrupt = ref [] and mismatched = ref [] in
   List.iter
     (fun (name, r) ->
       match r with
       | Error e -> corrupt := (name, e) :: !corrupt
-      | Ok r ->
-        if name <> basename_of ~digest:r.digest ~max_level:r.max_level then
-          mismatched := name :: !mismatched
-        else incr valid)
+      | Ok r -> if well_named name r then incr valid else mismatched := name :: !mismatched)
     (entries t);
   {
     valid = !valid;
@@ -268,6 +299,35 @@ let verify t =
     quarantined = List.length (list_files (quarantine_dir t) ~suffix:"");
     stray_tmp = List.length (list_files t.root ~suffix:".tmp");
   }
+
+type migrate_report = {
+  migrated : int;
+  untouched : int;
+  skipped : (string * string) list;
+}
+
+let migrate t =
+  let migrated = ref 0 and untouched = ref 0 and skipped = ref [] in
+  List.iter
+    (fun (name, r) ->
+      match r with
+      | Error e -> skipped := (name, e) :: !skipped
+      | Ok r ->
+        let canonical = basename_of ~digest:r.digest ~model:r.model ~max_level:r.max_level in
+        if name = canonical then incr untouched
+        else if
+          r.model = "wait-free"
+          && name = basename_v1 ~digest:r.digest ~max_level:r.max_level
+        then begin
+          (* rewrite as a v2 record (same outcome, same created_at) under
+             the (digest, model, level) name, then retire the v1 file *)
+          put t r;
+          (try Sys.remove (Filename.concat t.root name) with Sys_error _ -> ());
+          incr migrated
+        end
+        else skipped := (name, "filed under a name matching neither scheme") :: !skipped)
+    (entries t);
+  { migrated = !migrated; untouched = !untouched; skipped = List.rev !skipped }
 
 let gc t ~removed =
   let rm path = try Sys.remove path; incr removed with Sys_error _ -> () in

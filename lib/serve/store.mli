@@ -1,17 +1,24 @@
-(** Content-addressed persistent verdict store ([wfc.store.v1]).
+(** Content-addressed persistent verdict store ([wfc.store.v2]).
 
-    A verdict is a pure function of [(task, max_level, budget)]: the search
-    is deterministic, so once computed it can be reused by every later
-    process. This module files one canonical-JSON record per decided
+    A verdict is a pure function of [(task, model, max_level, budget)]: the
+    search is deterministic, so once computed it can be reused by every
+    later process. This module files one canonical-JSON record per decided
     question under
 
-    {v <dir>/<task digest>.L<max_level>.json v}
+    {v <dir>/<task digest>.<model slug>.L<max_level>.json v}
 
     where the digest is {!Wfc_tasks.Task.digest} — content addressing, so
     two differently-named constructions of the same [(I, O, Δ)] share a
-    record. The budget rides inside the record and is checked on read: a
-    record computed under a different budget is a miss, never a wrong
-    answer.
+    record — and the model slug is {!Wfc_tasks.Model.slug_of_name} of the
+    model's canonical name ([wait-free], [k-set-2], ...). The budget rides
+    inside the record and is checked on read: a record computed under a
+    different budget is a miss, never a wrong answer.
+
+    {b v1 read-compat.} Stores written before models existed file wait-free
+    records flat as [<digest>.L<level>.json] with schema [wfc.store.v1] and
+    no [model] field. Such records parse (as [model = "wait-free"]), are
+    found by wait-free {!find}s, and pass {!verify} under either name;
+    {!migrate} rewrites them in place as v2 records under the v2 name.
 
     Durability: {!put} writes to a [.tmp] file in the same directory,
     fsyncs, then renames — a process killed at any instant leaves either
@@ -23,11 +30,15 @@
     deletes them. *)
 
 val schema_version : string
-(** ["wfc.store.v1"]. *)
+(** ["wfc.store.v2"]. *)
+
+val schema_version_v1 : string
+(** ["wfc.store.v1"] — still accepted on read. *)
 
 type record = {
   digest : string;  (** {!Wfc_tasks.Task.digest} of the task *)
   task : string;  (** informational: the instance spec, e.g. ["consensus(procs=2,param=2)"] *)
+  model : string;  (** canonical {!Wfc_tasks.Model} name, e.g. ["k-set:2"] *)
   procs : int;
   max_level : int;
   budget : int;
@@ -38,15 +49,17 @@ type record = {
 val record :
   task:Wfc_tasks.Task.t ->
   spec:string ->
+  ?model:string ->
   max_level:int ->
   budget:int ->
   Wfc_core.Solvability.outcome ->
   record
 (** Builds a record for [outcome], computing the digest and stamping
-    [created_at] with the current time. *)
+    [created_at] with the current time. [model] defaults to
+    ["wait-free"]. *)
 
 val record_to_json : record -> Wfc_obs.Json.t
-(** The full [wfc.store.v1] object, including the non-deterministic fields
+(** The full [wfc.store.v2] object, including the non-deterministic fields
     ([elapsed], [created_at]). *)
 
 val verdict_json : record -> Wfc_obs.Json.t
@@ -56,11 +69,13 @@ val verdict_json : record -> Wfc_obs.Json.t
     invariant the CI smoke diffs. *)
 
 val record_of_json : Wfc_obs.Json.t -> (record, string) result
+(** Accepts both schemas: a v1 object parses with [model = "wait-free"]. *)
 
 val validate_json : Wfc_obs.Json.t -> (unit, string) result
-(** Structural check used by [wfc check-json] on [wfc.store.v1] artifacts:
-    schema tag, hex digest, verdict vocabulary, decide-table shape, and
-    solvable records must carry a non-empty decide table. *)
+(** Structural check used by [wfc check-json] on store artifacts: schema
+    tag (v1 or v2), hex digest, model presence (v2), verdict vocabulary,
+    decide-table shape, and solvable records must carry a non-empty decide
+    table. *)
 
 type t
 
@@ -69,16 +84,20 @@ val open_store : string -> t
 
 val dir : t -> string
 
-val path_of : t -> digest:string -> max_level:int -> string
-(** The record file a question maps to. *)
+val path_of : t -> digest:string -> model:string -> max_level:int -> string
+(** The v2 record file a question maps to. *)
 
-val find : t -> digest:string -> max_level:int -> budget:int -> record option
+val find :
+  t -> digest:string -> model:string -> max_level:int -> budget:int -> record option
 (** The stored verdict for a question, or [None] on: no record, a record
     computed under a different budget, or a corrupt record (which is
-    quarantined on the way out). Never raises on store corruption. *)
+    quarantined on the way out). A wait-free question falls back to the v1
+    path when no v2 record exists. A record whose body disagrees with the
+    requested digest {e or model} is quarantined, never served. Never
+    raises on store corruption. *)
 
 val put : t -> record -> unit
-(** Atomically files the record under its question's path (tmp + fsync +
+(** Atomically files the record under its question's v2 path (tmp + fsync +
     rename), replacing any previous record. *)
 
 val entries : t -> (string * (record, string) result) list
@@ -89,12 +108,26 @@ val entries : t -> (string * (record, string) result) list
 type verify_report = {
   valid : int;
   corrupt : (string * string) list;  (** record files failing validation *)
-  mismatched : string list;  (** records whose digest disagrees with their filename *)
+  mismatched : string list;
+      (** records whose (digest, model, level) disagree with their filename
+          under both the v2 and (for wait-free) v1 naming schemes *)
   quarantined : int;  (** files already sitting in quarantine/ *)
   stray_tmp : int;  (** interrupted writes ([*.tmp]) *)
 }
 
 val verify : t -> verify_report
+
+type migrate_report = {
+  migrated : int;  (** v1-named wait-free records rewritten as v2 *)
+  untouched : int;  (** records already filed under their v2 name *)
+  skipped : (string * string) list;  (** (name, reason): corrupt or misfiled *)
+}
+
+val migrate : t -> migrate_report
+(** [wfc store migrate]: rewrites every well-formed v1-named record as a v2
+    [wait-free] record under the v2 name (same outcome and [created_at]),
+    removing the v1 file. Corrupt or misfiled records are left in place and
+    reported — {!verify} is the tool for those. Idempotent. *)
 
 val gc : t -> removed:int ref -> unit
 (** Deletes quarantined records and stray [.tmp] files, counting deletions

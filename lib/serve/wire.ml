@@ -1,6 +1,6 @@
 let max_frame = 16 * 1024 * 1024
 
-type spec = { task : string; procs : int; param : int; max_level : int }
+type spec = { task : string; procs : int; param : int; max_level : int; model : string }
 
 let spec_to_string s = Printf.sprintf "%s(procs=%d,param=%d)" s.task s.procs s.param
 
@@ -32,6 +32,7 @@ let request_to_json r =
         ("procs", Int s.procs);
         ("param", Int s.param);
         ("max_level", Int s.max_level);
+        ("model", String s.model);
       ]
   | Ping -> Obj [ ("op", String "ping") ]
   | Stats -> Obj [ ("op", String "stats") ]
@@ -60,9 +61,16 @@ let request_of_json j =
     let* procs = int_member "procs" j in
     let* param = int_member "param" j in
     let* max_level = int_member "max_level" j in
+    (* pre-model clients omit the field; their questions are wait-free *)
+    let* model =
+      match Wfc_obs.Json.member "model" j with
+      | None -> Ok "wait-free"
+      | Some (Wfc_obs.Json.String m) when m <> "" -> Ok m
+      | Some _ -> Error "non-string or empty \"model\""
+    in
     if procs < 1 then Error "procs must be >= 1"
     else if max_level < 0 then Error "max_level must be >= 0"
-    else Ok (Query { task; procs; param; max_level })
+    else Ok (Query { task; procs; param; max_level; model })
   | op -> Error (Printf.sprintf "unknown op %S" op)
 
 let response_to_json r =

@@ -9,12 +9,17 @@
     times per connection.
 
     Requests ([op] tag): {v
-      {"op": "query", "task": NAME, "procs": P, "param": K, "max_level": B}
+      {"op": "query", "task": NAME, "procs": P, "param": K, "max_level": B,
+       "model": M}
       {"op": "ping"}   {"op": "stats"}   {"op": "shutdown"}
     v}
 
+    [model] is a canonical {!Wfc_tasks.Model} name; a request without the
+    field (a pre-model client) is read as ["wait-free"], so old clients keep
+    getting exactly the answers they always got.
+
     Responses ([status] tag): {v
-      {"status": "ok", "source": "store"|"computed"|"coalesced", "record": <wfc.store.v1>}
+      {"status": "ok", "source": "store"|"computed"|"coalesced", "record": <wfc.store.v2>}
       {"status": "shed"}                      queue full — retry or solve inline
       {"status": "pong"}  {"status": "bye"}
       {"status": "stats", "metrics": {...}}   a Wfc_obs snapshot
@@ -30,12 +35,16 @@
 val max_frame : int
 (** 16 MiB. *)
 
-type spec = { task : string; procs : int; param : int; max_level : int }
-(** A named task question, as [wfc solve] would pose it. *)
+type spec = { task : string; procs : int; param : int; max_level : int; model : string }
+(** A named task question under a named model, as [wfc solve] would pose
+    it. [model] is a canonical {!Wfc_tasks.Model} name ("wait-free" for the
+    historical behaviour). *)
 
 val spec_to_string : spec -> string
 (** ["name(procs=P,param=K)"] — the informational [task] field of store
-    records, shared by every producer so records diff cleanly. *)
+    records, shared by every producer so records diff cleanly. The model is
+    deliberately {e not} part of this string; it travels in the record's
+    own [model] field. *)
 
 type request = Query of spec | Ping | Stats | Shutdown
 

@@ -297,7 +297,7 @@ let qcheck_portfolio_equiv =
     (fun (ti, level, domains) ->
       let _, mk = List.nth tasks_under_test ti in
       let seq = Solvability.solve_at ~domains:1 (mk ()) level in
-      let port = Solvability.solve_at ~domains ~mode:`Portfolio (mk ()) level in
+      let port = Solvability.solve_at ~opts:(Solvability.options ~mode:`Portfolio ()) ~domains (mk ()) level in
       Solvability.verdict_name seq = Solvability.verdict_name port
       && decide_table seq = decide_table port)
 
@@ -307,7 +307,7 @@ let test_portfolio_matches_sequential () =
       List.iter
         (fun level ->
           let seq = Solvability.solve_at ~domains:1 (mk ()) level in
-          let port = Solvability.solve_at ~domains:4 ~mode:`Portfolio (mk ()) level in
+          let port = Solvability.solve_at ~opts:(Solvability.options ~mode:`Portfolio ()) ~domains:4 (mk ()) level in
           Alcotest.(check string)
             (Printf.sprintf "%s level %d: same verdict" name level)
             (Solvability.verdict_name seq) (Solvability.verdict_name port);
@@ -323,7 +323,7 @@ let test_portfolio_single_domain_is_sequential () =
      engine, stats included — the single-core container guarantee *)
   let task = Wfc_tasks.Instances.binary_consensus ~procs:2 in
   let seq = Solvability.solve_at ~domains:1 task 1 in
-  let port = Solvability.solve_at ~domains:1 ~mode:`Portfolio task 1 in
+  let port = Solvability.solve_at ~opts:(Solvability.options ~mode:`Portfolio ()) ~domains:1 task 1 in
   Alcotest.(check string) "same verdict" (Solvability.verdict_name seq)
     (Solvability.verdict_name port);
   let s = Solvability.stats_of_verdict seq and p = Solvability.stats_of_verdict port in
@@ -338,7 +338,7 @@ let test_cumulative_budget () =
   let task = Wfc_tasks.Instances.set_consensus ~procs:3 ~k:2 in
   let budget = 40 in
   let max_level = 2 in
-  match Solvability.solve ~budget ~max_level task with
+  match Solvability.solve ~opts:(Solvability.options ~budget ()) ~max_level task with
   | Solvability.Exhausted { level; stats } ->
     (* the sweep shares one node budget: each level is granted only the
        remainder, so total nodes stay within budget + one root pre-count
@@ -351,7 +351,7 @@ let test_cumulative_budget () =
   | v -> Alcotest.failf "expected Exhausted, got %s" (Solvability.verdict_name v)
 
 let test_budget_zero_exhausts () =
-  match Solvability.solve ~budget:0 ~max_level:3 (Wfc_tasks.Instances.id_task ~procs:2) with
+  match Solvability.solve ~opts:(Solvability.options ~budget:0 ()) ~max_level:3 (Wfc_tasks.Instances.id_task ~procs:2) with
   | Solvability.Exhausted { level; stats } ->
     checki "stopped before level 0" 0 level;
     checki "no nodes granted" 0 stats.Solvability.nodes

@@ -22,7 +22,8 @@ let temp_dir prefix =
 
 let counter_value name = Wfc_obs.Metrics.value (Wfc_obs.Metrics.counter name)
 
-let default_spec = { Wire.task = "consensus"; procs = 2; param = 2; max_level = 1 }
+let default_spec =
+  { Wire.task = "consensus"; procs = 2; param = 2; max_level = 1; model = "wait-free" }
 
 (* The record an inline solve of [spec] would produce: the reference every
    daemon answer must match byte-for-byte (modulo timing fields, which
@@ -113,7 +114,7 @@ let store_tests =
         let st = Store.open_store (temp_dir "wfc-store") in
         let r = inline_record default_spec in
         Store.put st r;
-        (match Store.find st ~digest:r.Store.digest ~max_level:1 ~budget:r.Store.budget with
+        (match Store.find st ~digest:r.Store.digest ~model:"wait-free" ~max_level:1 ~budget:r.Store.budget with
         | None -> Alcotest.fail "record not found after put"
         | Some r' ->
           checks "verdict bytes survive the disk" (json_str (Store.verdict_json r))
@@ -125,28 +126,28 @@ let store_tests =
         let r = inline_record default_spec in
         Store.put st r;
         checkb "other budget misses" true
-          (Store.find st ~digest:r.Store.digest ~max_level:1 ~budget:(r.Store.budget + 1) = None);
+          (Store.find st ~digest:r.Store.digest ~model:"wait-free" ~max_level:1 ~budget:(r.Store.budget + 1) = None);
         (* the record is kept: the original budget still hits *)
         checkb "original budget still hits" true
-          (Store.find st ~digest:r.Store.digest ~max_level:1 ~budget:r.Store.budget <> None));
+          (Store.find st ~digest:r.Store.digest ~model:"wait-free" ~max_level:1 ~budget:r.Store.budget <> None));
     Alcotest.test_case "levels are separate questions" `Quick (fun () ->
         let st = Store.open_store (temp_dir "wfc-store") in
         let r = inline_record default_spec in
         Store.put st r;
         checkb "level 2 misses" true
-          (Store.find st ~digest:r.Store.digest ~max_level:2 ~budget:r.Store.budget = None));
+          (Store.find st ~digest:r.Store.digest ~model:"wait-free" ~max_level:2 ~budget:r.Store.budget = None));
     Alcotest.test_case "torn record is quarantined on read" `Quick (fun () ->
         let dir = temp_dir "wfc-store" in
         let st = Store.open_store dir in
         let r = inline_record default_spec in
         Store.put st r;
-        let path = Store.path_of st ~digest:r.Store.digest ~max_level:1 in
+        let path = Store.path_of st ~digest:r.Store.digest ~model:"wait-free" ~max_level:1 in
         (* truncate mid-object, as a crash during a non-atomic write would *)
         let oc = open_out path in
         output_string oc "{\"schema\": \"wfc.store.v1\", \"dig";
         close_out oc;
         checkb "torn record misses" true
-          (Store.find st ~digest:r.Store.digest ~max_level:1 ~budget:r.Store.budget = None);
+          (Store.find st ~digest:r.Store.digest ~model:"wait-free" ~max_level:1 ~budget:r.Store.budget = None);
         checkb "file moved out of the way" false (Sys.file_exists path);
         let report = Store.verify st in
         checki "quarantined" 1 report.Store.quarantined;
@@ -195,7 +196,7 @@ let store_tests =
         let report = Store.verify st in
         checki "clean" 0 (report.Store.stray_tmp + report.Store.quarantined);
         checkb "the valid record survived gc" true
-          (Store.find st ~digest:r.Store.digest ~max_level:1 ~budget:r.Store.budget <> None));
+          (Store.find st ~digest:r.Store.digest ~model:"wait-free" ~max_level:1 ~budget:r.Store.budget <> None));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -213,7 +214,7 @@ let cached_tests =
           {
             Solvability.lookup =
               (fun () ->
-                Option.map (fun r -> r.Store.outcome) (Store.find st ~digest ~max_level:1 ~budget));
+                Option.map (fun r -> r.Store.outcome) (Store.find st ~digest ~model:"wait-free" ~max_level:1 ~budget));
             commit =
               (fun o ->
                 Store.put st
@@ -236,11 +237,13 @@ let cached_tests =
             Solvability.lookup =
               (fun () ->
                 Option.map (fun r -> r.Store.outcome)
-                  (Store.find st ~digest ~max_level:1 ~budget:1));
+                  (Store.find st ~digest ~model:"wait-free" ~max_level:1 ~budget:1));
             commit = (fun _ -> incr committed);
           }
         in
-        let o, how = Solvability.solve_cached ~budget:1 ~store:hook ~max_level:1 t in
+        let o, how = Solvability.solve_cached
+            ~opts:(Solvability.options ~budget:1 ())
+            ~store:hook ~max_level:1 t in
         checkb "computed" true (how = `Computed);
         checks "exhausted" "exhausted" o.Solvability.o_verdict;
         checki "nothing committed" 0 !committed);
@@ -384,7 +387,9 @@ let daemon_tests =
            instant: the gate admits nobody until it has seen two distinct
            digests enter, so if the scheduler serialized distinct questions
            behind one worker the test would time out here. *)
-        let spec_b = { Wire.task = "set-consensus"; procs = 3; param = 2; max_level = 1 } in
+        let spec_b =
+          { Wire.task = "set-consensus"; procs = 3; param = 2; max_level = 1; model = "wait-free" }
+        in
         let seen = Hashtbl.create 4 in
         let seen_m = Mutex.create () in
         let both_in = Atomic.make false in
@@ -426,7 +431,9 @@ let daemon_tests =
            shutdown, so a second in-flight job could be abandoned and its
            client hung. Hold BOTH workers mid-computation, request
            shutdown, then release: both clients must still get verdicts. *)
-        let spec_b = { Wire.task = "set-consensus"; procs = 3; param = 2; max_level = 1 } in
+        let spec_b =
+          { Wire.task = "set-consensus"; procs = 3; param = 2; max_level = 1; model = "wait-free" }
+        in
         let seen = Hashtbl.create 4 in
         let seen_m = Mutex.create () in
         let both_in = Atomic.make false in
@@ -488,7 +495,7 @@ let daemon_tests =
         (* daemon is gone; the record it filed outlives it *)
         let st = Store.open_store dir in
         let r = Option.get !captured in
-        match Store.find st ~digest:r.Store.digest ~max_level:1 ~budget:r.Store.budget with
+        match Store.find st ~digest:r.Store.digest ~model:"wait-free" ~max_level:1 ~budget:r.Store.budget with
         | Some r' ->
           checks "same bytes after daemon death" (json_str (Store.verdict_json r))
             (json_str (Store.verdict_json r'))

@@ -262,14 +262,10 @@ let test_trace_event_validate_rejects () =
 
 let test_solvability_trail () =
   let task = Wfc_tasks.Instances.binary_consensus ~procs:2 in
-  Solvability.set_search_trace false;
-  (match Solvability.solve_at task 1 with
+  (match Solvability.solve_at ~opts:(Solvability.options ~trace:false ()) task 1 with
   | Solvability.Unsolvable_at { trail; _ } -> checkb "trail empty when off" true (trail = [])
   | _ -> Alcotest.fail "consensus-2 should be unsolvable at level 1");
-  Solvability.set_search_trace true;
-  let r = Solvability.solve_at task 1 in
-  Solvability.set_search_trace false;
-  match r with
+  match Solvability.solve_at ~opts:(Solvability.options ~trace:true ()) task 1 with
   | Solvability.Unsolvable_at { trail; _ } ->
     checkb "trail recorded when on" true (trail <> []);
     List.iter
