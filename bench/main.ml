@@ -6,8 +6,10 @@
    here), then runs bechamel micro-benchmarks over the library's hot
    operations.
 
-     dune exec bench/main.exe            # experiments + micro-benchmarks
-     dune exec bench/main.exe -- quick   # experiments only *)
+     dune exec bench/main.exe                    # experiments + micro-benchmarks
+     dune exec bench/main.exe -- quick           # experiments only
+     dune exec bench/main.exe -- --json FILE     # timed scenarios -> wfc.obs.v1
+     dune exec bench/main.exe -- --only serve    # just one scenario family *)
 
 open Wfc_topology
 open Wfc_model
@@ -601,6 +603,22 @@ let emulation_sweep ~sink () =
 (* Each scenario is a thunk returning (search nodes, verdict), both optional.
    Timed cold: every per-run cache that survives across calls is cleared
    first so the JSON numbers track the representation, not the memo. *)
+
+(* A scenario whose thunk repeats its hot section and wants the report to
+   carry a noise-robust statistic (a median of repeats, excluding setup)
+   rather than the single external wall-clock sets this from inside the
+   thunk; run_scenarios consumes and clears it around every scenario. The
+   serve warm pair uses it: serve_warm_logged carries a <=5% overhead
+   budget relative to serve_warm, which a one-shot measurement on a busy
+   single-core container cannot resolve — one scheduling spike inside
+   either run reads as a 30% swing. *)
+let self_timed : float option ref = ref None
+
+(* --quick (set from main before the scenarios run) trims the repeat counts
+   of the self-timed scenarios: CI wants the schema and the smoke numbers,
+   not the noise-floor statistics the committed BENCH_wfc.json carries *)
+let quick_scenarios = ref false
+
 let scenarios : (string * (unit -> int option * string option)) list =
   let solved v =
     let s = Solvability.stats_of_verdict v in
@@ -627,27 +645,26 @@ let scenarios : (string * (unit -> int option * string option)) list =
     Fun.protect ~finally:(fun () -> Wfc_par.set_domains 1)
       (fun () -> ignore (Sds.standard ~dim:2 ~levels:4)))
   in
-  (* Daemon round-trips, lifecycle included: cold is one store-miss query
-     (solve + persist + wire), warm is 200 store-hit round-trips after a
-     priming query, coalesced is 8 concurrent identical queries of which
-     exactly one may compute. *)
-  let serve mode = fun () ->
-    let socket = Filename.temp_file "wfc-bench" ".sock" in
-    Sys.remove socket;
-    let store_dir = Filename.temp_file "wfc-bench-store" "" in
-    Sys.remove store_dir;
-    Unix.mkdir store_dir 0o755;
-    let ready = Atomic.make false in
-    let cfg =
-      {
-        (Wfc_serve.Daemon.config ~socket ~store_dir ()) with
-        Wfc_serve.Daemon.on_ready = Some (fun () -> Atomic.set ready true);
-      }
-    in
-    let daemon = Thread.create Wfc_serve.Daemon.run cfg in
-    while not (Atomic.get ready) do
-      Thread.yield ()
-    done;
+  (* Daemon round-trips: cold is one store-miss query (solve + persist +
+     wire, lifecycle included), warm is the best of five fresh-daemon
+     200-request store-hit loops (self-timed — startup and the priming
+     query excluded), coalesced is 8 concurrent identical queries of which
+     exactly one may compute.
+
+     Why best-of-five across daemon *restarts* for the warm pair: on a
+     busy single-core container a daemon's whole lifetime can land in a
+     degraded scheduling mode (~2 ms extra per round-trip, persisting
+     until the threads are torn down), so repeats inside one daemon all
+     inherit the same weather and a median cannot escape it. The minimum
+     over independent daemons estimates the cost of the code path itself,
+     which is what serve_warm_logged's <=5% overhead budget is about. *)
+  let serve ?(log = false) mode = fun () ->
+    (* drop the domain pool earlier scenarios grew: parked worker domains
+       make every minor collection a multi-domain stop-the-world, which
+       taxes allocation on the serving path in a way a real daemon process
+       (pool grown only while a solve is in flight) never sees — with it
+       parked, the warm pair's logging delta reads as ~2x its true cost *)
+    Wfc_par.shutdown ();
     let spec =
       {
         Wfc_serve.Wire.task = "set-consensus";
@@ -657,39 +674,83 @@ let scenarios : (string * (unit -> int option * string option)) list =
         model = "wait-free";
       }
     in
-    let ask () =
-      match Wfc_serve.Client.connect ~socket with
-      | Error e -> failwith e
+    (* one daemon lifecycle: set up socket/store/log, run [f ask], tear
+       everything down; with [log], a full event log at debug level — the
+       serve_warm_logged / serve_warm pair measures what telemetry
+       writing costs per request *)
+    let with_daemon f =
+      let socket = Filename.temp_file "wfc-bench" ".sock" in
+      Sys.remove socket;
+      let store_dir = Filename.temp_file "wfc-bench-store" "" in
+      Sys.remove store_dir;
+      Unix.mkdir store_dir 0o755;
+      let log_file = if log then Some (Filename.temp_file "wfc-bench" ".log") else None in
+      let ready = Atomic.make false in
+      let cfg =
+        {
+          (Wfc_serve.Daemon.config ?log:log_file ~log_level:Wfc_obs.Log.Debug ~socket
+             ~store_dir ())
+          with
+          Wfc_serve.Daemon.on_ready = Some (fun () -> Atomic.set ready true);
+        }
+      in
+      let daemon = Thread.create Wfc_serve.Daemon.run cfg in
+      while not (Atomic.get ready) do
+        Thread.yield ()
+      done;
+      let ask () =
+        match Wfc_serve.Client.connect ~socket with
+        | Error e -> failwith e
+        | Ok c ->
+          let r = Wfc_serve.Client.query c spec in
+          Wfc_serve.Client.close c;
+          (match r with
+          | Ok (Wfc_serve.Wire.Verdict { record; _ }) -> record
+          | _ -> failwith "bench query did not return a verdict")
+      in
+      let result = f ask in
+      (match Wfc_serve.Client.connect ~socket with
       | Ok c ->
-        let r = Wfc_serve.Client.query c spec in
-        Wfc_serve.Client.close c;
-        (match r with
-        | Ok (Wfc_serve.Wire.Verdict { record; _ }) -> record
-        | _ -> failwith "bench query did not return a verdict")
+        ignore (Wfc_serve.Client.shutdown c);
+        Wfc_serve.Client.close c
+      | Error _ -> ());
+      Thread.join daemon;
+      (match log_file with Some f -> (try Sys.remove f with Sys_error _ -> ()) | None -> ());
+      result
     in
     let record =
       match mode with
-      | `Cold -> ask ()
+      | `Cold -> with_daemon (fun ask -> ask ())
       | `Warm ->
-        let r = ref (ask ()) in
-        for _ = 1 to 200 do
-          r := ask ()
-        done;
-        !r
-      | `Coalesced ->
-        let results = Array.make 8 None in
-        let ts =
-          Array.init 8 (fun i -> Thread.create (fun i -> results.(i) <- Some (ask ())) i)
+        let one_daemon () =
+          (* every repeat starts from an identical GC state: with the live
+             heap earlier scenarios accumulated, the incremental major cycle
+             otherwise falls behind across repeats (promotion debt), and
+             whichever scenario of the warm pair runs later inherits the
+             bigger heap and reads slower for reasons that have nothing to
+             do with logging *)
+          Gc.compact ();
+          with_daemon (fun ask ->
+              let r = ref (ask ()) in
+              let t0 = Wfc_obs.Metrics.now_s () in
+              for _ = 1 to 200 do
+                r := ask ()
+              done;
+              (Wfc_obs.Metrics.now_s () -. t0, !r))
         in
-        Array.iter Thread.join ts;
-        Option.get results.(0)
+        let reps = if !quick_scenarios then 2 else 5 in
+        let runs = List.init reps (fun _ -> one_daemon ()) in
+        self_timed := Some (List.fold_left (fun acc (s, _) -> min acc s) infinity runs);
+        snd (List.hd runs)
+      | `Coalesced ->
+        with_daemon (fun ask ->
+            let results = Array.make 8 None in
+            let ts =
+              Array.init 8 (fun i -> Thread.create (fun i -> results.(i) <- Some (ask ())) i)
+            in
+            Array.iter Thread.join ts;
+            Option.get results.(0))
     in
-    (match Wfc_serve.Client.connect ~socket with
-    | Ok c ->
-      ignore (Wfc_serve.Client.shutdown c);
-      Wfc_serve.Client.close c
-    | Error _ -> ());
-    Thread.join daemon;
     let o = record.Wfc_serve.Store.outcome in
     (Some o.Solvability.o_nodes, Some o.Solvability.o_verdict)
   in
@@ -744,17 +805,32 @@ let scenarios : (string * (unit -> int option * string option)) list =
     ("sds_iterate_domains_1", sds_par 1);
     ("sds_iterate_domains_2", sds_par 2);
     ("sds_iterate_domains_4", sds_par 4);
-    (* verdict daemon: cold miss vs warm store hits vs coalesced burst *)
+    (* verdict daemon: cold miss vs warm store hits vs coalesced burst;
+       serve_warm_logged is serve_warm with the debug event log on — the
+       pair bounds the per-request cost of telemetry writing *)
     ("serve_cold", serve `Cold);
     ("serve_warm", serve `Warm);
+    ("serve_warm_logged", serve ~log:true `Warm);
     ("serve_coalesced", serve `Coalesced);
   ]
 
-let run_scenarios () =
+let run_scenarios ?only () =
   section "timed scenarios";
   (* metrics restart here so the report's counters cover exactly these runs *)
   Wfc_obs.Metrics.reset ();
   Printf.printf "%-36s %12s %12s\n" "scenario" "seconds" "nodes";
+  let selected =
+    match only with
+    | None -> scenarios
+    | Some subs ->
+      let subs = String.split_on_char ',' subs in
+      let contains sname sub =
+        let n = String.length sub in
+        let rec at i = i + n <= String.length sname && (String.sub sname i n = sub || at (i + 1)) in
+        at 0
+      in
+      List.filter (fun (sname, _) -> List.exists (contains sname) subs) scenarios
+  in
   List.map
     (fun (sname, thunk) ->
       Sds.clear_cache ();
@@ -762,37 +838,20 @@ let run_scenarios () =
          small ones: a major slice landing inside a 3 ms scenario reads as a
          2x swing. Compact so every scenario starts from the same GC phase. *)
       Gc.compact ();
+      self_timed := None;
       let t0 = Wfc_obs.Metrics.now_s () in
       let nodes, verdict = thunk () in
-      let seconds = Wfc_obs.Metrics.now_s () -. t0 in
+      let external_s = Wfc_obs.Metrics.now_s () -. t0 in
+      let seconds = match !self_timed with Some s -> s | None -> external_s in
       Printf.printf "%-36s %12.4f %12s\n%!" sname seconds
         (match nodes with Some n -> string_of_int n | None -> "-");
       Wfc_obs.Report.scenario ?nodes ?verdict sname seconds)
-    scenarios
-
-(* Machine provenance for the timing numbers: wall-clock ratios between
-   solve_domains_* / solve_portfolio_* entries are meaningless without
-   knowing how many cores backed the run. *)
-let machine_facts () =
-  let recommended = Domain.recommended_domain_count () in
-  let git_sha =
-    try
-      let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
-      let line = try String.trim (input_line ic) with End_of_file -> "" in
-      match Unix.close_process_in ic with
-      | Unix.WEXITED 0 when line <> "" -> line
-      | _ -> "unknown"
-    with _ -> "unknown"
-  in
-  [
-    ("recommended_domain_count", Wfc_obs.Json.Int recommended);
-    ("git_sha", Wfc_obs.Json.String git_sha);
-    ("single_core_container", Wfc_obs.Json.Bool (recommended = 1));
-  ]
+    selected
 
 let write_json file results =
   Wfc_obs.Report.write_file file
-    (Wfc_obs.Report.to_json ~machine:(machine_facts ())
+    (Wfc_obs.Report.to_json
+       ~machine:(Wfc_obs.Report.machine_facts ())
        ~snapshot:(Wfc_obs.Snapshot.take ())
        results);
   Printf.printf "\nwrote %s\n" file
@@ -800,6 +859,7 @@ let write_json file results =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "quick" args || List.mem "--quick" args in
+  quick_scenarios := quick;
   let json_file =
     let rec find = function
       | [ "--json" ] ->
@@ -811,7 +871,21 @@ let () =
     in
     find args
   in
-  let experiments = json_file = None || List.mem "--experiments" args in
+  (* --only SUBS (comma-separated substrings) restricts the timed scenarios
+     to names containing any of them, and skips the experiments — for
+     iterating on one scenario family without paying for the whole suite *)
+  let only =
+    let rec find = function
+      | [ "--only" ] ->
+        prerr_endline "bench: --only requires a SUBSTRING argument";
+        exit 2
+      | "--only" :: sub :: _ -> Some sub
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let experiments = (json_file = None && only = None) || List.mem "--experiments" args in
   if experiments then begin
     e1 ();
     e2 ();
@@ -829,8 +903,9 @@ let () =
     e15 ();
     e16 ()
   end;
-  (match json_file with
-  | Some file -> write_json file (run_scenarios ())
-  | None -> ());
-  if (not quick) && json_file = None then micro ();
+  (match (json_file, only) with
+  | Some file, _ -> write_json file (run_scenarios ?only ())
+  | None, Some _ -> ignore (run_scenarios ?only ())
+  | None, None -> ());
+  if (not quick) && json_file = None && only = None then micro ();
   print_endline "\nall experiments complete."

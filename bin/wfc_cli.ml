@@ -749,7 +749,7 @@ let max_level_arg =
   Arg.(value & opt int 2 & info [ "max-level" ] ~docv:"B" ~doc:"Largest round count to try.")
 
 let serve_cmd =
-  let run socket store_dir queue solvers domains json stop =
+  let run socket store_dir queue solvers domains json log log_level slow_ms stop =
     if stop then (
       match Wfc_serve.Client.connect ~socket with
       | Error e ->
@@ -769,17 +769,24 @@ let serve_cmd =
       apply_domains domains;
       Format.printf "wfc serve: socket=%s store=%s queue=%d solvers=%d domains=%d@." socket
         store_dir queue (max 1 solvers) (Wfc_par.domains ());
-      let cfg =
-        {
-          (Wfc_serve.Daemon.config ~queue_capacity:queue ~solvers ~socket ~store_dir ()) with
-          Wfc_serve.Daemon.report = json;
-        }
-      in
-      match Wfc_serve.Daemon.run cfg with
-      | () -> 0
-      | exception Failure m ->
-        Format.eprintf "%s@." m;
+      match Wfc_obs.Log.level_of_string log_level with
+      | Error e ->
+        Format.eprintf "%s@." e;
         1
+      | Ok log_level -> (
+        let cfg =
+          {
+            (Wfc_serve.Daemon.config ~queue_capacity:queue ~solvers ?log ~log_level ?slow_ms
+               ~socket ~store_dir ())
+            with
+            Wfc_serve.Daemon.report = json;
+          }
+        in
+        match Wfc_serve.Daemon.run cfg with
+        | () -> 0
+        | exception Failure m ->
+          Format.eprintf "%s@." m;
+          1)
     end
   in
   let queue =
@@ -798,6 +805,30 @@ let serve_cmd =
             "Scheduler worker threads: up to $(docv) distinct cold questions are solved \
              concurrently, round-robin across task digests (no head-of-line blocking).")
   in
+  let log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:
+            "Append one wfc.log.v1 JSONL event line per request lifecycle event to $(docv) \
+             (validated by $(b,wfc check-json)).")
+  in
+  let log_level =
+    Arg.(
+      value & opt string "info"
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"Minimum event level written to --log: debug, info, warn or error.")
+  in
+  let slow_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Log a $(i,slow_query) warning (spec, verdict source, search stats, stage \
+             timing) for any query at least $(docv) milliseconds end-to-end.")
+  in
   let stop =
     Arg.(value & flag & info [ "stop" ] ~doc:"Ask the daemon on --socket to shut down cleanly.")
   in
@@ -806,11 +837,12 @@ let serve_cmd =
        ~doc:
          "Run the solvability daemon: a persistent verdict store plus in-flight dedup behind \
           a Unix-domain socket. Answers $(b,wfc query) traffic; search work runs on the \
-          --domains pool. Shut down with $(b,--stop), SIGINT or SIGTERM; survives SIGKILL \
-          with a loadable store.")
+          --domains pool. Request lifecycles are measured stage by stage (see $(b,wfc \
+          stats)) and optionally logged with $(b,--log). Shut down with $(b,--stop), SIGINT \
+          or SIGTERM; survives SIGKILL with a loadable store.")
     Term.(
       const run $ socket_arg $ store_req_arg $ queue $ solvers $ domains_arg $ Output.json_arg
-      $ stop)
+      $ log $ log_level $ slow_ms $ stop)
 
 let query_cmd =
   let run task procs param max_level model socket store_dir domains no_daemon ping verdict_out
@@ -819,28 +851,40 @@ let query_cmd =
     let model_name = Model.to_string model in
     if ping then (
       match Wfc_serve.Client.connect ~socket with
-      | Ok c ->
-        let ok = Wfc_serve.Client.ping c in
+      | Ok c -> (
+        let r = Wfc_serve.Client.ping_info c in
         Wfc_serve.Client.close c;
-        if ok then begin
-          Format.printf "pong@.";
+        match r with
+        | Ok (version, uptime_s) ->
+          (* a pre-telemetry daemon ponged with no payload; still a pong *)
+          Format.printf "pong%s%s@."
+            (match version with Some v -> " version=" ^ v | None -> "")
+            (match uptime_s with
+            | Some u -> Printf.sprintf " uptime=%.1fs" u
+            | None -> "");
           0
-        end
-        else begin
+        | Error _ ->
           Format.eprintf "daemon on %s did not answer@." socket;
-          1
-        end
+          1)
       | Error e ->
         Format.eprintf "%s@." e;
         1)
     else begin
       let spec = { Wfc_serve.Wire.task; procs; param; max_level; model = model_name } in
       let budget = Solvability.default_budget in
-      let finish ~source record =
+      let finish ?req_id ?timing ~source record =
         let o = record.Wfc_serve.Store.outcome in
         Format.printf "verdict: %s at level %d (source=%s, nodes=%d)@."
           o.Solvability.o_verdict o.Solvability.o_level source o.Solvability.o_nodes;
         Format.printf "digest: %s@." record.Wfc_serve.Store.digest;
+        (* daemon-side telemetry, echoed on the wire; absent on inline solves
+           and against pre-telemetry daemons *)
+        (match timing with
+        | Some t ->
+          Format.printf "timing: queue_wait=%.6fs solve=%.6fs store=%.6fs total=%.6fs@."
+            t.Wfc_serve.Wire.queue_wait_s t.Wfc_serve.Wire.solve_s t.Wfc_serve.Wire.store_s
+            t.Wfc_serve.Wire.total_s
+        | None -> ());
         (match verdict_out with
         | Some path -> write_json_to path (Wfc_serve.Store.verdict_json record)
         | None -> ());
@@ -849,11 +893,18 @@ let query_cmd =
             Wfc_obs.Report.scenario ~nodes:o.Solvability.o_nodes
               ~verdict:o.Solvability.o_verdict
               ~extra:
-                [
-                  ("source", Wfc_obs.Json.String source);
-                  ("level", Wfc_obs.Json.Int o.Solvability.o_level);
-                  ("digest", Wfc_obs.Json.String record.Wfc_serve.Store.digest);
-                ]
+                ([
+                   ("source", Wfc_obs.Json.String source);
+                   ("level", Wfc_obs.Json.Int o.Solvability.o_level);
+                   ("digest", Wfc_obs.Json.String record.Wfc_serve.Store.digest);
+                 ]
+                @ (match req_id with
+                  | Some id -> [ ("req_id", Wfc_obs.Json.String id) ]
+                  | None -> [])
+                @
+                match timing with
+                | Some t -> [ ("timing", Wfc_serve.Wire.timing_to_json t) ]
+                | None -> [])
               (Printf.sprintf "query(%s)" (Wfc_serve.Wire.spec_to_string spec))
               o.Solvability.o_elapsed;
           ];
@@ -922,11 +973,15 @@ let query_cmd =
         match Wfc_serve.Client.connect ~socket with
         | Error e -> inline e
         | Ok c -> (
-          let r = Wfc_serve.Client.query c spec in
+          (* correlate this CLI invocation with the daemon's log lines *)
+          let req_id =
+            Printf.sprintf "cli-%d-%.0f" (Unix.getpid ()) (Unix.gettimeofday () *. 1e6)
+          in
+          let r = Wfc_serve.Client.query ~req_id c spec in
           Wfc_serve.Client.close c;
           match r with
-          | Ok (Wfc_serve.Wire.Verdict { source; record }) ->
-            finish ~source:(Wfc_serve.Wire.source_name source) record
+          | Ok (Wfc_serve.Wire.Verdict { source; record; req_id; timing }) ->
+            finish ?req_id ?timing ~source:(Wfc_serve.Wire.source_name source) record
           | Ok Wfc_serve.Wire.Shed -> inline "daemon shed the request (queue full)"
           | Ok (Wfc_serve.Wire.Failed m) ->
             Format.eprintf "daemon error: %s@." m;
@@ -960,6 +1015,173 @@ let query_cmd =
       const run $ task_arg $ procs_arg $ param_arg $ max_level_arg $ model_arg $ socket_arg
       $ store_opt_arg $ domains_arg $ no_daemon $ ping $ verdict_out_arg $ Output.stats_arg
       $ Output.json_arg)
+
+let stats_cmd =
+  let run socket prometheus json =
+    match Wfc_serve.Client.connect ~socket with
+    | Error e ->
+      Format.eprintf "%s@." e;
+      1
+    | Ok c -> (
+      let r = Wfc_serve.Client.stats c in
+      Wfc_serve.Client.close c;
+      match r with
+      | Error e ->
+        Format.eprintf "%s@." e;
+        1
+      | Ok (metrics, server) ->
+        let obj_fields = function Wfc_obs.Json.Obj f -> f | _ -> [] in
+        let num = function
+          | Wfc_obs.Json.Float f -> Some f
+          | Wfc_obs.Json.Int i -> Some (float_of_int i)
+          | _ -> None
+        in
+        let counters =
+          List.filter_map
+            (function n, Wfc_obs.Json.Int v -> Some (n, v) | _ -> None)
+            (match Wfc_obs.Json.member "counters" metrics with
+            | Some o -> obj_fields o
+            | None -> [])
+        in
+        let histograms =
+          List.map
+            (fun (n, h) ->
+              let field k = Option.bind (Wfc_obs.Json.member k h) num in
+              (n, field "count", field "sum", field "mean", field "min", field "max"))
+            (match Wfc_obs.Json.member "histograms" metrics with
+            | Some o -> obj_fields o
+            | None -> [])
+        in
+        let server_num k =
+          Option.bind server (fun s -> Option.bind (Wfc_obs.Json.member k s) num)
+        in
+        if prometheus then begin
+          (* text exposition: dots (and any other non-identifier byte) in
+             metric names become underscores, wfc_ prefixed *)
+          let mangle n =
+            "wfc_"
+            ^ String.map
+                (fun c ->
+                  match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c | _ -> '_')
+                n
+          in
+          List.iter
+            (fun (n, v) ->
+              let n = mangle n in
+              Format.printf "# TYPE %s counter@.%s %d@." n n v)
+            counters;
+          List.iter
+            (fun (n, count, sum, _, _, _) ->
+              let n = mangle n in
+              Format.printf "# TYPE %s summary@." n;
+              (match count with
+              | Some c -> Format.printf "%s_count %.0f@." n c
+              | None -> ());
+              match sum with Some s -> Format.printf "%s_sum %.6f@." n s | None -> ())
+            histograms;
+          (match server_num "uptime_s" with
+          | Some u -> Format.printf "# TYPE wfc_uptime_seconds gauge@.wfc_uptime_seconds %.6f@." u
+          | None -> ());
+          List.iter
+            (fun (key, metric) ->
+              match server_num key with
+              | Some v -> Format.printf "# TYPE %s gauge@.%s %.0f@." metric metric v
+              | None -> ())
+            [ ("inflight", "wfc_inflight"); ("queue_depth", "wfc_queue_depth") ]
+        end
+        else begin
+          (match server with
+          | Some s ->
+            let str k =
+              match Wfc_obs.Json.member k s with
+              | Some (Wfc_obs.Json.String v) -> v
+              | _ -> "?"
+            in
+            let int k = match server_num k with Some v -> int_of_float v | None -> 0 in
+            Format.printf "daemon: version=%s uptime=%.1fs inflight=%d queue=%d/%d solvers=%d@."
+              (str "version")
+              (Option.value ~default:0. (server_num "uptime_s"))
+              (int "inflight") (int "queue_depth") (int "queue_capacity") (int "solvers");
+            (match Wfc_obs.Json.member "workers" s with
+            | Some (Wfc_obs.Json.Arr ws) ->
+              List.iter
+                (fun w ->
+                  let f k =
+                    match Wfc_obs.Json.member k w with
+                    | Some (Wfc_obs.Json.Int i) -> string_of_int i
+                    | Some (Wfc_obs.Json.String v) -> v
+                    | _ -> "?"
+                  in
+                  Format.printf "worker %s: %s%s (%s job%s)@." (f "id") (f "state")
+                    (match Wfc_obs.Json.member "digest" w with
+                    | Some (Wfc_obs.Json.String d) -> " " ^ d
+                    | _ -> "")
+                    (f "jobs")
+                    (if f "jobs" = "1" then "" else "s"))
+                ws
+            | _ -> ())
+          | None -> Format.printf "daemon: (pre-telemetry daemon — no server block)@.");
+          if counters <> [] then begin
+            Format.printf "counters@.";
+            let w = List.fold_left (fun w (n, _) -> max w (String.length n)) 0 counters in
+            List.iter (fun (n, v) -> Format.printf "  %-*s %12d@." w n v) counters
+          end;
+          let timed = List.filter (fun (_, c, _, _, _, _) -> c <> Some 0.) histograms in
+          if timed <> [] then begin
+            Format.printf "timers@.";
+            let w =
+              List.fold_left (fun w (n, _, _, _, _, _) -> max w (String.length n)) 0 timed
+            in
+            List.iter
+              (fun (n, count, _, mean, min_, max_) ->
+                let g = Option.value ~default:0. in
+                Format.printf "  %-*s count=%-6.0f mean=%.6f min=%.6f max=%.6f@." w n
+                  (g count) (g mean) (g min_) (g max_))
+              timed
+          end
+        end;
+        (match json with
+        | Some path ->
+          (* a wfc.obs.v1 report (validated by wfc check-json): the daemon's
+             uptime as the single scenario, metrics sections and the server
+             block merged at top level *)
+          let report =
+            Wfc_obs.Json.Obj
+              ([
+                 ("schema", Wfc_obs.Json.String Wfc_obs.Report.schema_version);
+                 ( "scenarios",
+                   Wfc_obs.Json.Arr
+                     [
+                       Wfc_obs.Json.Obj
+                         [
+                           ("name", Wfc_obs.Json.String "stats");
+                           ( "seconds",
+                             Wfc_obs.Json.Float
+                               (Option.value ~default:0. (server_num "uptime_s")) );
+                         ];
+                     ] );
+               ]
+              @ obj_fields metrics
+              @ match server with Some s -> [ ("server", s) ] | None -> [])
+          in
+          write_json_to path report
+        | None -> ());
+        0)
+  in
+  let prometheus =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:"Print Prometheus text exposition instead of the human table.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Live introspection of a running solvability daemon: version, uptime, in-flight \
+          queries, queue depth, per-worker state, and every serve.* counter and stage/latency \
+          histogram. Output as a human table (default), $(b,--json) wfc.obs.v1 report, or \
+          $(b,--prometheus) text exposition.")
+    Term.(const run $ socket_arg $ prometheus $ Output.json_arg)
 
 let store_cmd =
   let ls =
@@ -1136,10 +1358,49 @@ let bound_cmd =
 
 let check_json_cmd =
   let run file expect_verdict min_nodes scenario =
-    match read_json_from file with
+    let contents =
+      if file = "-" then In_channel.input_all stdin
+      else In_channel.with_open_bin file In_channel.input_all
+    in
+    let check_log () =
+      if expect_verdict <> None || min_nodes <> None || scenario <> None then begin
+        Format.eprintf "%s: --expect-verdict/--min-nodes/--scenario only apply to %s reports@."
+          file Wfc_obs.Report.schema_version;
+        1
+      end
+      else
+        match Wfc_obs.Log.validate contents with
+        | Ok n ->
+          Format.printf "%s: valid %s log (%d event%s)@." file Wfc_obs.Log.schema_version n
+            (if n = 1 then "" else "s");
+          0
+        | Error e ->
+          Format.eprintf "%s: invalid log (%s)@." file e;
+          1
+    in
+    (* An event log is JSONL: the whole file is not one JSON value, so the
+       plain parse fails. If the FIRST line is a wfc.log.v1 event, validate
+       the file line-wise; otherwise report the original parse error. *)
+    let first_line_is_log () =
+      match
+        List.find_opt (fun l -> String.trim l <> "") (String.split_on_char '\n' contents)
+      with
+      | None -> false
+      | Some line -> (
+        match Wfc_obs.Json.parse line with
+        | Error _ -> false
+        | Ok j -> (
+          match Wfc_obs.Json.member "schema" j with
+          | Some (Wfc_obs.Json.String s) -> s = Wfc_obs.Log.schema_version
+          | _ -> false))
+    in
+    match Wfc_obs.Json.parse contents with
     | Error e ->
-      Format.eprintf "%s: not valid JSON (%s)@." file e;
-      1
+      if first_line_is_log () then check_log ()
+      else begin
+        Format.eprintf "%s: not valid JSON (%s)@." file e;
+        1
+      end
     | Ok j -> (
       (* dispatch on the schema tag: one checker for every artifact we emit *)
       match Wfc_obs.Json.member "schema" j with
@@ -1206,6 +1467,9 @@ let check_json_cmd =
               Format.printf "%s: valid %s record@." file s;
               0
             end)
+      | Some (Wfc_obs.Json.String s) when s = Wfc_obs.Log.schema_version ->
+        (* a one-event log file IS a single JSON value; same line-wise check *)
+        check_log ()
       | Some (Wfc_obs.Json.String s) ->
         Format.eprintf "%s: unknown schema %S@." file s;
         exit_unknown_schema
@@ -1238,8 +1502,8 @@ let check_json_cmd =
     (Cmd.info "check-json"
        ~doc:
          "Validate a JSON artifact by its schema tag: wfc.obs.v1 reports, wfc.trace.v1 \
-          traces, and wfc.store.v2 (or legacy v1) verdict records. Exits 4 on an unknown \
-          schema.")
+          traces, wfc.store.v2 (or legacy v1) verdict records, and wfc.log.v1 event logs \
+          (JSONL: validated line by line). Exits 4 on an unknown schema.")
     Term.(const run $ file $ expect_verdict $ min_nodes $ scenario)
 
 let main_cmd =
@@ -1256,6 +1520,7 @@ let main_cmd =
       solve_cmd;
       serve_cmd;
       query_cmd;
+      stats_cmd;
       store_cmd;
       models_cmd;
       converge_cmd;

@@ -205,3 +205,72 @@ wait $SERVE_PID
 rm -rf "$SERVE_SOCK" "$SERVE_STORE3" VERDICT_wf.json VERDICT_kset.json \
   VERDICT_wf_cold.json VERDICT_kset_cold.json VERDICT_wf_warm.json \
   VERDICT_kset_warm.json
+
+# telemetry smoke: run a daemon with the full event log at debug level and
+# a zero slow-query threshold (every query logs a slow_query line), push
+# cold/warm/coalesced traffic through it, and require (a) the verdict bytes
+# stay identical to an inline solve — telemetry rides the envelope, never
+# the record — (b) the JSONL event log and `wfc stats --json` both validate
+# through check-json, (c) the Prometheus exposition renders.
+SERVE_STORE4=ci_serve_store4
+SERVE_LOG=ci_serve_log.jsonl
+rm -rf "$SERVE_SOCK" "$SERVE_STORE4" "$SERVE_LOG"
+"$WFC" solve --task set-consensus --procs 3 --param 2 --max-level 1 \
+  --verdict-out VERDICT_tel_inline.json > /dev/null
+"$WFC" serve --socket "$SERVE_SOCK" --store "$SERVE_STORE4" \
+  --log "$SERVE_LOG" --log-level debug --slow-ms 0 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  if "$WFC" query --ping --socket "$SERVE_SOCK" >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+# pong now carries daemon version + uptime
+"$WFC" query --ping --socket "$SERVE_SOCK" | grep 'pong version='
+"$WFC" query --task set-consensus --procs 3 --param 2 --max-level 1 \
+  --socket "$SERVE_SOCK" --verdict-out VERDICT_tel_cold.json > QUERY_tel_cold.txt
+grep 'source=computed' QUERY_tel_cold.txt
+grep 'timing:' QUERY_tel_cold.txt
+"$WFC" query --task set-consensus --procs 3 --param 2 --max-level 1 \
+  --socket "$SERVE_SOCK" --verdict-out VERDICT_tel_warm.json | grep 'source=store'
+cmp VERDICT_tel_inline.json VERDICT_tel_cold.json
+cmp VERDICT_tel_inline.json VERDICT_tel_warm.json
+# coalesced burst on a fresh question: both answers still byte-identical
+"$WFC" query --task renaming --procs 2 --param 3 --max-level 1 \
+  --socket "$SERVE_SOCK" --verdict-out VERDICT_tel_a.json > QUERY_tel_a.txt &
+QA_PID=$!
+"$WFC" query --task renaming --procs 2 --param 3 --max-level 1 \
+  --socket "$SERVE_SOCK" --verdict-out VERDICT_tel_b.json > QUERY_tel_b.txt &
+QB_PID=$!
+wait $QA_PID
+wait $QB_PID
+grep -E 'source=(computed|coalesced|store)' QUERY_tel_a.txt
+grep -E 'source=(computed|coalesced|store)' QUERY_tel_b.txt
+cmp VERDICT_tel_a.json VERDICT_tel_b.json
+# live introspection: human table, validated JSON report, Prometheus text
+"$WFC" stats --socket "$SERVE_SOCK" | grep 'daemon: version='
+"$WFC" stats --socket "$SERVE_SOCK" --json STATS_ci.json > /dev/null
+"$WFC" check-json STATS_ci.json
+"$WFC" stats --socket "$SERVE_SOCK" --prometheus | grep '^wfc_serve_requests '
+"$WFC" serve --stop --socket "$SERVE_SOCK"
+wait $SERVE_PID
+# the event log is a valid wfc.log.v1 stream with the lifecycle on record
+"$WFC" check-json "$SERVE_LOG"
+grep '"event":"serve.start"' "$SERVE_LOG" > /dev/null
+grep '"event":"query"' "$SERVE_LOG" > /dev/null
+grep '"event":"slow_query"' "$SERVE_LOG" > /dev/null
+grep '"event":"serve.stop"' "$SERVE_LOG" > /dev/null
+rm -rf "$SERVE_SOCK" "$SERVE_STORE4" "$SERVE_LOG" STATS_ci.json \
+  VERDICT_tel_inline.json VERDICT_tel_cold.json VERDICT_tel_warm.json \
+  VERDICT_tel_a.json VERDICT_tel_b.json QUERY_tel_cold.txt QUERY_tel_a.txt \
+  QUERY_tel_b.txt
+
+# mini serve-ladder: the load harness end to end at toy scale — per-rung
+# medians land in a validated wfc.obs.v1 report with machine metadata
+./_build/default/bench/ladder.exe --rungs 1,4 --repeats 1 --requests 8 \
+  --warmup 2 --out LADDER_ci.json
+"$WFC" check-json LADDER_ci.json
+grep '"qps_median"' LADDER_ci.json > /dev/null
+grep '"git_sha"' LADDER_ci.json > /dev/null
+rm -f LADDER_ci.json

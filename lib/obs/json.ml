@@ -72,6 +72,44 @@ let to_string j =
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
+(* One value per line, no whitespace: the JSONL shape of the event log.
+   Shares canonicalization with [to_string] (sorted keys, %.6f floats) so
+   the two renderings of one value always agree field for field. *)
+let to_line j =
+  let buf = Buffer.create 128 in
+  let rec emit = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6f" f)
+      else Buffer.add_string buf "null"
+    | String s -> escape_string buf s
+    | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit item)
+        items;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      let fields =
+        List.stable_sort (fun (a, _) (b, _) -> String.compare a b) fields
+      in
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          emit v)
+        fields;
+      Buffer.add_char buf '}'
+  in
+  emit j;
+  Buffer.contents buf
+
 (* ------------------------------------------------------------------ *)
 (* parser                                                               *)
 (* ------------------------------------------------------------------ *)

@@ -23,6 +23,11 @@ val to_string : t -> string
 (** Canonical, human-readable rendering: two-space indentation, object keys
     sorted, floats as ["%.6f"] (non-finite floats degrade to [null]). *)
 
+val to_line : t -> string
+(** Canonical single-line rendering: the same sorted keys and ["%.6f"]
+    floats as {!to_string} but with no whitespace and no trailing newline —
+    one value per line, the shape JSONL event logs require. *)
+
 val parse : string -> (t, string) result
 (** Standard JSON parser (objects, arrays, strings with escapes, numbers —
     an integer literal parses to [Int], anything with [./e/E] to [Float] —

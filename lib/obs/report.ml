@@ -41,6 +41,26 @@ let to_json ?machine ?snapshot scenarios =
   in
   Json.Obj (base @ metrics)
 
+(* Machine provenance for committed timing artifacts: wall-clock ratios
+   between domain-count scenarios or ladder rungs are meaningless without
+   knowing how many cores backed the run and which commit produced it. *)
+let machine_facts () =
+  let recommended = Domain.recommended_domain_count () in
+  let git_sha =
+    try
+      let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+      let line = try String.trim (input_line ic) with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ -> "unknown"
+    with _ -> "unknown"
+  in
+  [
+    ("recommended_domain_count", Json.Int recommended);
+    ("git_sha", Json.String git_sha);
+    ("single_core_container", Json.Bool (recommended = 1));
+  ]
+
 let write_file path j =
   let oc = open_out path in
   Fun.protect

@@ -19,9 +19,21 @@ let request t req =
     | Error e -> Error e
     | Ok j -> Wire.response_of_json j)
 
-let query t spec = request t (Wire.Query spec)
+let query ?req_id t spec = request t (Wire.Query { spec; req_id })
 
-let ping t = match request t Wire.Ping with Ok Wire.Pong -> true | _ -> false
+let ping t = match request t Wire.Ping with Ok (Wire.Pong _) -> true | _ -> false
+
+let ping_info t =
+  match request t Wire.Ping with
+  | Ok (Wire.Pong { version; uptime_s }) -> Ok (version, uptime_s)
+  | Ok _ -> Error "unexpected response to ping"
+  | Error e -> Error e
+
+let stats t =
+  match request t Wire.Stats with
+  | Ok (Wire.Metrics { metrics; server }) -> Ok (metrics, server)
+  | Ok _ -> Error "unexpected response to stats"
+  | Error e -> Error e
 
 let shutdown t =
   match request t Wire.Shutdown with

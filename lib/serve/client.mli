@@ -15,10 +15,21 @@ val close : t -> unit
 val request : t -> Wire.request -> (Wire.response, string) result
 (** One round-trip. [Error] on a dead daemon or a malformed response. *)
 
-val query : t -> Wire.spec -> (Wire.response, string) result
+val query : ?req_id:string -> t -> Wire.spec -> (Wire.response, string) result
+(** With [?req_id], the daemon echoes the id in the verdict response and
+    stamps it on the request's event-log lines; without it, a telemetry
+    daemon assigns one itself. *)
 
 val ping : t -> bool
 (** One [ping] round-trip; [false] on any failure. *)
+
+val ping_info : t -> (string option * float option, string) result
+(** One [ping] round-trip keeping the [pong] payload: daemon version and
+    uptime in seconds, each [None] against a pre-telemetry daemon. *)
+
+val stats : t -> (Wfc_obs.Json.t * Wfc_obs.Json.t option, string) result
+(** One [stats] round-trip: the metrics snapshot plus the [server]
+    introspection block ([None] against a pre-telemetry daemon). *)
 
 val shutdown : t -> (unit, string) result
 (** Sends [shutdown]; [Ok] once the daemon acknowledges with [bye]. *)

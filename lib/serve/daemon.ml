@@ -1,5 +1,7 @@
 open Wfc_core
 
+let version = "1.0.0"
+
 type config = {
   socket : string;
   store_dir : string;
@@ -8,9 +10,13 @@ type config = {
   report : string option;
   on_ready : (unit -> unit) option;
   gate : (string -> unit) option;
+  log : string option;
+  log_level : Wfc_obs.Log.level;
+  slow_ms : float option;
 }
 
-let config ?(queue_capacity = 64) ?(solvers = 2) ~socket ~store_dir () =
+let config ?(queue_capacity = 64) ?(solvers = 2) ?log ?(log_level = Wfc_obs.Log.Info)
+    ?slow_ms ~socket ~store_dir () =
   {
     socket;
     store_dir;
@@ -19,6 +25,9 @@ let config ?(queue_capacity = 64) ?(solvers = 2) ~socket ~store_dir () =
     report = None;
     on_ready = None;
     gate = None;
+    log;
+    log_level;
+    slow_ms;
   }
 
 let c_requests = Wfc_obs.Metrics.counter "serve.requests"
@@ -33,9 +42,54 @@ let c_shed = Wfc_obs.Metrics.counter "serve.shed"
 
 let c_errors = Wfc_obs.Metrics.counter "serve.errors"
 
+let c_slow = Wfc_obs.Metrics.counter "serve.slow"
+
 let h_latency = Wfc_obs.Metrics.histogram "serve.latency.seconds"
 
 let h_depth = Wfc_obs.Metrics.histogram "serve.queue.depth"
+
+(* Stage histograms: the request lifecycle cut where it actually spends
+   time. decode = frame JSON -> typed request; admission = the store-lookup
+   / enqueue decision under the state mutex; queue_wait = admitted ->
+   picked by a worker; solve = the search itself; store_put = persisting
+   the fresh verdict; encode = response -> socket bytes. *)
+let h_stage_decode = Wfc_obs.Metrics.histogram "serve.stage.decode.seconds"
+
+let h_stage_admission = Wfc_obs.Metrics.histogram "serve.stage.admission.seconds"
+
+let h_stage_queue_wait = Wfc_obs.Metrics.histogram "serve.stage.queue_wait.seconds"
+
+let h_stage_solve = Wfc_obs.Metrics.histogram "serve.stage.solve.seconds"
+
+let h_stage_store_put = Wfc_obs.Metrics.histogram "serve.stage.store_put.seconds"
+
+let h_stage_encode = Wfc_obs.Metrics.histogram "serve.stage.encode.seconds"
+
+(* Latency split by how the answer was produced and by what model was
+   asked: a warm store-hit population and a cold search population do not
+   belong in one histogram, and per-model curves show which restriction is
+   expensive. Source handles are pre-resolved; model handles go through the
+   registry's get-or-create (mutexed, cheap against a solve). *)
+let h_latency_store = Wfc_obs.Metrics.histogram "serve.latency.store.seconds"
+
+let h_latency_computed = Wfc_obs.Metrics.histogram "serve.latency.computed.seconds"
+
+let h_latency_coalesced = Wfc_obs.Metrics.histogram "serve.latency.coalesced.seconds"
+
+let h_latency_of_source = function
+  | Wire.From_store -> h_latency_store
+  | Wire.Computed -> h_latency_computed
+  | Wire.Coalesced -> h_latency_coalesced
+
+let h_latency_of_model model_name =
+  Wfc_obs.Metrics.histogram
+    ("serve.latency.model." ^ Wfc_tasks.Model.slug_of_name model_name ^ ".seconds")
+
+(* Worker-side stage costs of one computation; the handler adds its own
+   wait into [total_s] when it builds the wire timing. *)
+type stages = { queue_wait_s : float; solve_s : float; store_s : float }
+
+let no_stages = { queue_wait_s = 0.; solve_s = 0.; store_s = 0. }
 
 (* One admitted question. A job is in [inflight] from admission until its
    result is published, and in [queue] only until the solver pops it —
@@ -46,7 +100,16 @@ type job = {
   j_task : Wfc_tasks.Task.t;
   j_digest : string;
   j_model : Wfc_tasks.Model.t;  (** parsed at admission; unknown names never enqueue *)
-  mutable j_result : (Store.record, string) result option;
+  j_req_id : string;  (** the admitting request's id, for worker-side log lines *)
+  j_enqueued_at : float;
+  mutable j_result : (Store.record * stages, string) result option;
+}
+
+(* Per-worker introspection for [wfc stats]: what each scheduler thread is
+   doing right now, mutated under the state mutex. *)
+type worker_info = {
+  mutable w_state : [ `Idle | `Solving of string ];
+  mutable w_jobs : int;  (** computations finished by this worker *)
 }
 
 (* The scheduler's pending work, grouped by task digest for fairness: the
@@ -58,6 +121,8 @@ type job = {
 type state = {
   cfg : config;
   store : Store.t;
+  started_at : float;
+  log : Wfc_obs.Log.t option;
   m : Mutex.t;
   work_cv : Condition.t;  (** signalled: work arrived or shutdown began *)
   done_cv : Condition.t;  (** broadcast: some job published its result *)
@@ -65,6 +130,8 @@ type state = {
   rotation : string Queue.t;
   mutable npending : int;
   inflight : (string, job) Hashtbl.t;
+  workers_info : worker_info array;
+  req_seq : int Atomic.t;  (** daemon-assigned request ids for old clients *)
   stopping : bool Atomic.t;
 }
 
@@ -73,6 +140,19 @@ let key_of ~digest ~model ~max_level = Printf.sprintf "%s:%s:L%d" digest model m
 let locked st f =
   Mutex.lock st.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock st.m) f
+
+let log_event st level name fields =
+  match st.log with None -> () | Some l -> Wfc_obs.Log.event l level name fields
+
+let spec_fields (spec : Wire.spec) =
+  let open Wfc_obs.Json in
+  [
+    ("task", String spec.Wire.task);
+    ("procs", Int spec.Wire.procs);
+    ("param", Int spec.Wire.param);
+    ("max_level", Int spec.Wire.max_level);
+    ("model", String spec.Wire.model);
+  ]
 
 (* ---- the solve scheduler ---- *)
 
@@ -96,6 +176,9 @@ let dequeue_job st =
   if Queue.is_empty q then Hashtbl.remove st.by_digest digest
   else Queue.push digest st.rotation;
   st.npending <- st.npending - 1;
+  (* depth is sampled on BOTH edges of the queue: enqueue alone records
+     only arrival bursts and a histogram that never sees the drain *)
+  Wfc_obs.Metrics.observe h_depth (float_of_int st.npending);
   job
 
 (* The solve goes through the store hook even though admission already
@@ -103,7 +186,7 @@ let dequeue_job st =
    have filed the verdict while this job sat in the queue, and the hook's
    lookup catches that for free. Exhausted outcomes are answered but never
    persisted (see Solvability.solve_cached). *)
-let compute st (job : job) =
+let compute st (job : job) ~queue_wait_s =
   (match st.cfg.gate with Some g -> g job.j_digest | None -> ());
   let max_level = job.j_spec.Wire.max_level in
   let model = job.j_spec.Wire.model in
@@ -114,6 +197,7 @@ let compute st (job : job) =
       ~budget outcome
   in
   let committed = ref None in
+  let store_s = ref 0. in
   let hook =
     {
       Solvability.lookup =
@@ -121,44 +205,75 @@ let compute st (job : job) =
       commit =
         (fun outcome ->
           let r = fresh outcome in
+          let t0 = Wfc_obs.Metrics.now_s () in
           Store.put st.store r;
+          store_s := !store_s +. (Wfc_obs.Metrics.now_s () -. t0);
           committed := Some r);
     }
   in
-  match
+  let t0 = Wfc_obs.Metrics.now_s () in
+  let result =
     Solvability.solve_cached
       ~opts:(Solvability.options ~budget ~model:job.j_model ())
       ~max_level ~store:hook job.j_task
-  with
+  in
+  (* the commit above runs inside solve_cached; subtract it back out so
+     solve_s is pure search time *)
+  let solve_s = max 0. (Wfc_obs.Metrics.now_s () -. t0 -. !store_s) in
+  let stages = { queue_wait_s; solve_s; store_s = !store_s } in
+  Wfc_obs.Metrics.observe h_stage_solve solve_s;
+  if !store_s > 0. then Wfc_obs.Metrics.observe h_stage_store_put !store_s;
+  match result with
   | _, `Hit -> (
-    match find () with Some r -> Ok r | None -> Error "store record vanished mid-solve")
+    match find () with
+    | Some r -> Ok (r, stages)
+    | None -> Error "store record vanished mid-solve")
   | outcome, `Computed -> (
-    match !committed with Some r -> Ok r | None -> Ok (fresh outcome))
+    match !committed with Some r -> Ok (r, stages) | None -> Ok (fresh outcome, stages))
 
 (* Each of the [cfg.solvers] worker threads loops here, so distinct cold
    questions are solved concurrently (within one computation the search
    still fans out across the Wfc_par domain pool). On shutdown a worker
    keeps draining until no pending job is left — every admitted question
    gets its answer — and only then exits. *)
-let worker_loop st =
+let worker_loop (st, idx) =
+  let info = st.workers_info.(idx) in
   let rec next () =
     let job =
       locked st (fun () ->
           while st.npending = 0 && not (Atomic.get st.stopping) do
             Condition.wait st.work_cv st.m
           done;
-          if st.npending = 0 then None else Some (dequeue_job st))
+          if st.npending = 0 then None
+          else begin
+            let job = dequeue_job st in
+            info.w_state <- `Solving job.j_digest;
+            Some job
+          end)
     in
     match job with
     | None -> () (* stopping and drained *)
     | Some job ->
+      let queue_wait_s =
+        max 0. (Wfc_obs.Metrics.now_s () -. job.j_enqueued_at)
+      in
+      Wfc_obs.Metrics.observe h_stage_queue_wait queue_wait_s;
       let result =
-        try compute st job
+        try compute st job ~queue_wait_s
         with e -> Error (Printf.sprintf "solver failed: %s" (Printexc.to_string e))
       in
-      (match result with Error _ -> Wfc_obs.Metrics.incr c_errors | Ok _ -> ());
+      (match result with
+      | Error e ->
+        Wfc_obs.Metrics.incr c_errors;
+        log_event st Wfc_obs.Log.Error "solve.error"
+          (("req_id", Wfc_obs.Json.String job.j_req_id)
+          :: ("message", Wfc_obs.Json.String e)
+          :: spec_fields job.j_spec)
+      | Ok _ -> ());
       locked st (fun () ->
           job.j_result <- Some result;
+          info.w_state <- `Idle;
+          info.w_jobs <- info.w_jobs + 1;
           Hashtbl.remove st.inflight
             (key_of ~digest:job.j_digest ~model:job.j_spec.Wire.model
                ~max_level:job.j_spec.Wire.max_level);
@@ -169,25 +284,80 @@ let worker_loop st =
 
 (* ---- per-connection handler ---- *)
 
+let fresh_req_id st =
+  Printf.sprintf "wfc-%d-%d" (Unix.getpid ()) (Atomic.fetch_and_add st.req_seq 1)
+
 (* Store lookups happen under the state mutex: the miss -> enqueue decision
    must be atomic against a twin handler or the store would be raced into
    double computation. Record files are a few KiB, so the hold is short. *)
-let handle_query st (spec : Wire.spec) =
+let handle_query st ~req_id (spec : Wire.spec) =
   Wfc_obs.Metrics.incr c_requests;
   let t0 = Wfc_obs.Metrics.now_s () in
-  let answer resp =
+  let failed msg =
+    Wfc_obs.Metrics.incr c_errors;
     Wfc_obs.Metrics.observe h_latency (Wfc_obs.Metrics.now_s () -. t0);
-    resp
+    log_event st Wfc_obs.Log.Error "query.error"
+      (("req_id", Wfc_obs.Json.String req_id)
+      :: ("message", Wfc_obs.Json.String msg)
+      :: spec_fields spec);
+    Wire.Failed msg
+  in
+  (* Every answered verdict funnels through here: one place observes the
+     latency histograms, writes the query log line, and flags outliers. *)
+  let served ~source ~stages (record : Store.record) =
+    let total_s = Wfc_obs.Metrics.now_s () -. t0 in
+    Wfc_obs.Metrics.observe h_latency total_s;
+    Wfc_obs.Metrics.observe (h_latency_of_source source) total_s;
+    Wfc_obs.Metrics.observe (h_latency_of_model spec.Wire.model) total_s;
+    let timing =
+      {
+        Wire.queue_wait_s = stages.queue_wait_s;
+        solve_s = stages.solve_s;
+        store_s = stages.store_s;
+        total_s;
+      }
+    in
+    let o = record.Store.outcome in
+    let outcome_fields =
+      let open Wfc_obs.Json in
+      [
+        ("source", String (Wire.source_name source));
+        ("verdict", String o.Solvability.o_verdict);
+        ("level", Int o.Solvability.o_level);
+        ("nodes", Int o.Solvability.o_nodes);
+        ("backtracks", Int o.Solvability.o_backtracks);
+        ("prunes", Int o.Solvability.o_prunes);
+      ]
+    in
+    let timing_fields =
+      let open Wfc_obs.Json in
+      [
+        ("queue_wait_s", Float timing.Wire.queue_wait_s);
+        ("solve_s", Float timing.Wire.solve_s);
+        ("store_s", Float timing.Wire.store_s);
+        ("total_s", Float timing.Wire.total_s);
+      ]
+    in
+    log_event st Wfc_obs.Log.Info "query"
+      (("req_id", Wfc_obs.Json.String req_id)
+      :: (spec_fields spec @ outcome_fields @ timing_fields));
+    (match st.cfg.slow_ms with
+    | Some threshold when total_s *. 1000. >= threshold ->
+      Wfc_obs.Metrics.incr c_slow;
+      (* the slow-query line repeats the full context: an outlier must be
+         diagnosable from this one line, grep-free *)
+      log_event st Wfc_obs.Log.Warn "slow_query"
+        (("req_id", Wfc_obs.Json.String req_id)
+        :: ("threshold_ms", Wfc_obs.Json.Float threshold)
+        :: (spec_fields spec @ outcome_fields @ timing_fields))
+    | _ -> ());
+    Wire.Verdict { source; record; req_id = Some req_id; timing = Some timing }
   in
   match Wfc_tasks.Model.of_string spec.Wire.model with
-  | Error msg ->
-    Wfc_obs.Metrics.incr c_errors;
-    answer (Wire.Failed msg)
+  | Error msg -> failed msg
   | Ok model -> (
   match Wfc_tasks.Instances.by_name ~name:spec.Wire.task ~procs:spec.Wire.procs ~param:spec.Wire.param with
-  | exception Invalid_argument msg ->
-    Wfc_obs.Metrics.incr c_errors;
-    answer (Wire.Failed msg)
+  | exception Invalid_argument msg -> failed msg
   | task -> (
     let digest = Wfc_tasks.Task.digest task in
     let key = key_of ~digest ~model:spec.Wire.model ~max_level:spec.Wire.max_level in
@@ -201,6 +371,7 @@ let handle_query st (spec : Wire.spec) =
       in
       locked st poll
     in
+    let t_admission = Wfc_obs.Metrics.now_s () in
     let decision =
       locked st (fun () ->
           if Atomic.get st.stopping then `Refuse
@@ -210,13 +381,14 @@ let handle_query st (spec : Wire.spec) =
               Wfc_obs.Metrics.incr c_coalesced;
               `Join job
             | None -> (
+              let t_find = Wfc_obs.Metrics.now_s () in
               match
                 Store.find st.store ~digest ~model:spec.Wire.model
                   ~max_level:spec.Wire.max_level ~budget:Solvability.default_budget
               with
               | Some r ->
                 Wfc_obs.Metrics.incr c_hits;
-                `Hit r
+                `Hit (r, Wfc_obs.Metrics.now_s () -. t_find)
               | None ->
                 if st.npending >= st.cfg.queue_capacity then begin
                   Wfc_obs.Metrics.incr c_shed;
@@ -230,6 +402,8 @@ let handle_query st (spec : Wire.spec) =
                       j_task = task;
                       j_digest = digest;
                       j_model = model;
+                      j_req_id = req_id;
+                      j_enqueued_at = Wfc_obs.Metrics.now_s ();
                       j_result = None;
                     }
                   in
@@ -240,18 +414,58 @@ let handle_query st (spec : Wire.spec) =
                   `Own job
                 end))
     in
+    Wfc_obs.Metrics.observe h_stage_admission
+      (Wfc_obs.Metrics.now_s () -. t_admission);
     match decision with
-    | `Refuse -> answer (Wire.Failed "daemon is shutting down")
-    | `Hit r -> answer (Wire.Verdict { source = Wire.From_store; record = r })
-    | `Shed -> answer Wire.Shed
+    | `Refuse -> failed "daemon is shutting down"
+    | `Hit (r, find_s) ->
+      served ~source:Wire.From_store ~stages:{ no_stages with store_s = find_s } r
+    | `Shed ->
+      log_event st Wfc_obs.Log.Warn "shed"
+        (("req_id", Wfc_obs.Json.String req_id) :: spec_fields spec);
+      Wfc_obs.Metrics.observe h_latency (Wfc_obs.Metrics.now_s () -. t0);
+      Wire.Shed
     | `Join job -> (
       match wait_for job with
-      | Ok r -> answer (Wire.Verdict { source = Wire.Coalesced; record = r })
-      | Error e -> answer (Wire.Failed e))
+      | Ok (r, stages) -> served ~source:Wire.Coalesced ~stages r
+      | Error e -> failed e)
     | `Own job -> (
       match wait_for job with
-      | Ok r -> answer (Wire.Verdict { source = Wire.Computed; record = r })
-      | Error e -> answer (Wire.Failed e))))
+      | Ok (r, stages) -> served ~source:Wire.Computed ~stages r
+      | Error e -> failed e)))
+
+(* ---- introspection ---- *)
+
+let uptime_s st = Wfc_obs.Metrics.now_s () -. st.started_at
+
+let server_json st =
+  let open Wfc_obs.Json in
+  let inflight, depth, workers =
+    locked st (fun () ->
+        ( Hashtbl.length st.inflight,
+          st.npending,
+          Array.to_list
+            (Array.mapi
+               (fun i w ->
+                 Obj
+                   ([ ("id", Int i); ("jobs", Int w.w_jobs) ]
+                   @
+                   match w.w_state with
+                   | `Idle -> [ ("state", String "idle") ]
+                   | `Solving digest ->
+                     [ ("state", String "solving"); ("digest", String digest) ]))
+               st.workers_info) ))
+  in
+  Obj
+    [
+      ("version", String version);
+      ("uptime_s", Float (uptime_s st));
+      ("inflight", Int inflight);
+      ("queue_depth", Int depth);
+      ("queue_capacity", Int st.cfg.queue_capacity);
+      ("solvers", Int st.cfg.solvers);
+      ("workers", Arr workers);
+    ]
 
 let handle_connection st fd =
   let stop_requested = ref false in
@@ -260,20 +474,43 @@ let handle_connection st fd =
        match Wire.read_frame fd with
        | Error _ -> ()
        | Ok j ->
+         let t_decode = Wfc_obs.Metrics.now_s () in
+         let parsed = Wire.request_of_json j in
+         Wfc_obs.Metrics.observe h_stage_decode
+           (Wfc_obs.Metrics.now_s () -. t_decode);
          let resp =
-           match Wire.request_of_json j with
+           match parsed with
            | Error e ->
              Wfc_obs.Metrics.incr c_errors;
+             log_event st Wfc_obs.Log.Error "request.error"
+               [ ("message", Wfc_obs.Json.String e) ];
              Wire.Failed e
-           | Ok Wire.Ping -> Wire.Pong
+           | Ok Wire.Ping ->
+             log_event st Wfc_obs.Log.Debug "ping" [];
+             Wire.Pong { version = Some version; uptime_s = Some (uptime_s st) }
            | Ok Wire.Stats ->
-             Wire.Metrics (Wfc_obs.Snapshot.to_json (Wfc_obs.Snapshot.take ()))
+             log_event st Wfc_obs.Log.Debug "stats" [];
+             Wire.Metrics
+               {
+                 metrics = Wfc_obs.Snapshot.to_json (Wfc_obs.Snapshot.take ());
+                 server = Some (server_json st);
+               }
            | Ok Wire.Shutdown ->
              stop_requested := true;
+             log_event st Wfc_obs.Log.Info "shutdown.request" [];
              Wire.Bye
-           | Ok (Wire.Query spec) -> handle_query st spec
+           | Ok (Wire.Query { spec; req_id }) ->
+             (* a pre-telemetry client carries no id; assign one so every
+                log line and response of this request still correlates *)
+             let req_id =
+               match req_id with Some id -> id | None -> fresh_req_id st
+             in
+             handle_query st ~req_id spec
          in
+         let t_encode = Wfc_obs.Metrics.now_s () in
          Wire.write_frame fd (Wire.response_to_json resp);
+         Wfc_obs.Metrics.observe h_stage_encode
+           (Wfc_obs.Metrics.now_s () -. t_encode);
          if not !stop_requested then loop ()
      in
      loop ()
@@ -311,10 +548,13 @@ let bind_socket path =
 let run cfg =
   (* a client vanishing mid-response must surface as EPIPE, not kill us *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let log = Option.map (Wfc_obs.Log.open_log ~level:cfg.log_level) cfg.log in
   let st =
     {
       cfg;
       store = Store.open_store cfg.store_dir;
+      started_at = Wfc_obs.Metrics.now_s ();
+      log;
       m = Mutex.create ();
       work_cv = Condition.create ();
       done_cv = Condition.create ();
@@ -322,14 +562,25 @@ let run cfg =
       rotation = Queue.create ();
       npending = 0;
       inflight = Hashtbl.create 64;
+      workers_info =
+        Array.init (max 1 cfg.solvers) (fun _ -> { w_state = `Idle; w_jobs = 0 });
+      req_seq = Atomic.make 0;
       stopping = Atomic.make false;
     }
   in
   let listen_fd = bind_socket cfg.socket in
+  log_event st Wfc_obs.Log.Info "serve.start"
+    [
+      ("socket", Wfc_obs.Json.String cfg.socket);
+      ("store", Wfc_obs.Json.String cfg.store_dir);
+      ("solvers", Wfc_obs.Json.Int cfg.solvers);
+      ("queue_capacity", Wfc_obs.Json.Int cfg.queue_capacity);
+      ("version", Wfc_obs.Json.String version);
+    ];
   let initiate_stop _ = Atomic.set st.stopping true in
   let old_int = Sys.signal Sys.sigint (Sys.Signal_handle initiate_stop) in
   let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle initiate_stop) in
-  let workers = Array.init cfg.solvers (fun _ -> Thread.create worker_loop st) in
+  let workers = Array.init cfg.solvers (fun i -> Thread.create worker_loop (st, i)) in
   (match cfg.on_ready with Some f -> f () | None -> ());
   (* Accept with a select timeout so a signal- or request-initiated stop is
      noticed within a tick even when no connection ever arrives. *)
@@ -357,6 +608,17 @@ let run cfg =
   Sys.set_signal Sys.sigint old_int;
   Sys.set_signal Sys.sigterm old_term;
   let v name = Wfc_obs.Metrics.value (Wfc_obs.Metrics.counter name) in
+  log_event st Wfc_obs.Log.Info "serve.stop"
+    [
+      ("uptime_s", Wfc_obs.Json.Float (uptime_s st));
+      ("requests", Wfc_obs.Json.Int (v "serve.requests"));
+      ("hits", Wfc_obs.Json.Int (v "serve.hits"));
+      ("computed", Wfc_obs.Json.Int (v "serve.misses"));
+      ("coalesced", Wfc_obs.Json.Int (v "serve.coalesced"));
+      ("shed", Wfc_obs.Json.Int (v "serve.shed"));
+      ("errors", Wfc_obs.Json.Int (v "serve.errors"));
+    ];
+  (match st.log with Some l -> Wfc_obs.Log.close l | None -> ());
   Printf.eprintf
     "wfc serve: %d request(s) — %d hit(s), %d computed, %d coalesced, %d shed, %d error(s)\n%!"
     (v "serve.requests") (v "serve.hits") (v "serve.misses") (v "serve.coalesced")

@@ -32,13 +32,33 @@
     threads answer hits directly under the state mutex, so hit latency is
     unaffected by running solves.
 
-    Every request is measured ([serve.requests], [serve.latency.seconds],
-    [serve.queue.depth]); on shutdown the daemon prints a traffic summary
-    and, with [report], writes the final metrics snapshot as a [wfc.obs.v1]
+    {b Telemetry.} Every request carries a correlation id (client-supplied
+    [req_id] or daemon-assigned) that is echoed in the response and stamped
+    on every log line of the request. The lifecycle is measured stage by
+    stage — [serve.stage.decode.seconds], [.admission.], [.queue_wait.],
+    [.solve.], [.store_put.], [.encode.] — alongside the end-to-end
+    [serve.latency.seconds], its per-source splits
+    ([serve.latency.store.seconds] / [.computed.] / [.coalesced.]) and
+    per-model splits ([serve.latency.model.<slug>.seconds]).
+    [serve.queue.depth] is sampled on both enqueue and dequeue, so the
+    histogram sees drains as well as arrival bursts. With [log] set the
+    daemon appends one [wfc.log.v1] line per event ({!Wfc_obs.Log}):
+    [serve.start], [query], [shed], [query.error]/[solve.error],
+    [shutdown.request], [serve.stop], plus [ping]/[stats] at debug level;
+    with [slow_ms] set, any query slower than the threshold additionally
+    emits a [slow_query] warning carrying the full spec, verdict source and
+    search statistics. A [stats] request returns the metrics snapshot plus
+    a [server] block: version, uptime, in-flight count, queue depth and
+    per-worker state. On shutdown the daemon prints a traffic summary and,
+    with [report], writes the final metrics snapshot as a [wfc.obs.v1]
     report. SIGINT/SIGTERM trigger the same clean shutdown as a [shutdown]
     request — every scheduler worker drains the pending queue and finishes
     its in-flight job before the daemon exits; SIGKILL at any instant
     leaves a loadable store ({!Store.put} is atomic). *)
+
+val version : string
+(** The daemon's version string, reported in [pong] and [stats] responses
+    and in the [serve.start] log event. *)
 
 type config = {
   socket : string;  (** Unix-domain socket path *)
@@ -51,12 +71,26 @@ type config = {
       (** test/bench instrumentation: a scheduler worker calls this with
           the question's digest immediately before each computation — a
           hook to hold workers while clients pile onto in-flight entries *)
+  log : string option;  (** append [wfc.log.v1] event lines here *)
+  log_level : Wfc_obs.Log.level;  (** minimum level written to [log] *)
+  slow_ms : float option;
+      (** emit a [slow_query] warning for any query at least this many
+          milliseconds end-to-end; [Some 0.] logs every query as slow *)
 }
 
 val config :
-  ?queue_capacity:int -> ?solvers:int -> socket:string -> store_dir:string -> unit -> config
+  ?queue_capacity:int ->
+  ?solvers:int ->
+  ?log:string ->
+  ?log_level:Wfc_obs.Log.level ->
+  ?slow_ms:float ->
+  socket:string ->
+  store_dir:string ->
+  unit ->
+  config
 (** Defaults: queue capacity 64, 2 solver workers (clamped to [>= 1]), no
-    report, no hooks. *)
+    report, no hooks, no event log (level [Info] once one is given), no
+    slow-query threshold. *)
 
 val run : config -> unit
 (** Binds the socket (refusing if a live daemon already answers on it,

@@ -4,7 +4,7 @@ type spec = { task : string; procs : int; param : int; max_level : int; model : 
 
 let spec_to_string s = Printf.sprintf "%s(procs=%d,param=%d)" s.task s.procs s.param
 
-type request = Query of spec | Ping | Stats | Shutdown
+type request = Query of { spec : spec; req_id : string option } | Ping | Stats | Shutdown
 
 type source = From_store | Computed | Coalesced
 
@@ -13,27 +13,35 @@ let source_name = function
   | Computed -> "computed"
   | Coalesced -> "coalesced"
 
+type timing = { queue_wait_s : float; solve_s : float; store_s : float; total_s : float }
+
 type response =
-  | Verdict of { source : source; record : Store.record }
+  | Verdict of {
+      source : source;
+      record : Store.record;
+      req_id : string option;
+      timing : timing option;
+    }
   | Shed
-  | Pong
-  | Metrics of Wfc_obs.Json.t
+  | Pong of { version : string option; uptime_s : float option }
+  | Metrics of { metrics : Wfc_obs.Json.t; server : Wfc_obs.Json.t option }
   | Bye
   | Failed of string
 
 let request_to_json r =
   let open Wfc_obs.Json in
   match r with
-  | Query s ->
+  | Query { spec = s; req_id } ->
     Obj
-      [
-        ("op", String "query");
-        ("task", String s.task);
-        ("procs", Int s.procs);
-        ("param", Int s.param);
-        ("max_level", Int s.max_level);
-        ("model", String s.model);
-      ]
+      ([
+         ("op", String "query");
+         ("task", String s.task);
+         ("procs", Int s.procs);
+         ("param", Int s.param);
+         ("max_level", Int s.max_level);
+         ("model", String s.model);
+       ]
+      @ match req_id with None -> [] | Some id -> [ ("req_id", String id) ])
   | Ping -> Obj [ ("op", String "ping") ]
   | Stats -> Obj [ ("op", String "stats") ]
   | Shutdown -> Obj [ ("op", String "shutdown") ]
@@ -49,6 +57,21 @@ let int_member key j =
   match Wfc_obs.Json.member key j with
   | Some (Wfc_obs.Json.Int i) -> Ok i
   | _ -> Error (Printf.sprintf "missing or non-int %S" key)
+
+(* Absent optional fields decode to [None] — the compatibility scheme that
+   lets pre-telemetry and post-telemetry peers interoperate in both
+   directions (same contract as the absent-"model" default below). *)
+let opt_string_member key j =
+  match Wfc_obs.Json.member key j with
+  | None -> Ok None
+  | Some (Wfc_obs.Json.String s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "non-string %S" key)
+
+let number_member key j =
+  match Wfc_obs.Json.member key j with
+  | Some (Wfc_obs.Json.Float f) -> Ok f
+  | Some (Wfc_obs.Json.Int i) -> Ok (float_of_int i)
+  | _ -> Error (Printf.sprintf "missing or non-numeric %S" key)
 
 let request_of_json j =
   let* op = string_member "op" j in
@@ -68,24 +91,51 @@ let request_of_json j =
       | Some (Wfc_obs.Json.String m) when m <> "" -> Ok m
       | Some _ -> Error "non-string or empty \"model\""
     in
+    let* req_id = opt_string_member "req_id" j in
     if procs < 1 then Error "procs must be >= 1"
     else if max_level < 0 then Error "max_level must be >= 0"
-    else Ok (Query { task; procs; param; max_level; model })
+    else Ok (Query { spec = { task; procs; param; max_level; model }; req_id })
   | op -> Error (Printf.sprintf "unknown op %S" op)
+
+let timing_to_json t =
+  let open Wfc_obs.Json in
+  Obj
+    [
+      ("queue_wait_s", Float t.queue_wait_s);
+      ("solve_s", Float t.solve_s);
+      ("store_s", Float t.store_s);
+      ("total_s", Float t.total_s);
+    ]
+
+let timing_of_json j =
+  let* queue_wait_s = number_member "queue_wait_s" j in
+  let* solve_s = number_member "solve_s" j in
+  let* store_s = number_member "store_s" j in
+  let* total_s = number_member "total_s" j in
+  Ok { queue_wait_s; solve_s; store_s; total_s }
 
 let response_to_json r =
   let open Wfc_obs.Json in
   match r with
-  | Verdict { source; record } ->
+  | Verdict { source; record; req_id; timing } ->
     Obj
-      [
-        ("status", String "ok");
-        ("source", String (source_name source));
-        ("record", Store.record_to_json record);
-      ]
+      ([
+         ("status", String "ok");
+         ("source", String (source_name source));
+         ("record", Store.record_to_json record);
+       ]
+      @ (match req_id with None -> [] | Some id -> [ ("req_id", String id) ])
+      @ match timing with None -> [] | Some t -> [ ("timing", timing_to_json t) ])
   | Shed -> Obj [ ("status", String "shed") ]
-  | Pong -> Obj [ ("status", String "pong") ]
-  | Metrics m -> Obj [ ("status", String "stats"); ("metrics", m) ]
+  | Pong { version; uptime_s } ->
+    Obj
+      (("status", String "pong")
+      :: ((match version with None -> [] | Some v -> [ ("version", String v) ])
+         @ match uptime_s with None -> [] | Some u -> [ ("uptime_s", Float u) ]))
+  | Metrics { metrics; server } ->
+    Obj
+      ([ ("status", String "stats"); ("metrics", metrics) ]
+      @ match server with None -> [] | Some s -> [ ("server", s) ])
   | Bye -> Obj [ ("status", String "bye") ]
   | Failed msg -> Obj [ ("status", String "error"); ("message", String msg) ]
 
@@ -93,14 +143,19 @@ let response_of_json j =
   let* status = string_member "status" j in
   match status with
   | "shed" -> Ok Shed
-  | "pong" -> Ok Pong
+  | "pong" ->
+    let* version = opt_string_member "version" j in
+    let uptime_s =
+      match number_member "uptime_s" j with Ok u -> Some u | Error _ -> None
+    in
+    Ok (Pong { version; uptime_s })
   | "bye" -> Ok Bye
   | "error" ->
     let* msg = string_member "message" j in
     Ok (Failed msg)
   | "stats" -> (
     match Wfc_obs.Json.member "metrics" j with
-    | Some m -> Ok (Metrics m)
+    | Some m -> Ok (Metrics { metrics = m; server = Wfc_obs.Json.member "server" j })
     | None -> Error "stats response without \"metrics\"")
   | "ok" -> (
     let* source = string_member "source" j in
@@ -111,11 +166,17 @@ let response_of_json j =
       | "coalesced" -> Ok Coalesced
       | s -> Error (Printf.sprintf "unknown source %S" s)
     in
+    let* req_id = opt_string_member "req_id" j in
+    let* timing =
+      match Wfc_obs.Json.member "timing" j with
+      | None -> Ok None
+      | Some tj -> Result.map Option.some (timing_of_json tj)
+    in
     match Wfc_obs.Json.member "record" j with
     | None -> Error "ok response without \"record\""
     | Some rj ->
       let* record = Store.record_of_json rj in
-      Ok (Verdict { source; record }))
+      Ok (Verdict { source; record; req_id; timing }))
   | s -> Error (Printf.sprintf "unknown status %S" s)
 
 (* ---- framing ---- *)

@@ -10,21 +10,34 @@
 
     Requests ([op] tag): {v
       {"op": "query", "task": NAME, "procs": P, "param": K, "max_level": B,
-       "model": M}
+       "model": M, "req_id": ID}
       {"op": "ping"}   {"op": "stats"}   {"op": "shutdown"}
     v}
 
     [model] is a canonical {!Wfc_tasks.Model} name; a request without the
     field (a pre-model client) is read as ["wait-free"], so old clients keep
-    getting exactly the answers they always got.
+    getting exactly the answers they always got. [req_id] is an optional
+    opaque correlation id: the daemon echoes it in the verdict response and
+    stamps it on every event-log line of the request, and assigns one
+    itself when a pre-telemetry client omits it.
 
     Responses ([status] tag): {v
-      {"status": "ok", "source": "store"|"computed"|"coalesced", "record": <wfc.store.v2>}
+      {"status": "ok", "source": "store"|"computed"|"coalesced",
+       "record": <wfc.store.v2>, "req_id": ID,
+       "timing": {"queue_wait_s": Q, "solve_s": S, "store_s": T, "total_s": W}}
       {"status": "shed"}                      queue full — retry or solve inline
-      {"status": "pong"}  {"status": "bye"}
-      {"status": "stats", "metrics": {...}}   a Wfc_obs snapshot
+      {"status": "pong", "version": V, "uptime_s": U}   {"status": "bye"}
+      {"status": "stats", "metrics": {...}, "server": {...}}
       {"status": "error", "message": "..."}
     v}
+
+    [req_id], [timing], [version], [uptime_s] and [server] are all optional
+    on decode (absent from a pre-telemetry daemon's responses), mirroring
+    the model-field compatibility scheme: new clients against old daemons
+    see [None], old clients ignore the new fields, and the [record] bytes —
+    the part with verdict semantics — are untouched either way. [timing] is
+    the daemon-side stage breakdown: time spent waiting in the solve queue,
+    in the search, in store I/O, and end-to-end inside the handler.
 
     Tasks travel by {e name}: the daemon rebuilds the complex through
     {!Wfc_tasks.Instances.by_name} — the same registry an inline solve uses
@@ -46,24 +59,38 @@ val spec_to_string : spec -> string
     deliberately {e not} part of this string; it travels in the record's
     own [model] field. *)
 
-type request = Query of spec | Ping | Stats | Shutdown
+type request = Query of { spec : spec; req_id : string option } | Ping | Stats | Shutdown
 
 type source = From_store | Computed | Coalesced
 
 val source_name : source -> string
 (** ["store"] / ["computed"] / ["coalesced"]. *)
 
+type timing = { queue_wait_s : float; solve_s : float; store_s : float; total_s : float }
+(** Per-request stage breakdown, daemon-side seconds. A store hit has
+    [queue_wait_s = solve_s = 0.]; a coalesced answer reports the stages of
+    the computation it attached to. *)
+
 type response =
-  | Verdict of { source : source; record : Store.record }
+  | Verdict of {
+      source : source;
+      record : Store.record;
+      req_id : string option;
+      timing : timing option;
+    }
   | Shed
-  | Pong
-  | Metrics of Wfc_obs.Json.t
+  | Pong of { version : string option; uptime_s : float option }
+  | Metrics of { metrics : Wfc_obs.Json.t; server : Wfc_obs.Json.t option }
   | Bye
   | Failed of string
 
 val request_to_json : request -> Wfc_obs.Json.t
 
 val request_of_json : Wfc_obs.Json.t -> (request, string) result
+
+val timing_to_json : timing -> Wfc_obs.Json.t
+
+val timing_of_json : Wfc_obs.Json.t -> (timing, string) result
 
 val response_to_json : response -> Wfc_obs.Json.t
 

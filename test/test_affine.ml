@@ -308,8 +308,9 @@ let test_wire_model () =
   let spec =
     { Wire.task = "consensus"; procs = 2; param = 2; max_level = 1; model = "k-set:2" }
   in
-  (match Wire.request_of_json (Wire.request_to_json (Wire.Query spec)) with
-  | Ok (Wire.Query spec') -> checks "model survives the wire" "k-set:2" spec'.Wire.model
+  (match Wire.request_of_json (Wire.request_to_json (Wire.Query { spec; req_id = None })) with
+  | Ok (Wire.Query { spec = spec'; _ }) ->
+    checks "model survives the wire" "k-set:2" spec'.Wire.model
   | Ok _ -> Alcotest.fail "expected a query"
   | Error e -> Alcotest.fail e);
   (* a pre-model client omits the field entirely: read as wait-free *)
@@ -324,7 +325,8 @@ let test_wire_model () =
       ]
   in
   (match Wire.request_of_json legacy with
-  | Ok (Wire.Query spec') -> checks "missing model defaults" "wait-free" spec'.Wire.model
+  | Ok (Wire.Query { spec = spec'; _ }) ->
+    checks "missing model defaults" "wait-free" spec'.Wire.model
   | Ok _ -> Alcotest.fail "expected a query"
   | Error e -> Alcotest.fail e);
   let with_model m =
@@ -390,22 +392,22 @@ let test_daemon_two_models () =
       | Error e -> Alcotest.fail e
       | Ok c ->
         (match query_exn c (spec "wait-free") with
-        | Wire.Verdict { source = Wire.Computed; record } ->
+        | Wire.Verdict { source = Wire.Computed; record; _ } ->
           checks "wait-free verdict" "unsolvable" record.Store.outcome.Solvability.o_verdict;
           checks "record model" "wait-free" record.Store.model
         | _ -> Alcotest.fail "expected a computed wait-free verdict");
         (match query_exn c (spec "k-set:2") with
-        | Wire.Verdict { source = Wire.Computed; record } ->
+        | Wire.Verdict { source = Wire.Computed; record; _ } ->
           checks "k-set:2 verdict" "solvable" record.Store.outcome.Solvability.o_verdict;
           checks "record model" "k-set:2" record.Store.model
         | _ -> Alcotest.fail "expected a computed k-set:2 verdict");
         (* both verdicts now coexist in one store, each keyed by its model *)
         (match query_exn c (spec "wait-free") with
-        | Wire.Verdict { source = Wire.From_store; record } ->
+        | Wire.Verdict { source = Wire.From_store; record; _ } ->
           checks "warm wait-free" "unsolvable" record.Store.outcome.Solvability.o_verdict
         | _ -> Alcotest.fail "expected a wait-free store hit");
         (match query_exn c (spec "k-set:2") with
-        | Wire.Verdict { source = Wire.From_store; record } ->
+        | Wire.Verdict { source = Wire.From_store; record; _ } ->
           checks "warm k-set:2" "solvable" record.Store.outcome.Solvability.o_verdict
         | _ -> Alcotest.fail "expected a k-set:2 store hit");
         (* an unparsable model is refused at admission, before any solving *)

@@ -147,6 +147,109 @@ let test_json_parse_errors () =
   checkb "trailing junk rejected" true (Result.is_error (Json.parse "{} x"));
   checkb "unterminated string rejected" true (Result.is_error (Json.parse "\"abc"))
 
+let test_json_to_line () =
+  let j =
+    Json.Obj
+      [
+        ("zeta", Json.Arr [ Json.Int 1; Json.Float 0.5 ]);
+        ("alpha", Json.String "a\nb");
+      ]
+  in
+  let line = Json.to_line j in
+  checks "compact canonical form" "{\"alpha\":\"a\\nb\",\"zeta\":[1,0.500000]}" line;
+  checkb "no raw newline in the line" true
+    (not (String.exists (fun c -> c = '\n') line));
+  (* to_line and to_string are the same canonical value, different layout *)
+  match (Json.parse line, Json.parse (Json.to_string j)) with
+  | Ok a, Ok b -> checkb "same tree as to_string" true (Json.equal a b)
+  | _ -> Alcotest.fail "to_line output did not parse back"
+
+(* ------------------------------------------------------------------ *)
+(* Log                                                                 *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let test_log_lines_and_levels () =
+  let path = Filename.temp_file "wfc-log" ".log" in
+  Sys.remove path;
+  let log = Log.open_log ~level:Log.Info path in
+  checkb "debug gated off" false (Log.enabled log Log.Debug);
+  checkb "warn enabled" true (Log.enabled log Log.Warn);
+  Log.event log Log.Debug "invisible" [];
+  Log.event log Log.Info "query" [ ("req_id", Json.String "r1"); ("nodes", Json.Int 42) ];
+  (* envelope fields win over payload: a lying "level" must not survive *)
+  Log.event log Log.Warn "shed" [ ("level", Json.String "debug") ];
+  Log.close log;
+  Log.event log Log.Error "after-close" [];
+  let contents = read_file path in
+  (match Log.validate contents with
+  | Ok n -> checki "gated + closed events not written" 2 n
+  | Error e -> Alcotest.failf "log does not validate: %s" e);
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' contents)
+  in
+  (match lines with
+  | [ l1; l2 ] ->
+    checkb "first line is the query" true (contains ~needle:"\"event\":\"query\"" l1);
+    checkb "payload kept" true (contains ~needle:"\"req_id\":\"r1\"" l1);
+    checkb "envelope level wins" true (contains ~needle:"\"level\":\"warn\"" l2);
+    List.iter
+      (fun l ->
+        match Json.parse l with
+        | Ok j -> checkb "line validates" true (Log.validate_line j = Ok ())
+        | Error e -> Alcotest.failf "line is not JSON: %s" e)
+      [ l1; l2 ]
+  | l -> Alcotest.failf "expected 2 lines, got %d" (List.length l));
+  Sys.remove path
+
+let test_log_validate_rejects () =
+  checkb "empty log rejected" true (Result.is_error (Log.validate ""));
+  checkb "non-JSON line rejected" true (Result.is_error (Log.validate "not json\n"));
+  checkb "missing envelope rejected" true (Result.is_error (Log.validate "{\"a\":1}\n"));
+  checkb "unknown level rejected" true
+    (Result.is_error
+       (Log.validate
+          "{\"schema\":\"wfc.log.v1\",\"ts\":1.0,\"level\":\"loud\",\"event\":\"x\"}\n"));
+  (* the error names the offending line *)
+  let good = "{\"event\":\"x\",\"level\":\"info\",\"schema\":\"wfc.log.v1\",\"ts\":1.000000}" in
+  (match Log.validate (good ^ "\n[]\n") with
+  | Error e -> checkb "line number reported" true (contains ~needle:"line 2" e)
+  | Ok _ -> Alcotest.fail "bad second line accepted");
+  match Log.validate (good ^ "\n\n" ^ good ^ "\n") with
+  | Ok n -> checki "blank lines skipped" 2 n
+  | Error e -> Alcotest.failf "blank-tolerant validation failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder boundaries                                          *)
+
+let test_flight_exact_capacity () =
+  let cap = 8 in
+  let r = Flight.create ~capacity:cap in
+  (* fill to EXACTLY capacity: nothing may be dropped yet *)
+  for i = 1 to cap do
+    Flight.push r i
+  done;
+  checki "length = capacity" cap (Flight.length r);
+  checki "nothing dropped at exact capacity" 0 (Flight.dropped r);
+  checkb "contents oldest-first" true (Flight.contents r = [ 1; 2; 3; 4; 5; 6; 7; 8 ]);
+  (* one past capacity: the oldest element goes, exactly one drop *)
+  Flight.push r 9;
+  checki "length pinned at capacity" cap (Flight.length r);
+  checki "one drop" 1 (Flight.dropped r);
+  checkb "oldest evicted first" true (Flight.contents r = [ 2; 3; 4; 5; 6; 7; 8; 9 ]);
+  (* march through several internal-truncation boundaries (the list-backed
+     ring compacts at 2*capacity): order and bounds must hold throughout *)
+  for i = 10 to 5 * cap do
+    Flight.push r i
+  done;
+  checki "length still capacity" cap (Flight.length r);
+  checki "drops account for every eviction" (4 * cap) (Flight.dropped r);
+  checkb "retained suffix is the last capacity pushes" true
+    (Flight.contents r = List.init cap (fun i -> (4 * cap) + 1 + i));
+  Flight.clear r;
+  checki "clear empties" 0 (Flight.length r);
+  checki "clear resets drops" 0 (Flight.dropped r)
+
 (* ------------------------------------------------------------------ *)
 (* Report                                                              *)
 
@@ -247,6 +350,50 @@ let test_two_domain_hammer () =
         | l -> Alcotest.failf "expected one child span, got %d" (List.length l)))
     [ "a"; "b" ]
 
+(* Snapshots under concurrent writers: [Snapshot.take] must read a sane
+   value at any instant (monotone along the observation order) and exactly
+   the true total once the writers are done — no torn or lost reads. *)
+let test_snapshot_under_domains () =
+  Metrics.reset ();
+  let iters = 20_000 in
+  let c = Metrics.counter "test.snap.domains" in
+  let work () =
+    for _ = 1 to iters do
+      Metrics.incr c
+    done
+  in
+  let a = Domain.spawn work and b = Domain.spawn work in
+  let observed = ref [] in
+  (* sample while both domains hammer the shared counter *)
+  while Metrics.value c < 2 * iters do
+    (match Snapshot.counter_value (Snapshot.take ()) "test.snap.domains" with
+    | Some v -> observed := v :: !observed
+    | None -> ());
+    Domain.cpu_relax ()
+  done;
+  Domain.join a;
+  Domain.join b;
+  let final = Snapshot.take () in
+  checkb "final snapshot is exact" true
+    (Snapshot.counter_value final "test.snap.domains" = Some (2 * iters));
+  let rec monotone = function
+    | newer :: older :: rest -> newer >= older && monotone (older :: rest)
+    | _ -> true
+  in
+  checkb "mid-flight snapshots never go backwards" true (monotone !observed);
+  checkb "mid-flight snapshots never overshoot" true
+    (List.for_all (fun v -> v >= 0 && v <= 2 * iters) !observed);
+  (* determinism: two identical hammer runs leave identical deltas *)
+  let run () =
+    let before = Snapshot.take () in
+    let a = Domain.spawn work and b = Domain.spawn work in
+    Domain.join a;
+    Domain.join b;
+    (Snapshot.diff before (Snapshot.take ())).Snapshot.counters
+    |> List.filter (fun (n, _) -> n = "test.snap.domains")
+  in
+  checkb "identical runs, identical snapshot deltas" true (run () = run ())
+
 (* ------------------------------------------------------------------ *)
 (* Determinism guard: same seeded solve => same stats and counter deltas *)
 
@@ -298,12 +445,21 @@ let () =
         [
           Alcotest.test_case "diff isolates a region" `Quick test_snapshot_diff;
           Alcotest.test_case "text rendering" `Quick test_snapshot_text;
+          Alcotest.test_case "snapshots under two domains" `Quick test_snapshot_under_domains;
         ] );
       ( "json",
         [
           Alcotest.test_case "canonical round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "single-line rendering" `Quick test_json_to_line;
         ] );
+      ( "log",
+        [
+          Alcotest.test_case "lines, levels, close" `Quick test_log_lines_and_levels;
+          Alcotest.test_case "validator rejects bad streams" `Quick test_log_validate_rejects;
+        ] );
+      ( "flight",
+        [ Alcotest.test_case "wraparound at exact capacity" `Quick test_flight_exact_capacity ] );
       ( "report",
         [
           Alcotest.test_case "schema + validate" `Quick test_report_schema;

@@ -52,18 +52,84 @@ let roundtrip_response r =
 let wire_tests =
   [
     Alcotest.test_case "request codec round-trips" `Quick (fun () ->
-        roundtrip_request (Wire.Query default_spec);
+        roundtrip_request (Wire.Query { spec = default_spec; req_id = None });
+        roundtrip_request (Wire.Query { spec = default_spec; req_id = Some "cli-42-7" });
         roundtrip_request Wire.Ping;
         roundtrip_request Wire.Stats;
         roundtrip_request Wire.Shutdown);
     Alcotest.test_case "response codec round-trips" `Quick (fun () ->
         roundtrip_response Wire.Shed;
-        roundtrip_response Wire.Pong;
+        roundtrip_response (Wire.Pong { version = None; uptime_s = None });
+        roundtrip_response (Wire.Pong { version = Some "1.0.0"; uptime_s = Some 12.5 });
         roundtrip_response Wire.Bye;
         roundtrip_response (Wire.Failed "boom");
-        roundtrip_response (Wire.Metrics (Wfc_obs.Json.Obj [ ("x", Wfc_obs.Json.Int 1) ]));
         roundtrip_response
-          (Wire.Verdict { source = Wire.Coalesced; record = inline_record default_spec }));
+          (Wire.Metrics
+             { metrics = Wfc_obs.Json.Obj [ ("x", Wfc_obs.Json.Int 1) ]; server = None });
+        roundtrip_response
+          (Wire.Metrics
+             {
+               metrics = Wfc_obs.Json.Obj [ ("x", Wfc_obs.Json.Int 1) ];
+               server = Some (Wfc_obs.Json.Obj [ ("uptime_s", Wfc_obs.Json.Float 3.5) ]);
+             });
+        roundtrip_response
+          (Wire.Verdict
+             {
+               source = Wire.Coalesced;
+               record = inline_record default_spec;
+               req_id = None;
+               timing = None;
+             });
+        roundtrip_response
+          (Wire.Verdict
+             {
+               source = Wire.Computed;
+               record = inline_record default_spec;
+               req_id = Some "r1";
+               timing =
+                 Some
+                   {
+                     Wire.queue_wait_s = 0.001;
+                     solve_s = 0.25;
+                     store_s = 0.002;
+                     total_s = 0.253;
+                   };
+             }));
+    Alcotest.test_case "pre-telemetry frames still decode (absent fields are None)" `Quick
+      (fun () ->
+        (* a query as an old client sends it: no req_id *)
+        (match
+           Wire.request_of_json
+             (Wfc_obs.Json.Obj
+                [
+                  ("op", Wfc_obs.Json.String "query");
+                  ("task", Wfc_obs.Json.String "consensus");
+                  ("procs", Wfc_obs.Json.Int 2);
+                  ("param", Wfc_obs.Json.Int 2);
+                  ("max_level", Wfc_obs.Json.Int 1);
+                ])
+         with
+        | Ok (Wire.Query { spec; req_id = None }) ->
+          checks "model defaults" "wait-free" spec.Wire.model
+        | _ -> Alcotest.fail "old-style query should decode with req_id = None");
+        (* a pong as an old daemon sends it: bare status *)
+        (match
+           Wire.response_of_json (Wfc_obs.Json.Obj [ ("status", Wfc_obs.Json.String "pong") ])
+         with
+        | Ok (Wire.Pong { version = None; uptime_s = None }) -> ()
+        | _ -> Alcotest.fail "old-style pong should decode with no payload");
+        (* an ok response as an old daemon sends it: no req_id, no timing *)
+        match
+          Wire.response_of_json
+            (Wfc_obs.Json.Obj
+               [
+                 ("status", Wfc_obs.Json.String "ok");
+                 ("source", Wfc_obs.Json.String "computed");
+                 ("record", Store.record_to_json (inline_record default_spec));
+               ])
+        with
+        | Ok (Wire.Verdict { req_id = None; timing = None; source = Wire.Computed; _ }) -> ()
+        | _ -> Alcotest.fail "old-style verdict should decode with absent telemetry");
     Alcotest.test_case "malformed messages are rejected" `Quick (fun () ->
         checkb "bad op" true
           (Result.is_error (Wire.request_of_json (Wfc_obs.Json.Obj [ ("op", Wfc_obs.Json.String "no") ])));
@@ -73,7 +139,7 @@ let wire_tests =
              (Wire.response_of_json (Wfc_obs.Json.Obj [ ("status", Wfc_obs.Json.String "?") ]))));
     Alcotest.test_case "framing round-trips over a socketpair" `Quick (fun () ->
         let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-        let j = Wire.request_to_json (Wire.Query default_spec) in
+        let j = Wire.request_to_json (Wire.Query { spec = default_spec; req_id = None }) in
         Wire.write_frame a j;
         Wire.write_frame a (Wire.request_to_json Wire.Ping);
         (match Wire.read_frame b with
@@ -301,14 +367,105 @@ let daemon_tests =
             checkb "ping" true (Client.ping c);
             let reference = json_str (Store.verdict_json (inline_record default_spec)) in
             (match query_exn c default_spec with
-            | Wire.Verdict { source = Wire.Computed; record } ->
-              checks "cold equals inline solve" reference (json_str (Store.verdict_json record))
+            | Wire.Verdict { source = Wire.Computed; record; req_id; timing } ->
+              checks "cold equals inline solve" reference (json_str (Store.verdict_json record));
+              checkb "daemon assigned a req_id" true (req_id <> None);
+              (match timing with
+              | None -> Alcotest.fail "expected a timing breakdown"
+              | Some t ->
+                checkb "total covers the stages" true
+                  (t.Wire.total_s >= t.Wire.solve_s
+                  && t.Wire.total_s >= 0.
+                  && t.Wire.queue_wait_s >= 0.
+                  && t.Wire.store_s >= 0.);
+                checkb "a cold query actually solved" true (t.Wire.solve_s > 0.))
             | _ -> Alcotest.fail "expected a computed verdict");
             (match query_exn c default_spec with
-            | Wire.Verdict { source = Wire.From_store; record } ->
-              checks "warm equals inline solve" reference (json_str (Store.verdict_json record))
+            | Wire.Verdict { source = Wire.From_store; record; timing; _ } ->
+              checks "warm equals inline solve" reference (json_str (Store.verdict_json record));
+              (match timing with
+              | None -> Alcotest.fail "expected a timing breakdown"
+              | Some t ->
+                (* a store hit never waits in the solve queue *)
+                checkb "no queue wait on a hit" true (t.Wire.queue_wait_s = 0.);
+                checkb "no solve on a hit" true (t.Wire.solve_s = 0.))
             | _ -> Alcotest.fail "expected a store hit");
             Client.close c));
+    Alcotest.test_case "client req_id is echoed; ping and stats carry telemetry" `Quick
+      (fun () ->
+        with_daemon (fun ~socket ~store_dir:_ ->
+            let c = connect_exn socket in
+            (match Client.ping_info c with
+            | Ok (Some v, Some u) ->
+              checks "daemon version" Daemon.version v;
+              checkb "uptime is sane" true (u >= 0.)
+            | Ok _ -> Alcotest.fail "expected version and uptime in pong"
+            | Error e -> Alcotest.fail e);
+            (match Client.query ~req_id:"test-echo-1" c default_spec with
+            | Ok (Wire.Verdict { req_id = Some id; _ }) -> checks "echoed" "test-echo-1" id
+            | Ok _ -> Alcotest.fail "expected the verdict to echo the req_id"
+            | Error e -> Alcotest.fail e);
+            (match Client.stats c with
+            | Error e -> Alcotest.fail e
+            | Ok (metrics, server) -> (
+              checkb "metrics has counters" true
+                (Wfc_obs.Json.member "counters" metrics <> None);
+              match server with
+              | None -> Alcotest.fail "expected a server block"
+              | Some s ->
+                (match Wfc_obs.Json.member "version" s with
+                | Some (Wfc_obs.Json.String v) -> checks "server version" Daemon.version v
+                | _ -> Alcotest.fail "server block without version");
+                (match Wfc_obs.Json.member "workers" s with
+                | Some (Wfc_obs.Json.Arr ws) -> checki "one entry per worker" 2 (List.length ws)
+                | _ -> Alcotest.fail "server block without workers");
+                (match Wfc_obs.Json.member "queue_depth" s with
+                | Some (Wfc_obs.Json.Int d) -> checkb "queue drained" true (d = 0)
+                | _ -> Alcotest.fail "server block without queue_depth")));
+            Client.close c));
+    Alcotest.test_case "the event log records the request lifecycle" `Quick (fun () ->
+        let log_file = Filename.temp_file "wfc-daemon" ".log" in
+        let socket = temp_socket () in
+        let store_dir = temp_dir "wfc-daemon-store" in
+        let ready = Atomic.make false in
+        let cfg =
+          {
+            (Daemon.config ~log:log_file ~log_level:Wfc_obs.Log.Debug ~slow_ms:0.
+               ~socket ~store_dir ())
+            with
+            Daemon.on_ready = Some (fun () -> Atomic.set ready true);
+          }
+        in
+        let daemon = Thread.create Daemon.run cfg in
+        while not (Atomic.get ready) do
+          Thread.yield ()
+        done;
+        let c = connect_exn socket in
+        (match Client.query ~req_id:"log-test-1" c default_spec with
+        | Ok (Wire.Verdict _) -> ()
+        | _ -> Alcotest.fail "expected a verdict");
+        Client.close c;
+        (match Client.connect ~socket with
+        | Ok c ->
+          ignore (Client.shutdown c);
+          Client.close c
+        | Error e -> Alcotest.fail e);
+        Thread.join daemon;
+        let contents = In_channel.with_open_bin log_file In_channel.input_all in
+        (match Wfc_obs.Log.validate contents with
+        | Ok n -> checkb "several events" true (n >= 4)
+        | Error e -> Alcotest.fail ("log does not validate: " ^ e));
+        let has needle =
+          let nl = String.length needle and cl = String.length contents in
+          let rec at i = i + nl <= cl && (String.sub contents i nl = needle || at (i + 1)) in
+          at 0
+        in
+        List.iter
+          (fun event ->
+            checkb (event ^ " logged") true (has (Printf.sprintf "\"event\":\"%s\"" event)))
+          [ "serve.start"; "query"; "slow_query"; "serve.stop" ];
+        checkb "req_id stamped" true (has "\"req_id\":\"log-test-1\"");
+        Sys.remove log_file);
     Alcotest.test_case "unknown task names come back as errors" `Quick (fun () ->
         with_daemon (fun ~socket ~store_dir:_ ->
             let c = connect_exn socket in
@@ -356,7 +513,7 @@ let daemon_tests =
             let sources =
               List.map
                 (function
-                  | Wire.Verdict { source; record } ->
+                  | Wire.Verdict { source; record; _ } ->
                     checks "coalesced equals inline solve" reference
                       (json_str (Store.verdict_json record));
                     Wire.source_name source
@@ -418,7 +575,7 @@ let daemon_tests =
               (Atomic.get both_in);
             let check_computed name spec r =
               match r with
-              | Some (Wire.Verdict { source = Wire.Computed; record }) ->
+              | Some (Wire.Verdict { source = Wire.Computed; record; _ }) ->
                 checks (name ^ " equals inline solve")
                   (json_str (Store.verdict_json (inline_record spec)))
                   (json_str (Store.verdict_json record))
