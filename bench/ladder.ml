@@ -109,6 +109,8 @@ let spec =
     param = 2;
     max_level = 1;
     model = "wait-free";
+    symmetry = true;
+    collapse = true;
   }
 
 let ask ~socket =

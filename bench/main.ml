@@ -632,8 +632,8 @@ let scenarios : (string * (unit -> int option * string option)) list =
      reps time the search engine alone. Every domain setting performs the
      exact same node count (stats are equal by construction, see test_par),
      so the wall-clock ratio across solve_domains_* is a clean speedup. *)
-  let solve_rep ?mode ?model ~domains ~reps task level = fun () ->
-    let opts = Solvability.options ?mode ?model () in
+  let solve_rep ?mode ?model ?symmetry ?collapse ~domains ~reps task level = fun () ->
+    let opts = Solvability.options ?mode ?model ?symmetry ?collapse () in
     let v = ref (Solvability.solve_at ~opts ~domains task level) in
     for _ = 2 to reps do v := Solvability.solve_at ~opts ~domains task level done;
     solved !v
@@ -672,6 +672,8 @@ let scenarios : (string * (unit -> int option * string option)) list =
         param = 2;
         max_level = 1;
         model = "wait-free";
+        symmetry = true;
+        collapse = true;
       }
     in
     (* one daemon lifecycle: set up socket/store/log, run [f ask], tear
@@ -802,6 +804,24 @@ let scenarios : (string * (unit -> int option * string option)) list =
         ~domains:1 ~reps:200
         (Instances.set_consensus ~procs:3 ~k:2)
         1 );
+    (* search reducers (DESIGN §14) on the same level-1 refutation: the
+       seed engine with both reducers off is the before picture, then each
+       reducer alone, then the composition (the default engine everywhere
+       else in this file). Node counts are the point — the refutation must
+       shrink while the verdict JSON stays byte-identical (ci.sh cmp's
+       them); wall-clock on a ~60-node search is repeated noise-floor. *)
+    ( "solve_no_reducers",
+      solve_rep ~symmetry:false ~collapse:false ~domains:1 ~reps:200
+        (Instances.set_consensus ~procs:3 ~k:2) 1 );
+    ( "solve_symmetry",
+      solve_rep ~symmetry:true ~collapse:false ~domains:1 ~reps:200
+        (Instances.set_consensus ~procs:3 ~k:2) 1 );
+    ( "solve_collapse",
+      solve_rep ~symmetry:false ~collapse:true ~domains:1 ~reps:200
+        (Instances.set_consensus ~procs:3 ~k:2) 1 );
+    ( "solve_both",
+      solve_rep ~symmetry:true ~collapse:true ~domains:1 ~reps:200
+        (Instances.set_consensus ~procs:3 ~k:2) 1 );
     ("sds_iterate_domains_1", sds_par 1);
     ("sds_iterate_domains_2", sds_par 2);
     ("sds_iterate_domains_4", sds_par 4);

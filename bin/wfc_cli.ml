@@ -551,8 +551,41 @@ let model_arg =
            t-resilient:T, or k-set:K — an affine restriction of the IIS runs. See $(b,wfc \
            models).")
 
+(* search-reducer escape hatches, shared by solve / query. Both reducers are
+   verdict-preserving, so these only trade search cost, never answers. *)
+let no_symmetry_arg =
+  Arg.(
+    value & flag
+    & info [ "no-symmetry" ]
+        ~doc:
+          "Disable lex-leader symmetry pruning (on by default): task automorphisms of (I, \
+           O, Δ) lifted through the subdivision cut candidate assignments that are provably \
+           not canonical in their orbit. Verdicts, levels and decision maps are unchanged \
+           either way; watch solvability.symmetry.orbits / .pruned under --stats.")
+
+let no_collapse_arg =
+  Arg.(
+    value & flag
+    & info [ "no-collapse" ]
+        ~doc:
+          "Disable the collapsibility-guided static variable order (on by default): a \
+           free-face collapsing sequence of the (admitted) protocol complex replaces \
+           dynamic most-constrained-first selection. Verdicts are unchanged either way; \
+           watch solvability.collapse.schedule_len under --stats.")
+
 let spec_string ~task ~procs ~param ~max_level ~model =
-  Wfc_serve.Wire.spec_to_string { Wfc_serve.Wire.task; procs; param; max_level; model }
+  (* the spec string carries the question only; reducer flags are
+     verdict-preserving and never part of a record's identity *)
+  Wfc_serve.Wire.spec_to_string
+    {
+      Wfc_serve.Wire.task;
+      procs;
+      param;
+      max_level;
+      model;
+      symmetry = true;
+      collapse = true;
+    }
 
 let fresh_record ~t ~task ~procs ~param ~max_level ~model outcome =
   Wfc_serve.Store.record ~task:t
@@ -560,13 +593,13 @@ let fresh_record ~t ~task ~procs ~param ~max_level ~model outcome =
     ~model ~max_level ~budget:Solvability.default_budget outcome
 
 let solve_cmd =
-  let run task procs param max_level domains portfolio model validate search_trace store_dir
-      verdict_out perfetto stats json =
+  let run task procs param max_level domains portfolio model no_symmetry no_collapse validate
+      search_trace store_dir verdict_out perfetto stats json =
     apply_domains domains;
     let opts =
       Solvability.options ~trace:search_trace
         ?mode:(if portfolio then Some `Portfolio else None)
-        ~model ()
+        ~model ~symmetry:(not no_symmetry) ~collapse:(not no_collapse) ()
     in
     let model_name = Model.to_string model in
     let t = task_of task procs param in
@@ -725,8 +758,8 @@ let solve_cmd =
           across invocations and known questions are answered from disk.")
     Term.(
       const run $ task $ procs_arg $ param $ max_level $ domains_arg $ portfolio $ model_arg
-      $ validate $ search_trace $ store_opt_arg $ verdict_out_arg $ solve_perfetto
-      $ Output.stats_arg $ Output.json_arg)
+      $ no_symmetry_arg $ no_collapse_arg $ validate $ search_trace $ store_opt_arg
+      $ verdict_out_arg $ solve_perfetto $ Output.stats_arg $ Output.json_arg)
 
 (* ---------- serve / query / store ---------- *)
 
@@ -845,10 +878,11 @@ let serve_cmd =
       $ log $ log_level $ slow_ms $ stop)
 
 let query_cmd =
-  let run task procs param max_level model socket store_dir domains no_daemon ping verdict_out
-      stats json =
+  let run task procs param max_level model no_symmetry no_collapse socket store_dir domains
+      no_daemon ping verdict_out stats json =
     apply_domains domains;
     let model_name = Model.to_string model in
+    let symmetry = not no_symmetry and collapse = not no_collapse in
     if ping then (
       match Wfc_serve.Client.connect ~socket with
       | Ok c -> (
@@ -870,7 +904,9 @@ let query_cmd =
         Format.eprintf "%s@." e;
         1)
     else begin
-      let spec = { Wfc_serve.Wire.task; procs; param; max_level; model = model_name } in
+      let spec =
+        { Wfc_serve.Wire.task; procs; param; max_level; model = model_name; symmetry; collapse }
+      in
       let budget = Solvability.default_budget in
       let finish ?req_id ?timing ~source record =
         let o = record.Wfc_serve.Store.outcome in
@@ -945,7 +981,7 @@ let query_cmd =
           in
           match
             Solvability.solve_cached
-              ~opts:(Solvability.options ~budget ~model ())
+              ~opts:(Solvability.options ~budget ~model ~symmetry ~collapse ())
               ?store:hook ~max_level t
           with
           | o, `Computed ->
@@ -1012,9 +1048,9 @@ let query_cmd =
           canonical verdicts whatever the path (daemon store hit, daemon computation, \
           coalesced wait, inline).")
     Term.(
-      const run $ task_arg $ procs_arg $ param_arg $ max_level_arg $ model_arg $ socket_arg
-      $ store_opt_arg $ domains_arg $ no_daemon $ ping $ verdict_out_arg $ Output.stats_arg
-      $ Output.json_arg)
+      const run $ task_arg $ procs_arg $ param_arg $ max_level_arg $ model_arg
+      $ no_symmetry_arg $ no_collapse_arg $ socket_arg $ store_opt_arg $ domains_arg
+      $ no_daemon $ ping $ verdict_out_arg $ Output.stats_arg $ Output.json_arg)
 
 let stats_cmd =
   let run socket prometheus json =
@@ -1277,7 +1313,11 @@ let models_cmd =
     (Cmd.info "models"
        ~doc:
          "List the computation models $(b,--model) accepts: each is an affine restriction \
-          of the IIS runs, decided over the same subdivided complexes.")
+          of the IIS runs, decided over the same subdivided complexes. Solvability under \
+          any model runs with the search reducers on by default — symmetry orbits are \
+          computed on the model's admitted facet set, so a restriction that breaks a task \
+          symmetry simply yields fewer orbits; $(b,--no-symmetry) and $(b,--no-collapse) \
+          on $(b,solve)/$(b,query) fall back to the unreduced engine.")
     Term.(const run $ const ())
 
 (* ---------- converge ---------- *)

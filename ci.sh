@@ -61,6 +61,39 @@ for TASK_ARGS in "--task set-consensus --procs 3 --param 2 --max-level 1" \
 done
 rm -f VERDICT_seq.txt VERDICT_port.txt
 
+# search-reducer smoke (DESIGN §14): the pruned engine must answer the
+# exact same canonical bytes as the seed engine. Solve one refutation-heavy
+# task four ways — both reducers (the default), each alone, neither (the
+# seed engine) — and cmp every verdict file; then require the reducers to
+# have actually run: the pruned refutation must cost at most half the seed
+# engine's nodes, and the three wfc.obs.v1 reducer counters must be present
+# in the --stats --json report.
+PRUNE_ARGS="--task set-consensus --procs 3 --param 2 --max-level 1"
+# shellcheck disable=SC2086
+dune exec bin/wfc_cli.exe -- solve $PRUNE_ARGS \
+  --verdict-out VERDICT_pr_on.json --stats --json PRUNE_on.json > /dev/null
+# shellcheck disable=SC2086
+dune exec bin/wfc_cli.exe -- solve $PRUNE_ARGS --no-symmetry \
+  --verdict-out VERDICT_pr_nosym.json > /dev/null
+# shellcheck disable=SC2086
+dune exec bin/wfc_cli.exe -- solve $PRUNE_ARGS --no-collapse \
+  --verdict-out VERDICT_pr_nocol.json > /dev/null
+# shellcheck disable=SC2086
+dune exec bin/wfc_cli.exe -- solve $PRUNE_ARGS --no-symmetry --no-collapse \
+  --verdict-out VERDICT_pr_off.json --stats --json PRUNE_off.json > /dev/null
+cmp VERDICT_pr_on.json VERDICT_pr_off.json
+cmp VERDICT_pr_on.json VERDICT_pr_nosym.json
+cmp VERDICT_pr_on.json VERDICT_pr_nocol.json
+dune exec bin/wfc_cli.exe -- check-json PRUNE_on.json
+grep '"solvability.symmetry.orbits"' PRUNE_on.json
+grep '"solvability.symmetry.pruned"' PRUNE_on.json
+grep '"solvability.collapse.schedule_len"' PRUNE_on.json
+NODES_ON=$(grep -o '"solvability.nodes": [0-9]*' PRUNE_on.json | grep -o '[0-9]*$')
+NODES_OFF=$(grep -o '"solvability.nodes": [0-9]*' PRUNE_off.json | grep -o '[0-9]*$')
+test "$((NODES_ON * 2))" -le "$NODES_OFF"
+rm -f VERDICT_pr_on.json VERDICT_pr_nosym.json VERDICT_pr_nocol.json \
+  VERDICT_pr_off.json PRUNE_on.json PRUNE_off.json
+
 dune exec bin/wfc_cli.exe -- trace --seed 3 -p 3 -b 2 --crash 1 -o TRACE_ci.json
 dune exec bin/wfc_cli.exe -- replay TRACE_ci.json -o REPLAY_ci.json
 dune exec bin/wfc_cli.exe -- check-json TRACE_ci.json

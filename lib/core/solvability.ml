@@ -50,6 +50,8 @@ type options = {
   mode : [ `Batch | `Portfolio ];
   budget : int;
   model : Model.t;
+  symmetry : bool;
+  collapse : bool;
 }
 
 let env_truthy name =
@@ -67,19 +69,23 @@ let process_defaults =
       mode = (if env_truthy "WFC_PORTFOLIO" then `Portfolio else `Batch);
       budget = default_budget;
       model = Model.wait_free;
+      symmetry = true;
+      collapse = true;
     }
 
 let defaults () = !process_defaults
 
 let set_defaults o = process_defaults := o
 
-let options ?trace ?mode ?budget ?model () =
+let options ?trace ?mode ?budget ?model ?symmetry ?collapse () =
   let d = !process_defaults in
   {
     trace = Option.value trace ~default:d.trace;
     mode = Option.value mode ~default:d.mode;
     budget = Option.value budget ~default:d.budget;
     model = Option.value model ~default:d.model;
+    symmetry = Option.value symmetry ~default:d.symmetry;
+    collapse = Option.value collapse ~default:d.collapse;
   }
 
 (* deprecated shims over the default record — kept so the old entry points
@@ -114,8 +120,16 @@ let pp_stats ppf s =
     s.prunes s.elapsed
 
 (* Search-local tallies: plain mutable ints on the hot path, folded into the
-   global Wfc_obs counters once per [solve_at]. *)
-type counts = { mutable n_nodes : int; mutable n_backtracks : int; mutable n_prunes : int }
+   global Wfc_obs counters once per [solve_at]. [n_sym] counts the subset of
+   [n_prunes] owed to the lex-leader symmetry check. *)
+type counts = {
+  mutable n_nodes : int;
+  mutable n_backtracks : int;
+  mutable n_prunes : int;
+  mutable n_sym : int;
+}
+
+let fresh_counts () = { n_nodes = 0; n_backtracks = 0; n_prunes = 0; n_sym = 0 }
 
 let c_nodes = Wfc_obs.Metrics.counter "solvability.nodes"
 
@@ -124,6 +138,12 @@ let c_backtracks = Wfc_obs.Metrics.counter "solvability.backtracks"
 let c_prunes = Wfc_obs.Metrics.counter "solvability.prunes"
 
 let c_calls = Wfc_obs.Metrics.counter "solvability.calls"
+
+let c_sym_orbits = Wfc_obs.Metrics.counter "solvability.symmetry.orbits"
+
+let c_sym_pruned = Wfc_obs.Metrics.counter "solvability.symmetry.pruned"
+
+let c_collapse_len = Wfc_obs.Metrics.counter "solvability.collapse.schedule_len"
 
 let h_solve_at = Wfc_obs.Metrics.histogram "solvability.solve_at.seconds"
 
@@ -295,6 +315,264 @@ let bfs_positions inst =
   pos
 
 (* ------------------------------------------------------------------ *)
+(* search reducers: symmetry (lex-leader) and collapse-guided order     *)
+(* ------------------------------------------------------------------ *)
+
+(* One instance-level symmetry of the CSP: a pair of a variable permutation
+   (stored inverted — the lex walk needs σ⁻¹) and an output-vertex
+   permutation, together mapping solutions to solutions. Built from a task
+   automorphism (σ_I, σ_O) by lifting σ_I through the subdivision and
+   restricting to the admitted variable set. *)
+type auto = {
+  inv_var : int array; (* var index -> σ⁻¹(var index) *)
+  out_map : int array; (* output vertex id -> σ_O(output vertex id), -1 off-domain *)
+}
+
+(* Everything that reshapes one search tree, bundled so the sequential
+   engine, the batch probe/jobs and every portfolio racer can carry their
+   own configuration. [order_pos.(v)] is the static position of variable
+   [v]; [sched] is its inverse (position -> variable). With [static_order]
+   set, selection takes forced (singleton-domain) variables first and
+   otherwise the {e first} unassigned variable in schedule order — the
+   collapse-guided elimination order — instead of most-constrained-first.
+   [autos] drives the lex-leader pruning: a partial assignment A is cut
+   when some g proves A >lex g·A on the comparable prefix w.r.t. [sched].
+   Any {e subset} of the symmetry group is sound (the lex-least solution of
+   an orbit satisfies every constraint), so enumeration limits only cost
+   pruning power, never correctness. *)
+type reducers = {
+  static_order : bool;
+  autos : auto array;
+  order_pos : int array;
+  sched : int array;
+}
+
+let make_reducers ~static_order ~autos ~order_pos nvars =
+  let sched = Array.init nvars (fun i -> i) in
+  Array.sort (fun a b -> compare order_pos.(a) order_pos.(b)) sched;
+  { static_order; autos; order_pos; sched }
+
+(* The reducer caches below key on [Task.digest], which canonicalizes the
+   whole task per call — noticeable when the same task value is solved in
+   a tight loop (bench reps, warm serving). A small physical-identity
+   memo makes the digest free on that path while staying correct for
+   structurally equal but distinct task values (they just re-digest). *)
+let task_digest_memo : (Task.t * string) list ref = ref []
+
+let task_digest task =
+  match List.find_opt (fun (t, _) -> t == task) !task_digest_memo with
+  | Some (_, d) -> d
+  | None ->
+    let d = Task.digest task in
+    task_digest_memo := (task, d) :: List.filteri (fun i _ -> i < 15) !task_digest_memo;
+    d
+
+(* Task automorphisms are level-independent but [build_autos] runs per
+   level; enumerating them (a backtracking search over the output complex)
+   is the expensive half of the symmetry setup, so it is cached by task
+   digest. The maps inside are only ever read. *)
+let task_autos_cache : (string, Task.automorphism list) Hashtbl.t = Hashtbl.create 16
+
+let task_automorphisms task =
+  let d = task_digest task in
+  match Hashtbl.find_opt task_autos_cache d with
+  | Some autos -> autos
+  | None ->
+    let autos = Task.automorphisms task in
+    Hashtbl.add task_autos_cache d autos;
+    autos
+
+(* Instance-level symmetries from task automorphisms. Each (σ_I, σ_O) with
+   Δ(σ_I s) = σ_O(Δ s) lifts level-by-level through SDS^b; the lift is then
+   restricted to the instance variables and accepted only if it (a) permutes
+   the admitted variable set, (b) maps the admitted facet set onto itself
+   (so model-restricted constraint sets are preserved — PR 7 models), and
+   (c) maps every variable's candidate domain onto its image variable's
+   domain. (a)-(c) are re-verified numerically here, so a bug upstream
+   degrades to fewer symmetries, never to wrong pruning. *)
+let build_autos ~model task sds verts inst =
+  let scx = Chromatic.complex (Sds.complex sds) in
+  let n = Array.length verts in
+  let var_of = Hashtbl.create n in
+  Array.iteri (fun i v -> Hashtbl.replace var_of v i) verts;
+  let out_vertices = Complex.vertices (Chromatic.complex task.Task.output) in
+  let max_out = List.fold_left max 0 out_vertices in
+  let admitted_set =
+    match admitted_facets model sds scx with
+    | None -> None
+    | Some facets -> Some (List.sort_uniq Simplex.compare facets)
+  in
+  let instance_auto (a : Task.automorphism) =
+    match Automorphism.lift sds a.Task.a_input with
+    | None -> None
+    | Some top_map ->
+      let ok = ref true in
+      let var_perm = Array.make n (-1) in
+      Array.iteri
+        (fun i v ->
+          match Hashtbl.find_opt top_map v with
+          | Some v' -> (
+            match Hashtbl.find_opt var_of v' with
+            | Some j -> var_perm.(i) <- j
+            | None -> ok := false)
+          | None -> ok := false)
+        verts;
+      if !ok then begin
+        (* bijectivity over the admitted variable set *)
+        let seen = Array.make n false in
+        Array.iter
+          (fun j -> if j >= 0 && not seen.(j) then seen.(j) <- true else ok := false)
+          var_perm
+      end;
+      (* admitted facet set preserved (trivial when the model is All: the
+         lift is an automorphism of the whole complex) *)
+      (match (admitted_set, !ok) with
+      | Some facets, true ->
+        let image =
+          List.map
+            (fun f ->
+              Simplex.of_list
+                (List.map (fun v -> Hashtbl.find top_map v) (Simplex.to_list f)))
+            facets
+          |> List.sort_uniq Simplex.compare
+        in
+        if not (List.equal Simplex.equal image facets) then ok := false
+      | _ -> ());
+      if not !ok then None
+      else begin
+        let out_map = Array.make (max_out + 1) (-1) in
+        List.iter
+          (fun w ->
+            match Hashtbl.find_opt a.Task.a_output w with
+            | Some w' -> out_map.(w) <- w'
+            | None -> ok := false)
+          out_vertices;
+        (* every domain maps onto its image variable's domain *)
+        if !ok then
+          Array.iteri
+            (fun i dom ->
+              if !ok then begin
+                let img =
+                  Array.to_list dom |> List.map (fun w -> out_map.(w)) |> List.sort compare
+                in
+                let tgt = Array.to_list inst.domains.(var_perm.(i)) |> List.sort compare in
+                if img <> tgt then ok := false
+              end)
+            inst.domains;
+        if not !ok then None
+        else begin
+          (* drop symmetries that act as the identity on the instance *)
+          let identity = ref true in
+          Array.iteri (fun i j -> if i <> j then identity := false) var_perm;
+          if !identity then
+            Array.iter
+              (fun dom -> Array.iter (fun w -> if out_map.(w) <> w then identity := false) dom)
+            inst.domains;
+          if !identity then None
+          else begin
+            let inv_var = Array.make n (-1) in
+            Array.iteri (fun i j -> inv_var.(j) <- i) var_perm;
+            Some { inv_var; out_map }
+          end
+        end
+      end
+  in
+  let autos = ref [] in
+  List.iter
+    (fun a ->
+      match instance_auto a with
+      | Some g when not (List.exists (fun g' -> g' = g) !autos) -> autos := g :: !autos
+      | _ -> ())
+    (task_automorphisms task);
+  Array.of_list (List.rev !autos)
+
+(* [build_autos] is a pure function of (task, model, level): the verts
+   array, instance domains and admitted facet set are all rebuilt
+   deterministically from those three. The enumeration behind it
+   (Task.automorphisms + per-level lifts) costs milliseconds, which the
+   serve and bench hot paths would otherwise pay on every request for the
+   same key — memoised like the subdivision cache. Cached arrays are only
+   ever read by [sym_ok]. *)
+let autos_cache : (string * string * int, auto array) Hashtbl.t = Hashtbl.create 16
+
+let build_autos_memo ~model ~level task sds verts inst =
+  let key = (task_digest task, model.Model.name, level) in
+  match Hashtbl.find_opt autos_cache key with
+  | Some autos -> autos
+  | None ->
+    let autos = build_autos ~model task sds verts inst in
+    Hashtbl.add autos_cache key autos;
+    autos
+
+(* Static variable order from a free-face collapsing sequence of the
+   admitted subcomplex: core vertices first, then collapsed vertices in
+   reverse elimination order, so the search grows the assignment outward
+   from the collapse core ("expansion from the cone point"). Falls back to
+   BFS positions when there is nothing to collapse. Returns the positions
+   and the eliminated-vertex count (the reported schedule length). *)
+let collapse_positions ~model sds verts inst =
+  let scx = Chromatic.complex (Sds.complex sds) in
+  let admitted = admitted_facets model sds scx in
+  let facets = match admitted with None -> Complex.facets scx | Some facets -> facets in
+  if facets = [] || inst.nvars = 0 then (bfs_positions inst, 0)
+  else begin
+    let var_of = Hashtbl.create inst.nvars in
+    Array.iteri (fun i v -> Hashtbl.replace var_of v i) verts;
+    (* Under [All] the admitted subcomplex IS the subdivision, so collapse
+       it directly and translate vertex ids afterwards — rebuilding a
+       renamed complex re-interns every facet, which costs more than the
+       collapse itself on deep subdivisions. A real restriction still
+       rebuilds: its subcomplex is not materialized anywhere. *)
+    let r =
+      match admitted with
+      | None -> Collapse.run scx
+      | Some facets ->
+        let facet_vars =
+          List.map (fun f -> List.map (Hashtbl.find var_of) (Simplex.to_list f)) facets
+        in
+        Collapse.run (Complex.of_facets ~name:"collapse-order" facet_vars)
+    in
+    let order =
+      match admitted with
+      | None -> List.filter_map (fun v -> Hashtbl.find_opt var_of v) r.Collapse.order
+      | Some _ -> r.Collapse.order
+    in
+    let pos = Array.make inst.nvars max_int in
+    let counter = ref 0 in
+    List.iter
+      (fun v ->
+        if v >= 0 && v < inst.nvars && pos.(v) = max_int then begin
+          pos.(v) <- !counter;
+          incr counter
+        end)
+      order;
+    (* isolated variables outside every admitted facet cannot occur (the
+       variable set is generated by the facets), but stay total anyway *)
+    Array.iteri
+      (fun v p ->
+        if p = max_int then begin
+          pos.(v) <- !counter;
+          incr counter
+        end)
+      pos;
+    (pos, r.Collapse.eliminated)
+  end
+
+(* Same purity argument as [autos_cache]: the admitted facet set, the
+   variable indexing and hence the whole schedule are rebuilt
+   deterministically from (task, model, level). *)
+let collapse_cache : (string * string * int, int array * int) Hashtbl.t = Hashtbl.create 16
+
+let collapse_positions_memo ~model ~level task sds verts inst =
+  let key = (task_digest task, model.Model.name, level) in
+  match Hashtbl.find_opt collapse_cache key with
+  | Some r -> r
+  | None ->
+    let r = collapse_positions ~model sds verts inst in
+    Hashtbl.add collapse_cache key r;
+    r
+
+(* ------------------------------------------------------------------ *)
 (* search state and the spine snapshot                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -385,7 +663,7 @@ let init_state inst live order_pos =
    its [`Branch] snapshot instead of counting the node. If it never
    branches (the spine runs to a solution, a refutation, or the budget),
    the probe {e is} the sequential search and its tallies are exact. *)
-let run_search ?(cancel = fun () -> false) ?(probe = false) ~counts ~record inst st entry =
+let run_search ?(cancel = fun () -> false) ?(probe = false) ~red ~counts ~record inst st entry =
   let { assignment; live; domlen; unassigned_count; nxt; prv } = st in
   let sentinel = inst.nvars in
   let detach v =
@@ -415,20 +693,83 @@ let run_search ?(cancel = fun () -> false) ?(probe = false) ~counts ~record inst
       inst.allowed.(ci)
   in
   let select_var () =
-    (* most-constrained-first among unassigned, BFS position as tie-break.
-       Scanning in ascending BFS order with a strict [<] update yields the
-       same variable as minimizing [(List.length live.(v), bfs_pos.(v))];
-       a singleton domain cannot be beaten, so the scan stops there. *)
-    let best = ref (-1) and best_len = ref max_int in
-    let v = ref nxt.(sentinel) in
-    while !v <> sentinel && !best_len > 1 do
-      if domlen.(!v) < !best_len then begin
-        best := !v;
-        best_len := domlen.(!v)
-      end;
-      v := nxt.(!v)
-    done;
-    !best
+    if red.static_order then begin
+      (* collapse-guided static order: forced (singleton) variables first —
+         they are propagation, not choice — otherwise the first unassigned
+         variable in schedule order. The [nxt] list is threaded in
+         [order_pos] order, so the head is the schedule's next vertex. *)
+      let first = nxt.(sentinel) in
+      if first = sentinel then -1
+      else begin
+        let forced = ref (-1) in
+        let v = ref first in
+        while !v <> sentinel && !forced < 0 do
+          if domlen.(!v) <= 1 then forced := !v;
+          v := nxt.(!v)
+        done;
+        if !forced >= 0 then !forced else first
+      end
+    end
+    else begin
+      (* most-constrained-first among unassigned, static position as
+         tie-break. Scanning in ascending position order with a strict [<]
+         update yields the same variable as minimizing
+         [(List.length live.(v), order_pos.(v))]; a singleton domain cannot
+         be beaten, so the scan stops there. *)
+      let best = ref (-1) and best_len = ref max_int in
+      let v = ref nxt.(sentinel) in
+      while !v <> sentinel && !best_len > 1 do
+        if domlen.(!v) < !best_len then begin
+          best := !v;
+          best_len := domlen.(!v)
+        end;
+        v := nxt.(!v)
+      done;
+      !best
+    end
+  in
+  (* Lex-leader symmetry check for the tentative extension [v := w]: for
+     each symmetry g, compare the assignment word A with g·A along the
+     static schedule until a position is undefined (incomparable — accept),
+     strictly smaller (lex-least so far — accept), or strictly greater
+     (every completion of A is >lex its g-image, so the lex-least member of
+     the orbit lives elsewhere — prune). Sound for refutations under any
+     selection order, and for satisfiability because the lex-least solution
+     of its orbit survives every constraint. *)
+  let sym_ok =
+    if Array.length red.autos = 0 then fun _ _ -> true
+    else begin
+      let autos = red.autos and sched = red.sched in
+      let n_autos = Array.length autos and nv = Array.length sched in
+      fun v w ->
+        let value u = if u = v then w else assignment.(u) in
+        let ok = ref true in
+        let g = ref 0 in
+        while !ok && !g < n_autos do
+          let a = autos.(!g) in
+          let i = ref 0 and stop = ref false in
+          while (not !stop) && !i < nv do
+            let u = sched.(!i) in
+            let s = value u in
+            if s < 0 then stop := true
+            else begin
+              let t_pre = value a.inv_var.(u) in
+              if t_pre < 0 then stop := true
+              else begin
+                let t = a.out_map.(t_pre) in
+                if s < t then stop := true
+                else if s > t then begin
+                  ok := false;
+                  stop := true
+                end
+                else incr i
+              end
+            end
+          done;
+          incr g
+        done;
+        !ok
+    end
   in
   (* forward checking after [v] was just assigned: constraints now missing
      exactly one var filter that var's domain. Returns the restore trail and
@@ -497,6 +838,14 @@ let run_search ?(cancel = fun () -> false) ?(probe = false) ~counts ~record inst
           inst.containing.(v)
       in
       if not ok then try_candidates budget rest v
+      else if not (sym_ok v w) then begin
+        (* symmetry prunes cost no node budget, like the image check above;
+           they are counted both as prunes and separately as [n_sym] *)
+        counts.n_prunes <- counts.n_prunes + 1;
+        counts.n_sym <- counts.n_sym + 1;
+        record (S_prune { vertex = v; removed = 1 });
+        try_candidates budget rest v
+      end
       else begin
         assignment.(v) <- w;
         detach v;
@@ -528,9 +877,9 @@ let run_search ?(cancel = fun () -> false) ?(probe = false) ~counts ~record inst
   | exception Found a -> `Sat a
 
 (* Preprocessing plus a [`Fresh] search: the sequential engine ([probe]
-   false), the spine probe ([probe] true), and every portfolio racer
-   ([order]) all enter here. *)
-let solve_root ?cancel ?(probe = false) ?order ~budget ~counts ~record inst =
+   false), the spine probe ([probe] true), and every portfolio racer all
+   enter here, each with its own reducer configuration. *)
+let solve_root ?cancel ?(probe = false) ~red ~budget ~counts ~record inst =
   (* The root (empty assignment) always counts as a visited node, even when
      the instance dies in preprocessing — "nodes = 0" would otherwise be
      ambiguous between "refuted instantly" and "never ran". *)
@@ -546,11 +895,10 @@ let solve_root ?cancel ?(probe = false) ?order ~budget ~counts ~record inst =
       record (S_root_unsat "arc consistency wiped a domain");
       `Unsat
     end
-    else begin
-      let order_pos = match order with Some p -> p | None -> bfs_positions inst in
-      run_search ?cancel ~probe ~counts ~record inst (init_state inst live order_pos)
+    else
+      run_search ?cancel ~probe ~red ~counts ~record inst
+        (init_state inst live red.order_pos)
         (`Fresh budget)
-    end
   end
 
 (* Resume a spine snapshot on one candidate: the incremental-replay job.
@@ -558,8 +906,8 @@ let solve_root ?cancel ?(probe = false) ?order ~budget ~counts ~record inst =
    node would grant the candidate ([sp_budget] minus the branch node's own
    tick), so budget-bound verdicts match the candidate-replay driver of
    earlier revisions. *)
-let run_job ~cancel ~counts inst sp w =
-  run_search ~cancel ~counts
+let run_job ~cancel ~red ~counts inst sp w =
+  run_search ~cancel ~red ~counts
     ~record:(fun _ -> ())
     inst (copy_state sp.sp_state)
     (`Resume (sp.sp_var, w, sp.sp_budget - 1))
@@ -616,7 +964,7 @@ let solve_at ?opts ?domains task level =
   let t0 = Wfc_obs.Metrics.now_s () in
   Wfc_obs.Metrics.incr
     (Wfc_obs.Metrics.counter ("solvability.model." ^ Model.slug o.model));
-  let counts = { n_nodes = 0; n_backtracks = 0; n_prunes = 0 } in
+  let counts = fresh_counts () in
   let sds, verts, inst = build_instance ~model:o.model task level in
   let ring =
     if o.trace then Some (Wfc_obs.Flight.create ~capacity:search_trace_capacity) else None
@@ -624,13 +972,52 @@ let solve_at ?opts ?domains task level =
   let record =
     match ring with None -> fun _ -> () | Some r -> fun e -> Wfc_obs.Flight.push r e
   in
-  (* Trail recording degrades to the sequential engine: the flight ring is a
-     single chronological log of one search, and interleaved subtree events
-     would destroy its meaning (DESIGN §9). *)
+  (* Trail recording degrades to the sequential {e unreduced} engine: the
+     flight ring is a single chronological log of one canonical search, and
+     interleaved subtree events — or reducer-dependent prune events — would
+     destroy its meaning (DESIGN §9, §14). *)
   let use_parallel = domains > 1 && not o.trace in
-  let outcome =
+  let bfs = bfs_positions inst in
+  let autos =
+    if o.symmetry && not o.trace then build_autos_memo ~model:o.model ~level task sds verts inst
+    else [||]
+  in
+  let collapsed =
+    if o.collapse && not o.trace then
+      Some (collapse_positions_memo ~model:o.model ~level task sds verts inst)
+    else None
+  in
+  let red =
+    match collapsed with
+    | Some (pos, _) -> make_reducers ~static_order:true ~autos ~order_pos:pos inst.nvars
+    | None -> make_reducers ~static_order:false ~autos ~order_pos:bfs inst.nvars
+  in
+  let reducing = red.static_order || Array.length red.autos > 0 in
+  Wfc_obs.Metrics.add c_sym_orbits (Array.length red.autos);
+  (match collapsed with
+  | Some (_, eliminated) -> Wfc_obs.Metrics.add c_collapse_len eliminated
+  | None -> ());
+  (* Racer [i]'s reducer configuration, derived from the primary one: racer
+     0 {e is} the primary engine; diverse racers keep the symmetry group
+     (each lex order is individually sound) but fall back to dynamic
+     most-constrained-first selection under a variant order. When the
+     primary runs the collapse schedule, racer 1 gets the plain BFS order —
+     the race doubles as collapse-vs-BFS insurance. *)
+  let racer_red red i =
+    if i = 0 then red
+    else
+      let pos =
+        if red.static_order then variant_positions inst (i - 1)
+        else variant_positions inst i
+      in
+      make_reducers ~static_order:false ~autos:red.autos ~order_pos:pos inst.nvars
+  in
+  (* One full engine run under one reducer configuration, tallying into its
+     own [counts] (the parallel merges below overwrite, so phases must not
+     share a record). *)
+  let engine red counts =
     if not use_parallel then
-      match solve_root ~budget ~counts ~record inst with
+      match solve_root ~red ~budget ~counts ~record inst with
       | (`Sat _ | `Unsat | `Budget) as o -> o
       | `Cancelled | `Branch _ -> assert false (* no cancel, no probe *)
     else
@@ -649,10 +1036,10 @@ let solve_at ?opts ?domains task level =
         let racers = domains in
         Wfc_obs.Metrics.add c_pf_racers racers;
         let thunk i tok =
-          let c = { n_nodes = 0; n_backtracks = 0; n_prunes = 0 } in
+          let c = fresh_counts () in
           let cancel () = Wfc_par.Token.cancelled tok in
           match
-            solve_root ~cancel ~order:(variant_positions inst i) ~budget ~counts:c
+            solve_root ~cancel ~red:(racer_red red i) ~budget ~counts:c
               ~record:(fun _ -> ())
               inst
           with
@@ -671,21 +1058,28 @@ let solve_at ?opts ?domains task level =
           counts.n_nodes <- c.n_nodes;
           counts.n_backtracks <- c.n_backtracks;
           counts.n_prunes <- c.n_prunes;
+          counts.n_sym <- c.n_sym;
           o)
       | `Batch -> (
         (* Probe: run the sequential search up to its first branching node.
            The spine before it is choice-free; the probe freezes it as an
            immutable snapshot every job resumes from, so the spine is
            derived once instead of once per candidate. If the probe never
-           branches it already IS the whole sequential search. *)
-        let probe_counts = { n_nodes = 0; n_backtracks = 0; n_prunes = 0 } in
+           branches it already IS the whole sequential search. The reducers
+           thread through probe and jobs alike: the lex check is a pure
+           function of the (resumed) assignment and the candidate, so the
+           batch tallies match the sequential engine's exactly. *)
+        let probe_counts = fresh_counts () in
         match
-          solve_root ~probe:true ~budget ~counts:probe_counts ~record:(fun _ -> ()) inst
+          solve_root ~probe:true ~red ~budget ~counts:probe_counts
+            ~record:(fun _ -> ())
+            inst
         with
         | (`Sat _ | `Unsat | `Budget) as o ->
           counts.n_nodes <- probe_counts.n_nodes;
           counts.n_backtracks <- probe_counts.n_backtracks;
           counts.n_prunes <- probe_counts.n_prunes;
+          counts.n_sym <- probe_counts.n_sym;
           o
         | `Cancelled -> assert false (* probe has no cancel *)
         | `Branch sp ->
@@ -696,12 +1090,10 @@ let solve_at ?opts ?domains task level =
              first candidate in domain order exactly as in the sequential
              scan, independent of which domain finishes first. *)
           let winner = Atomic.make max_int in
-          let job_counts =
-            Array.init n (fun _ -> { n_nodes = 0; n_backtracks = 0; n_prunes = 0 })
-          in
+          let job_counts = Array.init n (fun _ -> fresh_counts ()) in
           let job i () =
             let cancel () = Atomic.get winner < i in
-            let r = run_job ~cancel ~counts:job_counts.(i) inst sp cands.(i) in
+            let r = run_job ~cancel ~red ~counts:job_counts.(i) inst sp cands.(i) in
             (match r with
             | `Sat _ | `Budget -> atomic_min winner i
             | `Unsat | `Cancelled | `Branch _ -> ());
@@ -733,11 +1125,13 @@ let solve_at ?opts ?domains task level =
           let spine_nodes = probe_counts.n_nodes - 1 in
           counts.n_nodes <- probe_counts.n_nodes + 1;
           counts.n_prunes <- probe_counts.n_prunes;
+          counts.n_sym <- probe_counts.n_sym;
           counts.n_backtracks <- 0;
           for i = 0 to last do
             let jc = job_counts.(i) in
             counts.n_nodes <- counts.n_nodes + jc.n_nodes;
             counts.n_prunes <- counts.n_prunes + jc.n_prunes;
+            counts.n_sym <- counts.n_sym + jc.n_sym;
             counts.n_backtracks <- counts.n_backtracks + jc.n_backtracks
           done;
           (* when every candidate is refuted, the sequential engine unwinds
@@ -747,11 +1141,36 @@ let solve_at ?opts ?domains task level =
           | _ -> ());
           verdict)
   in
+  let c1 = fresh_counts () in
+  let first = engine red c1 in
+  let c2 = fresh_counts () in
+  (* Reducers change which satisfying assignment is found first, so a
+     [`Sat] under active reducers is re-derived by the plain engine — the
+     decision map (hence the verdict record) stays byte-identical to the
+     unreduced engine's, and both phases' search costs are reported.
+     Refutations and budget exhaustions, the cases pruning exists for,
+     never rerun. The plain rerun's verdict is taken verbatim: if it
+     exhausts the budget, the unreduced engine would have too. One
+     exception skips the rerun: under dynamic selection with zero lex
+     prunes fired, the search trajectory was step-for-step the plain
+     engine's (every [sym_ok] was a no-op), so [first] already is the
+     canonical answer. *)
+  let outcome =
+    match first with
+    | `Sat _ when reducing && (red.static_order || c1.n_sym > 0) ->
+      engine (make_reducers ~static_order:false ~autos:[||] ~order_pos:bfs inst.nvars) c2
+    | o -> o
+  in
+  counts.n_nodes <- c1.n_nodes + c2.n_nodes;
+  counts.n_backtracks <- c1.n_backtracks + c2.n_backtracks;
+  counts.n_prunes <- c1.n_prunes + c2.n_prunes;
+  counts.n_sym <- c1.n_sym + c2.n_sym;
   let elapsed = Wfc_obs.Metrics.now_s () -. t0 in
   Wfc_obs.Metrics.incr c_calls;
   Wfc_obs.Metrics.add c_nodes counts.n_nodes;
   Wfc_obs.Metrics.add c_backtracks counts.n_backtracks;
   Wfc_obs.Metrics.add c_prunes counts.n_prunes;
+  Wfc_obs.Metrics.add c_sym_pruned counts.n_sym;
   Wfc_obs.Metrics.observe h_solve_at elapsed;
   let stats =
     {

@@ -152,6 +152,8 @@ let spec_fields (spec : Wire.spec) =
     ("param", Int spec.Wire.param);
     ("max_level", Int spec.Wire.max_level);
     ("model", String spec.Wire.model);
+    ("symmetry", Bool spec.Wire.symmetry);
+    ("collapse", Bool spec.Wire.collapse);
   ]
 
 (* ---- the solve scheduler ---- *)
@@ -214,7 +216,9 @@ let compute st (job : job) ~queue_wait_s =
   let t0 = Wfc_obs.Metrics.now_s () in
   let result =
     Solvability.solve_cached
-      ~opts:(Solvability.options ~budget ~model:job.j_model ())
+      ~opts:
+        (Solvability.options ~budget ~model:job.j_model
+           ~symmetry:job.j_spec.Wire.symmetry ~collapse:job.j_spec.Wire.collapse ())
       ~max_level ~store:hook job.j_task
   in
   (* the commit above runs inside solve_cached; subtract it back out so

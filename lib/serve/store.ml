@@ -33,10 +33,15 @@ let record ~task ~spec ?(model = "wait-free") ~max_level ~budget outcome =
     created_at = Unix.gettimeofday ();
   }
 
-(* [verdict_json] is the deterministic core; the full record adds the two
-   timing fields on top. Key order is irrelevant — the canonical emitter
-   sorts — but both views must agree field-for-field, so they share one
-   builder. *)
+(* [verdict_json] is the deterministic core — every byte a function of the
+   question, never of the search that answered it. The cost tallies
+   (nodes/backtracks/prunes) live in the record envelope with the timing
+   fields: a portfolio win or a search reducer changes how much work a
+   verdict took, not what the verdict is, so cost is provenance — recorded,
+   but outside the canonical object that solve/query/store hits must
+   reproduce byte-for-byte. Key order is irrelevant — the canonical emitter
+   sorts — but both views share one core builder so they can never
+   disagree. *)
 let json_fields r =
   let open Wfc_obs.Json in
   let o = r.outcome in
@@ -50,9 +55,6 @@ let json_fields r =
     ("budget", Int r.budget);
     ("verdict", String o.Solvability.o_verdict);
     ("level", Int o.Solvability.o_level);
-    ("nodes", Int o.Solvability.o_nodes);
-    ("backtracks", Int o.Solvability.o_backtracks);
-    ("prunes", Int o.Solvability.o_prunes);
     ( "decide",
       Arr (List.map (fun (v, w) -> Arr [ Int v; Int w ]) o.Solvability.o_decide) );
   ]
@@ -64,6 +66,9 @@ let record_to_json r =
   Obj
     (json_fields r
     @ [
+        ("nodes", Int r.outcome.Solvability.o_nodes);
+        ("backtracks", Int r.outcome.Solvability.o_backtracks);
+        ("prunes", Int r.outcome.Solvability.o_prunes);
         ("elapsed", Float r.outcome.Solvability.o_elapsed);
         ("created_at", Float r.created_at);
       ])

@@ -59,14 +59,16 @@ val record :
     ["wait-free"]. *)
 
 val record_to_json : record -> Wfc_obs.Json.t
-(** The full [wfc.store.v2] object, including the non-deterministic fields
-    ([elapsed], [created_at]). *)
+(** The full [wfc.store.v2] object, including the provenance fields: the
+    search-cost tallies ([nodes], [backtracks], [prunes]) and the
+    non-deterministic timing fields ([elapsed], [created_at]). *)
 
 val verdict_json : record -> Wfc_obs.Json.t
-(** {!record_to_json} minus [elapsed] and [created_at]: every byte is a
-    deterministic function of the question, so a stored record, a fresh
-    daemon computation and an inline [wfc solve] render identically — the
-    invariant the CI smoke diffs. *)
+(** {!record_to_json} minus the provenance fields: every byte is a
+    deterministic function of the question — verdict, level and decide
+    table, never search cost. A stored record, a fresh daemon computation,
+    an inline [wfc solve], a portfolio win and a reducer-pruned search all
+    render the identical object — the invariant the CI smoke diffs. *)
 
 val record_of_json : Wfc_obs.Json.t -> (record, string) result
 (** Accepts both schemas: a v1 object parses with [model = "wait-free"]. *)

@@ -48,10 +48,21 @@
 val max_frame : int
 (** 16 MiB. *)
 
-type spec = { task : string; procs : int; param : int; max_level : int; model : string }
+type spec = {
+  task : string;
+  procs : int;
+  param : int;
+  max_level : int;
+  model : string;
+  symmetry : bool;
+  collapse : bool;
+}
 (** A named task question under a named model, as [wfc solve] would pose
     it. [model] is a canonical {!Wfc_tasks.Model} name ("wait-free" for the
-    historical behaviour). *)
+    historical behaviour). [symmetry]/[collapse] toggle the engine's search
+    reducers ({!Wfc_core.Solvability.options}); they are verdict-preserving,
+    so absent fields decode to [true] — pre-reducer clients get the pruned
+    engine and byte-identical answers. *)
 
 val spec_to_string : spec -> string
 (** ["name(procs=P,param=K)"] — the informational [task] field of store

@@ -226,3 +226,52 @@ let product t1 t2 =
       && tuple_allowed t2 ~participants
            ~input:(fun p -> snd (split_pair (input p)))
            ~output:(fun p -> snd (split_pair (output p))))
+
+(* ---- task symmetries ---- *)
+
+type automorphism = {
+  a_input : (int, int) Hashtbl.t;
+  a_output : (int, int) Hashtbl.t;
+}
+
+let map_simplex tbl s =
+  Simplex.of_list (List.map (fun v -> Hashtbl.find tbl v) (Simplex.to_list s))
+
+let is_identity tbl = Hashtbl.fold (fun k v acc -> acc && k = v) tbl true
+
+let automorphisms ?(limit = 32) t =
+  let colors = Chromatic.colors t.input in
+  let input_simplices = Complex.simplices (Chromatic.complex t.input) in
+  let sorted = List.sort Simplex.compare in
+  let equivariant a_input a_output =
+    List.for_all
+      (fun si ->
+        match t.delta (map_simplex a_input si) with
+        | lhs ->
+          List.equal Simplex.equal (sorted lhs)
+            (sorted (List.map (map_simplex a_output) (t.delta si)))
+        | exception Invalid_argument _ -> false)
+      input_simplices
+  in
+  let found = ref [] and n = ref 0 in
+  List.iter
+    (fun perm ->
+      if !n < limit then
+        let ins = Automorphism.automorphisms t.input ~perm in
+        let outs = Automorphism.automorphisms t.output ~perm in
+        List.iter
+          (fun a_input ->
+            List.iter
+              (fun a_output ->
+                if
+                  !n < limit
+                  && not (is_identity a_input && is_identity a_output)
+                  && equivariant a_input a_output
+                then begin
+                  found := { a_input; a_output } :: !found;
+                  incr n
+                end)
+              outs)
+          ins)
+    (Automorphism.color_permutations colors);
+  List.rev !found

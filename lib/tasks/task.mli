@@ -81,3 +81,21 @@ val digest : t -> string
     this task. Stable across processes and task re-construction. *)
 
 val pp_stats : Format.formatter -> t -> unit
+
+type automorphism = {
+  a_input : (int, int) Hashtbl.t;  (** input vertex map [σ_I] *)
+  a_output : (int, int) Hashtbl.t;  (** output vertex map [σ_O] *)
+}
+(** A task symmetry: a pair of chromatic automorphisms of [I] and [O] over
+    one shared process (color) permutation [π], equivariant under [Δ] —
+    [Δ(σ_I s) = σ_O(Δ s)] as simplex sets for every input simplex [s]. Such
+    a pair maps decision maps to decision maps, which is what licenses the
+    solvability engine's orbit pruning (DESIGN §14). *)
+
+val automorphisms : ?limit:int -> t -> automorphism list
+(** The non-identity symmetries of [(I, O, Δ)]: for every process
+    permutation, every pair of {!Wfc_topology.Automorphism.automorphisms}
+    of the input and output complexes realizing it, filtered by exact
+    [Δ]-equivariance over the whole input closure. Deterministic order; at
+    most [limit] (default 32) are returned — a subset of the group is
+    always sound for pruning. The identity pair is omitted. *)

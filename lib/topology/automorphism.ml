@@ -1,0 +1,167 @@
+type vertex_map = (int, int) Hashtbl.t
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l
+
+let color_permutations colors =
+  let colors = List.sort_uniq compare colors in
+  List.map
+    (fun image ->
+      let assoc = List.combine colors image in
+      fun c -> List.assoc c assoc)
+    (permutations colors)
+
+(* Same vertex invariants as Iso.signature, minus the color (handled by the
+   [perm] constraint directly). *)
+let signature c v =
+  let facet_dims =
+    List.filter_map
+      (fun f -> if Simplex.mem v f then Some (Simplex.dim f) else None)
+      (Complex.facets c)
+    |> List.sort Stdlib.compare
+  in
+  let membership =
+    List.length (List.filter (fun s -> Simplex.mem v s) (Complex.simplices c))
+  in
+  (facet_dims, membership)
+
+let automorphisms ?(limit = 64) ?(fuel = 200_000) chroma ~perm =
+  let c = Chromatic.complex chroma in
+  let color = Chromatic.color chroma in
+  let vs = Complex.vertices c in
+  let sigs = List.map (fun v -> (v, signature c v)) vs in
+  let candidates v =
+    let s = List.assoc v sigs in
+    let cv = perm (color v) in
+    List.filter_map
+      (fun (w, s') -> if s = s' && color w = cv then Some w else None)
+      sigs
+  in
+  let cand = List.map (fun v -> (v, candidates v)) vs in
+  if List.exists (fun (_, cs) -> cs = []) cand then []
+  else begin
+    let order =
+      List.stable_sort
+        (fun (_, c1) (_, c2) -> compare (List.length c1) (List.length c2))
+        cand
+    in
+    let mapping : vertex_map = Hashtbl.create (List.length vs) in
+    let used = Hashtbl.create (List.length vs) in
+    let facets = Complex.facets c in
+    (* facets indexed by vertex: assigning v only changes the mapped image
+       of facets containing v, so consistency is re-checked incrementally —
+       every other facet's image is exactly as it was when its own last
+       vertex was assigned. The final [full_check] still certifies the
+       complete bijection facet-set-onto. *)
+    let facets_at = Hashtbl.create (List.length vs) in
+    List.iter
+      (fun f ->
+        List.iter
+          (fun v ->
+            let prev = try Hashtbl.find facets_at v with Not_found -> [] in
+            Hashtbl.replace facets_at v (f :: prev))
+          (Simplex.to_list f))
+      facets;
+    let consistent v =
+      List.for_all
+        (fun f ->
+          let img =
+            List.filter_map (fun u -> Hashtbl.find_opt mapping u) (Simplex.to_list f)
+          in
+          match img with
+          | [] -> true
+          | img ->
+            let s = Simplex.of_list img in
+            Simplex.card s = List.length img && Complex.mem s c)
+        (try Hashtbl.find facets_at v with Not_found -> [])
+    in
+    let full_check () =
+      let images =
+        List.map
+          (fun f ->
+            Simplex.of_list (List.map (fun v -> Hashtbl.find mapping v) (Simplex.to_list f)))
+          facets
+        |> List.sort_uniq Simplex.compare
+      in
+      List.equal Simplex.equal images facets
+    in
+    let found = ref [] and nfound = ref 0 in
+    let fuel = ref fuel in
+    let rec search = function
+      | [] -> if full_check () then begin
+          found := Hashtbl.copy mapping :: !found;
+          incr nfound
+        end
+      | (v, cs) :: rest ->
+        List.iter
+          (fun w ->
+            if !nfound < limit && !fuel > 0 && not (Hashtbl.mem used w) then begin
+              decr fuel;
+              Hashtbl.replace mapping v w;
+              Hashtbl.replace used w ();
+              if consistent v then search rest;
+              Hashtbl.remove mapping v;
+              Hashtbl.remove used w
+            end)
+          cs
+    in
+    search order;
+    List.rev !found
+  end
+
+let rec lift sds (base_map : vertex_map) =
+  match Sds.prev sds with
+  | None ->
+    let cx = Chromatic.complex (Sds.complex sds) in
+    let out : vertex_map = Hashtbl.create 16 in
+    let ok = ref true in
+    List.iter
+      (fun v ->
+        match Hashtbl.find_opt base_map v with
+        | Some w when Complex.mem_vertex w cx -> Hashtbl.replace out v w
+        | _ -> ok := false)
+      (Complex.vertices cx);
+    if !ok then Some out else None
+  | Some p -> (
+    match lift p base_map with
+    | None -> None
+    | Some prev_map ->
+      let cx = Chromatic.complex (Sds.complex sds) in
+      let vertices = Complex.vertices cx in
+      (* reverse index of the top level's (own, snap) naming *)
+      let index = Hashtbl.create (List.length vertices) in
+      List.iter
+        (fun v ->
+          Hashtbl.replace index (Sds.own sds v, Simplex.id (Sds.snap sds v)) v)
+        vertices;
+      let map_prev u = Hashtbl.find_opt prev_map u in
+      let out : vertex_map = Hashtbl.create (List.length vertices) in
+      let ok = ref true in
+      List.iter
+        (fun v ->
+          if !ok then begin
+            let own' = map_prev (Sds.own sds v) in
+            let snap' =
+              Simplex.fold
+                (fun acc u ->
+                  match (acc, map_prev u) with
+                  | Some l, Some u' -> Some (u' :: l)
+                  | _ -> None)
+                (Some [])
+                (Sds.snap sds v)
+            in
+            match (own', snap') with
+            | Some o, Some members -> (
+              match Hashtbl.find_opt index (o, Simplex.id (Simplex.of_list members)) with
+              | Some v' -> Hashtbl.replace out v v'
+              | None -> ok := false)
+            | _ -> ok := false
+          end)
+        vertices;
+      if !ok then Some out else None)

@@ -1,0 +1,91 @@
+type result = {
+  order : int list;
+  eliminated : int;
+  pairs : int;
+  collapsed_to_point : bool;
+}
+
+(* Greedy free-face collapse over the closure, tracked with alive flags and
+   per-simplex counts of alive proper cofaces: [σ] is free iff alive with
+   exactly one alive proper coface [τ] (then [τ] is maximal — any coface of
+   [τ] would be a second coface of [σ]). Removing the pair only changes the
+   counts of the faces of [σ] and [τ], so the frontier is maintained with a
+   worklist instead of rescanning. Everything is seeded and propagated in a
+   fixed order, making the sequence a pure function of the complex. *)
+let run c =
+  let closure = Complex.simplices c in
+  let n = List.length closure in
+  let alive : unit Simplex.Tbl.t = Simplex.Tbl.create n in
+  let ncof : int ref Simplex.Tbl.t = Simplex.Tbl.create n in
+  let cofaces : Simplex.t list Simplex.Tbl.t = Simplex.Tbl.create n in
+  List.iter
+    (fun s ->
+      Simplex.Tbl.replace alive s ();
+      if not (Simplex.Tbl.mem ncof s) then Simplex.Tbl.replace ncof s (ref 0))
+    closure;
+  List.iter
+    (fun s ->
+      List.iter
+        (fun f ->
+          incr (Simplex.Tbl.find ncof f);
+          Simplex.Tbl.replace cofaces f
+            (s :: (try Simplex.Tbl.find cofaces f with Not_found -> [])))
+        (Simplex.proper_faces s))
+    closure;
+  (* Collapse big faces first: the top-dimensional pairs peel off the
+     boundary, so vertices fall late and the reversed order grows outward. *)
+  let seed =
+    List.sort
+      (fun a b ->
+        let d = compare (Simplex.dim b) (Simplex.dim a) in
+        if d <> 0 then d else Simplex.compare a b)
+      closure
+  in
+  let queue = Queue.create () in
+  List.iter (fun s -> Queue.add s queue) seed;
+  let elim_step = Hashtbl.create 16 in (* vertex -> step of its singleton's removal *)
+  let pairs = ref 0 in
+  let remove step s =
+    Simplex.Tbl.remove alive s;
+    if Simplex.card s = 1 then Hashtbl.replace elim_step (Simplex.min_vertex s) step;
+    List.iter
+      (fun f ->
+        if Simplex.Tbl.mem alive f then begin
+          let r = Simplex.Tbl.find ncof f in
+          decr r;
+          if !r = 1 then Queue.add f queue
+        end)
+      (Simplex.proper_faces s)
+  in
+  while not (Queue.is_empty queue) do
+    let s = Queue.take queue in
+    if Simplex.Tbl.mem alive s && !(Simplex.Tbl.find ncof s) = 1 then begin
+      match
+        List.find_opt
+          (fun t -> Simplex.Tbl.mem alive t)
+          (try Simplex.Tbl.find cofaces s with Not_found -> [])
+      with
+      | None -> () (* stale count; cannot happen, but stay total *)
+      | Some t ->
+        incr pairs;
+        remove !pairs s;
+        remove !pairs t
+    end
+  done;
+  let vertices = Complex.vertices c in
+  let core = List.filter (fun v -> not (Hashtbl.mem elim_step v)) vertices in
+  let collapsed =
+    List.filter (fun v -> Hashtbl.mem elim_step v) vertices
+    |> List.sort (fun a b ->
+           let d = compare (Hashtbl.find elim_step b) (Hashtbl.find elim_step a) in
+           if d <> 0 then d else compare a b)
+  in
+  let remaining = Simplex.Tbl.length alive in
+  {
+    order = core @ collapsed;
+    eliminated = List.length collapsed;
+    pairs = !pairs;
+    collapsed_to_point = remaining = 1 && List.length core = 1;
+  }
+
+let is_collapsible c = (run c).collapsed_to_point

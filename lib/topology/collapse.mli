@@ -1,0 +1,42 @@
+(** Free-face collapsing sequences (Benavides–Rajsbaum).
+
+    A {e free face} of a complex is a simplex [σ] properly contained in
+    exactly one other simplex [τ] (which is then maximal); the elementary
+    collapse removes the pair [{σ, τ}]. A complex is {e collapsible} when
+    some sequence of elementary collapses reduces it to a single vertex.
+    The read/write (IIS) protocol complexes searched by Prop 3.1 are
+    collapsible — "the read/write protocol complex is collapsible"
+    (PAPERS.md) — so [SDS^b(sⁿ)] admits such a sequence, and its reversal
+    is an {e expansion order} growing the complex from a cone point
+    outward.
+
+    {!run} computes a greedy deterministic collapsing sequence and derives
+    from it a static vertex schedule: the vertices of the residual core
+    first, then the collapsed vertices in reverse elimination order. The
+    solvability engine uses the schedule as a static search order — a
+    vertex is only branched on after the schedule has passed through the
+    part of the complex its star attaches to, which is what makes the
+    order effective for refutations (DESIGN §14). Correctness never
+    depends on the greedy collapse succeeding: the schedule is a total
+    order on the vertices whatever the residual core is. *)
+
+type result = {
+  order : int list;
+      (** every vertex of the complex, exactly once: residual-core vertices
+          first (ascending id), then collapsed vertices latest-first —
+          the expansion order from the core outward *)
+  eliminated : int;  (** vertices removed by the collapse *)
+  pairs : int;  (** elementary collapses performed *)
+  collapsed_to_point : bool;
+      (** the residual complex is a single vertex (or the input was) *)
+}
+
+val run : Complex.t -> result
+(** Greedy deterministic collapse: repeatedly remove a free pair, seeded
+    and propagated in a fixed order (descending dimension, then the
+    canonical simplex order), so equal complexes produce equal
+    schedules. *)
+
+val is_collapsible : Complex.t -> bool
+(** Whether the greedy sequence reaches a single vertex. [true] certifies
+    collapsibility; [false] only means the greedy order got stuck. *)

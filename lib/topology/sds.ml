@@ -148,35 +148,51 @@ let subdivide t =
   in
   { sd; prev = Some t; own_tbl; snap_tbl }
 
-(* [iterate] memo: keyed by (base complex name, level), verified against the
-   actual base with [Chromatic.equal] before reuse (names are not unique).
+(* [iterate] memo: keyed by (base name, structural digest, level). The digest
+   renders the base's facets with their colors — independent of the simplex
+   arena, so it survives [Simplex.reset] semantics — which means two distinct
+   complexes that happen to share a name get distinct slots. The old
+   name-only key let them evict each other's subdivision chains on every
+   alternation (and served whichever chain was filed last, pending an
+   [Chromatic.equal] re-check). The name stays in the key so derived complex
+   names ("x'", "x''") never alias across differently-named equal bases.
    Levels share their [prev] chain, so solving a task at increasing levels
    re-subdivides only the top level instead of rebuilding from scratch. *)
-let memo : (string * int, t) Hashtbl.t = Hashtbl.create 64
+let memo : (string * string * int, t) Hashtbl.t = Hashtbl.create 64
 
 let clear_cache () = Hashtbl.reset memo
+
+let structural_digest a =
+  let cx = Chromatic.complex a in
+  let facet f =
+    String.concat ","
+      (List.map (fun v -> Printf.sprintf "%d:%d" v (Chromatic.color a v)) (Simplex.to_list f))
+  in
+  Digest.to_hex
+    (Digest.string (String.concat ";" (List.sort compare (List.map facet (Complex.facets cx)))))
 
 let iterate a b =
   if b < 0 then invalid_arg "Sds.iterate: negative level";
   let name = Complex.name (Chromatic.complex a) in
+  let digest = structural_digest a in
   let matches t = Chromatic.equal (base t) a in
   let rec cached k =
     if k < 0 then (0, of_chromatic a)
     else
-      match Hashtbl.find_opt memo (name, k) with
+      match Hashtbl.find_opt memo ((name, digest, k)) with
       | Some t when matches t ->
         Wfc_obs.Metrics.incr c_memo_hits;
         (k, t)
       | _ -> cached (k - 1)
   in
   let k0, t0 = cached b in
-  Hashtbl.replace memo (name, k0) t0;
+  Hashtbl.replace memo (name, digest, k0) t0;
   let rec go t k =
     if k = b then t
     else begin
       Wfc_obs.Metrics.incr c_memo_misses;
       let t' = subdivide t in
-      Hashtbl.replace memo (name, k + 1) t';
+      Hashtbl.replace memo (name, digest, k + 1) t';
       go t' (k + 1)
     end
   in

@@ -306,7 +306,15 @@ let test_store_model_mismatch_quarantined () =
 
 let test_wire_model () =
   let spec =
-    { Wire.task = "consensus"; procs = 2; param = 2; max_level = 1; model = "k-set:2" }
+    {
+      Wire.task = "consensus";
+      procs = 2;
+      param = 2;
+      max_level = 1;
+      model = "k-set:2";
+      symmetry = true;
+      collapse = true;
+    }
   in
   (match Wire.request_of_json (Wire.request_to_json (Wire.Query { spec; req_id = None })) with
   | Ok (Wire.Query { spec = spec'; _ }) ->
@@ -385,7 +393,15 @@ let test_daemon_two_models () =
   (* consensus(2) at level 1 is the acceptance pair: unsolvable wait-free,
      solvable once k-set:2 restricts the adversary to lock-step runs. *)
   let spec model =
-    { Wire.task = "consensus"; procs = 2; param = 2; max_level = 1; model }
+    {
+      Wire.task = "consensus";
+      procs = 2;
+      param = 2;
+      max_level = 1;
+      model;
+      symmetry = true;
+      collapse = true;
+    }
   in
   with_daemon (fun ~socket ->
       match Client.connect ~socket with

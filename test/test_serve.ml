@@ -23,7 +23,15 @@ let temp_dir prefix =
 let counter_value name = Wfc_obs.Metrics.value (Wfc_obs.Metrics.counter name)
 
 let default_spec =
-  { Wire.task = "consensus"; procs = 2; param = 2; max_level = 1; model = "wait-free" }
+  {
+    Wire.task = "consensus";
+    procs = 2;
+    param = 2;
+    max_level = 1;
+    model = "wait-free";
+    symmetry = true;
+    collapse = true;
+  }
 
 (* The record an inline solve of [spec] would produce: the reference every
    daemon answer must match byte-for-byte (modulo timing fields, which
@@ -545,7 +553,15 @@ let daemon_tests =
            digests enter, so if the scheduler serialized distinct questions
            behind one worker the test would time out here. *)
         let spec_b =
-          { Wire.task = "set-consensus"; procs = 3; param = 2; max_level = 1; model = "wait-free" }
+          {
+            Wire.task = "set-consensus";
+            procs = 3;
+            param = 2;
+            max_level = 1;
+            model = "wait-free";
+            symmetry = true;
+            collapse = true;
+          }
         in
         let seen = Hashtbl.create 4 in
         let seen_m = Mutex.create () in
@@ -589,7 +605,15 @@ let daemon_tests =
            client hung. Hold BOTH workers mid-computation, request
            shutdown, then release: both clients must still get verdicts. *)
         let spec_b =
-          { Wire.task = "set-consensus"; procs = 3; param = 2; max_level = 1; model = "wait-free" }
+          {
+            Wire.task = "set-consensus";
+            procs = 3;
+            param = 2;
+            max_level = 1;
+            model = "wait-free";
+            symmetry = true;
+            collapse = true;
+          }
         in
         let seen = Hashtbl.create 4 in
         let seen_m = Mutex.create () in
