@@ -614,6 +614,13 @@ let emulation_sweep ~sink () =
    either run reads as a 30% swing. *)
 let self_timed : float option ref = ref None
 
+(* Extra per-scenario JSON fields (latency percentiles, op counts) set from
+   inside a thunk, merged into the scenario object by run_scenarios. The
+   storage scenarios use it: one store operation is microseconds, far below
+   what a single external wall-clock resolves, so they report p50/p95 over
+   thousands of timed ops instead. *)
+let self_extra : (string * Wfc_obs.Json.t) list ref = ref []
+
 (* --quick (set from main before the scenarios run) trims the repeat counts
    of the self-timed scenarios: CI wants the schema and the smoke numbers,
    not the noise-floor statistics the committed BENCH_wfc.json carries *)
@@ -756,6 +763,144 @@ let scenarios : (string * (unit -> int option * string option)) list =
     let o = record.Wfc_serve.Store.outcome in
     (Some o.Solvability.o_nodes, Some o.Solvability.o_verdict)
   in
+  (* Storage engine at scale: a store seeded with 10k records (500 under
+     --quick), then per-op latency distributions for the three tiers of a
+     lookup (fresh put / cold disk read / LRU hit) and the manifest-backed
+     ls. The scenario's [seconds] is the whole timed loop; p50/p95 of the
+     individual ops ride in the extra fields. The seeded store is built
+     once and shared by the four scenarios (it is read-only for the gets
+     and ls; puts use fresh digests). *)
+  let store_count () = if !quick_scenarios then 500 else 10_000 in
+  let store_ops () = if !quick_scenarios then 100 else 1_000 in
+  let seeded_store : Wfc_serve.Store.t option ref = ref None in
+  let store_env () =
+    match !seeded_store with
+    | Some st -> st
+    | None ->
+      let dir = Filename.temp_file "wfc-bench-store10k" "" in
+      Sys.remove dir;
+      Unix.mkdir dir 0o755;
+      let st = Wfc_serve.Store.open_store dir in
+      Wfc_storage.Engine.seed (Wfc_serve.Store.engine st) ~count:(store_count ());
+      seeded_store := Some st;
+      st
+  in
+  let seed_digest i = Digest.to_hex (Digest.string (Printf.sprintf "wfc-seed-%d" i)) in
+  let percentiles samples =
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    let at p = a.(min (Array.length a - 1) (int_of_float (p *. float_of_int (Array.length a)))) in
+    (at 0.50, at 0.95)
+  in
+  (* time [f] over [n] ops, publish total as the scenario time and the
+     per-op p50/p95 (plus the store scale) as extra fields *)
+  let timed_ops ?(extra = []) n f = fun () ->
+    let samples = ref [] in
+    let t0 = Wfc_obs.Metrics.now_s () in
+    for i = 0 to n - 1 do
+      let s0 = Wfc_obs.Metrics.now_s () in
+      f i;
+      samples := (Wfc_obs.Metrics.now_s () -. s0) :: !samples
+    done;
+    self_timed := Some (Wfc_obs.Metrics.now_s () -. t0);
+    let p50, p95 = percentiles !samples in
+    self_extra :=
+      [
+        ("ops", Wfc_obs.Json.Int n);
+        ("records", Wfc_obs.Json.Int (store_count ()));
+        ("latency_p50_s", Wfc_obs.Json.Float p50);
+        ("latency_p95_s", Wfc_obs.Json.Float p95);
+      ]
+      @ extra;
+    (None, None)
+  in
+  let store_put = fun () ->
+    let st = store_env () in
+    let eng = Wfc_serve.Store.engine st in
+    timed_ops (store_ops ()) (fun i ->
+        let digest = Digest.to_hex (Digest.string (Printf.sprintf "bench-put-%d" i)) in
+        Wfc_storage.Engine.put eng
+          {
+            Wfc_storage.Record.digest;
+            task = Printf.sprintf "bench(procs=2,param=%d)" i;
+            model = "wait-free";
+            procs = 2;
+            max_level = 1;
+            budget = 5_000_000;
+            outcome =
+              {
+                Solvability.o_verdict = "unsolvable";
+                o_level = 1;
+                o_nodes = i;
+                o_backtracks = 0;
+                o_prunes = 0;
+                o_elapsed = 0.001;
+                o_decide = [];
+              };
+            created_at = float_of_int i;
+          }) ()
+  in
+  let store_get ~warm = fun () ->
+    let st = store_env () in
+    (* a cold get must hit the disk: a fresh handle has an empty LRU, and
+       every op asks a distinct digest so no op warms the next. A cached
+       get asks the same digests through a handle that just read them all
+       (cap 4096 >= ops), so every op is an LRU hit. *)
+    let eng = Wfc_storage.Engine.open_store (Wfc_serve.Store.dir st) in
+    let ask i =
+      ignore
+        (Wfc_storage.Engine.find eng ~digest:(seed_digest i) ~model:"wait-free"
+           ~max_level:(i mod 3) ~budget:5_000_000)
+    in
+    if warm then
+      for i = 0 to store_ops () - 1 do
+        ask i
+      done;
+    timed_ops (store_ops ()) ask ()
+  in
+  let store_ls = fun () ->
+    let st = store_env () in
+    let eng = Wfc_serve.Store.engine st in
+    let reps = if !quick_scenarios then 5 else 20 in
+    timed_ops
+      ~extra:[ ("entries", Wfc_obs.Json.Int (List.length (Wfc_storage.Engine.ls eng))) ]
+      reps
+      (fun _ -> ignore (Wfc_storage.Engine.ls eng))
+      ()
+  in
+  (* Persisted-skeleton reuse: SDS^3(s^2) built cold from nothing vs cold
+     from the skeleton keyspace (memo cleared both times — "cold" means a
+     new process, not a new store). The replay skips the enumeration
+     search and should win by an integer factor; both times ride in the
+     extra fields, [seconds] is the replay. *)
+  let sds_skeleton_reuse = fun () ->
+    let dir = Filename.temp_file "wfc-bench-skel" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o755;
+    let st = Wfc_serve.Store.open_store dir in
+    Sds.clear_cache ();
+    let t0 = Wfc_obs.Metrics.now_s () in
+    ignore (Sds.standard ~dim:2 ~levels:3);
+    let cold_s = Wfc_obs.Metrics.now_s () -. t0 in
+    Wfc_serve.Store.attach_skeletons st;
+    Fun.protect
+      ~finally:(fun () -> Sds.set_skeleton_store None)
+      (fun () ->
+        (* populate the keyspace, then replay it from a cleared memo *)
+        Sds.clear_cache ();
+        ignore (Sds.standard ~dim:2 ~levels:3);
+        Sds.clear_cache ();
+        let t1 = Wfc_obs.Metrics.now_s () in
+        ignore (Sds.standard ~dim:2 ~levels:3);
+        let replay_s = Wfc_obs.Metrics.now_s () -. t1 in
+        self_timed := Some replay_s;
+        self_extra :=
+          [
+            ("cold_s", Wfc_obs.Json.Float cold_s);
+            ("replay_s", Wfc_obs.Json.Float replay_s);
+          ];
+        (None, None))
+  in
   [
     ("sds_iterate_s2_l3", plain (fun () -> ignore (Sds.standard ~dim:2 ~levels:3)));
     ("sds_iterate_s2_l4", plain (fun () -> ignore (Sds.standard ~dim:2 ~levels:4)));
@@ -832,6 +977,13 @@ let scenarios : (string * (unit -> int option * string option)) list =
     ("serve_warm", serve `Warm);
     ("serve_warm_logged", serve ~log:true `Warm);
     ("serve_coalesced", serve `Coalesced);
+    (* storage engine at 10k records: the three lookup tiers and the
+       manifest-backed ls, per-op p50/p95 in the extra fields *)
+    ("store_put", store_put);
+    ("store_get_cold", store_get ~warm:false);
+    ("store_get_cached", store_get ~warm:true);
+    ("store_ls_10k", store_ls);
+    ("sds_skeleton_reuse", sds_skeleton_reuse);
   ]
 
 let run_scenarios ?only () =
@@ -859,13 +1011,14 @@ let run_scenarios ?only () =
          2x swing. Compact so every scenario starts from the same GC phase. *)
       Gc.compact ();
       self_timed := None;
+      self_extra := [];
       let t0 = Wfc_obs.Metrics.now_s () in
       let nodes, verdict = thunk () in
       let external_s = Wfc_obs.Metrics.now_s () -. t0 in
       let seconds = match !self_timed with Some s -> s | None -> external_s in
       Printf.printf "%-36s %12.4f %12s\n%!" sname seconds
         (match nodes with Some n -> string_of_int n | None -> "-");
-      Wfc_obs.Report.scenario ?nodes ?verdict sname seconds)
+      Wfc_obs.Report.scenario ?nodes ?verdict ~extra:!self_extra sname seconds)
     selected
 
 let write_json file results =

@@ -525,6 +525,31 @@ let store_req_arg =
     value & opt string ".wfc-store"
     & info [ "store" ] ~docv:"DIR" ~doc:"The wfc.store.v2 verdict store directory.")
 
+(* --codec parses eagerly, like --model *)
+let codec_conv : Wfc_storage.Codec.t Arg.conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Wfc_storage.Codec.of_string s) in
+  Arg.conv ~docv:"CODEC"
+    (parse, fun ppf c -> Format.pp_print_string ppf (Wfc_storage.Codec.to_string c))
+
+let codec_arg =
+  Arg.(
+    value
+    & opt codec_conv Wfc_storage.Codec.Json
+    & info [ "codec" ] ~docv:"CODEC"
+        ~doc:
+          "Record encoding for new store writes: $(b,json) (canonical JSON, default) or \
+           $(b,compact) (varint/byte-packed binary, .wfcb). Negotiated per record and \
+           recorded in the manifest — a store mixes codecs freely and reads both; the \
+           canonical verdict bytes a query answers with are codec-independent.")
+
+(* Opening a store for solving also points Sds.iterate at its skeleton
+   keyspace, so cold solves against already-seen subdivisions replay
+   persisted SDS steps instead of re-enumerating. *)
+let open_solving_store ?codec dir =
+  let st = Wfc_serve.Store.open_store ?codec dir in
+  Wfc_serve.Store.attach_skeletons st;
+  st
+
 let verdict_out_arg =
   Arg.(
     value
@@ -594,7 +619,7 @@ let fresh_record ~t ~task ~procs ~param ~max_level ~model outcome =
 
 let solve_cmd =
   let run task procs param max_level domains portfolio model no_symmetry no_collapse validate
-      search_trace store_dir verdict_out perfetto stats json =
+      search_trace store_dir codec verdict_out perfetto stats json =
     apply_domains domains;
     let opts =
       Solvability.options ~trace:search_trace
@@ -606,7 +631,7 @@ let solve_cmd =
     Format.printf "%a@." Task.pp_stats t;
     if not (Model.equal model Model.wait_free) then
       Format.printf "model: %s@." model_name;
-    let store = Option.map Wfc_serve.Store.open_store store_dir in
+    let store = Option.map (open_solving_store ~codec) store_dir in
     let emit_verdict record =
       match verdict_out with
       | Some path -> write_json_to path (Wfc_serve.Store.verdict_json record)
@@ -759,7 +784,7 @@ let solve_cmd =
     Term.(
       const run $ task $ procs_arg $ param $ max_level $ domains_arg $ portfolio $ model_arg
       $ no_symmetry_arg $ no_collapse_arg $ validate $ search_trace $ store_opt_arg
-      $ verdict_out_arg $ solve_perfetto $ Output.stats_arg $ Output.json_arg)
+      $ codec_arg $ verdict_out_arg $ solve_perfetto $ Output.stats_arg $ Output.json_arg)
 
 (* ---------- serve / query / store ---------- *)
 
@@ -878,8 +903,8 @@ let serve_cmd =
       $ log $ log_level $ slow_ms $ stop)
 
 let query_cmd =
-  let run task procs param max_level model no_symmetry no_collapse socket store_dir domains
-      no_daemon ping verdict_out stats json =
+  let run task procs param max_level model no_symmetry no_collapse socket store_dir codec
+      domains no_daemon ping verdict_out stats json =
     apply_domains domains;
     let model_name = Model.to_string model in
     let symmetry = not no_symmetry and collapse = not no_collapse in
@@ -956,7 +981,7 @@ let query_cmd =
           Format.eprintf "%s@." m;
           1
         | t -> (
-          let store = Option.map Wfc_serve.Store.open_store store_dir in
+          let store = Option.map (open_solving_store ~codec) store_dir in
           let digest = Task.digest t in
           let committed = ref None in
           let hook =
@@ -1049,8 +1074,8 @@ let query_cmd =
           coalesced wait, inline).")
     Term.(
       const run $ task_arg $ procs_arg $ param_arg $ max_level_arg $ model_arg
-      $ no_symmetry_arg $ no_collapse_arg $ socket_arg $ store_opt_arg $ domains_arg
-      $ no_daemon $ ping $ verdict_out_arg $ Output.stats_arg $ Output.json_arg)
+      $ no_symmetry_arg $ no_collapse_arg $ socket_arg $ store_opt_arg $ codec_arg
+      $ domains_arg $ no_daemon $ ping $ verdict_out_arg $ Output.stats_arg $ Output.json_arg)
 
 let stats_cmd =
   let run socket prometheus json =
@@ -1220,69 +1245,140 @@ let stats_cmd =
     Term.(const run $ socket_arg $ prometheus $ Output.json_arg)
 
 let store_cmd =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Machine output: one canonical JSON object on stdout instead of the table.")
+  in
   let ls =
-    let run store_dir =
+    (* Listing reads the manifest — one sequential file — never the tree:
+       output order is the manifest's sorted live view, deterministic
+       whatever readdir would say. *)
+    let run store_dir json =
       let st = Wfc_serve.Store.open_store store_dir in
-      let entries = Wfc_serve.Store.entries st in
-      List.iter
-        (fun (name, r) ->
-          match r with
-          | Ok r ->
-            let o = r.Wfc_serve.Store.outcome in
-            Format.printf "%-54s %-11s level=%d nodes=%-9d %-14s %s@." name
-              o.Solvability.o_verdict o.Solvability.o_level o.Solvability.o_nodes
-              r.Wfc_serve.Store.model r.Wfc_serve.Store.task
-          | Error e -> Format.printf "%-54s CORRUPT (%s)@." name e)
-        entries;
-      Format.printf "%d record(s) in %s@." (List.length entries) store_dir;
+      let entries = Wfc_storage.Engine.ls (Wfc_serve.Store.engine st) in
+      let verdicts, skeletons =
+        List.partition (fun e -> e.Wfc_storage.Manifest.kind = Wfc_storage.Manifest.Verdict) entries
+      in
+      if json then
+        print_endline
+          (Wfc_obs.Json.to_string
+             (Wfc_obs.Json.Obj
+                [
+                  ("schema", Wfc_obs.Json.String "wfc.store.ls.v1");
+                  ("store", Wfc_obs.Json.String store_dir);
+                  ("count", Wfc_obs.Json.Int (List.length verdicts));
+                  ("skeletons", Wfc_obs.Json.Int (List.length skeletons));
+                  ( "records",
+                    Wfc_obs.Json.Arr
+                      (List.map Wfc_storage.Manifest.entry_to_json verdicts) );
+                ]))
+      else begin
+        List.iter
+          (fun e ->
+            Format.printf "%-60s %-11s level=%d %-14s codec=%s@."
+              e.Wfc_storage.Manifest.rel e.Wfc_storage.Manifest.verdict
+              e.Wfc_storage.Manifest.level e.Wfc_storage.Manifest.model
+              e.Wfc_storage.Manifest.codec)
+          verdicts;
+        Format.printf "%d record(s), %d skeleton(s) in %s@." (List.length verdicts)
+          (List.length skeletons) store_dir
+      end;
       0
     in
     Cmd.v
-      (Cmd.info "ls" ~doc:"List the records of a verdict store.")
-      Term.(const run $ store_req_arg)
+      (Cmd.info "ls"
+         ~doc:
+           "List the live records of a verdict store from its manifest (sorted, \
+            deterministic; no directory walk). $(b,--json) prints a wfc.store.ls.v1 \
+            object for machine consumption. Flat pre-migration records are not indexed — \
+            run $(b,wfc store migrate) first, or $(b,wfc store verify) to see them.")
+      Term.(const run $ store_req_arg $ json_flag)
   in
   let verify =
-    let run store_dir =
+    let run store_dir json =
       let st = Wfc_serve.Store.open_store store_dir in
       let r = Wfc_serve.Store.verify st in
-      Format.printf "valid: %d@." r.Wfc_serve.Store.valid;
-      List.iter
-        (fun (name, e) -> Format.printf "corrupt: %s (%s)@." name e)
-        r.Wfc_serve.Store.corrupt;
-      List.iter
-        (fun name -> Format.printf "digest mismatch: %s@." name)
-        r.Wfc_serve.Store.mismatched;
-      Format.printf "quarantined: %d@." r.Wfc_serve.Store.quarantined;
-      Format.printf "stray tmp files: %d@." r.Wfc_serve.Store.stray_tmp;
+      if json then
+        print_endline
+          (Wfc_obs.Json.to_string
+             (Wfc_obs.Json.Obj
+                [
+                  ("schema", Wfc_obs.Json.String "wfc.store.verify.v1");
+                  ("valid", Wfc_obs.Json.Int r.Wfc_serve.Store.valid);
+                  ( "corrupt",
+                    Wfc_obs.Json.Arr
+                      (List.map
+                         (fun (n, e) ->
+                           Wfc_obs.Json.Obj
+                             [
+                               ("path", Wfc_obs.Json.String n);
+                               ("error", Wfc_obs.Json.String e);
+                             ])
+                         r.Wfc_serve.Store.corrupt) );
+                  ( "mismatched",
+                    Wfc_obs.Json.Arr
+                      (List.map
+                         (fun n -> Wfc_obs.Json.String n)
+                         r.Wfc_serve.Store.mismatched) );
+                  ("quarantined", Wfc_obs.Json.Int r.Wfc_serve.Store.quarantined);
+                  ("stray_tmp", Wfc_obs.Json.Int r.Wfc_serve.Store.stray_tmp);
+                  ("unindexed", Wfc_obs.Json.Int r.Wfc_serve.Store.unindexed);
+                  ("missing", Wfc_obs.Json.Int r.Wfc_serve.Store.missing);
+                  ( "bad_manifest_lines",
+                    Wfc_obs.Json.Int r.Wfc_serve.Store.bad_manifest_lines );
+                ]))
+      else begin
+        Format.printf "valid: %d@." r.Wfc_serve.Store.valid;
+        List.iter
+          (fun (name, e) -> Format.printf "corrupt: %s (%s)@." name e)
+          r.Wfc_serve.Store.corrupt;
+        List.iter
+          (fun name -> Format.printf "digest mismatch: %s@." name)
+          r.Wfc_serve.Store.mismatched;
+        Format.printf "quarantined: %d@." r.Wfc_serve.Store.quarantined;
+        Format.printf "stray tmp files: %d@." r.Wfc_serve.Store.stray_tmp;
+        Format.printf "unindexed files: %d@." r.Wfc_serve.Store.unindexed;
+        Format.printf "missing files (live in manifest, gone on disk): %d@."
+          r.Wfc_serve.Store.missing;
+        Format.printf "torn manifest lines: %d@." r.Wfc_serve.Store.bad_manifest_lines
+      end;
       if r.Wfc_serve.Store.corrupt = [] && r.Wfc_serve.Store.mismatched = [] then 0 else 1
     in
     Cmd.v
       (Cmd.info "verify"
          ~doc:
-           "Validate every record of a verdict store. Exits non-zero if any in-place record \
-            is corrupt or misfiled; already-quarantined and stray .tmp files are reported \
-            but do not fail (contained damage — clean with $(b,wfc store gc)).")
-      Term.(const run $ store_req_arg)
+           "Reconcile a verdict store: every record checked against its filed path, the \
+            manifest cross-checked against the tree both ways. Exits non-zero if any \
+            in-place record is corrupt or misfiled; quarantined, stray-temp, unindexed \
+            and missing files are reported but do not fail (contained or index-only \
+            damage — clean with $(b,wfc store gc) / re-index with $(b,wfc store \
+            migrate)).")
+      Term.(const run $ store_req_arg $ json_flag)
   in
   let gc =
     let run store_dir =
       let st = Wfc_serve.Store.open_store store_dir in
       let removed = ref 0 in
       Wfc_serve.Store.gc st ~removed;
-      Format.printf "removed %d quarantined/stray file(s)@." !removed;
+      Format.printf "removed %d quarantined/stray file(s); manifest compacted@." !removed;
       0
     in
     Cmd.v
       (Cmd.info "gc"
-         ~doc:"Delete quarantined records and interrupted-write .tmp files from a store.")
+         ~doc:
+           "Delete quarantined records and interrupted-write temp files from a store, \
+            then compact the manifest to exactly the live record set.")
       Term.(const run $ store_req_arg)
   in
   let migrate =
-    let run store_dir =
-      let st = Wfc_serve.Store.open_store store_dir in
+    let run store_dir codec =
+      let st = Wfc_serve.Store.open_store ~codec store_dir in
       let r = Wfc_serve.Store.migrate st in
       Format.printf "migrated: %d@." r.Wfc_serve.Store.migrated;
-      Format.printf "already v2: %d@." r.Wfc_serve.Store.untouched;
+      Format.printf "already sharded: %d@." r.Wfc_serve.Store.untouched;
+      Format.printf "re-indexed: %d@." r.Wfc_serve.Store.adopted;
       List.iter
         (fun (name, e) -> Format.printf "skipped: %s (%s)@." name e)
         r.Wfc_serve.Store.skipped;
@@ -1291,14 +1387,52 @@ let store_cmd =
     Cmd.v
       (Cmd.info "migrate"
          ~doc:
-           "Rewrite v1 records (pre-model, implicitly wait-free) as wfc.store.v2 records \
-            under the (digest, model, level) filename scheme. Idempotent; corrupt or \
+           "Rewrite flat records — v1 (pre-model, implicitly wait-free) and v2 (flat \
+            pre-sharding) — under the sharded ab/cd layout with manifest entries, and \
+            re-index any canonical file the manifest has lost. Idempotent; corrupt or \
             misfiled records are reported and left for $(b,wfc store verify) / $(b,gc).")
+      Term.(const run $ store_req_arg $ codec_arg)
+  in
+  let seed =
+    let count =
+      Arg.(
+        value & opt int 1000
+        & info [ "count" ] ~docv:"N" ~doc:"Number of synthetic records to write.")
+    in
+    let run store_dir codec count =
+      let st = Wfc_serve.Store.open_store ~codec store_dir in
+      Wfc_storage.Engine.seed (Wfc_serve.Store.engine st) ~count;
+      Format.printf "seeded %d synthetic record(s) into %s@." count store_dir;
+      0
+    in
+    Cmd.v
+      (Cmd.info "seed"
+         ~doc:
+           "Populate a store with deterministic synthetic records (benchmark / CI scale \
+            runs — not real verdicts).")
+      Term.(const run $ store_req_arg $ codec_arg $ count)
+  in
+  let rebuild =
+    let run store_dir =
+      let st = Wfc_serve.Store.open_store store_dir in
+      let n = Wfc_storage.Engine.rebuild_manifest (Wfc_serve.Store.engine st) in
+      Format.printf "manifest rebuilt: %d live entr%s@." n (if n = 1 then "y" else "ies");
+      0
+    in
+    Cmd.v
+      (Cmd.info "rebuild"
+         ~doc:
+           "Regenerate MANIFEST.jsonl from a directory walk — the recovery path proving \
+            the manifest is derived state. Equivalent to the index a crash-free history \
+            would have left (modulo compaction).")
       Term.(const run $ store_req_arg)
   in
   Cmd.group
-    (Cmd.info "store" ~doc:"Inspect and maintain wfc.store.v2 verdict stores.")
-    [ ls; verify; gc; migrate ]
+    (Cmd.info "store"
+       ~doc:
+         "Inspect and maintain verdict stores: sharded wfc.store.v2 records under a \
+          MANIFEST.jsonl index, with per-record codecs and a skeletons keyspace.")
+    [ ls; verify; gc; migrate; seed; rebuild ]
 
 (* ---------- models ---------- *)
 

@@ -19,7 +19,11 @@
 # worker scheduler. The models leg closes the loop on computation models:
 # one task solved under two models (wait-free / k-set:2) must yield two
 # distinct verdicts, each cacheable and re-served warm by the daemon
-# byte-identically to its inline baseline.
+# byte-identically to its inline baseline. The storage leg exercises the
+# sharded store at scale: manifest-backed ls/verify over thousands of
+# seeded records, idempotent v2->v3 migration, crash recovery after a
+# SIGKILL mid-put, LRU cache-hit counters, and verdict byte-identity
+# across every layout and codec the engine can read.
 set -eux
 
 dune build
@@ -128,7 +132,11 @@ done
   --max-level 1 --socket "$SERVE_SOCK" --verdict-out VERDICT_warm.json | grep 'source=store'
 cmp VERDICT_solve.json VERDICT_cold.json
 cmp VERDICT_solve.json VERDICT_warm.json
-"$WFC" check-json "$(ls "$SERVE_STORE"/*.json)" \
+# the record now lives under a two-level shard; resolve its path from the
+# manifest (store ls), never a directory glob
+STORE_REC="$SERVE_STORE/$("$WFC" store ls --store "$SERVE_STORE" --json \
+  | grep -o '"rel": "[^"]*"' | head -1 | sed 's/"rel": "//;s/"$//')"
+"$WFC" check-json "$STORE_REC" \
   --expect-verdict unsolvable --min-nodes 1
 "$WFC" store verify --store "$SERVE_STORE"
 "$WFC" serve --stop --socket "$SERVE_SOCK"
@@ -189,7 +197,7 @@ wait $QA_PID
 wait $QB_PID
 grep 'source=computed' QUERY_a.txt
 grep 'source=computed' QUERY_b.txt
-test "$(ls "$SERVE_STORE2"/*.json | wc -l)" -eq 2
+"$WFC" store ls --store "$SERVE_STORE2" --json | grep -o '"count": 2'
 "$WFC" serve --stop --socket "$SERVE_SOCK"
 wait $SERVE_PID
 rm -rf "$SERVE_SOCK" "$SERVE_STORE2" QUERY_a.txt QUERY_b.txt
@@ -229,7 +237,7 @@ cmp VERDICT_wf.json VERDICT_wf_cold.json
 cmp VERDICT_wf.json VERDICT_wf_warm.json
 cmp VERDICT_kset.json VERDICT_kset_cold.json
 cmp VERDICT_kset.json VERDICT_kset_warm.json
-test "$(ls "$SERVE_STORE3"/*.json | wc -l)" -eq 2
+"$WFC" store ls --store "$SERVE_STORE3" --json | grep -o '"count": 2'
 "$WFC" store ls --store "$SERVE_STORE3" | grep 'k-set:2'
 "$WFC" store migrate --store "$SERVE_STORE3"
 "$WFC" store verify --store "$SERVE_STORE3"
@@ -298,6 +306,113 @@ rm -rf "$SERVE_SOCK" "$SERVE_STORE4" "$SERVE_LOG" STATS_ci.json \
   VERDICT_tel_inline.json VERDICT_tel_cold.json VERDICT_tel_warm.json \
   VERDICT_tel_a.json VERDICT_tel_b.json QUERY_tel_cold.txt QUERY_tel_a.txt \
   QUERY_tel_b.txt
+
+# storage engine leg: the sharded, manifest-indexed, cache-tiered store at
+# scale. Seed thousands of records, answer ls/verify from the manifest
+# alone, de-shard records back to the flat v2 layout and migrate them home
+# (idempotently), SIGKILL a bulk seeding mid-put and require the store to
+# still verify clean (atomic temps: crash debris is never a torn record),
+# then the byte-identity matrix — one question answered through a cold
+# solve, a warm sharded-json store, a compact-codec store and a flat
+# pre-sharding store must render cmp-identical verdict bytes — and the
+# daemon's decoded-record LRU showing real cache hits in its stats.
+ST=ci_storage_store
+rm -rf "$ST"
+"$WFC" store seed --store "$ST" --count 2000
+"$WFC" store ls --store "$ST" --json | grep -o '"count": 2000'
+"$WFC" store verify --store "$ST" --json | grep -o '"valid": 2000'
+"$WFC" store ls --store "$ST" > LS_a.txt
+"$WFC" store ls --store "$ST" > LS_b.txt
+cmp LS_a.txt LS_b.txt
+rm -f LS_a.txt LS_b.txt
+# records live under two-level shards, never the store root
+test "$(find "$ST" -maxdepth 1 -name '*.json' | wc -l)" -eq 0
+# de-shard two records to their flat v2 names: migrate re-shards exactly
+# those two, and a second migrate has nothing left to do
+for f in $(find "$ST" -path '*/??/??/*' -name '*.json' -not -path '*/skeletons/*' | sort | head -2); do
+  mv "$f" "$ST/$(basename "$f")"
+done
+"$WFC" store migrate --store "$ST" | grep '^migrated: 2$'
+"$WFC" store migrate --store "$ST" | grep '^migrated: 0$'
+"$WFC" store verify --store "$ST" --json | grep -o '"missing": 0'
+# simulated crash: kill a bulk seeding mid-put. Atomicity means no record
+# can exist torn under its final name, so verify must pass immediately; gc
+# reaps whatever temp the kill orphaned and rebuild restores the index
+# from nothing but the tree
+"$WFC" store seed --store "$ST" --count 100000 &
+SEED_PID=$!
+sleep 1
+kill -9 $SEED_PID
+wait $SEED_PID || true
+"$WFC" store verify --store "$ST"
+"$WFC" store gc --store "$ST"
+"$WFC" store rebuild --store "$ST"
+"$WFC" store verify --store "$ST" --json | grep -o '"missing": 0'
+"$WFC" store verify --store "$ST" --json | grep -o '"unindexed": 0'
+rm -rf "$ST"
+
+# byte-identity across layouts and codecs
+SB=ci_codec_json
+SC=ci_codec_compact
+SF=ci_flat_v2
+rm -rf "$SB" "$SC" "$SF"
+"$WFC" solve --task set-consensus --procs 3 --param 2 --max-level 1 \
+  --store "$SB" --verdict-out VERDICT_st_base.json > /dev/null
+"$WFC" query --task set-consensus --procs 3 --param 2 --max-level 1 \
+  --no-daemon --store "$SB" --verdict-out VERDICT_st_warm.json 2>/dev/null \
+  | grep 'source=store'
+cmp VERDICT_st_base.json VERDICT_st_warm.json
+"$WFC" solve --task set-consensus --procs 3 --param 2 --max-level 1 \
+  --store "$SC" --codec compact --verdict-out VERDICT_st_compact.json > /dev/null
+"$WFC" query --task set-consensus --procs 3 --param 2 --max-level 1 \
+  --no-daemon --store "$SC" --verdict-out VERDICT_st_compact_warm.json 2>/dev/null \
+  | grep 'source=store'
+cmp VERDICT_st_base.json VERDICT_st_compact.json
+cmp VERDICT_st_base.json VERDICT_st_compact_warm.json
+find "$SC" -name '*.wfcb' | grep -q .
+# flat v2: exactly what a pre-sharding store looked like — one record at
+# the root, no manifest — served warm and byte-identical without migration,
+# then migrated to v3 and served warm again, still identical
+mkdir "$SF"
+REC=$(find "$SB" -path '*/??/??/*' -name '*.json' -not -path '*/skeletons/*')
+cp "$REC" "$SF/$(basename "$REC")"
+"$WFC" query --task set-consensus --procs 3 --param 2 --max-level 1 \
+  --no-daemon --store "$SF" --verdict-out VERDICT_st_flat.json 2>/dev/null \
+  | grep 'source=store'
+cmp VERDICT_st_base.json VERDICT_st_flat.json
+"$WFC" store migrate --store "$SF" | grep '^migrated: 1$'
+"$WFC" query --task set-consensus --procs 3 --param 2 --max-level 1 \
+  --no-daemon --store "$SF" --verdict-out VERDICT_st_v3.json 2>/dev/null \
+  | grep 'source=store'
+cmp VERDICT_st_base.json VERDICT_st_v3.json
+rm -rf "$SB" "$SC" "$SF" VERDICT_st_base.json VERDICT_st_warm.json \
+  VERDICT_st_compact.json VERDICT_st_compact_warm.json VERDICT_st_flat.json \
+  VERDICT_st_v3.json
+
+# the daemon's decoded-record LRU: repeated warm queries answer from
+# memory — the storage.cache.hit counter must be live in the stats report
+SERVE_STORE5=ci_serve_store5
+rm -rf "$SERVE_SOCK" "$SERVE_STORE5"
+"$WFC" serve --socket "$SERVE_SOCK" --store "$SERVE_STORE5" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  if "$WFC" query --ping --socket "$SERVE_SOCK" >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+"$WFC" query --task set-consensus --procs 3 --param 2 --max-level 1 \
+  --socket "$SERVE_SOCK" | grep 'source=computed'
+"$WFC" query --task set-consensus --procs 3 --param 2 --max-level 1 \
+  --socket "$SERVE_SOCK" | grep 'source=store'
+"$WFC" query --task set-consensus --procs 3 --param 2 --max-level 1 \
+  --socket "$SERVE_SOCK" | grep 'source=store'
+"$WFC" stats --socket "$SERVE_SOCK" --json STATS_storage.json > /dev/null
+CACHE_HITS=$(grep -o '"storage.cache.hit": [0-9]*' STATS_storage.json | grep -o '[0-9]*$')
+test "$CACHE_HITS" -ge 1
+"$WFC" serve --stop --socket "$SERVE_SOCK"
+wait $SERVE_PID
+rm -rf "$SERVE_SOCK" "$SERVE_STORE5" STATS_storage.json
 
 # mini serve-ladder: the load harness end to end at toy scale — per-rung
 # medians land in a validated wfc.obs.v1 report with machine metadata

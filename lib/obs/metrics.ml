@@ -29,20 +29,32 @@ let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let histograms : (string, histo) Hashtbl.t = Hashtbl.create 16
 
 (* The span forest hangs off a root sentinel shared by every domain; the
-   path of open spans is domain-local (DLS), so concurrent domains can
-   each nest spans without corrupting one another's LIFO discipline. Spans
-   opened at a domain's top level become children of the shared root. *)
+   path of open spans is keyed per (domain, sys-thread), so concurrent
+   domains AND concurrent threads within one domain (the daemon's solver
+   pool) each nest spans without corrupting one another's LIFO discipline.
+   Domain-local storage alone is not enough: sys-threads sharing a domain
+   would interleave pushes and pops on one stack. Spans opened at a
+   thread's top level become children of the shared root. *)
 let span_root () = { sname = ""; calls = 0; total = 0.; kids = [] }
 
 let root = ref (span_root ())
 
-let stack_key : span list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
-
-let stack () = Domain.DLS.get stack_key
-
 let locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let stacks : (int * int, span list ref) Hashtbl.t = Hashtbl.create 16
+
+let stack_key () = ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+(* call under [locked] *)
+let stack_of key =
+  match Hashtbl.find_opt stacks key with
+  | Some s -> s
+  | None ->
+    let s = ref [] in
+    Hashtbl.replace stacks key s;
+    s
 
 (* ------------------------------------------------------------------ *)
 (* counters                                                             *)
@@ -98,19 +110,21 @@ let time h f =
 (* ------------------------------------------------------------------ *)
 
 let with_span name f =
-  let stack = stack () in
-  let node =
+  let key = stack_key () in
+  let node, stack =
     locked (fun () ->
+        let stack = stack_of key in
         let parent = match !stack with n :: _ -> n | [] -> !root in
-        match List.find_opt (fun k -> k.sname = name) parent.kids with
-        | Some k ->
-          stack := k :: !stack;
-          k
-        | None ->
-          let k = { sname = name; calls = 0; total = 0.; kids = [] } in
-          parent.kids <- k :: parent.kids;
-          stack := k :: !stack;
-          k)
+        let k =
+          match List.find_opt (fun k -> k.sname = name) parent.kids with
+          | Some k -> k
+          | None ->
+            let k = { sname = name; calls = 0; total = 0.; kids = [] } in
+            parent.kids <- k :: parent.kids;
+            k
+        in
+        stack := k :: !stack;
+        (k, stack))
   in
   let t0 = now_s () in
   Fun.protect
@@ -119,12 +133,18 @@ let with_span name f =
       locked (fun () ->
           node.calls <- node.calls + 1;
           node.total <- node.total +. dt;
-          match !stack with
+          (match !stack with
           | top :: rest when top == node -> stack := rest
-          | _ -> assert false (* exits are LIFO per domain by construction *)))
+          | _ -> assert false (* exits are LIFO per thread by construction *));
+          (* a finished thread's key must not pin its stack forever — the
+             daemon spawns a thread per connection *)
+          if !stack = [] then Hashtbl.remove stacks key))
     f
 
-let span_depth () = List.length !(stack ())
+let span_depth () =
+  let key = stack_key () in
+  locked (fun () ->
+      match Hashtbl.find_opt stacks key with Some s -> List.length !s | None -> 0)
 
 (* ------------------------------------------------------------------ *)
 (* reset and read-out                                                   *)
@@ -141,9 +161,8 @@ let reset () =
           h.max_v <- neg_infinity)
         histograms;
       root := span_root ();
-      (* only this domain's open-span path can be cleared; reset is
-         specified to run with no spans open on other domains *)
-      stack () := [])
+      (* reset is specified to run with no spans open on any thread *)
+      Hashtbl.reset stacks)
 
 type histo_stats = { count : int; sum : float; min : float; max : float }
 

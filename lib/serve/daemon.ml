@@ -553,10 +553,13 @@ let run cfg =
   (* a client vanishing mid-response must surface as EPIPE, not kill us *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let log = Option.map (Wfc_obs.Log.open_log ~level:cfg.log_level) cfg.log in
+  let store = Store.open_store cfg.store_dir in
+  (* cold solves replay persisted SDS skeletons from this store *)
+  Store.attach_skeletons store;
   let st =
     {
       cfg;
-      store = Store.open_store cfg.store_dir;
+      store;
       started_at = Wfc_obs.Metrics.now_s ();
       log;
       m = Mutex.create ();

@@ -1,344 +1,89 @@
-open Wfc_core
+(* The serving layer's store, now a thin veneer over {!Wfc_storage.Engine}
+   — the sharded, manifest-indexed, cache-tiered engine. This module keeps
+   the (digest, model, level, budget)-keyed API and record type the rest of
+   the serving layer was written against; everything behind it (layout,
+   codecs, manifest, LRU) lives in [lib/storage]. *)
 
-let schema_version = "wfc.store.v2"
+module Record = Wfc_storage.Record
+module Engine = Wfc_storage.Engine
 
-let schema_version_v1 = "wfc.store.v1"
+let schema_version = Record.schema_version
 
-type record = {
+let schema_version_v1 = Record.schema_version_v1
+
+type record = Record.record = {
   digest : string;
   task : string;
   model : string;
   procs : int;
   max_level : int;
   budget : int;
-  outcome : Solvability.outcome;
+  outcome : Wfc_core.Solvability.outcome;
   created_at : float;
 }
 
-let c_reads = Wfc_obs.Metrics.counter "serve.store.reads"
+let record = Record.make
 
-let c_puts = Wfc_obs.Metrics.counter "serve.store.puts"
+let record_to_json = Record.record_to_json
 
-let c_quarantined = Wfc_obs.Metrics.counter "serve.store.quarantined"
+let verdict_json = Record.verdict_json
 
-let record ~task ~spec ?(model = "wait-free") ~max_level ~budget outcome =
-  {
-    digest = Wfc_tasks.Task.digest task;
-    task = spec;
-    model;
-    procs = task.Wfc_tasks.Task.procs;
-    max_level;
-    budget;
-    outcome;
-    created_at = Unix.gettimeofday ();
-  }
+let record_of_json = Record.record_of_json
 
-(* [verdict_json] is the deterministic core — every byte a function of the
-   question, never of the search that answered it. The cost tallies
-   (nodes/backtracks/prunes) live in the record envelope with the timing
-   fields: a portfolio win or a search reducer changes how much work a
-   verdict took, not what the verdict is, so cost is provenance — recorded,
-   but outside the canonical object that solve/query/store hits must
-   reproduce byte-for-byte. Key order is irrelevant — the canonical emitter
-   sorts — but both views share one core builder so they can never
-   disagree. *)
-let json_fields r =
-  let open Wfc_obs.Json in
-  let o = r.outcome in
-  [
-    ("schema", String schema_version);
-    ("digest", String r.digest);
-    ("task", String r.task);
-    ("model", String r.model);
-    ("procs", Int r.procs);
-    ("max_level", Int r.max_level);
-    ("budget", Int r.budget);
-    ("verdict", String o.Solvability.o_verdict);
-    ("level", Int o.Solvability.o_level);
-    ( "decide",
-      Arr (List.map (fun (v, w) -> Arr [ Int v; Int w ]) o.Solvability.o_decide) );
-  ]
+let validate_json = Record.validate_json
 
-let verdict_json r = Wfc_obs.Json.Obj (json_fields r)
+type t = Engine.t
 
-let record_to_json r =
-  let open Wfc_obs.Json in
-  Obj
-    (json_fields r
-    @ [
-        ("nodes", Int r.outcome.Solvability.o_nodes);
-        ("backtracks", Int r.outcome.Solvability.o_backtracks);
-        ("prunes", Int r.outcome.Solvability.o_prunes);
-        ("elapsed", Float r.outcome.Solvability.o_elapsed);
-        ("created_at", Float r.created_at);
-      ])
+let open_store ?cache_cap ?codec root = Engine.open_store ?cache_cap ?codec root
 
-let is_hex_digest s =
-  String.length s = 32
-  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+let engine t = t
 
-let number_member key j =
-  match Wfc_obs.Json.member key j with
-  | Some (Wfc_obs.Json.Float f) -> Ok f
-  | Some (Wfc_obs.Json.Int i) -> Ok (float_of_int i)
-  | _ -> Error (Printf.sprintf "missing or non-number %S" key)
+(* Point [Sds.iterate] at this store's skeleton keyspace: subdivision steps
+   of already-seen complexes replay from one artifact instead of re-running
+   the ordered-partition enumeration. Process-wide (the subdivision memo
+   is too); integrity checking lives in [Sds]. *)
+let attach_skeletons t =
+  Wfc_topology.Sds.set_skeleton_store
+    (Some
+       {
+         Wfc_topology.Sds.load =
+           (fun ~digest ~level -> Engine.find_skeleton t ~digest ~level);
+         save =
+           (fun ~digest ~level data ->
+             Engine.put_skeleton t ~digest ~level
+               ~created_at:(Unix.gettimeofday ()) data);
+       })
 
-let int_member key j =
-  match Wfc_obs.Json.member key j with
-  | Some (Wfc_obs.Json.Int i) -> Ok i
-  | _ -> Error (Printf.sprintf "missing or non-int %S" key)
+let dir = Engine.dir
 
-let string_member key j =
-  match Wfc_obs.Json.member key j with
-  | Some (Wfc_obs.Json.String s) -> Ok s
-  | _ -> Error (Printf.sprintf "missing or non-string %S" key)
+let path_of = Engine.path_of
 
-let ( let* ) = Result.bind
+let find = Engine.find
 
-let record_of_json j =
-  let* schema = string_member "schema" j in
-  let* () =
-    if schema = schema_version || schema = schema_version_v1 then Ok ()
-    else
-      Error
-        (Printf.sprintf "schema %S, expected %S or %S" schema schema_version
-           schema_version_v1)
-  in
-  let* digest = string_member "digest" j in
-  let* () = if is_hex_digest digest then Ok () else Error "digest is not 32 hex chars" in
-  let* task = string_member "task" j in
-  let* model =
-    (* v1 records predate models and are implicitly wait-free; v2 must say *)
-    if schema = schema_version_v1 then Ok "wait-free"
-    else
-      let* m = string_member "model" j in
-      if m = "" then Error "empty \"model\"" else Ok m
-  in
-  let* procs = int_member "procs" j in
-  let* max_level = int_member "max_level" j in
-  let* budget = int_member "budget" j in
-  let* verdict = string_member "verdict" j in
-  let* () =
-    match verdict with
-    | "solvable" | "unsolvable" | "exhausted" -> Ok ()
-    | v -> Error (Printf.sprintf "unknown verdict %S" v)
-  in
-  let* level = int_member "level" j in
-  let* nodes = int_member "nodes" j in
-  let* backtracks = int_member "backtracks" j in
-  let* prunes = int_member "prunes" j in
-  let* elapsed = number_member "elapsed" j in
-  let* created_at = number_member "created_at" j in
-  let* decide =
-    match Wfc_obs.Json.member "decide" j with
-    | Some (Wfc_obs.Json.Arr l) ->
-      let pair = function
-        | Wfc_obs.Json.Arr [ Wfc_obs.Json.Int v; Wfc_obs.Json.Int w ] -> Ok (v, w)
-        | _ -> Error "decide entries must be [vertex, output] int pairs"
-      in
-      List.fold_right
-        (fun e acc ->
-          let* acc = acc in
-          let* p = pair e in
-          Ok (p :: acc))
-        l (Ok [])
-    | _ -> Error "missing or non-array \"decide\""
-  in
-  let* () =
-    if verdict = "solvable" && decide = [] then
-      Error "solvable record with empty decide table"
-    else if verdict <> "solvable" && decide <> [] then
-      Error "non-solvable record with a decide table"
-    else Ok ()
-  in
-  Ok
-    {
-      digest;
-      task;
-      model;
-      procs;
-      max_level;
-      budget;
-      outcome =
-        {
-          Solvability.o_verdict = verdict;
-          o_level = level;
-          o_nodes = nodes;
-          o_backtracks = backtracks;
-          o_prunes = prunes;
-          o_elapsed = elapsed;
-          o_decide = decide;
-        };
-      created_at;
-    }
+let put = Engine.put
 
-let validate_json j = Result.map (fun (_ : record) -> ()) (record_of_json j)
+let entries = Engine.entries
 
-type t = { root : string }
-
-let quarantine_dir t = Filename.concat t.root "quarantine"
-
-let mkdir_p path =
-  let rec go p =
-    if p <> "/" && p <> "." && not (Sys.file_exists p) then begin
-      go (Filename.dirname p);
-      try Unix.mkdir p 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-    end
-  in
-  go path
-
-let open_store root =
-  let t = { root } in
-  mkdir_p root;
-  mkdir_p (quarantine_dir t);
-  t
-
-let dir t = t.root
-
-let basename_of ~digest ~model ~max_level =
-  Printf.sprintf "%s.%s.L%d.json" digest (Wfc_tasks.Model.slug_of_name model) max_level
-
-(* the pre-model filename scheme; only wait-free records ever used it *)
-let basename_v1 ~digest ~max_level = Printf.sprintf "%s.L%d.json" digest max_level
-
-let path_of t ~digest ~model ~max_level =
-  Filename.concat t.root (basename_of ~digest ~model ~max_level)
-
-let quarantine t path =
-  Wfc_obs.Metrics.incr c_quarantined;
-  let dst = Filename.concat (quarantine_dir t) (Filename.basename path) in
-  try Unix.rename path dst with Unix.Unix_error _ -> (try Sys.remove path with Sys_error _ -> ())
-
-let read_record path =
-  match In_channel.with_open_bin path In_channel.input_all with
-  | exception Sys_error e -> Error (`Unreadable e)
-  | contents -> (
-    match Wfc_obs.Json.parse contents with
-    | Error e -> Error (`Corrupt (Printf.sprintf "invalid JSON (%s)" e))
-    | Ok j -> (
-      match record_of_json j with Error e -> Error (`Corrupt e) | Ok r -> Ok r))
-
-let find t ~digest ~model ~max_level ~budget =
-  let path =
-    let v2 = path_of t ~digest ~model ~max_level in
-    if Sys.file_exists v2 then Some v2
-    else if model = "wait-free" then begin
-      (* read-compat: a pre-model store files wait-free records flat *)
-      let v1 = Filename.concat t.root (basename_v1 ~digest ~max_level) in
-      if Sys.file_exists v1 then Some v1 else None
-    end
-    else None
-  in
-  match path with
-  | None -> None
-  | Some path -> (
-    Wfc_obs.Metrics.incr c_reads;
-    match read_record path with
-    | Ok r when r.digest = digest && r.model = model && r.budget = budget -> Some r
-    | Ok r when r.digest <> digest || r.model <> model ->
-      (* filed under the wrong name: never serve it *)
-      quarantine t path;
-      None
-    | Ok _ -> None (* different budget: a miss, and the record stays *)
-    | Error (`Unreadable _) -> None
-    | Error (`Corrupt _) ->
-      quarantine t path;
-      None)
-
-let put t r =
-  let path = path_of t ~digest:r.digest ~model:r.model ~max_level:r.max_level in
-  let tmp = path ^ ".tmp" in
-  let bytes = Wfc_obs.Json.to_string (record_to_json r) in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  Fun.protect
-    ~finally:(fun () -> Unix.close fd)
-    (fun () ->
-      let n = Unix.write_substring fd bytes 0 (String.length bytes) in
-      if n <> String.length bytes then failwith "Store.put: short write";
-      Unix.fsync fd);
-  Unix.rename tmp path;
-  Wfc_obs.Metrics.incr c_puts
-
-let list_files dir' ~suffix =
-  match Sys.readdir dir' with
-  | exception Sys_error _ -> []
-  | names ->
-    Array.to_list names
-    |> List.filter (fun n -> Filename.check_suffix n suffix)
-    |> List.sort compare
-
-let entries t =
-  list_files t.root ~suffix:".json"
-  |> List.map (fun name ->
-         let r =
-           match read_record (Filename.concat t.root name) with
-           | Ok r -> Ok r
-           | Error (`Unreadable e) | Error (`Corrupt e) -> Error e
-         in
-         (name, r))
-
-type verify_report = {
+type verify_report = Engine.verify_report = {
   valid : int;
   corrupt : (string * string) list;
   mismatched : string list;
   quarantined : int;
   stray_tmp : int;
+  unindexed : int;
+  missing : int;
+  bad_manifest_lines : int;
 }
 
-let well_named name r =
-  name = basename_of ~digest:r.digest ~model:r.model ~max_level:r.max_level
-  || (r.model = "wait-free" && name = basename_v1 ~digest:r.digest ~max_level:r.max_level)
+let verify = Engine.verify
 
-let verify t =
-  let valid = ref 0 and corrupt = ref [] and mismatched = ref [] in
-  List.iter
-    (fun (name, r) ->
-      match r with
-      | Error e -> corrupt := (name, e) :: !corrupt
-      | Ok r -> if well_named name r then incr valid else mismatched := name :: !mismatched)
-    (entries t);
-  {
-    valid = !valid;
-    corrupt = List.rev !corrupt;
-    mismatched = List.rev !mismatched;
-    quarantined = List.length (list_files (quarantine_dir t) ~suffix:"");
-    stray_tmp = List.length (list_files t.root ~suffix:".tmp");
-  }
-
-type migrate_report = {
+type migrate_report = Engine.migrate_report = {
   migrated : int;
   untouched : int;
+  adopted : int;
   skipped : (string * string) list;
 }
 
-let migrate t =
-  let migrated = ref 0 and untouched = ref 0 and skipped = ref [] in
-  List.iter
-    (fun (name, r) ->
-      match r with
-      | Error e -> skipped := (name, e) :: !skipped
-      | Ok r ->
-        let canonical = basename_of ~digest:r.digest ~model:r.model ~max_level:r.max_level in
-        if name = canonical then incr untouched
-        else if
-          r.model = "wait-free"
-          && name = basename_v1 ~digest:r.digest ~max_level:r.max_level
-        then begin
-          (* rewrite as a v2 record (same outcome, same created_at) under
-             the (digest, model, level) name, then retire the v1 file *)
-          put t r;
-          (try Sys.remove (Filename.concat t.root name) with Sys_error _ -> ());
-          incr migrated
-        end
-        else skipped := (name, "filed under a name matching neither scheme") :: !skipped)
-    (entries t);
-  { migrated = !migrated; untouched = !untouched; skipped = List.rev !skipped }
+let migrate = Engine.migrate
 
-let gc t ~removed =
-  let rm path = try Sys.remove path; incr removed with Sys_error _ -> () in
-  List.iter
-    (fun n -> rm (Filename.concat t.root n))
-    (list_files t.root ~suffix:".tmp");
-  List.iter
-    (fun n -> rm (Filename.concat (quarantine_dir t) n))
-    (list_files (quarantine_dir t) ~suffix:"")
+let gc = Engine.gc

@@ -1,33 +1,31 @@
-(** Content-addressed persistent verdict store ([wfc.store.v2]).
+(** Content-addressed persistent verdict store — the serving layer's view
+    of {!Wfc_storage.Engine}.
 
     A verdict is a pure function of [(task, model, max_level, budget)]: the
     search is deterministic, so once computed it can be reused by every
-    later process. This module files one canonical-JSON record per decided
-    question under
+    later process. Records file under two-level digest-prefix shards
 
-    {v <dir>/<task digest>.<model slug>.L<max_level>.json v}
+    {v <dir>/ab/cd/<task digest>.<model slug>.L<max_level>.<ext> v}
 
     where the digest is {!Wfc_tasks.Task.digest} — content addressing, so
     two differently-named constructions of the same [(I, O, Δ)] share a
-    record — and the model slug is {!Wfc_tasks.Model.slug_of_name} of the
-    model's canonical name ([wait-free], [k-set-2], ...). The budget rides
-    inside the record and is checked on read: a record computed under a
-    different budget is a miss, never a wrong answer.
+    record — and [<ext>] is the per-record codec ([.json] canonical JSON /
+    [.wfcb] compact binary). The budget rides inside the record and is
+    checked on read: a record computed under a different budget is a miss,
+    never a wrong answer.
 
-    {b v1 read-compat.} Stores written before models existed file wait-free
-    records flat as [<digest>.L<level>.json] with schema [wfc.store.v1] and
-    no [model] field. Such records parse (as [model = "wait-free"]), are
-    found by wait-free {!find}s, and pass {!verify} under either name;
-    {!migrate} rewrites them in place as v2 records under the v2 name.
+    {b Read-compat.} Flat stores written before sharding ([wfc.store.v2]
+    files in the root, and pre-model [wfc.store.v1] [<digest>.L<n>.json]
+    wait-free records) are still found by {!find} without migration;
+    [wfc store migrate] rewrites them under the sharded layout.
 
-    Durability: {!put} writes to a [.tmp] file in the same directory,
-    fsyncs, then renames — a process killed at any instant leaves either
-    the old record, the new record, or a stray [.tmp], never a torn
-    [.json]. Reads quarantine: a record that fails to parse or validate is
-    moved to [<dir>/quarantine/] (counted in [serve.store.quarantined]) and
-    reported as a miss, so one corrupt file can never wedge the store.
-    [wfc store verify] surfaces quarantined and stray files; [wfc store gc]
-    deletes them. *)
+    Durability and hygiene are the engine's: atomic fsync'd writes through
+    unique [.wtmp] temps, quarantine-on-read for corrupt or misfiled
+    records (counted in [serve.store.quarantined]), an fsync'd
+    [MANIFEST.jsonl] feeding [ls]/[verify]/[gc], and a bounded in-process
+    LRU of decoded records ([storage.cache.{hit,miss,evict}]) so repeat
+    warm lookups make no syscall. See {!Wfc_storage.Engine} for the full
+    contract. *)
 
 val schema_version : string
 (** ["wfc.store.v2"]. *)
@@ -35,7 +33,7 @@ val schema_version : string
 val schema_version_v1 : string
 (** ["wfc.store.v1"] — still accepted on read. *)
 
-type record = {
+type record = Wfc_storage.Record.record = {
   digest : string;  (** {!Wfc_tasks.Task.digest} of the task *)
   task : string;  (** informational: the instance spec, e.g. ["consensus(procs=2,param=2)"] *)
   model : string;  (** canonical {!Wfc_tasks.Model} name, e.g. ["k-set:2"] *)
@@ -74,63 +72,83 @@ val record_of_json : Wfc_obs.Json.t -> (record, string) result
 (** Accepts both schemas: a v1 object parses with [model = "wait-free"]. *)
 
 val validate_json : Wfc_obs.Json.t -> (unit, string) result
-(** Structural check used by [wfc check-json] on store artifacts: schema
-    tag (v1 or v2), hex digest, model presence (v2), verdict vocabulary,
-    decide-table shape, and solvable records must carry a non-empty decide
-    table. *)
+(** Structural check used by [wfc check-json] on store artifacts. *)
 
-type t
+type t = Wfc_storage.Engine.t
 
-val open_store : string -> t
-(** Opens (creating directories as needed) the store rooted at the path. *)
+val open_store :
+  ?cache_cap:int -> ?codec:Wfc_storage.Codec.t -> string -> t
+(** Opens (creating directories as needed) the store rooted at the path.
+    [codec] selects the write encoding (default JSON); [cache_cap] bounds
+    the decoded-record LRU. *)
+
+val engine : t -> Wfc_storage.Engine.t
+(** The underlying engine (identity — for callers needing engine-only
+    operations like [ls] or the skeleton keyspace). *)
+
+val attach_skeletons : t -> unit
+(** Installs this store's skeleton keyspace as the process-wide
+    {!Wfc_topology.Sds.skeleton_store}: cold solves against already-seen
+    subdivisions replay persisted [SDS] steps instead of re-enumerating
+    ([sds.skeleton.hits] / [sds.skeleton.misses]). *)
 
 val dir : t -> string
 
 val path_of : t -> digest:string -> model:string -> max_level:int -> string
-(** The v2 record file a question maps to. *)
+(** The sharded record file a question maps to under the store's codec. *)
 
 val find :
   t -> digest:string -> model:string -> max_level:int -> budget:int -> record option
 (** The stored verdict for a question, or [None] on: no record, a record
     computed under a different budget, or a corrupt record (which is
-    quarantined on the way out). A wait-free question falls back to the v1
-    path when no v2 record exists. A record whose body disagrees with the
-    requested digest {e or model} is quarantined, never served. Never
-    raises on store corruption. *)
+    quarantined on the way out). Served from the LRU when warm. A wait-free
+    question falls back to the flat v1 path when no sharded or flat v2
+    record exists. A record whose body disagrees with the requested digest
+    {e or model} is quarantined, never served. Never raises on store
+    corruption. *)
 
 val put : t -> record -> unit
-(** Atomically files the record under its question's v2 path (tmp + fsync +
-    rename), replacing any previous record. *)
+(** Atomically files the record under its sharded path (unique temp +
+    fsync + rename), retiring any superseded flat or other-codec copy, and
+    appends to the manifest. *)
 
 val entries : t -> (string * (record, string) result) list
-(** Every [*.json] record file (basename, parse result), sorted by name —
-    read-only: unlike {!find} this never quarantines, so [wfc store ls] and
-    {!verify} can report corruption without mutating the store. *)
+(** Live manifest verdict entries (store-relative path, parse result),
+    sorted — read-only: unlike {!find} this never quarantines, so
+    [wfc store ls] and {!verify} can report corruption without mutating
+    the store. *)
 
-type verify_report = {
+type verify_report = Wfc_storage.Engine.verify_report = {
   valid : int;
   corrupt : (string * string) list;  (** record files failing validation *)
   mismatched : string list;
-      (** records whose (digest, model, level) disagree with their filename
-          under both the v2 and (for wait-free) v1 naming schemes *)
+      (** records whose body disagrees with their filed path under every
+          accepted naming scheme (sharded v3, flat v2, wait-free v1) *)
   quarantined : int;  (** files already sitting in quarantine/ *)
-  stray_tmp : int;  (** interrupted writes ([*.tmp]) *)
+  stray_tmp : int;  (** interrupted writes ([*.wtmp]) *)
+  unindexed : int;  (** files with no live manifest line (e.g. flat
+                        pre-migration records) *)
+  missing : int;  (** live manifest lines whose file is gone *)
+  bad_manifest_lines : int;  (** unparseable (torn) manifest lines *)
 }
 
 val verify : t -> verify_report
 
-type migrate_report = {
-  migrated : int;  (** v1-named wait-free records rewritten as v2 *)
-  untouched : int;  (** records already filed under their v2 name *)
+type migrate_report = Wfc_storage.Engine.migrate_report = {
+  migrated : int;  (** flat-named records rewritten under sharded paths *)
+  untouched : int;  (** records already filed canonically and indexed *)
+  adopted : int;  (** canonical files re-indexed into the manifest *)
   skipped : (string * string) list;  (** (name, reason): corrupt or misfiled *)
 }
 
 val migrate : t -> migrate_report
-(** [wfc store migrate]: rewrites every well-formed v1-named record as a v2
-    [wait-free] record under the v2 name (same outcome and [created_at]),
-    removing the v1 file. Corrupt or misfiled records are left in place and
-    reported — {!verify} is the tool for those. Idempotent. *)
+(** [wfc store migrate]: rewrites every well-formed flat-named (v1 or v2)
+    record under its sharded v3 path (same outcome and [created_at]),
+    removing the flat file, and adopts unindexed canonical files into the
+    manifest. Corrupt or misfiled records are left in place and reported —
+    {!verify} is the tool for those. Idempotent. *)
 
 val gc : t -> removed:int ref -> unit
-(** Deletes quarantined records and stray [.tmp] files, counting deletions
-    into [removed]. Valid records are never touched. *)
+(** Deletes quarantined records and stray temp files (counting deletions
+    into [removed]) and compacts the manifest. Valid records are never
+    touched. *)

@@ -1,0 +1,230 @@
+(* Per-record codec negotiation: a store can hold canonical-JSON records and
+   compact binary records side by side — the manifest (and the file
+   extension) says which decoder applies. The compact format exists for the
+   millions-of-records regime: the decide table dominates a solvable record
+   and packs into LEB128 varints at a fraction of its JSON rendering ("On
+   the Bit Complexity of Iterated Memory" motivates compact encodings of
+   exactly these iterated-memory objects). Both codecs decode to the same
+   {!Record.record}, and the canonical verdict bytes a query answers with
+   are rendered from the decoded record — so the codec can never change an
+   answer, only the bytes at rest. *)
+
+type t = Json | Compact
+
+let to_string = function Json -> "json" | Compact -> "compact"
+
+let of_string = function
+  | "json" -> Ok Json
+  | "compact" -> Ok Compact
+  | s -> Error (Printf.sprintf "unknown codec %S (expected json or compact)" s)
+
+let extension = function Json -> ".json" | Compact -> ".wfcb"
+
+let of_path path =
+  if Filename.check_suffix path ".json" then Some Json
+  else if Filename.check_suffix path ".wfcb" then Some Compact
+  else None
+
+(* ---- compact binary format ----
+
+   magic "WFCB1", then fields in fixed order:
+     digest        16 raw bytes (the 32 hex chars packed)
+     task, model   varint length + bytes
+     procs, max_level, budget, level,
+     nodes, backtracks, prunes          varints
+     verdict       1 byte: 0 solvable / 1 unsolvable / 2 exhausted
+     elapsed, created_at                IEEE-754 float64, big-endian
+     decide        varint count, then per pair: varint delta(vertex), varint output
+   Vertices are sorted ascending, so the vertex column is delta-encoded:
+   consecutive ids almost always fit one byte. All varints are unsigned
+   LEB128; every encoded int is checked non-negative (vertex ids, counts and
+   budgets all are). *)
+
+let magic = "WFCB1"
+
+let buf_add_varint b n =
+  if n < 0 then invalid_arg "Codec: negative int in compact record";
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let byte = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char b (Char.chr byte);
+      continue := false
+    end
+    else Buffer.add_char b (Char.chr (byte lor 0x80))
+  done
+
+let buf_add_string b s =
+  buf_add_varint b (String.length s);
+  Buffer.add_string b s
+
+let buf_add_float b f =
+  let bits = Int64.bits_of_float f in
+  for i = 7 downto 0 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (i * 8)) 0xFFL)))
+  done
+
+let hex_to_raw digest =
+  let nibble c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | _ -> invalid_arg "Codec: non-hex digest"
+  in
+  String.init 16 (fun i ->
+      Char.chr ((nibble digest.[2 * i] lsl 4) lor nibble digest.[(2 * i) + 1]))
+
+let raw_to_hex raw =
+  String.concat ""
+    (List.init 16 (fun i -> Printf.sprintf "%02x" (Char.code raw.[i])))
+
+let verdict_tag = function
+  | "solvable" -> 0
+  | "unsolvable" -> 1
+  | "exhausted" -> 2
+  | v -> invalid_arg (Printf.sprintf "Codec: unknown verdict %S" v)
+
+let verdict_of_tag = function
+  | 0 -> Ok "solvable"
+  | 1 -> Ok "unsolvable"
+  | 2 -> Ok "exhausted"
+  | t -> Error (Printf.sprintf "unknown verdict tag %d" t)
+
+let encode_compact (r : Record.record) =
+  let open Wfc_core in
+  let o = r.Record.outcome in
+  let b = Buffer.create 256 in
+  Buffer.add_string b magic;
+  Buffer.add_string b (hex_to_raw r.Record.digest);
+  buf_add_string b r.Record.task;
+  buf_add_string b r.Record.model;
+  buf_add_varint b r.Record.procs;
+  buf_add_varint b r.Record.max_level;
+  buf_add_varint b r.Record.budget;
+  buf_add_varint b o.Solvability.o_level;
+  buf_add_varint b o.Solvability.o_nodes;
+  buf_add_varint b o.Solvability.o_backtracks;
+  buf_add_varint b o.Solvability.o_prunes;
+  Buffer.add_char b (Char.chr (verdict_tag o.Solvability.o_verdict));
+  buf_add_float b o.Solvability.o_elapsed;
+  buf_add_float b r.Record.created_at;
+  buf_add_varint b (List.length o.Solvability.o_decide);
+  let prev = ref 0 in
+  List.iter
+    (fun (v, w) ->
+      buf_add_varint b (v - !prev);
+      prev := v;
+      buf_add_varint b w)
+    o.Solvability.o_decide;
+  Buffer.contents b
+
+(* A stateful little-parser over the payload; every read is bounds-checked
+   so a truncated or bit-flipped file decodes to [Error], never an
+   exception — the engine quarantines on [Error] exactly as it does for
+   torn JSON. *)
+type cursor = { data : string; mutable pos : int }
+
+let ( let* ) = Result.bind
+
+let take c n =
+  if c.pos + n > String.length c.data then Error "truncated compact record"
+  else begin
+    let s = String.sub c.data c.pos n in
+    c.pos <- c.pos + n;
+    Ok s
+  end
+
+let read_varint c =
+  let rec go shift acc =
+    if shift > 62 then Error "varint overflow"
+    else if c.pos >= String.length c.data then Error "truncated varint"
+    else begin
+      let byte = Char.code c.data.[c.pos] in
+      c.pos <- c.pos + 1;
+      let acc = acc lor ((byte land 0x7f) lsl shift) in
+      if byte land 0x80 = 0 then Ok acc else go (shift + 7) acc
+    end
+  in
+  go 0 0
+
+let read_string c =
+  let* n = read_varint c in
+  take c n
+
+let read_float c =
+  let* raw = take c 8 in
+  let bits = ref 0L in
+  String.iter (fun ch -> bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code ch))) raw;
+  Ok (Int64.float_of_bits !bits)
+
+let decode_compact data =
+  let c = { data; pos = 0 } in
+  let* m = take c (String.length magic) in
+  let* () = if m = magic then Ok () else Error "bad magic (not a compact record)" in
+  let* raw_digest = take c 16 in
+  let digest = raw_to_hex raw_digest in
+  let* task = read_string c in
+  let* model = read_string c in
+  let* procs = read_varint c in
+  let* max_level = read_varint c in
+  let* budget = read_varint c in
+  let* level = read_varint c in
+  let* nodes = read_varint c in
+  let* backtracks = read_varint c in
+  let* prunes = read_varint c in
+  let* tag = take c 1 in
+  let* verdict = verdict_of_tag (Char.code tag.[0]) in
+  let* elapsed = read_float c in
+  let* created_at = read_float c in
+  let* ndecide = read_varint c in
+  let rec pairs prev n acc =
+    if n = 0 then Ok (List.rev acc)
+    else
+      let* dv = read_varint c in
+      let* w = read_varint c in
+      let v = prev + dv in
+      pairs v (n - 1) ((v, w) :: acc)
+  in
+  let* decide = pairs 0 ndecide [] in
+  let* () =
+    if c.pos = String.length data then Ok () else Error "trailing bytes after compact record"
+  in
+  let r =
+    {
+      Record.digest;
+      task;
+      model;
+      procs;
+      max_level;
+      budget;
+      outcome =
+        {
+          Wfc_core.Solvability.o_verdict = verdict;
+          o_level = level;
+          o_nodes = nodes;
+          o_backtracks = backtracks;
+          o_prunes = prunes;
+          o_elapsed = elapsed;
+          o_decide = decide;
+        };
+      created_at;
+    }
+  in
+  let* () = Record.check_record r in
+  Ok r
+
+let encode codec r =
+  match codec with
+  | Json -> Wfc_obs.Json.to_string (Record.record_to_json r)
+  | Compact -> encode_compact r
+
+let decode codec data =
+  match codec with
+  | Json -> (
+    match Wfc_obs.Json.parse data with
+    | Error e -> Error (Printf.sprintf "invalid JSON (%s)" e)
+    | Ok j -> Record.record_of_json j)
+  | Compact -> decode_compact data

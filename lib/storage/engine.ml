@@ -1,0 +1,535 @@
+(* The storage engine: sharded layout + manifest index + decoded-record
+   LRU, behind the same question-keyed find/put the flat store answered.
+
+   Read path: LRU (no syscalls) → stat-probe of the question's sharded
+   paths (both codecs) → flat v2 → flat v1 — probes are direct path stats,
+   never a manifest consultation, so a second process appending to the same
+   store (inline [wfc query --store] beside a daemon) is visible
+   immediately; the manifest only feeds ls/verify/gc, where staleness costs
+   a report line, not a wrong answer.
+
+   Write path: encode → atomic publish (unique .wtmp + fsync + rename) →
+   retire superseded copies (other codec, flat names) → fsync'd manifest
+   append → cache fill. A crash at any instant leaves a store verify can
+   explain: at worst a stray temp (reaped by gc) or a durable record whose
+   manifest line is missing (reported as unindexed, re-adopted by
+   migrate). *)
+
+let c_reads = Wfc_obs.Metrics.counter "serve.store.reads"
+
+let c_puts = Wfc_obs.Metrics.counter "serve.store.puts"
+
+let c_quarantined = Wfc_obs.Metrics.counter "serve.store.quarantined"
+
+let c_hit = Wfc_obs.Metrics.counter "storage.cache.hit"
+
+let c_miss = Wfc_obs.Metrics.counter "storage.cache.miss"
+
+let c_evict = Wfc_obs.Metrics.counter "storage.cache.evict"
+
+let default_cache_cap = 4096
+
+type t = {
+  root : string;
+  codec : Codec.t;
+  cache : Record.record Lru.t;
+  cache_mu : Mutex.t;
+  manifest : Manifest.t;
+}
+
+let manifest_path root = Filename.concat root Layout.manifest_basename
+
+let open_store ?(cache_cap = default_cache_cap) ?(codec = Codec.Json) root =
+  Layout.mkdir_p root;
+  Layout.mkdir_p (Filename.concat root Layout.quarantine_root);
+  {
+    root;
+    codec;
+    cache =
+      Lru.create cache_cap ~on_evict:(fun _ _ -> Wfc_obs.Metrics.incr c_evict);
+    cache_mu = Mutex.create ();
+    manifest = Manifest.create (manifest_path root);
+  }
+
+let dir t = t.root
+
+let codec t = t.codec
+
+let close t = Manifest.close t.manifest
+
+let with_cache t f =
+  Mutex.lock t.cache_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.cache_mu) (fun () -> f t.cache)
+
+let cache_clear t = with_cache t Lru.clear
+
+let cache_keys t = with_cache t Lru.keys_mru_first
+
+let cache_key ~digest ~model ~max_level =
+  Printf.sprintf "%s.%s.L%d" digest (Wfc_tasks.Model.slug_of_name model) max_level
+
+let abs t rel = Filename.concat t.root rel
+
+let path_of t ~digest ~model ~max_level =
+  abs t (Layout.verdict_rel ~digest ~model ~max_level ~ext:(Codec.extension t.codec))
+
+(* ---- quarantine ---- *)
+
+let quarantine t rel =
+  Wfc_obs.Metrics.incr c_quarantined;
+  let path = abs t rel in
+  let dst =
+    Filename.concat (abs t Layout.quarantine_root) (Filename.basename path)
+  in
+  (try Unix.rename path dst
+   with Unix.Unix_error _ -> (
+     try Sys.remove path with Sys_error _ -> ()));
+  (* keep the index honest: the artifact is gone from its filed path *)
+  Manifest.append t.manifest
+    {
+      Manifest.op = Del;
+      kind = Verdict;
+      rel;
+      digest = "";
+      model = "";
+      max_level = 0;
+      budget = 0;
+      verdict = "";
+      level = 0;
+      codec = "";
+      created_at = 0.;
+    }
+
+(* ---- read path ---- *)
+
+let read_record ~rel_or_path path =
+  let codec = Option.value (Codec.of_path rel_or_path) ~default:Codec.Json in
+  match Layout.read_file path with
+  | exception Sys_error e -> Error (`Unreadable e)
+  | contents -> (
+    match Codec.decode codec contents with
+    | Error e -> Error (`Corrupt e)
+    | Ok r -> Ok r)
+
+(* The stat-probe order a question resolves through. Both codec extensions
+   are probed — codec choice is per record, a store can mix freely — then
+   the flat v2 name and (wait-free only) the flat v1 name, so pre-sharding
+   stores answer without migration. *)
+let candidate_rels ~digest ~model ~max_level =
+  let sharded ext = Layout.verdict_rel ~digest ~model ~max_level ~ext in
+  let flats =
+    Layout.flat_basename ~digest ~model ~max_level
+    ::
+    (if model = "wait-free" then [ Layout.flat_basename_v1 ~digest ~max_level ]
+     else [])
+  in
+  (sharded ".json" :: sharded ".wfcb" :: flats)
+
+let find t ~digest ~model ~max_level ~budget =
+  let key = cache_key ~digest ~model ~max_level in
+  match with_cache t (fun c -> Lru.find c key) with
+  | Some r ->
+    Wfc_obs.Metrics.incr c_hit;
+    (* same budget discipline as disk: a different budget is a miss, and
+       the record stays *)
+    if r.Record.budget = budget then Some r else None
+  | None -> (
+    Wfc_obs.Metrics.incr c_miss;
+    let rel =
+      List.find_opt
+        (fun rel -> Sys.file_exists (abs t rel))
+        (candidate_rels ~digest ~model ~max_level)
+    in
+    match rel with
+    | None -> None
+    | Some rel -> (
+      Wfc_obs.Metrics.incr c_reads;
+      match read_record ~rel_or_path:rel (abs t rel) with
+      | Ok r
+        when r.Record.digest = digest && r.Record.model = model
+             && r.Record.budget = budget ->
+        with_cache t (fun c -> Lru.put c key r);
+        Some r
+      | Ok r when r.Record.digest <> digest || r.Record.model <> model ->
+        (* filed under the wrong name: never serve it *)
+        quarantine t rel;
+        None
+      | Ok _ -> None (* different budget: a miss, and the record stays *)
+      | Error (`Unreadable _) -> None
+      | Error (`Corrupt _) ->
+        quarantine t rel;
+        None))
+
+(* ---- write path ---- *)
+
+let manifest_put_entry ~rel ~codec (r : Record.record) =
+  {
+    Manifest.op = Put;
+    kind = Verdict;
+    rel;
+    digest = r.Record.digest;
+    model = r.Record.model;
+    max_level = r.Record.max_level;
+    budget = r.Record.budget;
+    verdict = r.Record.outcome.Wfc_core.Solvability.o_verdict;
+    level = r.Record.outcome.Wfc_core.Solvability.o_level;
+    codec = Codec.to_string codec;
+    created_at = r.Record.created_at;
+  }
+
+let remove_superseded t rels =
+  List.iter
+    (fun rel ->
+      let path = abs t rel in
+      if Sys.file_exists path then begin
+        (try Sys.remove path with Sys_error _ -> ());
+        Manifest.append t.manifest
+          {
+            Manifest.op = Del;
+            kind = Verdict;
+            rel;
+            digest = "";
+            model = "";
+            max_level = 0;
+            budget = 0;
+            verdict = "";
+            level = 0;
+            codec = "";
+            created_at = 0.;
+          }
+      end)
+    rels
+
+let put t (r : Record.record) =
+  let digest = r.Record.digest
+  and model = r.Record.model
+  and max_level = r.Record.max_level in
+  let ext = Codec.extension t.codec in
+  let rel = Layout.verdict_rel ~digest ~model ~max_level ~ext in
+  Layout.atomic_write (abs t rel) (Codec.encode t.codec r);
+  Wfc_obs.Metrics.incr c_puts;
+  (* one live copy per question: retire the other-codec sharded file and
+     any flat-named predecessor the read path would otherwise still probe *)
+  remove_superseded t
+    (List.filter
+       (fun c -> c <> rel)
+       (candidate_rels ~digest ~model ~max_level));
+  Manifest.append t.manifest (manifest_put_entry ~rel ~codec:t.codec r);
+  with_cache t (fun c -> Lru.put c (cache_key ~digest ~model ~max_level) r)
+
+(* ---- skeleton keyspace ---- *)
+
+let find_skeleton t ~digest ~level =
+  let rel = Layout.skeleton_rel ~digest ~level in
+  match Layout.read_file (abs t rel) with
+  | exception Sys_error _ -> None
+  | contents -> Some contents
+
+let put_skeleton t ~digest ~level ~created_at data =
+  let rel = Layout.skeleton_rel ~digest ~level in
+  Layout.atomic_write (abs t rel) data;
+  Manifest.append t.manifest
+    {
+      Manifest.op = Put;
+      kind = Skeleton;
+      rel;
+      digest;
+      model = "";
+      max_level = level;
+      budget = 0;
+      verdict = "";
+      level;
+      codec = "json";
+      created_at;
+    }
+
+(* ---- scans: ls / entries / verify / migrate / gc ----
+
+   Everything below reads the manifest (one sequential file) or, for the
+   reconciling scans (verify / migrate / rebuild), walks the tree once.
+   The serving path above never does either. *)
+
+let ls t =
+  let { Manifest.entries; _ } = Manifest.load (manifest_path t.root) in
+  Manifest.live entries
+
+let verdict_entries t =
+  List.filter (fun e -> e.Manifest.kind = Manifest.Verdict) (ls t)
+
+let entries t =
+  List.map
+    (fun e ->
+      let rel = e.Manifest.rel in
+      let r =
+        match read_record ~rel_or_path:rel (abs t rel) with
+        | Ok r -> Ok r
+        | Error (`Unreadable e) | Error (`Corrupt e) -> Error e
+      in
+      (rel, r))
+    (verdict_entries t)
+
+(* A record file is well-named when its filed path is derivable from its
+   own body under some accepted scheme: the sharded v3 name, the flat v2
+   name, or (wait-free) the flat v1 name. *)
+let well_named rel (r : Record.record) =
+  let digest = r.Record.digest
+  and model = r.Record.model
+  and max_level = r.Record.max_level in
+  let ext =
+    match Codec.of_path rel with
+    | Some c -> Codec.extension c
+    | None -> ".json"
+  in
+  rel = Layout.verdict_rel ~digest ~model ~max_level ~ext
+  || rel = Layout.flat_basename ~digest ~model ~max_level
+  || (model = "wait-free" && rel = Layout.flat_basename_v1 ~digest ~max_level)
+
+type file_class = Manifest_file | Quarantined | Tmp | Skeleton_file | Record_file | Other
+
+let classify rel =
+  if rel = Layout.manifest_basename then Manifest_file
+  else if String.length rel > 11 && String.sub rel 0 11 = "quarantine/" then
+    Quarantined
+  else if Layout.is_tmp rel then Tmp
+  else if String.length rel > 10 && String.sub rel 0 10 = "skeletons/" then
+    Skeleton_file
+  else if Codec.of_path rel <> None then Record_file
+  else Other
+
+type verify_report = {
+  valid : int;
+  corrupt : (string * string) list;
+  mismatched : string list;
+  quarantined : int;
+  stray_tmp : int;
+  unindexed : int;
+  missing : int;
+  bad_manifest_lines : int;
+}
+
+let verify t =
+  let { Manifest.entries = log; bad_lines } = Manifest.load (manifest_path t.root) in
+  let live = Manifest.live log in
+  let live_tbl = Hashtbl.create 256 in
+  List.iter (fun e -> Hashtbl.replace live_tbl e.Manifest.rel false) live;
+  let valid = ref 0
+  and corrupt = ref []
+  and mismatched = ref []
+  and quarantined = ref 0
+  and stray_tmp = ref 0
+  and unindexed = ref 0 in
+  let seen rel =
+    match Hashtbl.find_opt live_tbl rel with
+    | Some _ -> Hashtbl.replace live_tbl rel true
+    | None -> incr unindexed
+  in
+  Layout.walk t.root ~f:(fun rel ->
+      match classify rel with
+      | Manifest_file | Other -> ()
+      | Quarantined -> incr quarantined
+      | Tmp -> incr stray_tmp
+      | Skeleton_file -> seen rel
+      | Record_file -> (
+        seen rel;
+        match read_record ~rel_or_path:rel (abs t rel) with
+        | Error (`Unreadable e) | Error (`Corrupt e) ->
+          corrupt := (rel, e) :: !corrupt
+        | Ok r ->
+          if well_named rel r then incr valid else mismatched := rel :: !mismatched));
+  let missing = Hashtbl.fold (fun _ seen n -> if seen then n else n + 1) live_tbl 0 in
+  {
+    valid = !valid;
+    corrupt = List.rev !corrupt;
+    mismatched = List.rev !mismatched;
+    quarantined = !quarantined;
+    stray_tmp = !stray_tmp;
+    unindexed = !unindexed;
+    missing;
+    bad_manifest_lines = bad_lines;
+  }
+
+type migrate_report = {
+  migrated : int;
+  untouched : int;
+  adopted : int;
+  skipped : (string * string) list;
+}
+
+(* v2→v3 migration, idempotent: every record file not already at its
+   canonical sharded path is re-put (sharded, current codec, same record
+   bytes-wise content and created_at) and its old file removed; canonical
+   files missing a manifest line are adopted (indexed in place). A second
+   run finds only canonical, indexed files and does nothing. *)
+let migrate t =
+  let indexed = Hashtbl.create 256 in
+  List.iter (fun e -> Hashtbl.replace indexed e.Manifest.rel ()) (ls t);
+  let migrated = ref 0 and untouched = ref 0 and adopted = ref 0 and skipped = ref [] in
+  let files = ref [] in
+  Layout.walk t.root ~f:(fun rel ->
+      match classify rel with
+      | Record_file -> files := rel :: !files
+      | Skeleton_file ->
+        if not (Hashtbl.mem indexed rel) then begin
+          (* adopt: the artifact is fine where it is, only the index lost it *)
+          let b = Filename.basename rel in
+          let digest = try String.sub b 0 32 with Invalid_argument _ -> "" in
+          let level =
+            try Scanf.sscanf (Filename.remove_extension b) "%_s@.L%d" (fun l -> l)
+            with Scanf.Scan_failure _ | End_of_file | Failure _ -> 0
+          in
+          Manifest.append t.manifest
+            {
+              Manifest.op = Put;
+              kind = Skeleton;
+              rel;
+              digest;
+              model = "";
+              max_level = level;
+              budget = 0;
+              verdict = "";
+              level;
+              codec = "json";
+              created_at = 0.;
+            };
+          incr adopted
+        end
+      | _ -> ());
+  List.iter
+    (fun rel ->
+      match read_record ~rel_or_path:rel (abs t rel) with
+      | Error (`Unreadable e) | Error (`Corrupt e) -> skipped := (rel, e) :: !skipped
+      | Ok r ->
+        let ext =
+          match Codec.of_path rel with
+          | Some c -> Codec.extension c
+          | None -> ".json"
+        in
+        let canonical =
+          Layout.verdict_rel ~digest:r.Record.digest ~model:r.Record.model
+            ~max_level:r.Record.max_level ~ext
+        in
+        if rel = canonical then
+          if Hashtbl.mem indexed rel then incr untouched
+          else begin
+            let codec = Option.value (Codec.of_path rel) ~default:Codec.Json in
+            Manifest.append t.manifest (manifest_put_entry ~rel ~codec r);
+            incr adopted
+          end
+        else if well_named rel r then begin
+          (* flat v1/v2 (or other-codec) name: rewrite sharded, retire the
+             old file. [put] also removes the flat predecessors itself. *)
+          put t r;
+          (if Sys.file_exists (abs t rel) then
+             try Sys.remove (abs t rel) with Sys_error _ -> ());
+          if Hashtbl.mem indexed rel then
+            Manifest.append t.manifest
+              {
+                Manifest.op = Del;
+                kind = Verdict;
+                rel;
+                digest = "";
+                model = "";
+                max_level = 0;
+                budget = 0;
+                verdict = "";
+                level = 0;
+                codec = "";
+                created_at = 0.;
+              };
+          incr migrated
+        end
+        else skipped := (rel, "filed under a name matching no scheme") :: !skipped)
+    (List.sort compare !files);
+  { migrated = !migrated; untouched = !untouched; adopted = !adopted; skipped = List.rev !skipped }
+
+(* Rebuild the manifest from nothing but the tree — the recovery path that
+   makes the manifest derived state. Returns the number of live entries
+   written. *)
+let rebuild_manifest t =
+  let entries = ref [] in
+  Layout.walk t.root ~f:(fun rel ->
+      match classify rel with
+      | Record_file -> (
+        match read_record ~rel_or_path:rel (abs t rel) with
+        | Error _ -> ()
+        | Ok r ->
+          let codec = Option.value (Codec.of_path rel) ~default:Codec.Json in
+          entries := manifest_put_entry ~rel ~codec r :: !entries)
+      | Skeleton_file ->
+        let b = Filename.basename rel in
+        let digest = try String.sub b 0 32 with Invalid_argument _ -> "" in
+        let level =
+          try Scanf.sscanf (Filename.remove_extension b) "%_s@.L%d" (fun l -> l)
+          with Scanf.Scan_failure _ | End_of_file | Failure _ -> 0
+        in
+        entries :=
+          {
+            Manifest.op = Put;
+            kind = Skeleton;
+            rel;
+            digest;
+            model = "";
+            max_level = level;
+            budget = 0;
+            verdict = "";
+            level;
+            codec = "json";
+            created_at = 0.;
+          }
+          :: !entries
+      | _ -> ());
+  let entries = List.sort (fun a b -> compare a.Manifest.rel b.Manifest.rel) !entries in
+  Manifest.close t.manifest;
+  Manifest.write_full (manifest_path t.root) entries;
+  List.length entries
+
+let gc t ~removed =
+  let rm path = try Sys.remove path; incr removed with Sys_error _ -> () in
+  let tmps = ref [] and quarantined = ref [] in
+  Layout.walk t.root ~f:(fun rel ->
+      match classify rel with
+      | Tmp -> tmps := rel :: !tmps
+      | Quarantined -> quarantined := rel :: !quarantined
+      | _ -> ());
+  List.iter (fun rel -> rm (abs t rel)) !tmps;
+  List.iter (fun rel -> rm (abs t rel)) !quarantined;
+  (* compact: rewrite the log as exactly the live, still-on-disk set *)
+  let { Manifest.entries = log; _ } = Manifest.load (manifest_path t.root) in
+  let live =
+    List.filter (fun e -> Sys.file_exists (abs t e.Manifest.rel)) (Manifest.live log)
+  in
+  Manifest.close t.manifest;
+  Manifest.write_full (manifest_path t.root) live
+
+(* ---- synthetic population (bench / CI) ---- *)
+
+let seed t ~count =
+  for i = 0 to count - 1 do
+    let digest = Digest.to_hex (Digest.string (Printf.sprintf "wfc-seed-%d" i)) in
+    let solvable = i mod 2 = 0 in
+    let decide =
+      if solvable then List.init (3 + (i mod 5)) (fun v -> (v, v mod 2)) else []
+    in
+    let r =
+      {
+        Record.digest;
+        task = Printf.sprintf "seed(procs=2,param=%d)" i;
+        model = "wait-free";
+        procs = 2;
+        max_level = i mod 3;
+        budget = 5_000_000;
+        outcome =
+          {
+            Wfc_core.Solvability.o_verdict = (if solvable then "solvable" else "unsolvable");
+            o_level = i mod 3;
+            o_nodes = 100 + i;
+            o_backtracks = i mod 7;
+            o_prunes = i mod 11;
+            o_elapsed = 0.001;
+            o_decide = decide;
+          };
+        created_at = float_of_int i;
+      }
+    in
+    put t r
+  done

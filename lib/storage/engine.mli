@@ -1,0 +1,123 @@
+(** The sharded, manifest-indexed, cache-tiered store (v3 layout).
+
+    One engine instance serves two keyspaces under one root:
+
+    - {b verdicts} — [ab/cd/<digest>.<model-slug>.L<n>.<ext>], the record
+      of one decided [(task, model, max_level, budget)] question, encoded
+      by a per-record {!Codec} ([.json] canonical / [.wfcb] compact);
+    - {b skeletons} — [skeletons/ab/cd/<digest>.L<b>.json], a persisted
+      [SDS^b] subdivision keyed by the structural digest of its base.
+
+    Every mutation appends a fsync'd line to [MANIFEST.jsonl]
+    ({!Manifest}); [ls]/[verify]/[gc] answer from that one sequential file.
+    The {e serving} path never consults the manifest: {!find} goes LRU →
+    direct stat-probes (sharded both codecs, then flat v2/v1 for
+    pre-sharding stores), so concurrent writers in other processes are
+    visible immediately and manifest staleness can only mis-report, never
+    mis-answer.
+
+    Counters: [serve.store.{reads,puts,quarantined}] (disk tier, the
+    pre-engine names) and [storage.cache.{hit,miss,evict}] (memory
+    tier). *)
+
+type t
+
+val default_cache_cap : int
+
+val open_store : ?cache_cap:int -> ?codec:Codec.t -> string -> t
+(** Opens (creating root and quarantine dirs) the store at the path.
+    [codec] is the {e write} codec; both codecs are always readable.
+    [cache_cap] bounds the decoded-record LRU (default
+    {!default_cache_cap}). *)
+
+val dir : t -> string
+
+val codec : t -> Codec.t
+
+val close : t -> unit
+(** Releases the manifest append handle. The store stays usable — the
+    handle reopens lazily. *)
+
+val path_of : t -> digest:string -> model:string -> max_level:int -> string
+(** The sharded path {!put} would write for this question under the
+    engine's codec. *)
+
+val find :
+  t ->
+  digest:string ->
+  model:string ->
+  max_level:int ->
+  budget:int ->
+  Record.record option
+(** The stored verdict, or [None] on: no record, a different-budget record
+    (which stays), or a corrupt/misfiled record (quarantined on the way
+    out, with a manifest [Del]). Hits fill and consult the LRU; a cache hit
+    makes no syscall. Wait-free questions fall back to flat v1 paths. *)
+
+val put : t -> Record.record -> unit
+(** Atomic durable publish under the sharded path, retiring any superseded
+    copy (other codec, flat v2/v1 names), then manifest append and cache
+    fill. *)
+
+val find_skeleton : t -> digest:string -> level:int -> string option
+(** Raw bytes of the persisted [SDS^level] artifact for a base complex
+    with this structural digest, if present. Integrity is the caller's
+    check (the artifact embeds its own digest). *)
+
+val put_skeleton :
+  t -> digest:string -> level:int -> created_at:float -> string -> unit
+
+val ls : t -> Manifest.entry list
+(** The live manifest view (both keyspaces), sorted by path — one
+    sequential read, no [readdir], no record opens. *)
+
+val entries : t -> (string * (Record.record, string) result) list
+(** Live verdict entries with each record file read back —
+    (relative path, parse result). Never quarantines. *)
+
+type verify_report = {
+  valid : int;
+  corrupt : (string * string) list;  (** record files failing decode *)
+  mismatched : string list;  (** body disagrees with filed path *)
+  quarantined : int;  (** files already in quarantine/ *)
+  stray_tmp : int;  (** interrupted atomic writes ([*.wtmp]) *)
+  unindexed : int;  (** files on disk with no live manifest line (includes
+                        pre-migration flat records) *)
+  missing : int;  (** live manifest lines whose file is gone *)
+  bad_manifest_lines : int;  (** unparseable (torn) manifest lines *)
+}
+
+val verify : t -> verify_report
+(** Full reconciliation: one manifest read + one tree walk, cross-checked
+    both ways. Read-only. *)
+
+type migrate_report = {
+  migrated : int;  (** flat-named records rewritten under sharded paths *)
+  untouched : int;  (** records already canonical and indexed *)
+  adopted : int;  (** canonical files the manifest had lost, re-indexed *)
+  skipped : (string * string) list;  (** (path, reason) *)
+}
+
+val migrate : t -> migrate_report
+(** v1/v2 → v3: every well-formed record filed under a flat name is
+    re-put under its sharded path (same record, current codec) and the old
+    file removed; canonical-but-unindexed files (and skeletons) are
+    adopted into the manifest. Idempotent. *)
+
+val rebuild_manifest : t -> int
+(** Regenerates [MANIFEST.jsonl] from nothing but a tree walk, atomically
+    replacing the log; returns the live-entry count. The recovery proof
+    that the manifest is derived state. *)
+
+val gc : t -> removed:int ref -> unit
+(** Reaps quarantined files and stray [.wtmp] temps (counting into
+    [removed]), then compacts the manifest to exactly the live,
+    still-on-disk set. *)
+
+val seed : t -> count:int -> unit
+(** Populates deterministic synthetic records (bench / CI scale runs). *)
+
+val cache_clear : t -> unit
+
+val cache_keys : t -> string list
+(** Cached question keys, warmest first. *)

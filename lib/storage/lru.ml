@@ -1,0 +1,97 @@
+(* A bounded LRU over string keys: hash table for O(1) lookup, intrusive
+   doubly-linked list for O(1) recency updates and eviction. Not
+   thread-safe by itself — the engine takes its lock around every call, so
+   the structure stays single-purpose and testable in isolation. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  cap : int;
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;  (* most recently used *)
+  mutable tail : 'a node option;  (* least recently used *)
+  mutable size : int;
+  on_evict : string -> 'a -> unit;
+}
+
+let create ?(on_evict = fun _ _ -> ()) cap =
+  if cap < 1 then invalid_arg "Lru.create: cap must be >= 1";
+  { cap; tbl = Hashtbl.create (min cap 1024); head = None; tail = None; size = 0; on_evict }
+
+let capacity t = t.cap
+
+let size t = t.size
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> None
+  | Some n ->
+    unlink t n;
+    push_front t n;
+    Some n.value
+
+let mem t key = Hashtbl.mem t.tbl key
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.tbl n.key;
+    t.size <- t.size - 1;
+    t.on_evict n.key n.value
+
+let put t key value =
+  (match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+    n.value <- value;
+    unlink t n;
+    push_front t n
+  | None ->
+    let n = { key; value; prev = None; next = None } in
+    Hashtbl.replace t.tbl key n;
+    push_front t n;
+    t.size <- t.size + 1);
+  while t.size > t.cap do
+    evict_lru t
+  done
+
+let remove t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.tbl key;
+    t.size <- t.size - 1
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None;
+  t.size <- 0
+
+(* Keys from most to least recently used — the order eviction would take,
+   reversed. For tests and stats, not the hot path. *)
+let keys_mru_first t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.key :: acc) n.next
+  in
+  go [] t.head

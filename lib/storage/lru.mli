@@ -1,0 +1,31 @@
+(** A bounded least-recently-used cache over string keys: O(1) [find]
+    (which refreshes recency), O(1) [put], eviction from the cold end when
+    capacity is exceeded. Not thread-safe — callers lock. *)
+
+type 'a t
+
+val create : ?on_evict:(string -> 'a -> unit) -> int -> 'a t
+(** [create cap] makes an empty cache holding at most [cap] entries
+    ([cap >= 1]). [on_evict] fires for each capacity eviction (not for
+    {!remove} or {!clear}). *)
+
+val capacity : 'a t -> int
+
+val size : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit moves the entry to most-recently-used. *)
+
+val mem : 'a t -> string -> bool
+(** Presence test without touching recency. *)
+
+val put : 'a t -> string -> 'a -> unit
+(** Insert or overwrite, making the entry most-recently-used, then evict
+    from the cold end until within capacity. *)
+
+val remove : 'a t -> string -> unit
+
+val clear : 'a t -> unit
+
+val keys_mru_first : 'a t -> string list
+(** All keys, warmest first — for tests and stats. *)

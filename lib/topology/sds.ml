@@ -51,8 +51,18 @@ let c_memo_misses = Wfc_obs.Metrics.counter "sds.memo.misses"
 
 let c_facets = Wfc_obs.Metrics.counter "sds.facets"
 
-let subdivide t =
-  Wfc_obs.Metrics.with_span "sds.subdivide" @@ fun () ->
+let c_skel_hits = Wfc_obs.Metrics.counter "sds.skeleton.hits"
+
+let c_skel_misses = Wfc_obs.Metrics.counter "sds.skeleton.misses"
+
+(* [subdivide] splits into two halves. [enumerate] is the combinatorial
+   search: the vertex universe (all (v, S) with v ∈ S) and the
+   ordered-partition facet expansion — the part whose cost explodes with
+   the level. [build_level] is the deterministic tail that turns that
+   enumeration into a chromatic complex with carriers and Kozlov points.
+   The split exists so a persisted skeleton — exactly the enumeration
+   output — can skip the search and replay only the tail, bit-for-bit. *)
+let enumerate t =
   let prev_cx = complex t in
   let prev_complex = Chromatic.complex prev_cx in
   (* Collect the vertex universe: all (v, S) with v ∈ S a simplex. The
@@ -101,6 +111,12 @@ let subdivide t =
       (Array.of_list (Complex.facets prev_complex))
     |> Array.to_list |> List.concat
   in
+  (ordered, facets)
+
+let build_level t (ordered, facets) =
+  let prev_cx = complex t in
+  let prev_complex = Chromatic.complex prev_cx in
+  let nverts = List.length ordered in
   Wfc_obs.Metrics.add c_facets (List.length facets);
   let new_complex =
     Complex.of_facets ~name:(Complex.name prev_complex ^ "'") facets
@@ -148,6 +164,133 @@ let subdivide t =
   in
   { sd; prev = Some t; own_tbl; snap_tbl }
 
+let subdivide t =
+  Wfc_obs.Metrics.with_span "sds.subdivide" @@ fun () ->
+  build_level t (enumerate t)
+
+(* ---- persisted skeletons (wfc.skeleton.v1) ----
+
+   A skeleton artifact is the [enumerate] output of one subdivision step —
+   vertex pairs (own, snapshot) and facet id-lists — keyed by the
+   structural digest of the {e base} complex and the target level.
+   Rebuilding through [build_level] reproduces the step bit-for-bit, so a
+   cold process solving against an already-seen [SDS^b(sⁿ)] loads b small
+   artifacts instead of re-running the ordered-partition search. The store
+   itself is injected ([set_skeleton_store]) so this library stays
+   storage-agnostic; any load failure — absent, torn, wrong digest, wrong
+   check — silently falls back to [subdivide] and re-saves. *)
+
+type skeleton_store = {
+  load : digest:string -> level:int -> string option;
+  save : digest:string -> level:int -> string -> unit;
+}
+
+let skeleton_schema = "wfc.skeleton.v1"
+
+let skel_store : skeleton_store option ref = ref None
+
+let set_skeleton_store s = skel_store := s
+
+let skeleton_core ~digest ~level ~pairs ~facets =
+  let open Wfc_obs.Json in
+  [
+    ("schema", String skeleton_schema);
+    ("base_digest", String digest);
+    ("level", Int level);
+    ( "pairs",
+      Arr
+        (List.map
+           (fun (v, s) -> Arr [ Int v; Arr (List.map (fun u -> Int u) s) ])
+           pairs) );
+    ("facets", Arr (List.map (fun f -> Arr (List.map (fun v -> Int v) f)) facets));
+  ]
+
+let encode_skeleton ~digest ~level (ordered, facets) =
+  let pairs = List.map (fun (v, s) -> (v, Simplex.to_list s)) ordered in
+  let core = skeleton_core ~digest ~level ~pairs ~facets in
+  let check =
+    Digest.to_hex (Digest.string (Wfc_obs.Json.to_line (Wfc_obs.Json.Obj core)))
+  in
+  Wfc_obs.Json.to_string
+    (Wfc_obs.Json.Obj (core @ [ ("check", Wfc_obs.Json.String check) ]))
+
+let decode_skeleton ~digest ~level data =
+  let open Wfc_obs.Json in
+  let ( let* ) = Option.bind in
+  let* j = Result.to_option (parse data) in
+  let* schema = member "schema" j in
+  let* base_digest = member "base_digest" j in
+  let* lvl = member "level" j in
+  let* () =
+    if schema = String skeleton_schema && base_digest = String digest && lvl = Int level
+    then Some ()
+    else None
+  in
+  let int_of = function Int i when i >= 0 -> Some i | _ -> None in
+  let ints_of = function
+    | Arr l ->
+      List.fold_right
+        (fun x acc ->
+          let* acc = acc in
+          let* i = int_of x in
+          Some (i :: acc))
+        l (Some [])
+    | _ -> None
+  in
+  let* pairs =
+    match member "pairs" j with
+    | Some (Arr l) ->
+      List.fold_right
+        (fun x acc ->
+          let* acc = acc in
+          match x with
+          | Arr [ v; s ] ->
+            let* v = int_of v in
+            let* s = ints_of s in
+            Some ((v, s) :: acc)
+          | _ -> None)
+        l (Some [])
+    | _ -> None
+  in
+  let* facets =
+    match member "facets" j with
+    | Some (Arr l) ->
+      List.fold_right
+        (fun x acc ->
+          let* acc = acc in
+          let* f = ints_of x in
+          Some (f :: acc))
+        l (Some [])
+    | _ -> None
+  in
+  (* integrity: the artifact carries the digest of its own core *)
+  let* check = member "check" j in
+  let core = skeleton_core ~digest ~level ~pairs ~facets in
+  let expect = Digest.to_hex (Digest.string (to_line (Obj core))) in
+  let* () = if check = String expect then Some () else None in
+  let ordered = List.map (fun (v, s) -> (v, Simplex.of_sorted s)) pairs in
+  Some (ordered, facets)
+
+(* One subdivision step under the store: replay a persisted skeleton when
+   one matches, otherwise enumerate, build, and persist. *)
+let next_level ~digest t k' =
+  match !skel_store with
+  | None -> subdivide t
+  | Some st -> (
+    match Option.bind (st.load ~digest ~level:k') (decode_skeleton ~digest ~level:k') with
+    | Some step ->
+      Wfc_obs.Metrics.incr c_skel_hits;
+      Wfc_obs.Metrics.with_span "sds.skeleton.replay" @@ fun () ->
+      build_level t step
+    | None ->
+      Wfc_obs.Metrics.incr c_skel_misses;
+      Wfc_obs.Metrics.with_span "sds.subdivide" @@ fun () ->
+      let step = enumerate t in
+      let t' = build_level t step in
+      (try st.save ~digest ~level:k' (encode_skeleton ~digest ~level:k' step)
+       with _ -> ());
+      t')
+
 (* [iterate] memo: keyed by (base name, structural digest, level). The digest
    renders the base's facets with their colors — independent of the simplex
    arena, so it survives [Simplex.reset] semantics — which means two distinct
@@ -191,7 +334,7 @@ let iterate a b =
     if k = b then t
     else begin
       Wfc_obs.Metrics.incr c_memo_misses;
-      let t' = subdivide t in
+      let t' = next_level ~digest t (k + 1) in
       Hashtbl.replace memo (name, digest, k + 1) t';
       go t' (k + 1)
     end

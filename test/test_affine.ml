@@ -290,9 +290,10 @@ let test_store_model_mismatch_quarantined () =
     Store.record ~task:t ~spec:"consensus(procs=2,param=2)"
       ~model:(Model.to_string model) ~max_level:1 ~budget (outcome_for ~model t)
   in
-  (* file a k-set:2 body under the wait-free name: served to a wait-free
+  (* file a k-set:2 body under the flat wait-free name (as a bad actor or a
+     botched copy into a pre-sharding store would): served to a wait-free
      question it would be a wrong answer, so find must quarantine it *)
-  let path = Store.path_of st ~digest ~model:"wait-free" ~max_level:1 in
+  let path = Filename.concat dir (digest ^ ".wait-free.L1.json") in
   let oc = open_out path in
   output_string oc (Wfc_obs.Json.to_string (Store.record_to_json r));
   close_out oc;

@@ -220,12 +220,21 @@ let store_tests =
         let oc = open_out path in
         output_string oc "{\"schema\": \"wfc.store.v1\", \"dig";
         close_out oc;
+        (* the handle that wrote it still answers from its cache tier —
+           damage on disk cannot reach a warm answer *)
+        checkb "warm cache still serves" true
+          (Store.find st ~digest:r.Store.digest ~model:"wait-free" ~max_level:1 ~budget:r.Store.budget <> None);
+        (* a cold process (fresh handle) must hit the disk: miss + quarantine *)
+        let cold = Store.open_store dir in
         checkb "torn record misses" true
-          (Store.find st ~digest:r.Store.digest ~model:"wait-free" ~max_level:1 ~budget:r.Store.budget = None);
+          (Store.find cold ~digest:r.Store.digest ~model:"wait-free" ~max_level:1 ~budget:r.Store.budget = None);
         checkb "file moved out of the way" false (Sys.file_exists path);
-        let report = Store.verify st in
+        let report = Store.verify cold in
         checki "quarantined" 1 report.Store.quarantined;
-        checki "no in-place corruption left" 0 (List.length report.Store.corrupt));
+        checki "no in-place corruption left" 0 (List.length report.Store.corrupt);
+        (* the manifest stayed consistent: the quarantined record was
+           de-indexed, so nothing live is missing its file *)
+        checki "no live manifest entry without a file" 0 report.Store.missing);
     Alcotest.test_case "verify reports in-place damage without mutating" `Quick (fun () ->
         let dir = temp_dir "wfc-store" in
         let st = Store.open_store dir in
@@ -254,8 +263,9 @@ let store_tests =
         let st = Store.open_store dir in
         let r = inline_record default_spec in
         Store.put st r;
-        (* a crash between open and rename leaves a .tmp *)
-        let oc = open_out (Filename.concat dir "interrupted.tmp") in
+        (* a crash between open and rename leaves a .wtmp — named so that no
+           scan can mistake it for a record, even though it sits beside them *)
+        let oc = open_out (Filename.concat dir "interrupted.json.12345.0.wtmp") in
         output_string oc "{";
         close_out oc;
         let oc = open_out (Filename.concat (Filename.concat dir "quarantine") "old.json") in

@@ -1,0 +1,427 @@
+(* Tests for the storage engine: LRU mechanics, codec round-trips, manifest
+   durability and rebuild, quarantine-on-damage, concurrent writers, and
+   persisted SDS skeletons replaying bit-for-bit. *)
+
+open Wfc_core
+open Wfc_storage
+open Wfc_topology
+
+let checkb = Alcotest.check Alcotest.bool
+
+let checki = Alcotest.check Alcotest.int
+
+let checks = Alcotest.check Alcotest.string
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let counter_value name = Wfc_obs.Metrics.value (Wfc_obs.Metrics.counter name)
+
+(* A deterministic record family: every field a function of the seed, so
+   qcheck shrinks meaningfully and failures reproduce. *)
+let record_of_params ~seed ~kind ~ndecide ~level =
+  let seed = abs seed and kind = abs kind and ndecide = abs ndecide and level = abs level in
+  let digest = Digest.to_hex (Digest.string (Printf.sprintf "test-record-%d" seed)) in
+  let verdict =
+    match kind mod 3 with 0 -> "solvable" | 1 -> "unsolvable" | _ -> "exhausted"
+  in
+  let decide =
+    if verdict = "solvable" then
+      List.init (1 + (ndecide mod 64)) (fun v -> (v * (1 + (seed mod 5)), v mod 3))
+    else []
+  in
+  {
+    Record.digest;
+    task = Printf.sprintf "t%d(procs=2,param=2)" seed;
+    model = (if seed mod 2 = 0 then "wait-free" else "k-set:2");
+    procs = 2 + (seed mod 3);
+    max_level = level mod 4;
+    budget = 1 + (abs seed mod 1000) * 997;
+    outcome =
+      {
+        Solvability.o_verdict = verdict;
+        o_level = level mod 4;
+        o_nodes = abs seed mod 100_000;
+        o_backtracks = abs seed mod 777;
+        o_prunes = abs seed mod 333;
+        o_elapsed = float_of_int (abs seed mod 10_000) /. 7.;
+        o_decide = decide;
+      };
+    created_at = float_of_int (abs seed mod 1_000_000) /. 3.;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* LRU                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let lru_tests =
+  [
+    Alcotest.test_case "eviction follows recency, find refreshes" `Quick (fun () ->
+        let evicted = ref [] in
+        let l = Lru.create 3 ~on_evict:(fun k _ -> evicted := k :: !evicted) in
+        Lru.put l "a" 1;
+        Lru.put l "b" 2;
+        Lru.put l "c" 3;
+        (* touch [a]: [b] becomes the coldest *)
+        checkb "hit" true (Lru.find l "a" = Some 1);
+        Lru.put l "d" 4;
+        checks "b evicted first" "b" (String.concat "," !evicted);
+        checkb "a survived its refresh" true (Lru.mem l "a");
+        Lru.put l "e" 5;
+        checks "then c" "c,b" (String.concat "," !evicted);
+        checks "warmest first" "e,d,a" (String.concat "," (Lru.keys_mru_first l));
+        checki "bounded" 3 (Lru.size l));
+    Alcotest.test_case "overwrite refreshes without growing" `Quick (fun () ->
+        let l = Lru.create 2 in
+        Lru.put l "a" 1;
+        Lru.put l "b" 2;
+        Lru.put l "a" 10;
+        checki "size" 2 (Lru.size l);
+        checkb "new value" true (Lru.find l "a" = Some 10);
+        Lru.put l "c" 3;
+        (* [b] was coldest after the overwrite refreshed [a] *)
+        checkb "b evicted" false (Lru.mem l "b");
+        checkb "a stays" true (Lru.mem l "a"));
+    Alcotest.test_case "remove and clear" `Quick (fun () ->
+        let l = Lru.create 4 in
+        Lru.put l "a" 1;
+        Lru.put l "b" 2;
+        Lru.remove l "a";
+        checki "size after remove" 1 (Lru.size l);
+        checkb "gone" true (Lru.find l "a" = None);
+        Lru.clear l;
+        checki "empty" 0 (Lru.size l);
+        (* the list structure survives a clear *)
+        Lru.put l "c" 3;
+        checkb "usable after clear" true (Lru.find l "c" = Some 3));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Codecs                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_compact_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"compact codec round-trips exactly"
+    QCheck.(quad int int int int)
+    (fun (seed, kind, ndecide, level) ->
+      let r = record_of_params ~seed ~kind ~ndecide ~level in
+      Codec.decode Codec.Compact (Codec.encode Codec.Compact r) = Ok r)
+
+let qcheck_codecs_agree =
+  QCheck.Test.make ~count:200
+    ~name:"json and compact round-trips render identical canonical records"
+    QCheck.(quad int int int int)
+    (fun (seed, kind, ndecide, level) ->
+      let r = record_of_params ~seed ~kind ~ndecide ~level in
+      let via codec =
+        match Codec.decode codec (Codec.encode codec r) with
+        | Ok r' -> Wfc_obs.Json.to_string (Record.record_to_json r')
+        | Error e -> "decode error: " ^ e
+      in
+      via Codec.Json = via Codec.Compact)
+
+let codec_tests =
+  [
+    QCheck_alcotest.to_alcotest qcheck_compact_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_codecs_agree;
+    Alcotest.test_case "compact is smaller than json on real decide tables" `Quick
+      (fun () ->
+        let r = record_of_params ~seed:42 ~kind:0 ~ndecide:40 ~level:2 in
+        let j = String.length (Codec.encode Codec.Json r) in
+        let c = String.length (Codec.encode Codec.Compact r) in
+        checkb (Printf.sprintf "compact %d < json %d" c j) true (c < j));
+    Alcotest.test_case "every truncation of a compact record decodes to Error" `Quick
+      (fun () ->
+        let r = record_of_params ~seed:7 ~kind:0 ~ndecide:10 ~level:1 in
+        let bytes = Codec.encode Codec.Compact r in
+        for cut = 0 to String.length bytes - 1 do
+          match Codec.decode Codec.Compact (String.sub bytes 0 cut) with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "prefix of %d bytes decoded" cut
+        done);
+    Alcotest.test_case "extension negotiates the codec" `Quick (fun () ->
+        checkb "json" true (Codec.of_path "ab/cd/x.wait-free.L1.json" = Some Codec.Json);
+        checkb "wfcb" true (Codec.of_path "ab/cd/x.wait-free.L1.wfcb" = Some Codec.Compact);
+        checkb "tmp is neither" true (Codec.of_path "x.json.12.0.wtmp" = None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Manifest                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let manifest_tests =
+  [
+    Alcotest.test_case "torn trailing line is tolerated and counted" `Quick (fun () ->
+        let dir = temp_dir "wfc-manifest" in
+        let path = Filename.concat dir "MANIFEST.jsonl" in
+        let m = Manifest.create path in
+        let e =
+          {
+            Manifest.op = Manifest.Put;
+            kind = Manifest.Verdict;
+            rel = "ab/cd/x.json";
+            digest = String.make 32 'a';
+            model = "wait-free";
+            max_level = 1;
+            budget = 5;
+            verdict = "unsolvable";
+            level = 1;
+            codec = "json";
+            created_at = 1.5;
+          }
+        in
+        Manifest.append m e;
+        Manifest.close m;
+        (* a crash mid-append leaves a prefix of a line *)
+        let oc = open_out_gen [ Open_append ] 0o644 path in
+        output_string oc "{\"schema\": \"wfc.mani";
+        close_out oc;
+        let { Manifest.entries; bad_lines } = Manifest.load path in
+        checki "entries" 1 (List.length entries);
+        checki "bad lines" 1 bad_lines;
+        (* appending after the torn line still yields parseable lines: every
+           append starts fresh content, and load drops only the torn one *)
+        let m = Manifest.create path in
+        Manifest.append m { e with rel = "ab/cd/y.json" };
+        Manifest.close m;
+        let { Manifest.entries; bad_lines = _ } = Manifest.load path in
+        checki "both live" 2 (List.length (Manifest.live entries)));
+    Alcotest.test_case "live replays puts and dels in order" `Quick (fun () ->
+        let base rel op =
+          {
+            Manifest.op;
+            kind = Manifest.Verdict;
+            rel;
+            digest = String.make 32 'b';
+            model = "wait-free";
+            max_level = 1;
+            budget = 5;
+            verdict = "solvable";
+            level = 1;
+            codec = "json";
+            created_at = 0.;
+          }
+        in
+        let log =
+          [
+            base "x" Manifest.Put;
+            base "y" Manifest.Put;
+            base "x" Manifest.Del;
+            base "z" Manifest.Put;
+            base "y" Manifest.Put;
+          ]
+        in
+        let live = Manifest.live log in
+        checks "sorted live set" "y,z"
+          (String.concat "," (List.map (fun e -> e.Manifest.rel) live)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let engine_tests =
+  [
+    Alcotest.test_case "manifest rebuild is equivalent to the directory walk" `Quick
+      (fun () ->
+        let dir = temp_dir "wfc-engine" in
+        let eng = Engine.open_store dir in
+        Engine.seed eng ~count:25;
+        (* rebuild stamps skeleton entries created_at = 0., so write ours
+           the same way and the full views must match byte-for-byte *)
+        Engine.put_skeleton eng ~digest:(String.make 32 'c') ~level:2 ~created_at:0.
+          "{\"fake\": true}";
+        let render () =
+          String.concat "\n"
+            (List.map (fun e -> Wfc_obs.Json.to_line (Manifest.entry_to_json e))
+               (Engine.ls eng))
+        in
+        let before = render () in
+        checki "seeded" 26 (List.length (Engine.ls eng));
+        (* lose the index entirely; the tree rebuilds it *)
+        Engine.close eng;
+        Sys.remove (Filename.concat dir "MANIFEST.jsonl");
+        checki "index gone" 0 (List.length (Engine.ls eng));
+        let n = Engine.rebuild_manifest eng in
+        checki "all entries recovered" 26 n;
+        checks "identical live view" before (render ()));
+    Alcotest.test_case "cache tier: hits skip the disk, eviction is counted" `Quick
+      (fun () ->
+        let dir = temp_dir "wfc-engine" in
+        let eng = Engine.open_store ~cache_cap:2 dir in
+        let r1 = record_of_params ~seed:1 ~kind:1 ~ndecide:0 ~level:1 in
+        let r2 = record_of_params ~seed:3 ~kind:1 ~ndecide:0 ~level:1 in
+        let r3 = record_of_params ~seed:5 ~kind:1 ~ndecide:0 ~level:1 in
+        let hits0 = counter_value "storage.cache.hit" in
+        let evict0 = counter_value "storage.cache.evict" in
+        Engine.put eng r1;
+        Engine.put eng r2;
+        let find (r : Record.record) =
+          Engine.find eng ~digest:r.Record.digest ~model:r.Record.model
+            ~max_level:r.Record.max_level ~budget:r.Record.budget
+        in
+        (* warm: both live in the cache from their puts *)
+        checkb "r1 warm" true (find r1 <> None);
+        checkb "r2 warm" true (find r2 <> None);
+        checki "two cache hits" 2 (counter_value "storage.cache.hit" - hits0);
+        (* a third put overflows cap=2 *)
+        Engine.put eng r3;
+        checki "one eviction" 1 (counter_value "storage.cache.evict" - evict0);
+        checki "cache bounded" 2 (List.length (Engine.cache_keys eng));
+        (* the evicted record still answers — from disk *)
+        let reads0 = counter_value "serve.store.reads" in
+        checkb "evicted record still found" true (find r1 <> None);
+        checkb "that lookup hit the disk" true (counter_value "serve.store.reads" > reads0));
+    Alcotest.test_case "truncated record: quarantine keeps manifest consistent" `Quick
+      (fun () ->
+        let dir = temp_dir "wfc-engine" in
+        let eng = Engine.open_store dir in
+        let r = record_of_params ~seed:11 ~kind:0 ~ndecide:5 ~level:1 in
+        Engine.put eng r;
+        let path =
+          Engine.path_of eng ~digest:r.Record.digest ~model:r.Record.model
+            ~max_level:r.Record.max_level
+        in
+        (* cut mid-byte, as only a non-atomic writer could *)
+        let full = In_channel.with_open_bin path In_channel.input_all in
+        let oc = open_out_bin path in
+        output_string oc (String.sub full 0 (String.length full / 2));
+        close_out oc;
+        let cold = Engine.open_store dir in
+        checkb "miss" true
+          (Engine.find cold ~digest:r.Record.digest ~model:r.Record.model
+             ~max_level:r.Record.max_level ~budget:r.Record.budget
+          = None);
+        checkb "moved aside" false (Sys.file_exists path);
+        let v = Engine.verify cold in
+        checki "quarantined" 1 v.Engine.quarantined;
+        checki "corrupt in place" 0 (List.length v.Engine.corrupt);
+        checki "manifest consistent: nothing live is missing" 0 v.Engine.missing);
+    Alcotest.test_case "crash-orphaned temp files: reported by verify, reaped by gc" `Quick
+      (fun () ->
+        let dir = temp_dir "wfc-engine" in
+        let eng = Engine.open_store dir in
+        Engine.seed eng ~count:3;
+        (* the shape an interrupted atomic write leaves, deep in a shard —
+           named *.json.<pid>.<n>.wtmp precisely so no scan can read it as a
+           record (the old flat store suffix-matched .json and could) *)
+        let shard = Filename.concat dir "ab/cd" in
+        Layout.mkdir_p shard;
+        let stray = Filename.concat shard "deadbeef.wait-free.L1.json.999.0.wtmp" in
+        let oc = open_out stray in
+        output_string oc "{\"schema\": \"wfc.st";
+        close_out oc;
+        let v = Engine.verify eng in
+        checki "stray temp reported" 1 v.Engine.stray_tmp;
+        checki "not read as a record" 0 (List.length v.Engine.corrupt);
+        let removed = ref 0 in
+        Engine.gc eng ~removed;
+        checki "reaped" 1 !removed;
+        checkb "gone" false (Sys.file_exists stray);
+        let v = Engine.verify eng in
+        checki "clean" 0 v.Engine.stray_tmp;
+        checki "records untouched" 3 v.Engine.valid);
+    Alcotest.test_case "concurrent puts on one key from two domains" `Quick (fun () ->
+        let dir = temp_dir "wfc-engine" in
+        let eng = Engine.open_store dir in
+        let mk nodes =
+          let r = record_of_params ~seed:21 ~kind:1 ~ndecide:0 ~level:1 in
+          { r with Record.outcome = { r.Record.outcome with Solvability.o_nodes = nodes } }
+        in
+        let racer lo =
+          Domain.spawn (fun () -> for i = lo to lo + 39 do Engine.put eng (mk i) done)
+        in
+        let d1 = racer 0 and d2 = racer 1000 in
+        Domain.join d1;
+        Domain.join d2;
+        let r = mk 0 in
+        (* whoever won, the stored record is whole and answers the question *)
+        (match
+           Engine.find eng ~digest:r.Record.digest ~model:r.Record.model
+             ~max_level:r.Record.max_level ~budget:r.Record.budget
+         with
+        | None -> Alcotest.fail "record lost in the race"
+        | Some r' ->
+          checks "same verdict bytes"
+            (Wfc_obs.Json.to_string (Record.verdict_json r))
+            (Wfc_obs.Json.to_string (Record.verdict_json r')));
+        let v = Engine.verify eng in
+        checki "one whole record" 1 v.Engine.valid;
+        checki "no torn files" 0 (List.length v.Engine.corrupt);
+        checki "no manifest entry without a file" 0 v.Engine.missing;
+        checki "no file without a manifest entry" 0 v.Engine.unindexed);
+    Alcotest.test_case "ls is deterministic and sorted" `Quick (fun () ->
+        let dir = temp_dir "wfc-engine" in
+        let eng = Engine.open_store dir in
+        Engine.seed eng ~count:12;
+        let rels () = List.map (fun e -> e.Manifest.rel) (Engine.ls eng) in
+        let a = rels () in
+        checkb "sorted" true (a = List.sort compare a);
+        checkb "stable across calls" true (a = rels ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Persisted SDS skeletons                                              *)
+(* ------------------------------------------------------------------ *)
+
+let skeleton_tests =
+  [
+    Alcotest.test_case "cold iterate replays persisted skeletons bit-for-bit" `Quick
+      (fun () ->
+        let dir = temp_dir "wfc-skel" in
+        let eng = Engine.open_store dir in
+        Sds.set_skeleton_store
+          (Some
+             {
+               Sds.load = (fun ~digest ~level -> Engine.find_skeleton eng ~digest ~level);
+               save =
+                 (fun ~digest ~level data ->
+                   Engine.put_skeleton eng ~digest ~level ~created_at:0. data);
+             });
+        Fun.protect
+          ~finally:(fun () -> Sds.set_skeleton_store None)
+          (fun () ->
+            Sds.clear_cache ();
+            let misses0 = counter_value "sds.skeleton.misses" in
+            let hits0 = counter_value "sds.skeleton.hits" in
+            let warm = Sds.standard ~dim:2 ~levels:2 in
+            checki "first build enumerates and saves" 2
+              (counter_value "sds.skeleton.misses" - misses0);
+            (* a "new process": no memo, same store *)
+            Sds.clear_cache ();
+            let cold = Sds.standard ~dim:2 ~levels:2 in
+            checki "both levels replayed" 2 (counter_value "sds.skeleton.hits" - hits0);
+            checks "structurally identical complex"
+              (Sds.structural_digest (Sds.complex warm))
+              (Sds.structural_digest (Sds.complex cold));
+            checki "same facet count"
+              (List.length (Complex.facets (Chromatic.complex (Sds.complex warm))))
+              (List.length (Complex.facets (Chromatic.complex (Sds.complex cold))));
+            (* a corrupted artifact must fall back to enumeration, silently *)
+            let skel_digest =
+              Sds.structural_digest (Chromatic.standard_simplex 2)
+            in
+            Engine.put_skeleton eng ~digest:skel_digest ~level:1 ~created_at:0.
+              "{\"not\": \"a skeleton\"}";
+            Sds.clear_cache ();
+            let m0 = counter_value "sds.skeleton.misses" in
+            let again = Sds.standard ~dim:2 ~levels:1 in
+            checkb "fell back to a fresh subdivision" true
+              (counter_value "sds.skeleton.misses" - m0 >= 1);
+            checks "and produced the right complex"
+              (Sds.structural_digest (Sds.complex warm))
+              (Sds.structural_digest (Sds.complex (Sds.subdivide again)))));
+  ]
+
+let () =
+  Alcotest.run "wfc_storage"
+    [
+      ("lru", lru_tests);
+      ("codec", codec_tests);
+      ("manifest", manifest_tests);
+      ("engine", engine_tests);
+      ("skeleton", skeleton_tests);
+    ]
